@@ -1,0 +1,33 @@
+"""Benchmark harness support.
+
+Every bench regenerates one of the paper's tables or figures.  Reproduced
+output is registered via :func:`report` and (a) written to
+``benchmarks/results/<name>.txt`` and (b) echoed into the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+reproductions alongside the timing table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_REGISTRY: list[tuple[str, str]] = []
+
+
+def report(name: str, text: str) -> None:
+    """Register one reproduced table/figure for the terminal summary."""
+    _REGISTRY.append((name, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REGISTRY:
+        return
+    terminalreporter.section("paper reproductions")
+    for name, text in _REGISTRY:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"=== {name} ===")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Surviving churn: viewers joining and leaving mid-stream (paper appendix).
+
+Scenario: a 60-node multi-tree session experiences a burst of departures and
+arrivals.  The appendix maintenance algorithms repair the forest after every
+event while preserving its invariants (interior-disjointness and the
+collision-free schedule).  The script runs the same churn against eager and
+lazy maintenance and reports repair costs and the QoS drift.
+
+Run:  python examples/churn_resilience.py
+"""
+
+from repro import DynamicForest
+from repro.workloads import alternating_trace, apply_trace, random_trace
+
+
+def run(lazy: bool, seed: int = 42) -> None:
+    label = "lazy" if lazy else "eager"
+    forest = DynamicForest(60, 3, lazy=lazy)
+    before = forest.worst_case_delay()
+
+    trace = random_trace(50, departure_prob=0.6, seed=seed) + alternating_trace(20)
+    reports = apply_trace(forest, trace, seed=seed)
+    forest.verify()  # every structural invariant still holds
+
+    swaps = sum(r.swaps for r in reports)
+    events = sum(r.grew + r.shrank for r in reports)
+    touched = sum(len(r.touched) for r in reports)
+    print(f"\n{label} maintenance over {len(reports)} churn events:")
+    print(f"  population {60} -> {forest.num_nodes}")
+    print(f"  position swaps: {swaps}; grow/shrink events: {events}")
+    print(f"  hiccup-candidate relocations: {touched}")
+    print(f"  worst-case startup delay: {before} -> {forest.worst_case_delay()}")
+    if lazy:
+        report = forest.compact()
+        print(f"  deferred compaction: {report.swaps} swaps, "
+              f"delay now {forest.worst_case_delay()}")
+
+
+def main() -> None:
+    print("Churn resilience of the multi-tree scheme (N=60, d=3)")
+    run(lazy=False)
+    run(lazy=True)
+    print("\nInvariant checks passed after every event: the round-robin "
+          "schedule stays collision-free throughout the churn.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Live event broadcast across geographic clusters (the paper's Section 2.1).
+
+Scenario: a sports event is streamed live to viewers in nine metro areas.
+Within a metro, any two peers exchange a packet in one slot; across metros a
+packet takes T_c = 6 slots.  Each metro has an ISP-provided super node pair
+(S_i, S'_i); the stream flows down the backbone super-tree and fans out
+through per-metro multi-trees — Figure 1's deployment, measured end to end.
+
+Run:  python examples/live_sports_broadcast.py
+"""
+
+from repro import ClusteredStreamingProtocol, analyze_clustered
+from repro.cluster.analysis import theorem1_bound
+
+METROS = {
+    "NYC": 40, "LA": 34, "Chicago": 28, "Houston": 22, "Phoenix": 18,
+    "Boston": 16, "Seattle": 14, "Denver": 12, "Miami": 10,
+}
+
+
+def main() -> None:
+    protocol = ClusteredStreamingProtocol(
+        list(METROS.values()),
+        source_degree=3,          # D: capacity of S and each S_i
+        degree=2,                 # d: intra-metro tree degree (paper: use 2)
+        inter_cluster_latency=6,  # T_c
+    )
+    print(protocol.describe())
+    print("\nBackbone (super-tree τ):")
+    names = list(METROS)
+    for cluster, name in enumerate(names):
+        parent = protocol.supertree.parent[cluster]
+        feeder = "source" if parent == -1 else names[parent]
+        arrival = protocol.super_node_arrival(cluster)
+        print(f"  {name:8s} fed by {feeder:8s} — packet 0 reaches S_i at slot {arrival}")
+
+    qos = analyze_clustered(protocol, num_packets=12)
+    height = max(f.height for f in protocol.forests)
+    bound = theorem1_bound(len(METROS), 3, 2, height, 6)
+    print(f"\nEnd-to-end, measured over {qos.total_receivers} viewers:")
+    print(f"  worst-case startup delay: {qos.measured_max_delay} slots")
+    print(f"  average startup delay:    {qos.measured_avg_delay:.1f} slots")
+    print(f"  deterministic prediction: {qos.predicted_max_delay} slots")
+    print(f"  Theorem 1 order bound:    T_c*log_(D-1)K + d*(h-1) = {bound:.1f}")
+    print("\nEvery viewer sustains live playback at one packet per slot after "
+          "its startup delay, with no hiccups.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — reproduction of *On the Tradeoff Between Playback Delay and Buffer
+Space in Streaming* (Chow, Golubchik, Khuller, Yao; USC CSTR 09-904 / IPPS 2009).
+
+The package implements, from scratch, everything the paper describes:
+
+* :mod:`repro.core` — the slot-synchronous communication model and simulator;
+* :mod:`repro.trees` — the multi-tree scheme (both constructions, the
+  round-robin schedule, Theorems 2-3, churn maintenance);
+* :mod:`repro.hypercube` — the hypercube scheme for special and arbitrary
+  ``N`` (Propositions 1-2, Theorem 4) and the ``d``-group variant;
+* :mod:`repro.cluster` — the multi-cluster backbone τ (Theorem 1);
+* :mod:`repro.baselines` — the intro's chain and single-tree overlays;
+* :mod:`repro.graphs` — the Two Interior-Disjoint Tree problem and its
+  NP-completeness reduction from E4-Set-Splitting;
+* :mod:`repro.theory` — every closed-form bound, plus degree optimization;
+* :mod:`repro.workloads` / :mod:`repro.reporting` — sweep generators and
+  plain-text rendering for the benchmark harness.
+
+Quickstart::
+
+    from repro import MultiTreeProtocol, simulate, collect_metrics
+    protocol = MultiTreeProtocol(num_nodes=100, degree=3)
+    trace = simulate(protocol, protocol.slots_for_packets(32))
+    print(collect_metrics(trace, num_packets=32).row())
+"""
+
+from repro.baselines import ChainProtocol, SingleTreeProtocol
+from repro.cluster import ClusteredStreamingProtocol, analyze_clustered, build_supertree
+from repro.core import (
+    PlaybackBuffer,
+    SchemeMetrics,
+    SimTrace,
+    SlottedEngine,
+    StreamingProtocol,
+    Transmission,
+    collect_metrics,
+    earliest_safe_start,
+    simulate,
+)
+from repro.hypercube import (
+    GroupedHypercubeProtocol,
+    HypercubeCascadeProtocol,
+    HypercubeProtocol,
+    analyze_cascade,
+    cascade_plan,
+)
+from repro.theory import optimal_degree, table1
+from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChainProtocol",
+    "ClusteredStreamingProtocol",
+    "DynamicForest",
+    "GroupedHypercubeProtocol",
+    "HypercubeCascadeProtocol",
+    "HypercubeProtocol",
+    "MultiTreeForest",
+    "MultiTreeProtocol",
+    "PlaybackBuffer",
+    "SchemeMetrics",
+    "SimTrace",
+    "SingleTreeProtocol",
+    "SlottedEngine",
+    "StreamingProtocol",
+    "Transmission",
+    "__version__",
+    "analyze",
+    "analyze_cascade",
+    "analyze_clustered",
+    "build_supertree",
+    "cascade_plan",
+    "collect_metrics",
+    "earliest_safe_start",
+    "optimal_degree",
+    "simulate",
+    "table1",
+]

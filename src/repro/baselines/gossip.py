@@ -1,0 +1,135 @@
+"""An unstructured, best-effort gossip baseline (the paper's related work).
+
+The paper contrasts its *structured* meshes (fixed edges, provable QoS)
+against *unstructured* data-driven overlays à la CoolStreaming [15] and the
+mesh side of the mesh-vs-tree study [13], which it characterizes as "best
+effort" with "little ... in the way of formal analysis".  To make that
+comparison measurable we implement a representative unstructured scheme under
+the same communication model:
+
+* each node keeps ``fanout`` random neighbors (a fixed random mesh);
+* in every slot, each node — in a random service order — pushes to one
+  neighbor the newest packet it holds that the neighbor lacks, subject to
+  the model's one-send/one-receive-per-slot caps;
+* the source pushes the fresh packet to a random neighbor each slot.
+
+The result is exactly what the paper predicts: usually-good average delay,
+but no worst-case guarantee — the benches show a heavy delay tail and
+occasional very late packets, where the structured schemes are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+from repro.core.packet import Transmission
+from repro.core.protocol import HoldingsView, StreamingProtocol
+
+__all__ = ["RandomGossipProtocol"]
+
+SOURCE_ID = 0
+
+
+class RandomGossipProtocol(StreamingProtocol):
+    """Randomized push gossip over a fixed random mesh.
+
+    Args:
+        num_nodes: receiver count.
+        fanout: neighbors per node (mesh degree; the source gets the same).
+        seed: RNG seed — the protocol is deterministic given the seed.
+    """
+
+    def __init__(self, num_nodes: int, fanout: int = 4, *, seed: int = 0) -> None:
+        if num_nodes < 2:
+            raise ConstructionError(f"gossip needs at least 2 receivers, got {num_nodes}")
+        if fanout < 1:
+            raise ConstructionError(f"fanout must be >= 1, got {fanout}")
+        self._num_nodes = num_nodes
+        self.fanout = min(fanout, num_nodes - 1)
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+        self.neighbors: dict[int, list[int]] = self._build_mesh(seed)
+
+    def reset(self) -> None:
+        """Rewind the scheduling RNG (the mesh itself is fixed)."""
+        self._rng = np.random.default_rng(self._seed)
+
+    def _build_mesh(self, seed: int) -> dict[int, list[int]]:
+        """A connected random mesh: a random ring plus random chords."""
+        rng = np.random.default_rng(seed)
+        nodes = list(range(1, self._num_nodes + 1))
+        ring = list(rng.permutation(nodes))
+        adjacency: dict[int, set[int]] = {n: set() for n in nodes}
+        for i, node in enumerate(ring):  # ring guarantees connectivity
+            peer = ring[(i + 1) % len(ring)]
+            adjacency[node].add(peer)
+            adjacency[peer].add(node)
+        for node in nodes:
+            while len(adjacency[node]) < self.fanout:
+                peer = int(rng.choice(nodes))
+                if peer != node:
+                    adjacency[node].add(peer)
+                    adjacency[peer].add(node)
+        # The source joins the mesh with `fanout` random contacts.
+        adjacency[SOURCE_ID] = set(
+            int(x) for x in rng.choice(nodes, size=self.fanout, replace=False)
+        )
+        return {n: sorted(peers) for n, peers in adjacency.items()}
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def node_ids(self) -> Sequence[int]:
+        return range(1, self._num_nodes + 1)
+
+    @property
+    def source_ids(self) -> frozenset[int]:
+        return frozenset((SOURCE_ID,))
+
+    def packet_available_slot(self, packet: int) -> int:
+        return packet  # live source: one fresh packet per slot
+
+    def transmissions(self, slot: int, view: HoldingsView) -> Iterable[Transmission]:
+        out: list[Transmission] = []
+        busy_receivers: set[int] = set()
+
+        # The source pushes the fresh packet to one random neighbor.
+        target = int(self._rng.choice(self.neighbors[SOURCE_ID]))
+        out.append(Transmission(slot=slot, sender=SOURCE_ID, receiver=target, packet=slot))
+        busy_receivers.add(target)
+
+        order = self._rng.permutation(list(self.node_ids))
+        for sender in map(int, order):
+            held = view.packets_of(sender)
+            if not held:
+                continue
+            choices = [n for n in self.neighbors[sender] if n not in busy_receivers]
+            self._rng.shuffle(choices)
+            for receiver in choices:
+                lacking = held - view.packets_of(receiver)
+                if lacking:
+                    out.append(
+                        Transmission(
+                            slot=slot,
+                            sender=sender,
+                            receiver=receiver,
+                            packet=max(lacking),
+                        )
+                    )
+                    busy_receivers.add(receiver)
+                    break
+        return out
+
+    def slots_for_packets(self, num_packets: int) -> int:
+        # Best effort: no bound; allow a generous horizon for the tail.
+        import math
+
+        return num_packets + 8 * max(4, math.ceil(math.log2(self._num_nodes))) + 20
+
+    def describe(self) -> str:
+        return f"random-gossip(N={self._num_nodes}, fanout={self.fanout})"

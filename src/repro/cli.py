@@ -1,0 +1,268 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``analyze``  — QoS of one scheme configuration (closed form + simulation);
+* ``figure4``  — regenerate the paper's Figure 4 series;
+* ``table1``   — regenerate Table 1 (claimed vs measured);
+* ``simulate`` — run a scheme and export the trace (JSON/CSV);
+* ``churn``    — stream through a random churn trace and report hiccups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.engine import simulate
+from repro.core.metrics import collect_metrics
+from repro.reporting.export import (
+    write_arrivals_csv,
+    write_trace_json,
+    write_transmissions_csv,
+)
+from repro.reporting.tables import format_rows, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_protocol(scheme: str, num_nodes: int, degree: int):
+    if scheme == "multi-tree":
+        from repro.trees import MultiTreeProtocol
+
+        return MultiTreeProtocol(num_nodes, degree)
+    if scheme == "hypercube":
+        from repro.hypercube import HypercubeCascadeProtocol
+
+        return HypercubeCascadeProtocol(num_nodes)
+    if scheme == "grouped-hypercube":
+        from repro.hypercube import GroupedHypercubeProtocol
+
+        return GroupedHypercubeProtocol(num_nodes, degree)
+    if scheme == "chain":
+        from repro.baselines import ChainProtocol
+
+        return ChainProtocol(num_nodes)
+    if scheme == "single-tree":
+        from repro.baselines import SingleTreeProtocol
+
+        return SingleTreeProtocol(num_nodes, degree)
+    if scheme == "gossip":
+        from repro.baselines import RandomGossipProtocol
+
+        return RandomGossipProtocol(num_nodes, degree)
+    raise SystemExit(f"unknown scheme {scheme!r}")
+
+
+_SCHEMES = ["multi-tree", "hypercube", "grouped-hypercube", "chain", "single-tree", "gossip"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'On the Tradeoff Between Playback Delay "
+        "and Buffer Space in Streaming' (IPPS 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="QoS of one configuration")
+    analyze.add_argument("--scheme", choices=_SCHEMES, default="multi-tree")
+    analyze.add_argument("-n", "--nodes", type=int, default=100)
+    analyze.add_argument("-d", "--degree", type=int, default=3)
+    analyze.add_argument("-p", "--packets", type=int, default=24)
+
+    figure4 = sub.add_parser("figure4", help="regenerate Figure 4")
+    figure4.add_argument("--max-nodes", type=int, default=2000)
+    figure4.add_argument("--step", type=int, default=100)
+    figure4.add_argument(
+        "--parallel", type=int, metavar="WORKERS", default=1,
+        help="evaluate the sweep across processes",
+    )
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("-n", "--nodes", type=int, default=255)
+    table1.add_argument("-d", "--degree", type=int, default=3)
+    table1.add_argument("-p", "--packets", type=int, default=24)
+
+    sim = sub.add_parser("simulate", help="run a scheme and export the trace")
+    sim.add_argument("--scheme", choices=_SCHEMES, default="multi-tree")
+    sim.add_argument("-n", "--nodes", type=int, default=30)
+    sim.add_argument("-d", "--degree", type=int, default=3)
+    sim.add_argument("-p", "--packets", type=int, default=12)
+    sim.add_argument("--json", metavar="PATH", help="write trace JSON here")
+    sim.add_argument("--csv", metavar="PREFIX", help="write PREFIX_{tx,arrivals}.csv")
+
+    churn = sub.add_parser("churn", help="stream through churn, report hiccups")
+    churn.add_argument("-n", "--nodes", type=int, default=30)
+    churn.add_argument("-d", "--degree", type=int, default=3)
+    churn.add_argument("--events", type=int, default=6)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--lazy", action="store_true")
+
+    verify = sub.add_parser(
+        "verify", help="audit an exported trace JSON against the model"
+    )
+    verify.add_argument("path", help="trace JSON written by `repro simulate --json`")
+    verify.add_argument(
+        "--source-capacity", type=int, default=None,
+        help="send capacity of node 0 (default: inferred from the log)",
+    )
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    protocol = _make_protocol(args.scheme, args.nodes, args.degree)
+    trace = simulate(protocol, protocol.slots_for_packets(args.packets))
+    print(protocol.describe())
+    try:
+        metrics = collect_metrics(trace, num_packets=args.packets)
+    except ValueError:
+        # Best-effort schemes (gossip) may leave packets undelivered.
+        total = args.packets * len(list(protocol.node_ids))
+        delivered = sum(
+            1
+            for node in protocol.node_ids
+            for p in range(args.packets)
+            if p in trace.arrivals(node)
+        )
+        print(f"best-effort delivery: {delivered}/{total} (node, packet) pairs "
+              "arrived; no QoS guarantee to report")
+        return 0
+    print(format_rows([metrics.row()]))
+    return 0
+
+
+def _cmd_figure4(args) -> int:
+    from repro.reporting.series import series_table
+    from repro.workloads.parallel import multi_tree_cell, parallel_sweep
+    from repro.workloads.sweeps import degree_sweep, figure4_populations
+
+    populations = figure4_populations(args.max_nodes, step=args.step)
+    degrees = degree_sweep()
+    tasks = [(n, d) for d in degrees for n in populations]
+    results = parallel_sweep(multi_tree_cell, tasks, max_workers=args.parallel)
+    by_degree: dict[int, list[int]] = {d: [] for d in degrees}
+    for n, d, delay in results:
+        by_degree[d].append(delay)
+    series = {f"degree {d}": by_degree[d] for d in degrees}
+    print(series_table("N", populations, series))
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.theory.bounds import table1
+
+    rows = []
+    for claim in table1(args.nodes, args.degree):
+        rows.append(
+            {
+                "scheme": claim.scheme,
+                "max delay": claim.max_delay,
+                "buffer": claim.buffer_size,
+                "neighbors": claim.num_neighbors,
+            }
+        )
+    print(format_table(
+        ["scheme", "max delay", "buffer", "neighbors"],
+        [[r["scheme"], r["max delay"], r["buffer"], r["neighbors"]] for r in rows],
+        title=f"Table 1 (claims), instantiated at N={args.nodes}, d={args.degree}:",
+    ))
+    measured = []
+    for scheme in ("multi-tree", "hypercube"):
+        protocol = _make_protocol(scheme, args.nodes, args.degree)
+        trace = simulate(protocol, protocol.slots_for_packets(args.packets))
+        row = collect_metrics(trace, num_packets=args.packets).row()
+        measured.append({"scheme": scheme, **row})
+    print()
+    print(format_rows(measured, title="Measured:"))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    protocol = _make_protocol(args.scheme, args.nodes, args.degree)
+    trace = simulate(protocol, protocol.slots_for_packets(args.packets))
+    metrics = collect_metrics(trace, num_packets=args.packets)
+    print(format_rows([metrics.row()], title=protocol.describe()))
+    if args.json:
+        print(f"trace JSON -> {write_trace_json(trace, args.json)}")
+    if args.csv:
+        print(f"transmissions -> {write_transmissions_csv(trace, args.csv + '_tx.csv')}")
+        print(f"arrivals -> {write_arrivals_csv(trace, args.csv + '_arrivals.csv')}")
+    return 0
+
+
+def _cmd_churn(args) -> int:
+    import numpy as np
+
+    from repro.trees.live import ScheduledChurn, run_churn_experiment
+    from repro.workloads.churn import ChurnEvent
+
+    rng = np.random.default_rng(args.seed)
+    live = set(range(1, args.nodes + 1))
+    churn = []
+    for _ in range(args.events):
+        slot = int(rng.integers(5, 5 + 4 * args.events))
+        if rng.random() < 0.5 and len(live) > 2:
+            victim = int(rng.choice(sorted(live)))
+            live.discard(victim)
+            churn.append(ScheduledChurn(slot, ChurnEvent("delete"), victim=victim))
+        else:
+            churn.append(ScheduledChurn(slot, ChurnEvent("add")))
+    protocol, report = run_churn_experiment(
+        args.nodes, args.degree, churn, num_packets=30, lazy=args.lazy
+    )
+    print(f"churn events applied: {len(protocol.reports)}; "
+          f"population {args.nodes} -> {protocol.forest.num_nodes}")
+    print(f"total hiccups: {report.total_hiccups} across "
+          f"{len(report.hiccup_nodes)} nodes "
+          f"({len(report.relocated_nodes)} relocated by repairs)")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from collections import Counter
+
+    from repro.core.trace_checks import audit_trace
+    from repro.reporting.export import read_trace_json, trace_from_dict
+
+    trace = trace_from_dict(read_trace_json(args.path))
+    if args.source_capacity is not None:
+        source_cap = args.source_capacity
+    else:
+        # Infer the source's peak per-slot fan-out from the log itself.
+        per_slot = Counter(tx.slot for tx in trace.transmissions if tx.sender == 0)
+        source_cap = max(per_slot.values(), default=1)
+
+    def send_capacity(node: int) -> int:
+        return source_cap if node == 0 else 1
+
+    audit = audit_trace(trace, send_capacity=send_capacity)
+    if audit.ok:
+        print(
+            f"OK: {audit.num_transmissions} transmissions respect the "
+            f"communication model (source capacity {source_cap})"
+        )
+        return 0
+    print(f"{len(audit.violations)} violations found:")
+    for violation in audit.violations:
+        print(f"  - {violation}")
+    return 1
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "figure4": _cmd_figure4,
+    "table1": _cmd_table1,
+    "simulate": _cmd_simulate,
+    "churn": _cmd_churn,
+    "verify": _cmd_verify,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

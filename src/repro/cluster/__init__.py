@@ -1,0 +1,24 @@
+"""Multi-cluster streaming over the backbone super-tree τ (Section 2.1)."""
+
+from repro.cluster.analysis import (
+    ClusterQoS,
+    analyze_clustered,
+    per_cluster_qos,
+    predicted_worst_delay,
+    theorem1_bound,
+)
+from repro.cluster.protocol import ClusterLayout, ClusteredStreamingProtocol
+from repro.cluster.supertree import SuperTree, backbone_depth_bound, build_supertree
+
+__all__ = [
+    "ClusterLayout",
+    "ClusterQoS",
+    "ClusteredStreamingProtocol",
+    "SuperTree",
+    "analyze_clustered",
+    "backbone_depth_bound",
+    "per_cluster_qos",
+    "build_supertree",
+    "predicted_worst_delay",
+    "theorem1_bound",
+]

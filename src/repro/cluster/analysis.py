@@ -1,0 +1,142 @@
+"""Theorem 1: worst-case delay of the clustered system."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.cluster.protocol import ClusteredStreamingProtocol
+from repro.core.engine import simulate
+from repro.core.metrics import truncate_arrivals
+from repro.core.playback import earliest_safe_start
+from repro.trees.analysis import all_playback_delays
+
+__all__ = [
+    "ClusterQoS",
+    "analyze_clustered",
+    "per_cluster_qos",
+    "predicted_worst_delay",
+    "theorem1_bound",
+]
+
+
+def theorem1_bound(
+    num_clusters: int,
+    source_degree: int,
+    degree: int,
+    height: int,
+    inter_cluster_latency: int,
+    intra_cluster_latency: int = 1,
+) -> float:
+    """Theorem 1: worst-case delay is on the order of
+    ``T_c * log_{D-1} K + T_i * d * (h - 1)``.
+
+    ``h`` is the maximum intra-cluster tree height.  This is an order bound;
+    the benches report it next to the exact prediction and the measurement.
+    """
+    if source_degree > 2 and num_clusters > 1:
+        backbone = math.log(num_clusters, source_degree - 1)
+    else:
+        backbone = float(num_clusters)
+    return (
+        inter_cluster_latency * backbone
+        + intra_cluster_latency * degree * max(height - 1, 0)
+    )
+
+
+def predicted_worst_delay(protocol: ClusteredStreamingProtocol) -> int:
+    """Exact worst-case startup delay of the deterministic clustered schedule.
+
+    For each cluster: the local schedule starts at the cluster shift and the
+    worst local node has the scheme's worst playback delay within it.
+    """
+    from repro.hypercube.cascade import expected_worst_delay
+
+    worst = 0
+    for cluster in range(protocol.num_clusters):
+        shift = protocol.cluster_schedule_shift(cluster)
+        if protocol.cluster_schemes[cluster] == "multi-tree":
+            local_worst = max(all_playback_delays(protocol.forests[cluster]).values())
+        else:
+            local_worst = max(
+                expected_worst_delay(len(lane.id_map))
+                for lane in protocol._lanes[cluster]
+            )
+        worst = max(worst, shift + local_worst)
+    return worst
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterQoS:
+    """Measured vs predicted QoS for a clustered configuration."""
+
+    num_clusters: int
+    total_receivers: int
+    measured_max_delay: int
+    measured_avg_delay: float
+    predicted_max_delay: int
+    theorem1_bound: float
+
+
+def per_cluster_qos(
+    protocol: ClusteredStreamingProtocol,
+    trace,
+    *,
+    num_packets: int,
+) -> list[dict]:
+    """Per-cluster QoS breakdown from a finished clustered simulation.
+
+    One dict per cluster with the scheme name, receiver count, worst/mean
+    startup delay, and worst buffer peak — the table the mixed-deployment
+    bench prints.
+    """
+    from repro.core.playback import buffer_peak
+
+    rows = []
+    for cluster, layout in enumerate(protocol.layouts):
+        delays, buffers = [], []
+        for node in layout.receiver_range:
+            arrivals = truncate_arrivals(dict(trace.arrivals(node)), num_packets)
+            start = earliest_safe_start(arrivals)
+            delays.append(start)
+            buffers.append(buffer_peak(arrivals, start))
+        rows.append(
+            {
+                "cluster": cluster,
+                "scheme": protocol.cluster_schemes[cluster],
+                "receivers": layout.num_receivers,
+                "max_delay": max(delays),
+                "avg_delay": mean(delays),
+                "max_buffer": max(buffers),
+            }
+        )
+    return rows
+
+
+def analyze_clustered(
+    protocol: ClusteredStreamingProtocol, *, num_packets: int = 12
+) -> ClusterQoS:
+    """Simulate the full clustered system and collect receiver delays."""
+    trace = simulate(protocol, protocol.slots_for_packets(num_packets))
+    delays = []
+    for node in protocol.receiver_ids:
+        arrivals = truncate_arrivals(dict(trace.arrivals(node)), num_packets)
+        delays.append(earliest_safe_start(arrivals))
+    tree_heights = [f.height for f in protocol.forests if f is not None]
+    height = max(tree_heights) if tree_heights else 1
+    bound = theorem1_bound(
+        protocol.num_clusters,
+        protocol.supertree.source_degree,
+        protocol.degree,
+        height,
+        protocol.t_c,
+    )
+    return ClusterQoS(
+        num_clusters=protocol.num_clusters,
+        total_receivers=len(protocol.receiver_ids),
+        measured_max_delay=max(delays),
+        measured_avg_delay=mean(delays),
+        predicted_max_delay=predicted_worst_delay(protocol),
+        theorem1_bound=bound,
+    )

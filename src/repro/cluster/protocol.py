@@ -1,0 +1,319 @@
+"""End-to-end multi-cluster streaming (Section 2.1, Steps 1-3).
+
+The source ``S`` streams one packet per slot down the backbone super-tree τ;
+each ``S_i`` (capacity ``D``) forwards every packet to its backbone children
+(latency ``T_c``) and to its local ``S'_i`` (latency ``T_i = 1``); each
+``S'_i`` (capacity ``d``) drives the intra-cluster scheme as the local root.
+
+Per Section 3 ("this scheme can be easily adapted to streaming over multiple
+clusters, using the tree τ"), each cluster independently chooses its scheme:
+
+* ``"multi-tree"`` — ``S'_i`` sees the stream arrive one packet per slot, so
+  the round-robin schedule runs live-prebuffered: ``S'_i`` accumulates ``d``
+  packets then replays the pre-recorded schedule (+``d`` slots, §2.2.3);
+* ``"hypercube"`` — ``S'_i`` plays the capacity-``d`` source of the §3.2
+  ``d``-group variant: the cluster splits into ``d`` near-equal cascades,
+  each fed a copy of every packet.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import ConstructionError
+from repro.core.packet import Transmission
+from repro.core.protocol import HoldingsView, StreamingProtocol
+from repro.cluster.supertree import SuperTree, build_supertree
+from repro.hypercube.protocol import _CascadeLane
+from repro.trees.forest import MultiTreeForest
+from repro.trees.schedule import ScheduleParams, slot_transmissions
+
+__all__ = ["ClusterLayout", "ClusteredStreamingProtocol"]
+
+SOURCE_ID = 0
+_SCHEMES = ("multi-tree", "hypercube")
+
+
+@dataclass(frozen=True)
+class ClusterLayout:
+    """Global id assignment for one cluster.
+
+    Attributes:
+        index: cluster index in the super-tree.
+        super_node: global id of ``S_i``.
+        local_root: global id of ``S'_i``.
+        first_receiver: global id of the cluster's receiver 1.
+        num_receivers: cluster population ``N_i``.
+    """
+
+    index: int
+    super_node: int
+    local_root: int
+    first_receiver: int
+    num_receivers: int
+
+    @property
+    def receiver_range(self) -> range:
+        return range(self.first_receiver, self.first_receiver + self.num_receivers)
+
+    def global_receiver(self, local_id: int) -> int:
+        """Global id of intra-cluster receiver ``1 <= local_id <= N_i``."""
+        return self.first_receiver + local_id - 1
+
+
+class ClusteredStreamingProtocol(StreamingProtocol):
+    """The full paper system: backbone τ plus per-cluster multi-trees.
+
+    Args:
+        cluster_sizes: receiver count per cluster (length ``K``).
+        source_degree: backbone capacity ``D`` of ``S`` and every ``S_i``.
+        degree: intra-cluster tree degree ``d`` (capacity of ``S'_i``).
+        inter_cluster_latency: ``T_c`` (slots; > 1 in the paper's regime).
+        construction: intra-cluster tree construction name.
+        cluster_schemes: per-cluster scheme, ``"multi-tree"`` (default) or
+            ``"hypercube"``; a single string applies to every cluster.
+    """
+
+    def __init__(
+        self,
+        cluster_sizes: Sequence[int],
+        *,
+        source_degree: int,
+        degree: int,
+        inter_cluster_latency: int,
+        construction: str = "structured",
+        cluster_schemes: str | Sequence[str] = "multi-tree",
+    ) -> None:
+        if not cluster_sizes:
+            raise ConstructionError("need at least one cluster")
+        if inter_cluster_latency < 1:
+            raise ConstructionError(
+                f"T_c must be >= 1, got {inter_cluster_latency}"
+            )
+        if isinstance(cluster_schemes, str):
+            cluster_schemes = [cluster_schemes] * len(cluster_sizes)
+        if len(cluster_schemes) != len(cluster_sizes):
+            raise ConstructionError(
+                "cluster_schemes must match the number of clusters"
+            )
+        bad = sorted(set(cluster_schemes) - set(_SCHEMES))
+        if bad:
+            raise ConstructionError(f"unknown cluster schemes {bad}; use {_SCHEMES}")
+        self.supertree: SuperTree = build_supertree(len(cluster_sizes), source_degree)
+        self.degree = degree
+        self.t_c = inter_cluster_latency
+        self.cluster_schemes = list(cluster_schemes)
+        self.layouts: list[ClusterLayout] = []
+        self.forests: list[MultiTreeForest | None] = []
+        self._lanes: list[list[_CascadeLane] | None] = []
+        next_id = 1
+        for index, size in enumerate(cluster_sizes):
+            layout = ClusterLayout(
+                index=index,
+                super_node=next_id,
+                local_root=next_id + 1,
+                first_receiver=next_id + 2,
+                num_receivers=size,
+            )
+            self.layouts.append(layout)
+            if self.cluster_schemes[index] == "multi-tree":
+                self.forests.append(MultiTreeForest.construct(size, degree, construction))
+                self._lanes.append(None)
+            else:
+                self.forests.append(None)
+                self._lanes.append(self._build_lanes(layout, size, degree))
+            next_id += size + 2
+        self._params = ScheduleParams(mode="prerecorded")
+        self._id_ceiling = next_id
+
+    @staticmethod
+    def _build_lanes(layout: ClusterLayout, size: int, degree: int) -> list[_CascadeLane]:
+        """The §3.2 d-group split of one cluster's receivers (global ids)."""
+        lanes: list[_CascadeLane] = []
+        groups = min(degree, size)
+        base = size // groups
+        extra = size % groups
+        start = layout.first_receiver
+        for g in range(groups):
+            lane_size = base + (1 if g < extra else 0)
+            lanes.append(_CascadeLane(lane_size, list(range(start, start + lane_size))))
+            start += lane_size
+        return lanes
+
+    # --------------------------------------------------------------- topology
+    @property
+    def num_clusters(self) -> int:
+        return len(self.layouts)
+
+    @property
+    def node_ids(self) -> Sequence[int]:
+        ids: list[int] = []
+        for layout in self.layouts:
+            ids.append(layout.super_node)
+            ids.append(layout.local_root)
+            ids.extend(layout.receiver_range)
+        return ids
+
+    @property
+    def receiver_ids(self) -> list[int]:
+        """Ordinary receivers only (excludes super nodes and local roots)."""
+        ids: list[int] = []
+        for layout in self.layouts:
+            ids.extend(layout.receiver_range)
+        return ids
+
+    @property
+    def source_ids(self) -> frozenset[int]:
+        return frozenset((SOURCE_ID,))
+
+    def send_capacity(self, node: int) -> int:
+        if node == SOURCE_ID:
+            return self.supertree.source_degree
+        for layout in self.layouts:
+            if node == layout.super_node:
+                return self.supertree.source_degree
+            if node == layout.local_root:
+                return self.degree
+        return 1
+
+    def reset(self) -> None:
+        for lanes in self._lanes:
+            if lanes:
+                for lane in lanes:
+                    lane.reset()
+
+    # ----------------------------------------------------------------- timing
+    def super_node_arrival(self, cluster: int) -> int:
+        """Arrival slot of packet 0 at ``S_cluster`` (packet ``p`` adds ``p``).
+
+        Each backbone hop costs ``T_c`` slots end to end (the one-slot
+        store-and-forward at the sender overlaps the recurrence
+        ``arrival_ℓ = arrival_{ℓ-1} + T_c``), so depth ``ℓ`` arrives at
+        ``ℓ * T_c - 1``.
+        """
+        return self.supertree.depth_of(cluster) * self.t_c - 1
+
+    def local_root_arrival(self, cluster: int) -> int:
+        """Arrival slot of packet 0 at ``S'_cluster`` (forwarded next slot, T_i = 1)."""
+        return self.super_node_arrival(cluster) + 1
+
+    def cluster_schedule_shift(self, cluster: int) -> int:
+        """Global slot at which ``S'_cluster`` starts the local schedule.
+
+        Multi-tree clusters: ``S'_i`` may forward packet ``p`` from slot
+        ``arrival(p) + 1``; the pre-recorded schedule sends packet ``k + m d``
+        at local slot ``m d + r``, so a shift of ``arrival(0) + d`` covers the
+        worst case ``k = d - 1, r = 0`` — the live-prebuffer argument of
+        Section 2.2.3.  Hypercube clusters inject packet ``p`` at local slot
+        ``p``, so ``arrival(0) + 1`` suffices.
+        """
+        if self.cluster_schemes[cluster] == "hypercube":
+            return self.local_root_arrival(cluster) + 1
+        return self.local_root_arrival(cluster) + self.degree
+
+    # --------------------------------------------------------------- schedule
+    def transmissions(self, slot: int, view: HoldingsView) -> Iterable[Transmission]:
+        out: list[Transmission] = []
+        # Source -> root clusters: packet `slot` to every depth-1 super node.
+        for cluster in self.supertree.root_clusters():
+            out.append(
+                Transmission(
+                    slot=slot,
+                    sender=SOURCE_ID,
+                    receiver=self.layouts[cluster].super_node,
+                    packet=slot,
+                    latency=self.t_c,
+                )
+            )
+        # Super nodes: forward packet (slot - arrival(0) - 1) to backbone
+        # children (T_c) and the local root (T_i = 1).
+        for cluster, layout in enumerate(self.layouts):
+            packet = slot - self.super_node_arrival(cluster) - 1
+            if packet < 0:
+                continue
+            for child in self.supertree.children_of(cluster):
+                out.append(
+                    Transmission(
+                        slot=slot,
+                        sender=layout.super_node,
+                        receiver=self.layouts[child].super_node,
+                        packet=packet,
+                        latency=self.t_c,
+                    )
+                )
+            out.append(
+                Transmission(
+                    slot=slot,
+                    sender=layout.super_node,
+                    receiver=layout.local_root,
+                    packet=packet,
+                    latency=1,
+                )
+            )
+        # Local roots: replay the intra-cluster schedule shifted per cluster.
+        for cluster, layout in enumerate(self.layouts):
+            shift = self.cluster_schedule_shift(cluster)
+            if slot < shift:
+                continue
+            local_slot = slot - shift
+            if self.cluster_schemes[cluster] == "multi-tree":
+                for tx in slot_transmissions(self.forests[cluster], local_slot, self._params):
+                    sender = (
+                        layout.local_root
+                        if tx.sender == 0
+                        else layout.global_receiver(tx.sender)
+                    )
+                    out.append(
+                        Transmission(
+                            slot=slot,
+                            sender=sender,
+                            receiver=layout.global_receiver(tx.receiver),
+                            packet=tx.packet,
+                            latency=1,
+                            tree=tx.tree,
+                        )
+                    )
+            else:
+                for lane in self._lanes[cluster]:
+                    for tx in lane.transmissions(local_slot, layout.local_root):
+                        out.append(
+                            Transmission(
+                                slot=slot,
+                                sender=tx.sender,
+                                receiver=tx.receiver,
+                                packet=tx.packet,
+                                latency=1,
+                            )
+                        )
+        return out
+
+    def packet_available_slot(self, packet: int) -> int:
+        return packet  # the backbone emits one packet per slot (live-capable)
+
+    def slots_for_packets(self, num_packets: int) -> int:
+        """Slots guaranteeing every receiver holds packets ``0..num_packets-1``."""
+        worst = 0
+        d = self.degree
+        for cluster in range(self.num_clusters):
+            shift = self.cluster_schedule_shift(cluster)
+            if self.cluster_schemes[cluster] == "multi-tree":
+                height = self.forests[cluster].height
+                worst = max(worst, shift + height * d + (num_packets + 1) * d)
+            else:
+                for lane in self._lanes[cluster]:
+                    last = lane.plan[-1]
+                    worst = max(
+                        worst, shift + last.offset + last.k + num_packets + 2
+                    )
+        return worst
+
+    def describe(self) -> str:
+        sizes = ",".join(
+            f"{layout.num_receivers}{'h' if scheme == 'hypercube' else 't'}"
+            for layout, scheme in zip(self.layouts, self.cluster_schemes)
+        )
+        return (
+            f"clustered(K={self.num_clusters}, D={self.supertree.source_degree}, "
+            f"d={self.degree}, T_c={self.t_c}, sizes=[{sizes}])"
+        )

@@ -1,0 +1,130 @@
+"""Construction of the backbone "super-tree" τ over clusters (Section 2.1).
+
+Step 1 builds a *tight* tree over the per-cluster super nodes ``S_1 .. S_K``:
+the source ``S`` is the root with up to ``D`` children, every other interior
+node has up to ``D - 1`` children (one unit of its capacity-``D`` send budget
+is reserved for its local ``S'_i``), and levels fill left to right so at most
+one interior node is short of children, in the next-to-last layer.  Step 2
+hangs ``S'_i`` off ``S_i``; Step 3 roots the intra-cluster construction at
+``S'_i`` (handled by :mod:`repro.cluster.protocol`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConstructionError
+
+__all__ = ["SuperTree", "build_supertree", "backbone_depth_bound"]
+
+
+@dataclass(frozen=True)
+class SuperTree:
+    """The backbone tree over clusters.
+
+    Attributes:
+        num_clusters: ``K``.
+        source_degree: ``D`` (root fan-out; interior fan-out is ``D - 1``).
+        parent: cluster index -> parent cluster index, or -1 when the parent
+            is the source ``S``.  Clusters are indexed ``0 .. K-1`` in
+            breadth-first order.
+    """
+
+    num_clusters: int
+    source_degree: int
+    parent: tuple[int, ...]
+
+    def children_of(self, cluster: int) -> list[int]:
+        return [c for c, p in enumerate(self.parent) if p == cluster]
+
+    def root_clusters(self) -> list[int]:
+        """Clusters fed directly by the source."""
+        return [c for c, p in enumerate(self.parent) if p == -1]
+
+    def depth_of(self, cluster: int) -> int:
+        """Inter-cluster hops from the source to ``cluster`` (>= 1)."""
+        depth = 1
+        node = cluster
+        while self.parent[node] != -1:
+            node = self.parent[node]
+            depth += 1
+        return depth
+
+    @property
+    def height(self) -> int:
+        """Maximum backbone depth over clusters."""
+        return max(self.depth_of(c) for c in range(self.num_clusters))
+
+    def verify(self) -> None:
+        """Check tightness: levels fill completely before the next begins."""
+        D = self.source_degree
+        depths = [self.depth_of(c) for c in range(self.num_clusters)]
+        height = max(depths)
+        capacity = D
+        count_at = [0] * (height + 2)
+        for depth in depths:
+            count_at[depth] += 1
+        for level in range(1, height):
+            if count_at[level] != capacity:
+                raise ConstructionError(
+                    f"level {level} holds {count_at[level]} clusters, "
+                    f"expected a full {capacity} (tree is not tight)"
+                )
+            capacity *= D - 1 if D > 1 else 1
+        for cluster in range(self.num_clusters):
+            limit = D if self.parent[cluster] == -1 else D - 1
+            fanout = len(self.children_of(cluster))
+            if fanout > limit:
+                raise ConstructionError(
+                    f"cluster {cluster} has fan-out {fanout} > limit {limit}"
+                )
+
+
+def build_supertree(num_clusters: int, source_degree: int) -> SuperTree:
+    """Build the tight backbone tree τ (Step 1 of Section 2.1).
+
+    Args:
+        num_clusters: ``K >= 1``.
+        source_degree: ``D >= 3`` in the paper (we accept ``D >= 2``; with
+            ``D = 2`` interior nodes chain with fan-out 1).
+    """
+    if num_clusters < 1:
+        raise ConstructionError(f"need at least one cluster, got {num_clusters}")
+    if source_degree < 2:
+        raise ConstructionError(f"source degree D must be >= 2, got {source_degree}")
+    D = source_degree
+    parent = [-1] * num_clusters
+    # Breadth-first fill: the source feeds up to D clusters, each cluster
+    # feeds up to D - 1 further clusters.
+    frontier: list[int] = []
+    next_cluster = 0
+    for _ in range(min(D, num_clusters)):
+        parent[next_cluster] = -1
+        frontier.append(next_cluster)
+        next_cluster += 1
+    while next_cluster < num_clusters:
+        new_frontier: list[int] = []
+        for feeder in frontier:
+            for _ in range(D - 1):
+                if next_cluster >= num_clusters:
+                    break
+                parent[next_cluster] = feeder
+                new_frontier.append(next_cluster)
+                next_cluster += 1
+        if not new_frontier and next_cluster < num_clusters:
+            raise ConstructionError(
+                f"cannot place cluster {next_cluster} with D={D}"
+            )
+        frontier = new_frontier
+    return SuperTree(num_clusters, source_degree, tuple(parent))
+
+
+def backbone_depth_bound(num_clusters: int, source_degree: int) -> float:
+    """Theorem 1's backbone term exponent: ``log_{D-1} K`` hops."""
+    import math
+
+    if source_degree <= 2:
+        return float(num_clusters)  # fan-out 1: the backbone is a chain
+    if num_clusters == 1:
+        return 1.0
+    return math.log(num_clusters, source_degree - 1)

@@ -1,0 +1,83 @@
+"""Slotted-time streaming simulation substrate.
+
+This subpackage implements the paper's communication model (Section 2): a
+slot-synchronous network where ordinary receivers send and receive at most one
+packet per slot, sources and super nodes have higher capacity, and links have
+integer slot latencies.  Protocols plug into :class:`SlottedEngine` and are
+validated against the model on every slot.
+"""
+
+from repro.core.buffer import PlaybackBuffer
+from repro.core.client import (
+    BufferStart,
+    FixedStart,
+    PlaybackClient,
+    PlaybackRun,
+    StartPolicy,
+    WindowStart,
+    replay,
+)
+from repro.core.engine import SimConfig, SimTrace, SlottedEngine, simulate
+from repro.core.errors import (
+    CausalityViolation,
+    ConstraintViolation,
+    ConstructionError,
+    DuplicateDeliveryViolation,
+    ReceiveCapacityViolation,
+    ReproError,
+    ScheduleError,
+    SendCapacityViolation,
+)
+from repro.core.metrics import SchemeMetrics, collect_metrics, truncate_arrivals
+from repro.core.node import NodeState
+from repro.core.packet import Transmission
+from repro.core.playback import (
+    PlaybackSummary,
+    buffer_occupancy_series,
+    buffer_peak,
+    earliest_safe_start,
+    hiccup_count,
+    hiccup_packets,
+    summarize_playback,
+)
+from repro.core.protocol import HoldingsView, StreamingProtocol
+from repro.core.trace_checks import TraceAudit, audit_trace
+
+__all__ = [
+    "BufferStart",
+    "CausalityViolation",
+    "ConstraintViolation",
+    "ConstructionError",
+    "DuplicateDeliveryViolation",
+    "HoldingsView",
+    "FixedStart",
+    "NodeState",
+    "PlaybackBuffer",
+    "PlaybackClient",
+    "PlaybackRun",
+    "PlaybackSummary",
+    "ReceiveCapacityViolation",
+    "ReproError",
+    "ScheduleError",
+    "SchemeMetrics",
+    "SendCapacityViolation",
+    "SimConfig",
+    "StartPolicy",
+    "SimTrace",
+    "SlottedEngine",
+    "StreamingProtocol",
+    "TraceAudit",
+    "Transmission",
+    "WindowStart",
+    "audit_trace",
+    "buffer_occupancy_series",
+    "buffer_peak",
+    "collect_metrics",
+    "earliest_safe_start",
+    "hiccup_count",
+    "hiccup_packets",
+    "replay",
+    "simulate",
+    "summarize_playback",
+    "truncate_arrivals",
+]

@@ -1,0 +1,92 @@
+"""An explicit playback buffer for step-by-step consumer simulations.
+
+Most analyses in this package derive buffer occupancy directly from arrival
+traces (:mod:`repro.core.playback`); this class is the imperative counterpart
+used by the examples and by tests that exercise hiccup behaviour slot by slot.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PlaybackBuffer"]
+
+
+class PlaybackBuffer:
+    """In-order playback buffer with hiccup accounting.
+
+    Packets may be inserted in any order but are consumed strictly in sequence
+    (0, 1, 2, ...), one per :meth:`consume` call, matching the paper's playback
+    model of one packet per time slot.
+
+    Args:
+        capacity: optional hard limit on resident packets; inserting beyond it
+            raises ``OverflowError``.  ``None`` means unbounded.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._capacity = capacity
+        self._resident: set[int] = set()
+        self._next_packet = 0
+        self._hiccups = 0
+        self._peak = 0
+
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently resident."""
+        return len(self._resident)
+
+    @property
+    def peak_occupancy(self) -> int:
+        """Largest occupancy ever observed."""
+        return self._peak
+
+    @property
+    def hiccups(self) -> int:
+        """Consume attempts that failed because the next packet was missing."""
+        return self._hiccups
+
+    @property
+    def next_packet(self) -> int:
+        """Sequence number the next successful consume will play."""
+        return self._next_packet
+
+    def insert(self, packet: int) -> None:
+        """Add an arrived packet.
+
+        Packets older than the playback point are ignored (already played or
+        skipped); duplicates are idempotent.
+        """
+        if packet < 0:
+            raise ValueError(f"packet must be non-negative, got {packet}")
+        if packet < self._next_packet or packet in self._resident:
+            return
+        if self._capacity is not None and len(self._resident) >= self._capacity:
+            raise OverflowError(
+                f"buffer capacity {self._capacity} exceeded inserting packet {packet}"
+            )
+        self._resident.add(packet)
+        self._peak = max(self._peak, len(self._resident))
+
+    def consume(self) -> int | None:
+        """Play the next in-order packet; returns it, or None on a hiccup."""
+        packet = self._next_packet
+        if packet in self._resident:
+            self._resident.remove(packet)
+            self._next_packet += 1
+            return packet
+        self._hiccups += 1
+        return None
+
+    def __contains__(self, packet: int) -> bool:
+        return packet in self._resident
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PlaybackBuffer(next={self._next_packet}, occupancy={self.occupancy}, "
+            f"peak={self._peak}, hiccups={self._hiccups})"
+        )

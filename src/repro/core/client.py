@@ -1,0 +1,153 @@
+"""A slot-by-slot playback client with pluggable start policies.
+
+The analyses in :mod:`repro.core.playback` compute delay/buffer quantities in
+closed form from arrival traces; :class:`PlaybackClient` is the imperative
+counterpart — it replays a node's arrivals through a real
+:class:`~repro.core.buffer.PlaybackBuffer`, deciding *online* when to start
+playback.  Useful for studying policies a real receiver could implement
+without oracle knowledge:
+
+* ``FixedStart(D)`` — begin consuming in slot ``D`` regardless (the paper's
+  analyses assume a known-safe ``D`` such as ``a(i)`` or ``h*d``);
+* ``WindowStart(d)`` — begin once one packet from each of the ``d`` trees
+  (i.e. packets ``0..d-1``) has arrived — Observation 2's online rule;
+* ``BufferStart(B)`` — begin once ``B`` packets are resident, a common
+  pragmatic heuristic (and demonstrably unsafe in the worst case).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.buffer import PlaybackBuffer
+from repro.core.errors import ReproError
+
+__all__ = [
+    "StartPolicy",
+    "FixedStart",
+    "WindowStart",
+    "BufferStart",
+    "PlaybackClient",
+    "PlaybackRun",
+    "replay",
+]
+
+
+class StartPolicy:
+    """Decides, online, the first slot in which to consume."""
+
+    def should_start(self, slot: int, buffer: PlaybackBuffer) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class FixedStart(StartPolicy):
+    """Start consuming in slot ``start_slot`` unconditionally."""
+
+    start_slot: int
+
+    def __post_init__(self) -> None:
+        if self.start_slot < 0:
+            raise ReproError(f"start_slot must be >= 0, got {self.start_slot}")
+
+    def should_start(self, slot: int, buffer: PlaybackBuffer) -> bool:
+        return slot >= self.start_slot
+
+
+@dataclass(frozen=True, slots=True)
+class WindowStart(StartPolicy):
+    """Start once packets ``0 .. window-1`` are all resident (Observation 2)."""
+
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ReproError(f"window must be >= 1, got {self.window}")
+
+    def should_start(self, slot: int, buffer: PlaybackBuffer) -> bool:
+        return all(p in buffer for p in range(self.window))
+
+
+@dataclass(frozen=True, slots=True)
+class BufferStart(StartPolicy):
+    """Start once ``threshold`` packets are resident (pragmatic heuristic)."""
+
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ReproError(f"threshold must be >= 1, got {self.threshold}")
+
+    def should_start(self, slot: int, buffer: PlaybackBuffer) -> bool:
+        return buffer.occupancy >= self.threshold
+
+
+@dataclass(frozen=True, slots=True)
+class PlaybackRun:
+    """Result of replaying one node's arrivals through a client.
+
+    Attributes:
+        start_slot: slot of the first consume attempt (-1 if never started).
+        played: packets successfully consumed, in order.
+        hiccups: consume attempts that found the next packet missing.
+        peak_occupancy: high-water mark of the buffer.
+    """
+
+    start_slot: int
+    played: tuple[int, ...]
+    hiccups: int
+    peak_occupancy: int
+
+
+class PlaybackClient:
+    """Replays an arrival trace slot by slot under a start policy."""
+
+    def __init__(self, policy: StartPolicy, *, capacity: int | None = None) -> None:
+        self.policy = policy
+        self.buffer = PlaybackBuffer(capacity=capacity)
+        self.started_at: int | None = None
+        self.played: list[int] = []
+
+    def step(self, slot: int, arrivals: list[int]) -> int | None:
+        """Process one slot: ingest arrivals, maybe consume.
+
+        Returns the packet played this slot, or None (not started / hiccup).
+        """
+        for packet in arrivals:
+            self.buffer.insert(packet)
+        if self.started_at is None and self.policy.should_start(slot, self.buffer):
+            self.started_at = slot
+        if self.started_at is None:
+            return None
+        packet = self.buffer.consume()
+        if packet is not None:
+            self.played.append(packet)
+        return packet
+
+
+def replay(
+    arrivals: Mapping[int, int],
+    policy: StartPolicy,
+    *,
+    horizon: int | None = None,
+    capacity: int | None = None,
+) -> PlaybackRun:
+    """Run a full arrival trace through a client and summarize the outcome."""
+    if horizon is None:
+        horizon = (max(arrivals.values()) + len(arrivals) + 1) if arrivals else 0
+    by_slot: dict[int, list[int]] = {}
+    for packet, slot in arrivals.items():
+        by_slot.setdefault(slot, []).append(packet)
+    client = PlaybackClient(policy, capacity=capacity)
+    total = len(arrivals)
+    for slot in range(horizon):
+        if len(client.played) >= total:
+            break  # finite trace fully played: the stream has ended
+        client.step(slot, sorted(by_slot.get(slot, ())))
+    return PlaybackRun(
+        start_slot=-1 if client.started_at is None else client.started_at,
+        played=tuple(client.played),
+        hiccups=client.buffer.hiccups,
+        peak_occupancy=client.buffer.peak_occupancy,
+    )

@@ -1,0 +1,225 @@
+"""Slot-synchronous simulation engine.
+
+The engine advances a :class:`~repro.core.protocol.StreamingProtocol` one slot at
+a time: it asks the protocol for the slot's transmissions, validates them against
+the paper's communication model, and applies deliveries (respecting link
+latencies, so inter-cluster transmissions with ``T_c > 1`` arrive several slots
+after being sent).  The result is a :class:`SimTrace` with the full per-node
+arrival record from which all of the paper's metrics — playback delay, buffer
+occupancy, neighbor counts — are derived.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+from repro.core.node import NodeState
+from repro.core.packet import Transmission
+from repro.core.protocol import StreamingProtocol
+from repro.core.validation import SlotValidator
+
+__all__ = ["SimConfig", "SimTrace", "SlottedEngine", "simulate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SimConfig:
+    """Engine configuration.
+
+    Attributes:
+        num_slots: number of slots to simulate.
+        validate: enforce the communication model every slot (recommended; turn
+            off only for large benchmark sweeps of already-verified schemes).
+        strict_duplicates: treat redundant deliveries as errors (see
+            :class:`~repro.core.validation.SlotValidator`).
+        record_transmissions: keep the full transmission log (memory-heavy for
+            large runs; arrival traces are always kept).
+        drop_rule: optional failure injector ``(Transmission) -> bool``; a True
+            return drops the delivery *after* the send (the sender's capacity
+            is spent, the receiver gets nothing).  The paper assumes a
+            loss-free network; this hook feeds the failure-injection
+            experiments, which show that under the paper's zero-slack model
+            losses are permanent but isolated in both schemes (see
+            :mod:`repro.workloads.faults`).
+    """
+
+    num_slots: int
+    validate: bool = True
+    strict_duplicates: bool = True
+    record_transmissions: bool = True
+    drop_rule: object = None
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 0:
+            raise ValueError(f"num_slots must be non-negative, got {self.num_slots}")
+        if self.drop_rule is not None and not callable(self.drop_rule):
+            raise ValueError("drop_rule must be callable or None")
+
+
+@dataclass(slots=True)
+class SimTrace:
+    """Complete record of one simulation run.
+
+    Attributes:
+        num_slots: slots simulated.
+        nodes: node id -> :class:`NodeState` (receivers only).
+        source_states: node id -> :class:`NodeState` for sources (tracks sends).
+        transmissions: full transmission log if recorded, else empty.
+    """
+
+    num_slots: int
+    nodes: dict[int, NodeState]
+    source_states: dict[int, NodeState]
+    transmissions: list[Transmission] = field(default_factory=list)
+    dropped: list[Transmission] = field(default_factory=list)
+
+    def arrivals(self, node: int) -> Mapping[int, int]:
+        """Packet -> arrival slot for one node."""
+        return self.nodes[node].arrivals
+
+    def all_arrivals(self) -> dict[int, dict[int, int]]:
+        """Node -> (packet -> arrival slot) for all receivers."""
+        return {nid: dict(state.arrivals) for nid, state in self.nodes.items()}
+
+    def state_of(self, node: int) -> NodeState:
+        if node in self.nodes:
+            return self.nodes[node]
+        return self.source_states[node]
+
+
+class _EngineView:
+    """The :class:`~repro.core.protocol.HoldingsView` handed to protocols.
+
+    Holdings reflect packets whose arrival slot is strictly before the current
+    slot — a packet received during slot ``t`` is forwardable from ``t + 1``.
+    """
+
+    __slots__ = ("_states", "_slot")
+
+    def __init__(self, states: dict[int, NodeState]) -> None:
+        self._states = states
+        self._slot = 0
+
+    def holds(self, node: int, packet: int) -> bool:
+        state = self._states.get(node)
+        if state is None:
+            return False
+        arrival = state.arrivals.get(packet)
+        return arrival is not None and arrival < self._slot
+
+    def arrival_slot(self, node: int, packet: int) -> int | None:
+        state = self._states.get(node)
+        if state is None:
+            return None
+        return state.arrivals.get(packet)
+
+    def packets_of(self, node: int) -> frozenset[int]:
+        state = self._states.get(node)
+        if state is None:
+            return frozenset()
+        slot = self._slot
+        return frozenset(p for p, a in state.arrivals.items() if a < slot)
+
+
+class SlottedEngine:
+    """Runs a streaming protocol under the paper's slotted communication model."""
+
+    def __init__(self, protocol: StreamingProtocol, config: SimConfig) -> None:
+        self.protocol = protocol
+        self.config = config
+        overlap = set(protocol.node_ids) & protocol.source_ids
+        if overlap:
+            raise ReproError(f"node ids {sorted(overlap)} listed as both receiver and source")
+
+    def run(self) -> SimTrace:
+        protocol = self.protocol
+        config = self.config
+        protocol.reset()
+        receivers = {nid: NodeState(nid) for nid in protocol.node_ids}
+        sources = {nid: NodeState(nid) for nid in protocol.source_ids}
+        view = _EngineView(receivers)
+        validator = SlotValidator(
+            protocol.send_capacity,
+            protocol.recv_capacity,
+            strict_duplicates=config.strict_duplicates,
+        )
+        log: list[Transmission] = []
+        dropped: list[Transmission] = []
+        drop_rule = config.drop_rule
+        # Min-heap of (arrival_slot, seq, Transmission) for latency > 1 links.
+        in_flight: list[tuple[int, int, Transmission]] = []
+        seq = 0
+        source_ids = protocol.source_ids
+
+        def holds(node: int, packet: int) -> bool:
+            return view.holds(node, packet)
+
+        for slot in range(config.num_slots):
+            view._slot = slot
+            batch = protocol.transmissions(slot, view)
+            if config.validate:
+                batch = validator.validate_slot(
+                    slot,
+                    batch,
+                    holds=holds,
+                    source_available=protocol.packet_available_slot,
+                    is_source=lambda n: n in source_ids,
+                )
+            else:
+                batch = list(batch)
+
+            for tx in batch:
+                sender_state = receivers.get(tx.sender) or sources.get(tx.sender)
+                if sender_state is None:
+                    raise ReproError(f"unknown sender node {tx.sender}")
+                sender_state.sent_to.add(tx.receiver)
+                sender_state.packets_sent += 1
+                if drop_rule is not None and drop_rule(tx):
+                    dropped.append(tx)
+                    continue
+                if config.record_transmissions:
+                    log.append(tx)
+                seq += 1
+                heapq.heappush(in_flight, (tx.arrival_slot, seq, tx))
+
+            # Deliver everything arriving by the end of this slot.
+            while in_flight and in_flight[0][0] <= slot:
+                _, _, tx = heapq.heappop(in_flight)
+                receiver_state = receivers.get(tx.receiver)
+                if receiver_state is None:
+                    receiver_state = sources.get(tx.receiver)
+                    if receiver_state is None:
+                        raise ReproError(f"unknown receiver node {tx.receiver}")
+                # First arrival wins; duplicates (if allowed) are ignored.
+                receiver_state.arrivals.setdefault(tx.packet, tx.arrival_slot)
+                receiver_state.received_from.add(tx.sender)
+
+        return SimTrace(
+            num_slots=config.num_slots,
+            nodes=receivers,
+            source_states=sources,
+            transmissions=log,
+            dropped=dropped,
+        )
+
+
+def simulate(
+    protocol: StreamingProtocol,
+    num_slots: int,
+    *,
+    validate: bool = True,
+    strict_duplicates: bool = True,
+    record_transmissions: bool = True,
+    drop_rule=None,
+) -> SimTrace:
+    """Convenience wrapper: build an engine, run it, return the trace."""
+    config = SimConfig(
+        num_slots=num_slots,
+        validate=validate,
+        strict_duplicates=strict_duplicates,
+        record_transmissions=record_transmissions,
+        drop_rule=drop_rule,
+    )
+    return SlottedEngine(protocol, config).run()

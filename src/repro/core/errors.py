@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConstraintViolation",
+    "SendCapacityViolation",
+    "ReceiveCapacityViolation",
+    "CausalityViolation",
+    "DuplicateDeliveryViolation",
+    "ConstructionError",
+    "ScheduleError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConstraintViolation(ReproError):
+    """A protocol violated the paper's per-slot communication model."""
+
+    def __init__(self, message: str, *, slot: int | None = None, node: int | None = None):
+        super().__init__(message)
+        self.slot = slot
+        self.node = node
+
+
+class SendCapacityViolation(ConstraintViolation):
+    """A node attempted to send more packets in one slot than its capacity."""
+
+
+class ReceiveCapacityViolation(ConstraintViolation):
+    """A node was scheduled to receive more packets in one slot than its capacity."""
+
+
+class CausalityViolation(ConstraintViolation):
+    """A node attempted to forward a packet it does not yet hold."""
+
+
+class DuplicateDeliveryViolation(ConstraintViolation):
+    """A node was scheduled to receive a packet it already holds (wasted slot)."""
+
+
+class ConstructionError(ReproError):
+    """Invalid parameters or broken invariants during overlay construction."""
+
+
+class ScheduleError(ReproError):
+    """Invalid parameters or broken invariants in a transmission schedule."""

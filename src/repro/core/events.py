@@ -1,0 +1,75 @@
+"""Query helpers over simulation traces.
+
+These utilities reshape the flat transmission log of a
+:class:`~repro.core.engine.SimTrace` into the views used by the figure
+reproductions: per-slot schedules (Figure 2), per-node send/receive timetables,
+and pairing patterns (Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+
+from repro.core.engine import SimTrace
+from repro.core.packet import Transmission
+
+__all__ = [
+    "transmissions_by_slot",
+    "transmissions_involving",
+    "receive_schedule",
+    "send_schedule",
+    "communication_pairs",
+]
+
+
+def transmissions_by_slot(trace: SimTrace) -> dict[int, list[Transmission]]:
+    """Group the transmission log by sending slot."""
+    grouped: dict[int, list[Transmission]] = defaultdict(list)
+    for tx in trace.transmissions:
+        grouped[tx.slot].append(tx)
+    return dict(grouped)
+
+
+def transmissions_involving(trace: SimTrace, node: int) -> list[Transmission]:
+    """All transmissions where ``node`` is sender or receiver, in slot order."""
+    return [tx for tx in trace.transmissions if node in (tx.sender, tx.receiver)]
+
+
+def receive_schedule(trace: SimTrace, node: int) -> list[tuple[int, int, int]]:
+    """``(arrival_slot, packet, sender)`` triples for one node, slot-ordered.
+
+    This is the left half of the paper's Figure 2 (the receiving schedule of a
+    given node id).
+    """
+    rows = [
+        (tx.arrival_slot, tx.packet, tx.sender)
+        for tx in trace.transmissions
+        if tx.receiver == node
+    ]
+    rows.sort()
+    return rows
+
+
+def send_schedule(trace: SimTrace, node: int) -> list[tuple[int, int, int]]:
+    """``(slot, packet, receiver)`` triples for one node, slot-ordered.
+
+    The right half of the paper's Figure 2 (the sending schedule of a node).
+    """
+    rows = [(tx.slot, tx.packet, tx.receiver) for tx in trace.transmissions if tx.sender == node]
+    rows.sort()
+    return rows
+
+
+def communication_pairs(
+    transmissions: Iterable[Transmission],
+) -> dict[int, set[frozenset[int]]]:
+    """Slot -> set of unordered node pairs that exchanged packets that slot.
+
+    Used to regenerate the hypercube pairing pattern of Figure 7, where each
+    slot's pairs must lie along a single cube dimension.
+    """
+    pairs: dict[int, set[frozenset[int]]] = defaultdict(set)
+    for tx in transmissions:
+        pairs[tx.slot].add(frozenset((tx.sender, tx.receiver)))
+    return dict(pairs)

@@ -1,0 +1,105 @@
+"""Trace-level metrics: the paper's four QoS quantities.
+
+Table 1 of the paper compares schemes on four axes — maximum playback delay,
+average playback delay, buffer size, and number of neighbors.  This module
+computes all four from a :class:`~repro.core.engine.SimTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.engine import SimTrace
+from repro.core.playback import PlaybackSummary, summarize_playback
+
+__all__ = ["SchemeMetrics", "collect_metrics", "truncate_arrivals"]
+
+
+@dataclass(frozen=True, slots=True)
+class SchemeMetrics:
+    """Aggregate QoS metrics for one simulated scheme (one Table 1 row).
+
+    Attributes:
+        num_nodes: receivers measured.
+        max_startup_delay: worst-case playback delay over nodes (slots).
+        avg_startup_delay: mean playback delay over nodes (slots).
+        max_buffer: worst-case peak buffer occupancy over nodes (packets).
+        avg_buffer: mean peak buffer occupancy over nodes (packets).
+        max_neighbors: worst-case distinct-counterparty count over nodes.
+        avg_neighbors: mean distinct-counterparty count over nodes.
+        per_node: node id -> :class:`PlaybackSummary`.
+    """
+
+    num_nodes: int
+    max_startup_delay: int
+    avg_startup_delay: float
+    max_buffer: int
+    avg_buffer: float
+    max_neighbors: int
+    avg_neighbors: float
+    per_node: dict[int, PlaybackSummary]
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering (drops per-node detail)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "max_delay": self.max_startup_delay,
+            "avg_delay": round(self.avg_startup_delay, 3),
+            "max_buffer": self.max_buffer,
+            "avg_buffer": round(self.avg_buffer, 3),
+            "max_neighbors": self.max_neighbors,
+            "avg_neighbors": round(self.avg_neighbors, 3),
+        }
+
+
+def truncate_arrivals(arrivals: dict[int, int], num_packets: int) -> dict[int, int]:
+    """Restrict an arrival trace to the contiguous prefix ``0..num_packets-1``.
+
+    Simulations run for a finite horizon, so the last few packets of each node's
+    trace are edge-distorted (later packets have not arrived yet).  Metrics are
+    computed over a fixed prefix so all nodes are compared on the same packets.
+    """
+    if num_packets < 1:
+        raise ValueError(f"num_packets must be positive, got {num_packets}")
+    out = {p: s for p, s in arrivals.items() if p < num_packets}
+    if len(out) != num_packets:
+        missing = sorted(set(range(num_packets)) - set(out))[:5]
+        raise ValueError(
+            f"arrival trace incomplete for prefix of {num_packets} packets; "
+            f"missing {missing} — simulate more slots"
+        )
+    return out
+
+
+def collect_metrics(trace: SimTrace, *, num_packets: int) -> SchemeMetrics:
+    """Compute the Table 1 quantities from a finished simulation trace.
+
+    Args:
+        trace: a completed simulation.
+        num_packets: the packet prefix over which delays/buffers are measured;
+            every node must have received all of packets ``0..num_packets-1``.
+    """
+    per_node: dict[int, PlaybackSummary] = {}
+    neighbors: dict[int, int] = {}
+    for nid, state in trace.nodes.items():
+        arrivals = truncate_arrivals(state.arrivals, num_packets)
+        per_node[nid] = summarize_playback(arrivals)
+        neighbors[nid] = len(state.neighbors)
+
+    if not per_node:
+        raise ValueError("trace contains no receiver nodes")
+
+    delays = [s.startup_delay for s in per_node.values()]
+    buffers = [s.buffer_peak for s in per_node.values()]
+    neigh = list(neighbors.values())
+    return SchemeMetrics(
+        num_nodes=len(per_node),
+        max_startup_delay=max(delays),
+        avg_startup_delay=mean(delays),
+        max_buffer=max(buffers),
+        avg_buffer=mean(buffers),
+        max_neighbors=max(neigh),
+        avg_neighbors=mean(neigh),
+        per_node=per_node,
+    )

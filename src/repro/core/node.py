@@ -1,0 +1,41 @@
+"""Per-node simulation state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NodeState"]
+
+
+@dataclass(slots=True)
+class NodeState:
+    """Mutable per-node record maintained by the engine.
+
+    Attributes:
+        node_id: the node's id.
+        arrivals: packet id -> slot at whose end the packet arrived.
+        sent_to: node ids this node has transmitted to (neighbor accounting).
+        received_from: node ids this node has received from.
+        packets_sent: total transmissions initiated by this node.
+    """
+
+    node_id: int
+    arrivals: dict[int, int] = field(default_factory=dict)
+    sent_to: set[int] = field(default_factory=set)
+    received_from: set[int] = field(default_factory=set)
+    packets_sent: int = 0
+
+    def holds(self, packet: int) -> bool:
+        return packet in self.arrivals
+
+    @property
+    def neighbors(self) -> set[int]:
+        """Distinct counterparties this node communicated with (either direction).
+
+        This is the paper's "number of neighbors" metric: the protocol
+        maintenance cost of keeping per-neighbor state alive.
+        """
+        return self.sent_to | self.received_from
+
+    def first_arrival_slot(self) -> int | None:
+        return min(self.arrivals.values()) if self.arrivals else None

@@ -1,0 +1,63 @@
+"""Packet and transmission primitives for the slotted-time streaming model.
+
+The paper's communication model (Section 2) is slot-synchronous: the stream is an
+ordered sequence of packets, identified here by 0-indexed integers.  A
+:class:`Transmission` records one packet moving across one (logical) link during
+one slot.  Intra-cluster links have latency ``T_i = 1`` slot; inter-cluster links
+have latency ``T_c > 1`` slots.
+
+A transmission *sent* in slot ``t`` with latency ``L`` becomes *available* to the
+receiver at the end of slot ``t + L - 1`` — i.e. with the default ``L = 1`` the
+packet is received during the sending slot, and the receiver may forward it from
+slot ``t + 1`` onward.  This matches the paper's worked example, where node 1
+receives packet 0 from the source in slot 0 and forwards it starting in slot 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Transmission"]
+
+
+@dataclass(frozen=True, slots=True)
+class Transmission:
+    """One packet sent over one link in one time slot.
+
+    Attributes:
+        slot: the time slot during which the sender transmits.
+        sender: node id of the transmitting node.
+        receiver: node id of the receiving node.
+        packet: 0-indexed packet sequence number.
+        latency: link latency in slots (``T_i = 1`` intra-cluster, ``T_c``
+            inter-cluster).  Must be at least 1.
+        tree: for multi-tree protocols, the index of the tree this transmission
+            belongs to; ``None`` for protocols without trees.
+    """
+
+    slot: int
+    sender: int
+    receiver: int
+    packet: int
+    latency: int = 1
+    tree: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ValueError(f"slot must be non-negative, got {self.slot}")
+        if self.packet < 0:
+            raise ValueError(f"packet must be non-negative, got {self.packet}")
+        if self.latency < 1:
+            raise ValueError(f"latency must be >= 1, got {self.latency}")
+        if self.sender == self.receiver:
+            raise ValueError(f"node {self.sender} cannot transmit to itself")
+
+    @property
+    def arrival_slot(self) -> int:
+        """Slot at whose *end* the packet is available at the receiver."""
+        return self.slot + self.latency - 1
+
+    @property
+    def forwardable_slot(self) -> int:
+        """First slot in which the receiver may re-transmit this packet."""
+        return self.arrival_slot + 1

@@ -1,0 +1,91 @@
+"""Protocol interface consumed by the slotted-time simulation engine.
+
+A *protocol* is a deterministic streaming scheme: given the current slot and a
+read-only view of which node holds which packets, it emits the set of
+transmissions for that slot.  The engine validates each slot against the paper's
+communication model (Section 2): every ordinary receiver sends at most one and
+receives at most one packet per slot, while the source and super nodes may have
+higher send capacity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from typing import Protocol as TypingProtocol
+
+from repro.core.packet import Transmission
+
+__all__ = ["HoldingsView", "StreamingProtocol"]
+
+
+class HoldingsView(TypingProtocol):
+    """Read-only access to simulation state, passed to protocols each slot.
+
+    Implemented by the engine; protocols that are *state-driven* (e.g. the
+    hypercube exchange rule) query it, while *schedule-driven* protocols (the
+    multi-tree round-robin) can ignore it entirely.
+    """
+
+    def holds(self, node: int, packet: int) -> bool:
+        """True if ``node`` received ``packet`` in an earlier slot (forwardable now)."""
+        ...
+
+    def arrival_slot(self, node: int, packet: int) -> int | None:
+        """Slot at whose end ``node`` received ``packet``, or None."""
+        ...
+
+    def packets_of(self, node: int) -> frozenset[int]:
+        """All packets held (forwardable) by ``node`` at the current slot."""
+        ...
+
+
+class StreamingProtocol(ABC):
+    """Base class for all streaming schemes driven by :class:`~repro.core.engine.SlottedEngine`.
+
+    Subclasses define the overlay topology and per-slot transmission schedule.
+    Node ids are arbitrary ints; ``source_ids`` are origin nodes that hold
+    stream packets without receiving them over simulated links.
+    """
+
+    @property
+    @abstractmethod
+    def node_ids(self) -> Sequence[int]:
+        """All receiver node ids participating in the scheme (excludes sources)."""
+
+    @property
+    @abstractmethod
+    def source_ids(self) -> frozenset[int]:
+        """Origin node ids that hold stream packets natively."""
+
+    @abstractmethod
+    def transmissions(self, slot: int, view: HoldingsView) -> Iterable[Transmission]:
+        """Transmissions initiated during ``slot``."""
+
+    def send_capacity(self, node: int) -> int:
+        """Packets ``node`` may transmit per slot.  Default: 1 (ordinary receiver)."""
+        return 1
+
+    def recv_capacity(self, node: int) -> int:
+        """Packets ``node`` may receive per slot.  Default: 1 (ordinary receiver)."""
+        return 1
+
+    def packet_available_slot(self, packet: int) -> int:
+        """First slot in which a source may transmit ``packet``.
+
+        Pre-recorded streams (the default) have every packet available from
+        slot 0; live streams make packet ``j`` available from slot ``j``.
+        """
+        return 0
+
+    def reset(self) -> None:
+        """Return the protocol to its slot-0 state.
+
+        The engine calls this at the start of every run so that stateful
+        protocols (internal exchange models, RNGs, churn bookkeeping) can be
+        simulated repeatedly.  Stateless protocols need not override it.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable description used in reports."""
+        return type(self).__name__

@@ -1,0 +1,135 @@
+"""Per-slot validation of the paper's communication model.
+
+Section 2 of the paper fixes the model: in a single time slot each ordinary
+receiver can transmit one packet and receive one packet; the source can transmit
+``d`` packets; super nodes have capacity ``D``.  A node may only forward packets
+it already holds.  The validator enforces these constraints on every slot the
+engine executes, so any scheme that runs to completion under ``validate=True``
+is certified to respect the model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.core.errors import (
+    CausalityViolation,
+    DuplicateDeliveryViolation,
+    ReceiveCapacityViolation,
+    SendCapacityViolation,
+)
+from repro.core.packet import Transmission
+
+__all__ = ["SlotValidator"]
+
+
+class SlotValidator:
+    """Validates one slot's worth of transmissions against the model.
+
+    Args:
+        send_capacity: callable mapping node id -> max packets sent per slot.
+        recv_capacity: callable mapping node id -> max packets received per slot.
+        strict_duplicates: when True, delivering a packet a node already holds
+            is an error (the paper's schedules never waste a receive slot).
+    """
+
+    def __init__(
+        self,
+        send_capacity,
+        recv_capacity,
+        *,
+        strict_duplicates: bool = True,
+    ) -> None:
+        self._send_capacity = send_capacity
+        self._recv_capacity = recv_capacity
+        self._strict_duplicates = strict_duplicates
+
+    def validate_slot(
+        self,
+        slot: int,
+        transmissions: Iterable[Transmission],
+        *,
+        holds,
+        source_available,
+        is_source,
+    ) -> list[Transmission]:
+        """Validate and return the slot's transmissions as a list.
+
+        Args:
+            slot: current slot index.
+            transmissions: the protocol's output for this slot.
+            holds: callable ``(node, packet) -> bool``; True if the node
+                received the packet in an earlier slot.
+            source_available: callable ``(packet) -> slot`` giving the first
+                slot a source may transmit the packet (live vs pre-recorded).
+            is_source: callable ``(node) -> bool``.
+        """
+        batch = list(transmissions)
+        send_counts: Counter[int] = Counter()
+        recv_counts: Counter[int] = Counter()
+        seen_deliveries: set[tuple[int, int]] = set()
+
+        for tx in batch:
+            if tx.slot != slot:
+                raise CausalityViolation(
+                    f"transmission stamped for slot {tx.slot} emitted during slot {slot}",
+                    slot=slot,
+                    node=tx.sender,
+                )
+            self._check_sender_holds(slot, tx, holds, source_available, is_source)
+            send_counts[tx.sender] += 1
+            recv_counts[tx.receiver] += 1
+            key = (tx.receiver, tx.packet)
+            if key in seen_deliveries:
+                raise ReceiveCapacityViolation(
+                    f"slot {slot}: node {tx.receiver} scheduled to receive packet "
+                    f"{tx.packet} twice in the same slot",
+                    slot=slot,
+                    node=tx.receiver,
+                )
+            seen_deliveries.add(key)
+            if self._strict_duplicates and holds(tx.receiver, tx.packet):
+                raise DuplicateDeliveryViolation(
+                    f"slot {slot}: node {tx.receiver} already holds packet {tx.packet} "
+                    f"(redundant delivery from {tx.sender})",
+                    slot=slot,
+                    node=tx.receiver,
+                )
+
+        for node, count in send_counts.items():
+            cap = self._send_capacity(node)
+            if count > cap:
+                raise SendCapacityViolation(
+                    f"slot {slot}: node {node} sent {count} packets, capacity {cap}",
+                    slot=slot,
+                    node=node,
+                )
+        for node, count in recv_counts.items():
+            cap = self._recv_capacity(node)
+            if count > cap:
+                raise ReceiveCapacityViolation(
+                    f"slot {slot}: node {node} receives {count} packets, capacity {cap}",
+                    slot=slot,
+                    node=node,
+                )
+        return batch
+
+    @staticmethod
+    def _check_sender_holds(slot, tx, holds, source_available, is_source) -> None:
+        if is_source(tx.sender):
+            available = source_available(tx.packet)
+            if slot < available:
+                raise CausalityViolation(
+                    f"slot {slot}: source {tx.sender} transmitted packet {tx.packet} "
+                    f"which is only available from slot {available} (live stream)",
+                    slot=slot,
+                    node=tx.sender,
+                )
+        elif not holds(tx.sender, tx.packet):
+            raise CausalityViolation(
+                f"slot {slot}: node {tx.sender} forwarded packet {tx.packet} "
+                f"before receiving it",
+                slot=slot,
+                node=tx.sender,
+            )

@@ -1,0 +1,41 @@
+"""Interior-disjoint trees on arbitrary graphs and the NP-completeness reduction."""
+
+from repro.graphs.disjoint_trees import (
+    find_two_interior_disjoint_trees,
+    has_two_interior_disjoint_trees,
+    interior_nodes,
+    is_interior_set_feasible,
+    spanning_tree_with_interior,
+)
+from repro.graphs.heuristic import heuristic_two_interior_disjoint_trees
+from repro.graphs.reduction import (
+    ROOT,
+    element_vertex,
+    reduce_to_tree_problem,
+    set_vertex,
+    split_from_trees,
+    trees_from_split,
+)
+from repro.graphs.set_splitting import (
+    SetSplittingInstance,
+    random_instance,
+    solve_set_splitting,
+)
+
+__all__ = [
+    "ROOT",
+    "SetSplittingInstance",
+    "element_vertex",
+    "find_two_interior_disjoint_trees",
+    "has_two_interior_disjoint_trees",
+    "heuristic_two_interior_disjoint_trees",
+    "interior_nodes",
+    "is_interior_set_feasible",
+    "random_instance",
+    "reduce_to_tree_problem",
+    "set_vertex",
+    "solve_set_splitting",
+    "spanning_tree_with_interior",
+    "split_from_trees",
+    "trees_from_split",
+]

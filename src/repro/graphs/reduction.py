@@ -1,0 +1,139 @@
+"""The appendix reduction: E4-Set-Splitting -> Two Interior-Disjoint Trees.
+
+Construction (verbatim from the paper's NP-completeness proof): build a
+bipartite graph with a vertex for each element of ``V`` (the set ``V'``), a
+vertex ``x_i`` for each set ``R_i``, and a root ``r``.  Connect ``r`` to every
+element vertex, and each ``x_i`` to the four elements of ``R_i``.  Then the
+graph admits two interior-disjoint spanning trees rooted at ``r`` iff the
+E4 instance is splittable:
+
+* From a split ``(V_1, V_2)``: tree ``T_j`` uses all ``r — v`` edges and hangs
+  each ``x_i`` off one of its elements in ``V_j`` (nonempty by the split), so
+  the non-root interiors are contained in the disjoint ``V_1`` and ``V_2``.
+* Conversely, interior-disjoint trees yield a split by taking the element
+  vertices that are interior in each tree (after re-rooting any interior
+  ``x_i`` as in the proof, every ``x_i``'s parent is an element vertex).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.errors import ConstructionError
+from repro.graphs.set_splitting import SetSplittingInstance
+
+__all__ = [
+    "ROOT",
+    "element_vertex",
+    "set_vertex",
+    "reduce_to_tree_problem",
+    "split_from_trees",
+    "trees_from_split",
+]
+
+#: Root vertex name used by the reduction.
+ROOT = "r"
+
+
+def element_vertex(element: int) -> str:
+    """Graph vertex name of element ``element`` (a member of ``V'``)."""
+    return f"v{element}"
+
+
+def set_vertex(index: int) -> str:
+    """Graph vertex name of set ``R_index``."""
+    return f"x{index}"
+
+
+def reduce_to_tree_problem(instance: SetSplittingInstance) -> nx.Graph:
+    """Build the reduction graph for an E4-Set-Splitting instance."""
+    graph = nx.Graph()
+    graph.add_node(ROOT)
+    for element in range(instance.num_elements):
+        graph.add_edge(ROOT, element_vertex(element))
+    for index, members in enumerate(instance.sets):
+        for element in members:
+            graph.add_edge(set_vertex(index), element_vertex(element))
+    return graph
+
+
+def trees_from_split(
+    instance: SetSplittingInstance, side_one: set[int]
+) -> tuple[nx.Graph, nx.Graph]:
+    """Construct the two interior-disjoint spanning trees from a valid split."""
+    if not instance.is_valid_split(side_one):
+        raise ConstructionError("side_one does not split every set")
+    graph = reduce_to_tree_problem(instance)
+    side_two = set(range(instance.num_elements)) - side_one
+    trees = []
+    for side in (side_one, side_two):
+        tree = nx.Graph()
+        tree.add_nodes_from(graph.nodes)
+        for element in range(instance.num_elements):
+            tree.add_edge(ROOT, element_vertex(element))
+        for index, members in enumerate(instance.sets):
+            anchor = min(members & side)
+            tree.add_edge(set_vertex(index), element_vertex(anchor))
+        if not nx.is_tree(tree):
+            raise ConstructionError("split did not yield a spanning tree")
+        trees.append(tree)
+    return trees[0], trees[1]
+
+
+def split_from_trees(
+    instance: SetSplittingInstance, tree_one: nx.Graph, tree_two: nx.Graph
+) -> set[int]:
+    """Recover a valid split from two interior-disjoint spanning trees.
+
+    Applies the proof's normalization: if any ``x_i`` is interior, its element
+    children are re-hung directly off the root, leaving all ``x_i`` as leaves;
+    afterwards each ``x_i``'s parent is an element vertex, and the parents in
+    tree one (completed arbitrarily but consistently) form ``V_1``.
+    """
+    normalized = [_normalize(tree, instance) for tree in (tree_one, tree_two)]
+    side_one: set[int] = set()
+    side_two: set[int] = set()
+    for index in range(len(instance.sets)):
+        xv = set_vertex(index)
+        parent_one = _element_parent(normalized[0], xv)
+        parent_two = _element_parent(normalized[1], xv)
+        side_one.add(parent_one)
+        side_two.add(parent_two)
+    if side_one & side_two:
+        raise ConstructionError(
+            "trees are not interior-disjoint: shared anchors "
+            f"{sorted(side_one & side_two)}"
+        )
+    # Distribute untouched elements arbitrarily (side one).
+    remainder = set(range(instance.num_elements)) - side_one - side_two
+    split = side_one | remainder
+    if not instance.is_valid_split(split):
+        raise ConstructionError("recovered split fails to split every set")
+    return split
+
+
+def _normalize(tree: nx.Graph, instance: SetSplittingInstance) -> nx.Graph:
+    """Re-hang element children of any interior ``x_i`` directly off the root."""
+    out = tree.copy()
+    for index in range(len(instance.sets)):
+        xv = set_vertex(index)
+        if out.degree(xv) <= 1:
+            continue
+        # Keep the edge toward the root (the parent side); move the rest.
+        parents = nx.shortest_path(out, xv, ROOT)
+        keep = parents[1]
+        for neighbor in list(out.neighbors(xv)):
+            if neighbor != keep:
+                out.remove_edge(xv, neighbor)
+                out.add_edge(ROOT, neighbor)
+    return out
+
+
+def _element_parent(tree: nx.Graph, xv: str) -> int:
+    neighbors = list(tree.neighbors(xv))
+    if len(neighbors) != 1:
+        raise ConstructionError(f"{xv} is not a leaf after normalization")
+    name = neighbors[0]
+    if not name.startswith("v"):
+        raise ConstructionError(f"{xv} hangs off non-element vertex {name}")
+    return int(name[1:])

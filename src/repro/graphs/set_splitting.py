@@ -1,0 +1,86 @@
+"""E4-Set-Splitting: instances, verification, and an exact solver.
+
+The paper's NP-completeness proof (appendix) reduces from E4-Set-Splitting
+[Hastad 2001]: given elements ``V`` and sets ``R_i`` of exactly four elements
+each, decide whether ``V`` splits into ``V_1, V_2`` such that every ``R_i``
+meets both sides.  This module provides the problem itself; the reduction to
+the Two Interior-Disjoint Tree problem lives in :mod:`repro.graphs.reduction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+
+__all__ = ["SetSplittingInstance", "random_instance", "solve_set_splitting"]
+
+
+@dataclass(frozen=True)
+class SetSplittingInstance:
+    """An E4-Set-Splitting instance.
+
+    Attributes:
+        num_elements: size of the universe ``V = {0 .. n-1}``.
+        sets: the collection ``R_i``, each a frozenset of exactly 4 elements.
+    """
+
+    num_elements: int
+    sets: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 4:
+            raise ConstructionError(
+                f"E4 sets need at least 4 elements, got {self.num_elements}"
+            )
+        for i, r in enumerate(self.sets):
+            if len(r) != 4:
+                raise ConstructionError(f"R_{i} has {len(r)} elements, expected 4")
+            bad = [e for e in r if not 0 <= e < self.num_elements]
+            if bad:
+                raise ConstructionError(f"R_{i} contains out-of-range elements {bad}")
+
+    def is_valid_split(self, side_one: set[int]) -> bool:
+        """True if ``side_one`` (with its complement) splits every set."""
+        for r in self.sets:
+            inside = len(r & side_one)
+            if inside == 0 or inside == len(r):
+                return False
+        return True
+
+
+def random_instance(
+    num_elements: int, num_sets: int, *, seed: int | None = None
+) -> SetSplittingInstance:
+    """Draw a random E4 instance (sets sampled without replacement)."""
+    if num_elements < 4:
+        raise ConstructionError(f"need at least 4 elements, got {num_elements}")
+    rng = np.random.default_rng(seed)
+    sets = tuple(
+        frozenset(rng.choice(num_elements, size=4, replace=False).tolist())
+        for _ in range(num_sets)
+    )
+    return SetSplittingInstance(num_elements, sets)
+
+
+def solve_set_splitting(instance: SetSplittingInstance) -> set[int] | None:
+    """Exact solver (exponential; intended for the small reduction tests).
+
+    Returns one valid ``V_1`` or None.  Element 0 is pinned to ``V_1`` by the
+    symmetry of the problem, halving the search space.
+    """
+    n = instance.num_elements
+    if n > 26:
+        raise ConstructionError(
+            f"exact solver limited to 26 elements, got {n} (use a SAT solver)"
+        )
+    rest = list(range(1, n))
+    for size in range(0, n):
+        for extra in combinations(rest, size):
+            side = {0, *extra}
+            if instance.is_valid_split(side):
+                return side
+    return None

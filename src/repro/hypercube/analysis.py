@@ -1,0 +1,133 @@
+"""Analysis of the hypercube schemes: Propositions 1-2 and Theorem 4."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.engine import simulate
+from repro.core.metrics import SchemeMetrics, collect_metrics
+from repro.hypercube.cascade import (
+    cascade_plan,
+    expected_average_delay,
+    expected_worst_delay,
+    proposition2_neighbor_bound,
+    theorem4_bound,
+    worst_case_delay_bound,
+)
+from repro.hypercube.cube import dimension_for_population, is_special_population
+from repro.hypercube.protocol import GroupedHypercubeProtocol, HypercubeCascadeProtocol
+
+__all__ = [
+    "HypercubeQoS",
+    "analyze_cascade",
+    "analyze_grouped",
+    "average_delay_check",
+    "grouped_delay_bounds",
+    "proposition1_claims",
+    "special_populations",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class HypercubeQoS:
+    """Measured and predicted QoS for one hypercube configuration.
+
+    ``predicted_*`` values come from the deterministic cascade timing;
+    ``measured`` holds the packet-level simulation metrics.
+    """
+
+    num_nodes: int
+    num_cubes: int
+    predicted_max_delay: int
+    predicted_avg_delay: float
+    prop2_delay_bound: float
+    theorem4_avg_bound: float
+    neighbor_bound: int
+    measured: SchemeMetrics
+
+
+def proposition1_claims(num_nodes: int) -> dict[str, int]:
+    """Proposition 1's guarantees for special ``N = 2^k - 1``.
+
+    Returns the claimed neighbor count (``k``), playback start (after slot
+    ``k + 1``) and buffer size (2 packets).
+    """
+    k = dimension_for_population(num_nodes)
+    return {"neighbors": k, "playback_start": k + 1, "buffer": 2}
+
+
+def analyze_cascade(num_nodes: int, *, num_packets: int = 24) -> HypercubeQoS:
+    """Simulate the (single-lane) cascade and compare against the bounds."""
+    protocol = HypercubeCascadeProtocol(num_nodes)
+    trace = simulate(protocol, protocol.slots_for_packets(num_packets))
+    measured = collect_metrics(trace, num_packets=num_packets)
+    plan = cascade_plan(num_nodes)
+    return HypercubeQoS(
+        num_nodes=num_nodes,
+        num_cubes=len(plan),
+        predicted_max_delay=expected_worst_delay(num_nodes),
+        predicted_avg_delay=expected_average_delay(num_nodes),
+        prop2_delay_bound=worst_case_delay_bound(num_nodes),
+        theorem4_avg_bound=theorem4_bound(num_nodes),
+        neighbor_bound=proposition2_neighbor_bound(num_nodes),
+        measured=measured,
+    )
+
+
+def grouped_delay_bounds(num_nodes: int, degree: int) -> dict[str, float]:
+    """The paper's closing bounds for the ``d``-group variant.
+
+    Worst case ``O(log^2(N/d))`` and average ``2 log2(ceil(N/d))``, with each
+    node talking to ``O(log(N/d))`` neighbors.
+    """
+    group = max(1, math.ceil(num_nodes / degree))
+    return {
+        "group_size": group,
+        "worst_delay_bound": worst_case_delay_bound(group),
+        "avg_delay_bound": theorem4_bound(group),
+        "neighbor_bound": proposition2_neighbor_bound(group),
+    }
+
+
+def analyze_grouped(
+    num_nodes: int, degree: int, *, num_packets: int = 24
+) -> HypercubeQoS:
+    """Simulate the grouped variant and compare against the ``N/d`` bounds."""
+    protocol = GroupedHypercubeProtocol(num_nodes, degree)
+    trace = simulate(protocol, protocol.slots_for_packets(num_packets))
+    measured = collect_metrics(trace, num_packets=num_packets)
+    lane_sizes = [len(lane.id_map) for lane in protocol.lanes]
+    predicted_max = max(expected_worst_delay(size) for size in lane_sizes)
+    predicted_avg = (
+        sum(expected_average_delay(size) * size for size in lane_sizes) / num_nodes
+    )
+    bounds = grouped_delay_bounds(num_nodes, degree)
+    return HypercubeQoS(
+        num_nodes=num_nodes,
+        num_cubes=sum(len(lane.plan) for lane in protocol.lanes),
+        predicted_max_delay=predicted_max,
+        predicted_avg_delay=predicted_avg,
+        prop2_delay_bound=bounds["worst_delay_bound"],
+        theorem4_avg_bound=bounds["avg_delay_bound"],
+        neighbor_bound=int(bounds["neighbor_bound"]),
+        measured=measured,
+    )
+
+
+def average_delay_check(max_nodes: int, *, step: int = 7) -> list[tuple[int, float, float]]:
+    """(N, predicted average delay, Theorem 4 bound) over a sweep of N."""
+    rows = []
+    for n in range(1, max_nodes + 1, step):
+        rows.append((n, expected_average_delay(n), theorem4_bound(n)))
+    return rows
+
+
+def special_populations(limit: int) -> list[int]:
+    """All special ``N = 2^k - 1`` up to ``limit``."""
+    return [n for n in ((1 << k) - 1 for k in range(1, 31)) if n <= limit]
+
+
+def is_special(num_nodes: int) -> bool:
+    """Re-export of :func:`repro.hypercube.cube.is_special_population`."""
+    return is_special_population(num_nodes)

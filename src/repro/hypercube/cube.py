@@ -1,0 +1,202 @@
+"""Single-hypercube streaming for ``N = 2^k - 1`` (Section 3.1).
+
+The ``N + 1`` participants (receivers plus the source, vertex 0) are the
+vertices of a ``k``-dimensional hypercube.  In slot ``t`` the vertices pair up
+along dimension ``t mod k`` — vertex ids differing only in bit ``t mod k`` —
+and each pair exchanges packets: each side sends the *newest* packet it holds
+that its partner lacks.  The source always injects the next fresh packet
+(packet ``t`` in slot ``t``) to its partner; the source's partner has nothing
+to send back, and that spare send slot is what the arbitrary-``N`` cascade of
+Section 3.2 uses to feed the next hypercube.
+
+This generalizes Farley's multi-message broadcast to an infinite stream and
+reaches the paper's doubling state (Figure 5): at the start of a slot
+``N / 2^i`` nodes hold the ``i``-th most recent packet; after the slot every
+count has doubled, the oldest packet is held by everybody and is consumed.
+Proposition 1's guarantees follow: each node talks to exactly ``k`` neighbors,
+starts playback after slot ``k + 1``, and buffers ``O(1)`` packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConstructionError
+
+__all__ = [
+    "dimension_of_slot",
+    "partner_of",
+    "slot_pairs",
+    "is_special_population",
+    "dimension_for_population",
+    "CubeExchange",
+    "CubeTransfer",
+]
+
+
+def is_special_population(num_nodes: int) -> bool:
+    """True when ``N = 2^k - 1`` for some integer ``k >= 1``.
+
+    Examples:
+        >>> [n for n in range(1, 20) if is_special_population(n)]
+        [1, 3, 7, 15]
+    """
+    return num_nodes >= 1 and (num_nodes + 1) & num_nodes == 0
+
+
+def dimension_for_population(num_nodes: int) -> int:
+    """``k`` with ``N = 2^k - 1``; raises for non-special populations."""
+    if not is_special_population(num_nodes):
+        raise ConstructionError(
+            f"hypercube scheme needs N = 2^k - 1 receivers, got {num_nodes}"
+        )
+    return num_nodes.bit_length()
+
+
+def dimension_of_slot(slot: int, k: int) -> int:
+    """Cube dimension used for pairing in a given (cube-local) slot."""
+    if k < 1:
+        raise ConstructionError(f"cube dimension must be >= 1, got {k}")
+    if slot < 0:
+        raise ConstructionError(f"slot must be >= 0, got {slot}")
+    return slot % k
+
+
+def partner_of(vertex: int, dimension: int) -> int:
+    """The vertex paired with ``vertex`` along ``dimension``."""
+    return vertex ^ (1 << dimension)
+
+
+def slot_pairs(k: int, slot: int) -> list[tuple[int, int]]:
+    """All ``2^{k-1}`` vertex pairs for a (cube-local) slot, lowest id first.
+
+    This is the communication pattern of the paper's Figure 7: every pair lies
+    along the single dimension ``slot mod k``.
+
+    Examples:
+        >>> slot_pairs(3, 0)
+        [(0, 1), (2, 3), (4, 5), (6, 7)]
+        >>> slot_pairs(3, 2)
+        [(0, 4), (1, 5), (2, 6), (3, 7)]
+    """
+    j = dimension_of_slot(slot, k)
+    bit = 1 << j
+    return [(v, v | bit) for v in range(1 << k) if not v & bit]
+
+
+@dataclass(frozen=True, slots=True)
+class CubeTransfer:
+    """One intra-cube packet movement in cube-local terms."""
+
+    sender: int  # local vertex id
+    receiver: int  # local vertex id
+    packet: int  # stream-local packet index
+
+
+@dataclass
+class CubeExchange:
+    """Deterministic state machine producing the cube's per-slot exchanges.
+
+    Local vertex 0 is the (possibly virtual) source; vertices ``1..2^k - 1``
+    are receivers.  :meth:`step` must be called once per consecutive local
+    slot starting at 0.  The machine tracks which packets each receiver holds
+    *and can forward* (received in a strictly earlier slot).
+
+    Attributes:
+        k: cube dimension.
+        ghosts: vacant vertices (departed members with no repair).  Ghosts
+            never hold or send packets, and deliveries to them are dropped.
+            Vacancies are never graceful: a ghost at a power-of-two vertex
+            loses the injections targeted at it outright, and *any* ghost
+            idles its pair each cycle, removing two transmissions per cycle
+            while demand drops by only one — its neighbors fall behind
+            without bound.  This zero-slack property is the measured
+            justification for immediate membership repair
+            (see :mod:`repro.hypercube.dynamics`).
+    """
+
+    k: int
+    ghosts: frozenset[int] = frozenset()
+    _holdings: list[set[int]] = field(init=False)
+    _pending: list[list[int]] = field(init=False)
+    _slot: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConstructionError(f"cube dimension must be >= 1, got {self.k}")
+        size = 1 << self.k
+        bad = [g for g in self.ghosts if not 1 <= g < size]
+        if bad:
+            raise ConstructionError(f"ghost vertices {bad} outside 1..{size - 1}")
+        self._holdings = [set() for _ in range(size)]
+        self._pending = [[] for _ in range(size)]
+
+    @property
+    def num_receivers(self) -> int:
+        return (1 << self.k) - 1
+
+    @property
+    def slot(self) -> int:
+        """Next local slot :meth:`step` will produce."""
+        return self._slot
+
+    def holdings(self, vertex: int) -> frozenset[int]:
+        """Packets ``vertex`` holds and may forward in the current slot."""
+        return frozenset(self._holdings[vertex])
+
+    def port_vertex(self, slot: int) -> int:
+        """The source's partner (the spare-capacity vertex) in a local slot."""
+        return 1 << dimension_of_slot(slot, self.k)
+
+    def step(self, *, inject: int | None) -> list[CubeTransfer]:
+        """Advance one local slot.
+
+        Args:
+            inject: packet index the source delivers to its partner this slot,
+                or None if the feeder has nothing yet (cascade warm-up).
+
+        Returns:
+            the slot's transfers, *excluding* the injection itself (the caller
+            owns the injection's sender identity) but including every
+            receiver-to-receiver exchange.
+        """
+        j = dimension_of_slot(self._slot, self.k)
+        bit = 1 << j
+        transfers: list[CubeTransfer] = []
+        for low in range(1 << self.k):
+            if low & bit:
+                continue
+            high = low | bit
+            if low == 0:
+                # Source pair: injection handled by caller; partner's send
+                # capacity is spare (exported by the cascade).
+                continue
+            self._exchange(low, high, transfers)
+
+        # Commit: this slot's receptions become forwardable next slot.
+        # Deliveries to ghost vertices are dropped (nobody is there).
+        for transfer in transfers:
+            if transfer.receiver not in self.ghosts:
+                self._pending[transfer.receiver].append(transfer.packet)
+        if inject is not None and (1 << j) not in self.ghosts:
+            self._pending[1 << j].append(inject)
+        for vertex in range(1 << self.k):
+            pending = self._pending[vertex]
+            if pending:
+                self._holdings[vertex].update(pending)
+                pending.clear()
+        self._slot += 1
+        return transfers
+
+    def _exchange(self, a: int, b: int, out: list[CubeTransfer]) -> None:
+        """Greedy pairwise exchange: each side sends the newest packet the
+        other lacks (nothing if the partner holds a superset).  Ghost
+        vertices hold nothing, so a ghost's partner idles this slot."""
+        hold_a = self._holdings[a]
+        hold_b = self._holdings[b]
+        a_to_b = max(hold_a - hold_b, default=None) if b not in self.ghosts else None
+        b_to_a = max(hold_b - hold_a, default=None) if a not in self.ghosts else None
+        if a_to_b is not None:
+            out.append(CubeTransfer(a, b, a_to_b))
+        if b_to_a is not None:
+            out.append(CubeTransfer(b, a, b_to_a))

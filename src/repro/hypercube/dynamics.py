@@ -1,0 +1,257 @@
+"""Membership dynamics for the hypercube cascade (the paper's future work).
+
+Section 4 lists "constructing algorithms for dealing with node dynamics in the
+context of the hypercube-based scheme" as ongoing work; the paper gives no
+algorithm.  Two hard constraints shape any solution, both measured in this
+package:
+
+* cubes must stay **full** — the exchange schedule has zero capacity slack, so
+  an unrepaired vacancy starves its neighbors without bound (see the ghost
+  experiments in ``tests/test_hypercube_dynamics.py``);
+* the chain's worst-case startup delay is ``(sum of cube dimensions) + k_last
+  (+1)``, so fragmenting the chain into many small cubes costs delay.
+
+We implement and evaluate the two natural strategies at the membership-
+planning level (which vertex of which cube each node occupies, plus the
+closed-form delay the chain shape implies):
+
+* **fill-from-tail** — a join opens a new ``k = 1`` cube at the end of the
+  chain (0 relocations); a departure is repaired by taking a donor from the
+  last cube and re-planning that cube's remaining members as an optimal
+  mini-cascade (``<= 2^{k_tail} - 2`` relocations, usually far fewer since
+  churn keeps the tail small).  All cubes stay full at all times, but the
+  chain drifts away from the optimal decomposition until
+  :meth:`CascadeMembership.compact` re-plans everything.
+* **rebuild** — recompute the optimal cascade for the new population on every
+  event.  Delays stay optimal but any node whose ``(cube, vertex)``
+  assignment changed must resynchronize; disruption is measured as the
+  number of changed assignments.
+
+The churn bench compares delay drift and disruption between the strategies —
+quantifying exactly the tension that makes the paper defer the problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConstructionError
+from repro.hypercube.cascade import CubeSpec, cascade_plan, expected_worst_delay
+
+__all__ = ["CascadeMembership", "MembershipEvent", "optimal_delay_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class MembershipEvent:
+    """Outcome of one membership operation.
+
+    Attributes:
+        operation: ``"join"``, ``"leave"``, or ``"compact"``.
+        node: the node joining/leaving (0 for compact).
+        relocated: nodes whose (cube, vertex) assignment changed (they must
+            resynchronize their neighbor state and packet window).
+        cubes_after: dimension list of the chain after the event.
+    """
+
+    operation: str
+    node: int
+    relocated: frozenset[int]
+    cubes_after: tuple[int, ...]
+
+
+def optimal_delay_for(num_nodes: int) -> int:
+    """Worst-case startup delay of the *optimal* cascade for ``num_nodes``."""
+    return expected_worst_delay(num_nodes)
+
+
+class CascadeMembership:
+    """Tracks which node occupies which vertex of which cascade cube.
+
+    Every cube is full at every step (the packet-level schedule requires it).
+
+    Args:
+        num_nodes: initial population (assigned via the optimal plan).
+        strategy: ``"fill-from-tail"`` or ``"rebuild"``.
+    """
+
+    def __init__(self, num_nodes: int, strategy: str = "fill-from-tail") -> None:
+        if strategy not in ("fill-from-tail", "rebuild"):
+            raise ConstructionError(f"unknown strategy {strategy!r}")
+        self.strategy = strategy
+        # cubes: list of dicts vertex -> node (vertices 1..2^k-1, always full).
+        self.cube_dims: list[int] = []
+        self.assignments: list[dict[int, int]] = []
+        self._next_id = 1
+        self.history: list[MembershipEvent] = []
+        self._assign_optimally(list(range(1, num_nodes + 1)))
+        self._next_id = num_nodes + 1
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(cube) for cube in self.assignments)
+
+    def members(self) -> set[int]:
+        return {node for cube in self.assignments for node in cube.values()}
+
+    def assignment_of(self, node: int) -> tuple[int, int]:
+        """``(cube index, vertex)`` of a node."""
+        for index, cube in enumerate(self.assignments):
+            for vertex, occupant in cube.items():
+                if occupant == node:
+                    return index, vertex
+        raise ConstructionError(f"node {node} is not a member")
+
+    def plan(self) -> list[CubeSpec]:
+        """The chain's :class:`CubeSpec` timing for the *current* shape."""
+        specs = []
+        offset = 0
+        first = 1
+        for index, k in enumerate(self.cube_dims):
+            specs.append(CubeSpec(index=index, k=k, offset=offset, first_node=first))
+            first += (1 << k) - 1
+            offset += k
+        return specs
+
+    def worst_case_delay(self) -> int:
+        """Worst-case startup delay implied by the current chain shape.
+
+        With full cubes the maximum is always the last cube's startup.
+        """
+        if not self.assignments:
+            raise ConstructionError("no members")
+        return max(spec.startup_delay for spec in self.plan())
+
+    def delay_penalty(self) -> int:
+        """Extra worst-case delay vs the optimal cascade for this population."""
+        return self.worst_case_delay() - optimal_delay_for(self.num_nodes)
+
+    def verify(self) -> None:
+        seen: set[int] = set()
+        if len(self.cube_dims) != len(self.assignments):
+            raise ConstructionError("cube bookkeeping out of sync")
+        for k, cube in zip(self.cube_dims, self.assignments):
+            size = (1 << k) - 1
+            if len(cube) != size:
+                raise ConstructionError(
+                    f"cube of dimension {k} holds {len(cube)} members, needs {size} "
+                    "(vacancies starve neighbors: cubes must stay full)"
+                )
+            for vertex, node in cube.items():
+                if not 1 <= vertex <= size:
+                    raise ConstructionError(f"vertex {vertex} outside cube of k={k}")
+                if node in seen:
+                    raise ConstructionError(f"node {node} assigned twice")
+                seen.add(node)
+
+    # ------------------------------------------------------------- operations
+    def join(self) -> tuple[int, MembershipEvent]:
+        node = self._next_id
+        self._next_id += 1
+        if self.strategy == "rebuild":
+            event = self._rebuild("join", node, self._member_list() + [node])
+        else:
+            # A fresh k=1 cube at the end: zero relocations.
+            self.cube_dims.append(1)
+            self.assignments.append({1: node})
+            event = MembershipEvent("join", node, frozenset(), tuple(self.cube_dims))
+        self.history.append(event)
+        return node, event
+
+    def leave(self, node: int) -> MembershipEvent:
+        if self.num_nodes <= 1:
+            raise ConstructionError("cannot remove the last member")
+        index, vertex = self.assignment_of(node)
+        if self.strategy == "rebuild":
+            members = [m for m in self._member_list() if m != node]
+            event = self._rebuild("leave", node, members)
+        else:
+            event = self._leave_fill(node, index, vertex)
+        self.history.append(event)
+        return event
+
+    def compact(self) -> MembershipEvent:
+        """Re-plan the whole chain optimally (the fill strategy's catch-up)."""
+        event = self._rebuild("compact", 0, self._member_list())
+        self.history.append(event)
+        return event
+
+    # -------------------------------------------------------------- internals
+    def _member_list(self) -> list[int]:
+        out = []
+        for cube in self.assignments:
+            for vertex in sorted(cube):
+                out.append(cube[vertex])
+        return out
+
+    def _assign_optimally(self, members: list[int]) -> None:
+        self.cube_dims = []
+        self.assignments = []
+        if not members:
+            return
+        plan = cascade_plan(len(members))
+        cursor = 0
+        for spec in plan:
+            cube: dict[int, int] = {}
+            for vertex in range(1, spec.num_receivers + 1):
+                cube[vertex] = members[cursor]
+                cursor += 1
+            self.cube_dims.append(spec.k)
+            self.assignments.append(cube)
+
+    def _snapshot(self) -> dict[int, tuple[int, int, int]]:
+        """Node -> (cube index, vertex, cube dimension).  The dimension is
+        part of a node's identity here: a cube re-shape changes every
+        member's neighbor set even if its vertex label survives."""
+        return {
+            occupant: (i, v, self.cube_dims[i])
+            for i, cube in enumerate(self.assignments)
+            for v, occupant in cube.items()
+        }
+
+    def _relocated_since(self, before: dict[int, tuple[int, int, int]]) -> set[int]:
+        return {
+            occupant
+            for i, cube in enumerate(self.assignments)
+            for v, occupant in cube.items()
+            if before.get(occupant) not in (None, (i, v, self.cube_dims[i]))
+        }
+
+    def _rebuild(self, operation: str, node: int, members: list[int]) -> MembershipEvent:
+        before = self._snapshot()
+        self._assign_optimally(members)
+        relocated = self._relocated_since(before)
+        relocated.discard(node)
+        return MembershipEvent(operation, node, frozenset(relocated), tuple(self.cube_dims))
+
+    def _leave_fill(self, node: int, index: int, vertex: int) -> MembershipEvent:
+        before = self._snapshot()
+        tail = len(self.assignments) - 1
+        tail_cube = self.assignments[tail]
+        if index == tail:
+            # Departure from the tail cube itself: its survivors re-plan.
+            survivors = [n for v, n in sorted(tail_cube.items()) if n != node]
+        else:
+            # Backfill the vacancy with a tail donor, then re-plan the rest.
+            donor_vertex = max(tail_cube)
+            donor = tail_cube[donor_vertex]
+            self.assignments[index][vertex] = donor
+            survivors = [
+                n for v, n in sorted(tail_cube.items()) if v != donor_vertex
+            ]
+        # Replace the tail cube with an optimal mini-cascade of its survivors.
+        self.assignments.pop()
+        self.cube_dims.pop()
+        if survivors:
+            sub_plan = cascade_plan(len(survivors))
+            cursor = 0
+            for spec in sub_plan:
+                cube: dict[int, int] = {}
+                for v in range(1, spec.num_receivers + 1):
+                    cube[v] = survivors[cursor]
+                    cursor += 1
+                self.cube_dims.append(spec.k)
+                self.assignments.append(cube)
+        relocated = self._relocated_since(before)
+        relocated.discard(node)
+        return MembershipEvent("leave", node, frozenset(relocated), tuple(self.cube_dims))

@@ -1,0 +1,6 @@
+"""Plain-text reporting helpers used by the benchmark harness."""
+
+from repro.reporting.series import ascii_plot, series_table
+from repro.reporting.tables import format_rows, format_table
+
+__all__ = ["ascii_plot", "format_rows", "format_table", "series_table"]

@@ -1,0 +1,180 @@
+"""Trace export: persist simulation runs as JSON or CSV for offline analysis.
+
+A :class:`~repro.core.engine.SimTrace` is the ground truth of a run; these
+helpers serialize the parts downstream tooling cares about — per-node arrival
+traces, the transmission log, and aggregate metrics — in formats that load
+without this package installed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.core.engine import SimTrace
+from repro.core.errors import ReproError
+from repro.core.metrics import SchemeMetrics
+
+__all__ = [
+    "trace_to_dict",
+    "write_trace_json",
+    "read_trace_json",
+    "trace_from_dict",
+    "write_transmissions_csv",
+    "write_arrivals_csv",
+    "metrics_to_dict",
+]
+
+_FORMAT_VERSION = 1
+
+
+def trace_to_dict(trace: SimTrace, *, include_transmissions: bool = True) -> dict:
+    """JSON-serializable snapshot of a trace."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "num_slots": trace.num_slots,
+        "arrivals": {
+            str(node): {str(p): s for p, s in sorted(state.arrivals.items())}
+            for node, state in sorted(trace.nodes.items())
+        },
+        "neighbors": {
+            str(node): sorted(state.neighbors)
+            for node, state in sorted(trace.nodes.items())
+        },
+    }
+    if include_transmissions:
+        payload["transmissions"] = [
+            {
+                "slot": tx.slot,
+                "sender": tx.sender,
+                "receiver": tx.receiver,
+                "packet": tx.packet,
+                "latency": tx.latency,
+                "tree": tx.tree,
+            }
+            for tx in trace.transmissions
+        ]
+    return payload
+
+
+def write_trace_json(trace: SimTrace, path: str | Path, **kwargs) -> Path:
+    """Write a trace snapshot to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(trace_to_dict(trace, **kwargs), indent=1))
+    return path
+
+
+def read_trace_json(path: str | Path) -> dict:
+    """Load a snapshot written by :func:`write_trace_json` (plain dict form).
+
+    Arrival maps are re-keyed to ints for convenience.
+    """
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported trace format version {version!r} (expected {_FORMAT_VERSION})"
+        )
+    payload["arrivals"] = {
+        int(node): {int(p): s for p, s in packets.items()}
+        for node, packets in payload["arrivals"].items()
+    }
+    payload["neighbors"] = {
+        int(node): peers for node, peers in payload["neighbors"].items()
+    }
+    return payload
+
+
+def trace_from_dict(payload: dict) -> SimTrace:
+    """Rebuild a :class:`SimTrace` from a loaded snapshot.
+
+    The reconstruction carries the arrival traces and (if present) the full
+    transmission log — enough for metrics and post-hoc auditing.  Sender-side
+    state (``sent_to``/``packets_sent``) is re-derived from the log.
+    """
+    from repro.core.node import NodeState
+    from repro.core.packet import Transmission
+
+    if "arrivals" not in payload:
+        raise ReproError("snapshot has no arrivals section")
+    arrivals = payload["arrivals"]
+    if arrivals and isinstance(next(iter(arrivals)), str):
+        payload = dict(payload)
+        payload["arrivals"] = {
+            int(node): {int(p): s for p, s in packets.items()}
+            for node, packets in arrivals.items()
+        }
+    nodes: dict[int, NodeState] = {}
+    for node, packets in payload["arrivals"].items():
+        state = NodeState(node)
+        state.arrivals.update(packets)
+        nodes[node] = state
+    transmissions = [
+        Transmission(
+            slot=row["slot"],
+            sender=row["sender"],
+            receiver=row["receiver"],
+            packet=row["packet"],
+            latency=row.get("latency", 1),
+            tree=row.get("tree"),
+        )
+        for row in payload.get("transmissions", [])
+    ]
+    sources: dict[int, NodeState] = {}
+    for tx in transmissions:
+        owner = nodes.get(tx.sender)
+        if owner is None:
+            owner = sources.setdefault(tx.sender, NodeState(tx.sender))
+        owner.sent_to.add(tx.receiver)
+        owner.packets_sent += 1
+        receiver = nodes.get(tx.receiver)
+        if receiver is not None:
+            receiver.received_from.add(tx.sender)
+    return SimTrace(
+        num_slots=payload.get("num_slots", 0),
+        nodes=nodes,
+        source_states=sources,
+        transmissions=transmissions,
+    )
+
+
+def write_transmissions_csv(trace: SimTrace, path: str | Path) -> Path:
+    """One row per transmission: slot, sender, receiver, packet, latency, tree."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["slot", "sender", "receiver", "packet", "latency", "tree"])
+        for tx in trace.transmissions:
+            writer.writerow(
+                [tx.slot, tx.sender, tx.receiver, tx.packet, tx.latency,
+                 "" if tx.tree is None else tx.tree]
+            )
+    return path
+
+
+def write_arrivals_csv(trace: SimTrace, path: str | Path) -> Path:
+    """One row per (node, packet) arrival."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["node", "packet", "arrival_slot"])
+        for node, state in sorted(trace.nodes.items()):
+            for packet, slot in sorted(state.arrivals.items()):
+                writer.writerow([node, packet, slot])
+    return path
+
+
+def metrics_to_dict(metrics: SchemeMetrics) -> dict:
+    """JSON-serializable aggregate metrics, including the per-node detail."""
+    return {
+        **metrics.row(),
+        "per_node": {
+            str(node): {
+                "startup_delay": s.startup_delay,
+                "buffer_peak": s.buffer_peak,
+                "first_arrival_slot": s.first_arrival_slot,
+            }
+            for node, s in sorted(metrics.per_node.items())
+        },
+    }

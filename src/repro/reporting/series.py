@@ -1,0 +1,67 @@
+"""ASCII rendering of measurement series (for figure reproductions)."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["ascii_plot", "series_table"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+def series_table(
+    x_label: str,
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """Tabulate several series against a shared x-axis (figure data dump)."""
+    from repro.reporting.tables import format_table
+
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(xs):
+            raise ValueError(f"series {name!r} length differs from x-axis")
+    rows = [[x, *(series[name][i] for name in names)] for i, x in enumerate(xs)]
+    return format_table([x_label, *names], rows)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """Scatter-plot several series on an ASCII canvas.
+
+    A lightweight stand-in for the paper's figures: enough to eyeball the
+    shape (who wins, where curves cross) straight from a bench run.
+    """
+    if not xs:
+        return title or "(empty plot)"
+    names = list(series)
+    all_y = [y for name in names for y in series[name]]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, name in enumerate(names):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in zip(xs, series[name]):
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            canvas[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_min:g} .. {y_max:g}")
+    lines.extend("|" + "".join(row) for row in canvas)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_min:g} .. {x_max:g}")
+    legend = "   ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

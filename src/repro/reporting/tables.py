@@ -1,0 +1,61 @@
+"""Plain-text table rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_rows"]
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Args:
+        columns: header labels.
+        rows: cell values, one sequence per row.
+        title: optional heading printed above the table.
+
+    Examples:
+        >>> print(format_table(["N", "delay"], [[10, 5], [100, 11]]))
+        N    delay
+        ---  -----
+         10      5
+        100     11
+    """
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        if len(row) != len(columns):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(columns)} columns: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_rows(rows: Sequence[Mapping[str, object]], *, title: str | None = None) -> str:
+    """Render a list of uniform dicts as a table (column order from the first row)."""
+    if not rows:
+        return title or "(no rows)"
+    columns = list(rows[0].keys())
+    return format_table(columns, [[row[c] for c in columns] for row in rows], title=title)

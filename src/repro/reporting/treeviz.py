@@ -1,0 +1,57 @@
+"""ASCII rendering of streaming trees and forests (used by benches/examples)."""
+
+from __future__ import annotations
+
+from repro.trees.tree import StreamTree
+
+__all__ = ["render_tree", "render_forest", "render_supertree"]
+
+
+def render_tree(tree: StreamTree, *, is_dummy=None, label: str | None = None) -> str:
+    """Draw one tree level by level.
+
+    Dummy-occupied positions (per ``is_dummy``) render in brackets.
+    """
+    is_dummy = is_dummy or (lambda node: node < 0)
+
+    def fmt(node: int) -> str:
+        return f"[{node}]" if is_dummy(node) else str(node)
+
+    lines = [label or f"T_{tree.index} (d={tree.degree}, height {tree.height})"]
+    lines.append("  S")
+    level = 1
+    position = 1
+    while position <= tree.size:
+        start = position
+        width = tree.degree**level if tree.degree > 1 else 1
+        nodes = []
+        while position <= tree.size and position < start + width:
+            nodes.append(fmt(tree.node_at(position)))
+            position += 1
+        lines.append("  " + "  ".join(nodes))
+        level += 1
+    return "\n".join(lines)
+
+
+def render_forest(forest, *, max_trees: int | None = None) -> str:
+    """Draw every tree of a multi-tree forest."""
+    trees = forest.trees if isinstance(forest.trees, list) else forest.trees()
+    if max_trees is not None:
+        trees = trees[:max_trees]
+    is_dummy = getattr(forest, "is_dummy", None)
+    return "\n\n".join(render_tree(t, is_dummy=is_dummy) for t in trees)
+
+
+def render_supertree(supertree, names=None) -> str:
+    """Draw the cluster backbone as an indented tree."""
+    names = names or [f"S_{i + 1}" for i in range(supertree.num_clusters)]
+    lines = ["S (source)"]
+
+    def walk(cluster: int, depth: int) -> None:
+        lines.append("  " * depth + f"+- {names[cluster]}")
+        for child in supertree.children_of(cluster):
+            walk(child, depth + 1)
+
+    for root in supertree.root_clusters():
+        walk(root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Closed-form bounds and degree optimization (Section 2.3, Table 1)."""
+
+from repro.theory.bounds import (
+    Table1Row,
+    hypercube_arbitrary_claims,
+    hypercube_special_claims,
+    multi_tree_claims,
+    table1,
+    theorem2_bound,
+    theorem2_height,
+    theorem3_lower_bound,
+    theorem4_bound,
+    worst_case_delay_bound,
+)
+from repro.theory.provisioning import StreamProfile, mpeg1_profile, paper_example_profile
+from repro.theory.scaling import SHAPES, ScalingFit, best_scaling, fit_scaling
+from repro.theory.degree import (
+    crossover_population,
+    delay_approximation,
+    delay_derivative,
+    f2,
+    f3,
+    optimal_degree,
+    optimal_degree_exact,
+)
+
+__all__ = [
+    "SHAPES",
+    "ScalingFit",
+    "StreamProfile",
+    "Table1Row",
+    "best_scaling",
+    "fit_scaling",
+    "mpeg1_profile",
+    "paper_example_profile",
+    "crossover_population",
+    "delay_approximation",
+    "delay_derivative",
+    "f2",
+    "f3",
+    "hypercube_arbitrary_claims",
+    "hypercube_special_claims",
+    "multi_tree_claims",
+    "optimal_degree",
+    "optimal_degree_exact",
+    "table1",
+    "theorem2_bound",
+    "theorem2_height",
+    "theorem3_lower_bound",
+    "theorem4_bound",
+    "worst_case_delay_bound",
+]

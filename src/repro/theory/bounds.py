@@ -1,0 +1,107 @@
+"""Closed-form reference bounds: one function per claim in the paper.
+
+The benches print these next to measured values; the functions here are the
+single source of truth for "what the paper promises" (Table 1 and the
+theorems/propositions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConstructionError
+from repro.hypercube.cascade import theorem4_bound, worst_case_delay_bound
+from repro.trees.analysis import theorem2_bound, theorem2_height, theorem3_lower_bound
+
+__all__ = [
+    "Table1Row",
+    "hypercube_arbitrary_claims",
+    "hypercube_special_claims",
+    "multi_tree_claims",
+    "table1",
+    # Re-exported theorem formulas (defined beside their schemes):
+    "theorem2_bound",
+    "theorem2_height",
+    "theorem3_lower_bound",
+    "theorem4_bound",
+    "worst_case_delay_bound",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Table1Row:
+    """One row of the paper's Table 1 (asymptotic claims as strings, plus
+    evaluable reference values for a concrete ``N`` and ``d``)."""
+
+    scheme: str
+    max_delay: str
+    avg_delay: str
+    buffer_size: str
+    num_neighbors: str
+    max_delay_value: float
+    buffer_value: float
+    neighbors_value: float
+
+
+def multi_tree_claims(num_nodes: int, degree: int) -> Table1Row:
+    """Table 1, row 1: the multi-tree scheme."""
+    bound = theorem2_bound(num_nodes, degree)
+    return Table1Row(
+        scheme="multi-tree",
+        max_delay="O(d log N)",
+        avg_delay="O(d log N)",
+        buffer_size="O(d log N)",
+        num_neighbors="O(d)",
+        max_delay_value=float(bound),
+        buffer_value=float(bound),
+        neighbors_value=2.0 * degree,
+    )
+
+
+def hypercube_special_claims(num_nodes: int) -> Table1Row:
+    """Table 1, row 2: the hypercube scheme for special ``N = 2^k - 1``."""
+    if num_nodes < 1 or (num_nodes + 1) & num_nodes:
+        raise ConstructionError(f"special-N row needs N = 2^k - 1, got {num_nodes}")
+    k = num_nodes.bit_length()
+    return Table1Row(
+        scheme="hypercube (special N)",
+        max_delay="O(log N)",
+        avg_delay="O(log N)",
+        buffer_size="O(1)",
+        num_neighbors="O(log N)",
+        max_delay_value=float(k + 1),
+        buffer_value=2.0,
+        neighbors_value=float(k),
+    )
+
+
+def hypercube_arbitrary_claims(num_nodes: int, degree: int = 1) -> Table1Row:
+    """Table 1, row 3: the hypercube cascade for arbitrary ``N`` (optionally
+    with a capacity-``d`` source splitting into ``d`` groups)."""
+    if num_nodes < 1:
+        raise ConstructionError(f"need at least one node, got {num_nodes}")
+    group = max(1, math.ceil(num_nodes / degree))
+    return Table1Row(
+        scheme="hypercube (arbitrary N)" if degree == 1 else f"hypercube (d={degree} groups)",
+        max_delay="O(log^2(N/d))",
+        avg_delay="O(log(N/d))",
+        buffer_size="O(1)",
+        num_neighbors="O(log(N/d))",
+        max_delay_value=worst_case_delay_bound(group),
+        buffer_value=2.0,
+        neighbors_value=theorem4_bound(group),
+    )
+
+
+def table1(num_nodes: int, degree: int) -> list[Table1Row]:
+    """All three Table 1 rows instantiated at a concrete ``(N, d)``.
+
+    The special-N row uses the nearest special population ``2^k - 1 <= N``.
+    """
+    special = (1 << max(1, (num_nodes + 1).bit_length() - 1)) - 1
+    return [
+        multi_tree_claims(num_nodes, degree),
+        hypercube_special_claims(special),
+        hypercube_arbitrary_claims(num_nodes, degree),
+    ]

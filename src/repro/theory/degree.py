@@ -1,0 +1,95 @@
+"""Tree-degree optimization (Section 2.3, 'Tree Degree Optimization').
+
+Minimizing the Theorem 2 worst-case delay approximation
+``F(d) = d * log_d(N (1 - 1/d))`` over integer degrees shows the optimum is
+always ``d = 2`` or ``d = 3``: the derivative is negative at ``d = 2`` (for
+``N`` beyond a tiny threshold) and positive for all ``d >= 3``, and for
+sufficiently large ``N`` degree 3 wins (``F(3) < F(2)``).  The paper
+nevertheless recommends ``d = 2`` in practice since the two are very close.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConstructionError
+
+__all__ = [
+    "delay_approximation",
+    "delay_derivative",
+    "optimal_degree",
+    "optimal_degree_exact",
+    "f2",
+    "f3",
+    "crossover_population",
+]
+
+
+def _check(num_nodes: int, degree: int | None = None) -> None:
+    if num_nodes < 2:
+        raise ConstructionError(f"degree analysis needs N >= 2, got {num_nodes}")
+    if degree is not None and degree < 2:
+        raise ConstructionError(f"degree must be >= 2, got {degree}")
+
+
+def delay_approximation(num_nodes: int, degree: int) -> float:
+    """``F(d) = d * log_d(N (1 - 1/d))`` — the large-``N`` delay approximation."""
+    _check(num_nodes, degree)
+    return degree * math.log(num_nodes * (1 - 1 / degree), degree)
+
+
+def delay_derivative(num_nodes: int, degree: int) -> float:
+    """The paper's ``dF/dd`` (natural logs):
+
+    ``[(ln d - 1)(ln(d-1) + ln N) + d/(d-1) * ln d] / (ln d)^2 - 1``.
+    """
+    _check(num_nodes, degree)
+    d = degree
+    ln_d = math.log(d)
+    numerator = (ln_d - 1) * (math.log(d - 1) + math.log(num_nodes)) + d / (d - 1) * ln_d
+    return numerator / ln_d**2 - 1
+
+
+def f2(num_nodes: int) -> float:
+    """``F(2) = 2 (log2 N - 1)`` (paper's closed form)."""
+    _check(num_nodes)
+    return 2 * (math.log2(num_nodes) - 1)
+
+
+def f3(num_nodes: int) -> float:
+    """``F(3) = 3 (log2 N / log2 3 - log3(3/2))`` (paper's closed form)."""
+    _check(num_nodes)
+    return 3 * (math.log2(num_nodes) / math.log2(3) - math.log(1.5, 3))
+
+
+def optimal_degree(num_nodes: int, *, max_degree: int = 16) -> int:
+    """Integer degree minimizing ``F(d)`` — always 2 or 3 per the paper.
+
+    Examples:
+        >>> optimal_degree(100)
+        2
+        >>> optimal_degree(100_000)
+        3
+    """
+    _check(num_nodes)
+    best = min(range(2, max_degree + 1), key=lambda d: delay_approximation(num_nodes, d))
+    return best
+
+
+def optimal_degree_exact(num_nodes: int, *, max_degree: int = 16) -> int:
+    """Integer degree minimizing the exact Theorem 2 bound ``h(N, d) * d``."""
+    from repro.trees.analysis import theorem2_bound
+
+    _check(num_nodes)
+    return min(range(2, max_degree + 1), key=lambda d: (theorem2_bound(num_nodes, d), d))
+
+
+def crossover_population() -> int:
+    """Smallest ``N`` from which degree 3 beats degree 2 on ``F`` (and stays ahead).
+
+    ``F(3) < F(2)`` reduces to a constant threshold; found numerically once.
+    """
+    n = 2
+    while f3(n) >= f2(n):
+        n += 1
+    return n

@@ -1,0 +1,99 @@
+"""Empirical scaling-shape fits for bench assertions.
+
+Table 1's claims are asymptotic (``O(log N)``, ``O(log^2 N)``, ``O(N)``,
+``O(1)``).  To check a *measured* series against a claimed shape we fit the
+series against a small basis of candidate growth laws by least squares and
+compare relative residuals — enough to distinguish constant vs logarithmic vs
+poly-log vs linear growth on the population ranges the benches use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+__all__ = ["ScalingFit", "fit_scaling", "best_scaling", "SHAPES"]
+
+#: Candidate growth laws: name -> feature function of N.
+SHAPES = {
+    "constant": lambda n: 1.0,
+    "log": lambda n: math.log2(n),
+    "log^2": lambda n: math.log2(n) ** 2,
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ScalingFit:
+    """Least-squares fit of ``y ≈ a * shape(N) + b``.
+
+    Attributes:
+        shape: the growth-law name.
+        slope: fitted ``a``.
+        intercept: fitted ``b``.
+        relative_rmse: root-mean-square error divided by the mean of ``y``.
+    """
+
+    shape: str
+    slope: float
+    intercept: float
+    relative_rmse: float
+
+
+def fit_scaling(populations, values, shape: str) -> ScalingFit:
+    """Fit one candidate growth law to a measured series."""
+    if shape not in SHAPES:
+        raise ReproError(f"unknown shape {shape!r}; choose from {sorted(SHAPES)}")
+    if len(populations) != len(values) or len(populations) < 3:
+        raise ReproError("need at least 3 aligned (N, value) points")
+    if min(populations) < 2:
+        raise ReproError("populations must be >= 2 for log-based shapes")
+    feature = SHAPES[shape]
+    x = np.array([feature(n) for n in populations], dtype=float)
+    y = np.array(values, dtype=float)
+    design = np.column_stack([x, np.ones_like(x)])
+    (slope, intercept), *_ = np.linalg.lstsq(design, y, rcond=None)
+    predicted = design @ np.array([slope, intercept])
+    rmse = float(np.sqrt(np.mean((predicted - y) ** 2)))
+    mean_y = float(np.mean(np.abs(y))) or 1.0
+    return ScalingFit(shape, float(slope), float(intercept), rmse / mean_y)
+
+
+def best_scaling(populations, values, *, shapes=None) -> ScalingFit:
+    """The candidate law with the smallest relative residual.
+
+    Examples:
+        >>> import math
+        >>> ns = [16, 64, 256, 1024]
+        >>> best_scaling(ns, [2 * math.log2(n) for n in ns]).shape
+        'log'
+        >>> best_scaling(ns, [3.0] * 4).shape
+        'constant'
+
+
+    Degenerate slopes are rejected: a fit whose slope is ~0 collapses to the
+    constant law, so non-constant shapes require a meaningfully positive
+    slope before they can win.
+    """
+    candidates = shapes or list(SHAPES)
+    fits = []
+    y_span = max(values) - min(values)
+    if y_span == 0:
+        # A flat series is constant by definition; numeric tie-breaking
+        # between perfectly-fitting shapes would be arbitrary.
+        return fit_scaling(populations, values, "constant")
+    for shape in candidates:
+        fit = fit_scaling(populations, values, shape)
+        if shape != "constant" and y_span > 0:
+            x_span = SHAPES[shape](max(populations)) - SHAPES[shape](min(populations))
+            if fit.slope * x_span < 0.25 * y_span:
+                continue  # explains almost none of the variation
+        fits.append(fit)
+    if not fits:
+        fits = [fit_scaling(populations, values, "constant")]
+    return min(fits, key=lambda f: f.relative_rmse)

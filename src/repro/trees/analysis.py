@@ -1,0 +1,213 @@
+"""Delay and buffer analysis of the multi-tree scheme (Section 2.3).
+
+Implements, in closed form over the constructed trees:
+
+* per-node/per-tree delays ``A(i, k)`` and playback delays
+  ``a(i) = max_k A(i, k)`` under the paper's start rule (begin playback once
+  one packet has arrived from every tree — Observation 2);
+* the Theorem 2 worst-case upper bound ``T <= h*d``;
+* the Theorem 3 lower bound on the average playback delay (complete trees);
+* per-node buffer requirements under the paper's start rule, and the ``h*d``
+  buffer upper bound;
+* the trace-optimal startup delay ``max_k (A(i,k) - k)``, a slightly tighter
+  start than the paper's rule (packets of tree ``k`` sit ``k`` deep in
+  playback order), reported alongside for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.errors import ConstructionError
+from repro.core.playback import buffer_peak
+from repro.trees.forest import MultiTreeForest
+from repro.trees.schedule import (
+    ScheduleParams,
+    _first_arrivals_cached,
+    arrival_trace,
+)
+
+__all__ = [
+    "tree_delay",
+    "per_tree_delays",
+    "playback_delay",
+    "all_playback_delays",
+    "worst_case_delay",
+    "average_delay",
+    "optimal_startup_delay",
+    "theorem2_height",
+    "theorem2_bound",
+    "theorem3_lower_bound",
+    "buffer_requirements",
+    "MultiTreeQoS",
+    "analyze",
+]
+
+
+def per_tree_delays(forest: MultiTreeForest, node: int) -> list[int]:
+    """``A(node, k)`` for every tree: slots until the node's first packet of
+    tree ``T_k`` has arrived (arrival slot + 1)."""
+    delays = []
+    for tree in forest.trees:
+        first = _first_arrivals_cached(tree, 1)
+        delays.append(first[tree.position_of(node)] + 1)
+    return delays
+
+
+def tree_delay(forest: MultiTreeForest, node: int, tree_index: int) -> int:
+    """``A(node, tree_index)`` (paper's A(i, k))."""
+    tree = forest.trees[tree_index]
+    return _first_arrivals_cached(tree, 1)[tree.position_of(node)] + 1
+
+
+def playback_delay(forest: MultiTreeForest, node: int) -> int:
+    """``a(node) = max_k A(node, k)`` — the paper's playback delay."""
+    return max(per_tree_delays(forest, node))
+
+
+def all_playback_delays(forest: MultiTreeForest) -> dict[int, int]:
+    """``a(i)`` for every real node, computed in one pass per tree."""
+    delays = {node: 0 for node in forest.real_nodes}
+    for tree in forest.trees:
+        first = _first_arrivals_cached(tree, 1)
+        for node in forest.real_nodes:
+            arrival = first[tree.position_of(node)] + 1
+            if arrival > delays[node]:
+                delays[node] = arrival
+    return delays
+
+
+def optimal_startup_delay(forest: MultiTreeForest, node: int) -> int:
+    """Trace-optimal startup delay ``max_k (A(node,k) - k)``.
+
+    Tighter than ``a(node)`` because the first packet of tree ``T_k`` is
+    packet ``k``, consumed ``k`` slots into playback.  Never exceeds
+    ``a(node)`` and never undercuts it by more than ``d - 1``.
+    """
+    return max(a - k for k, a in enumerate(per_tree_delays(forest, node)))
+
+
+def worst_case_delay(forest: MultiTreeForest) -> int:
+    """Measured worst-case playback delay ``max_i a(i)`` over real nodes."""
+    return max(all_playback_delays(forest).values())
+
+
+def average_delay(forest: MultiTreeForest) -> float:
+    """Measured average playback delay over real nodes."""
+    return mean(all_playback_delays(forest).values())
+
+
+def theorem2_height(num_nodes: int, degree: int) -> int:
+    """``h = ceil(log_d(N(1 - 1/d) + 1))`` — the complete-tree height of Thm 2."""
+    if degree < 2:
+        raise ConstructionError(f"Theorem 2 requires d >= 2, got {degree}")
+    if num_nodes < 1:
+        raise ConstructionError(f"need at least one node, got {num_nodes}")
+    value = num_nodes * (1 - 1 / degree) + 1
+    h = math.ceil(round(math.log(value, degree), 12))
+    return max(h, 1)
+
+
+def theorem2_bound(num_nodes: int, degree: int) -> int:
+    """Theorem 2 upper bound on worst-case playback delay: ``h * d``.
+
+    Examples:
+        >>> theorem2_bound(12, 3)   # complete tree: 3 + 9 nodes, h = 2
+        6
+        >>> theorem2_bound(1022, 2)
+        18
+    """
+    return theorem2_height(num_nodes, degree) * degree
+
+
+def theorem3_lower_bound(num_nodes: int, degree: int) -> float:
+    """Theorem 3 lower bound on the average playback delay (complete trees).
+
+    ``avg >= [d^h (d+1)(h-1)/2 - d^2 (h-2) - d(d+1)/2] / (N (d-1))`` with
+    ``h`` as in Theorem 2.  Valid for complete trees
+    (``N = d + d^2 + ... + d^h``); see DESIGN.md for the ``/2`` restored from
+    the appendix proof.
+    """
+    if degree < 2:
+        raise ConstructionError(f"Theorem 3 requires d >= 2, got {degree}")
+    d = degree
+    h = theorem2_height(num_nodes, degree)
+    numerator = d**h * (d + 1) * (h - 1) / 2 - d**2 * (h - 2) - d * (d + 1) / 2
+    return numerator / (num_nodes * (d - 1))
+
+
+def buffer_requirements(
+    forest: MultiTreeForest,
+    *,
+    num_packets: int | None = None,
+) -> dict[int, int]:
+    """Peak buffer occupancy per node under the paper's start rule ``a(i)``.
+
+    Measured over a window of ``num_packets`` (default: enough rounds for the
+    steady state, ``2 * h * d`` packets) from the analytic arrival trace; the
+    paper's Theorem 2 corollary guarantees the result never exceeds ``h * d``.
+    """
+    d = forest.degree
+    if num_packets is None:
+        num_packets = 2 * forest.height * d + 2 * d
+    traces = arrival_trace(forest, num_packets, ScheduleParams())
+    delays = all_playback_delays(forest)
+    return {
+        node: buffer_peak(traces[node], delays[node]) for node in forest.real_nodes
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class MultiTreeQoS:
+    """The paper's QoS quadruple for one multi-tree configuration.
+
+    Attributes mirror Table 1's columns plus the theorem reference values.
+    """
+
+    num_nodes: int
+    degree: int
+    construction: str
+    height: int
+    max_delay: int
+    avg_delay: float
+    theorem2_bound: int
+    theorem3_lower_bound: float
+    max_buffer: int
+    avg_buffer: float
+    max_neighbors: int
+
+
+def analyze(
+    num_nodes: int,
+    degree: int,
+    construction: str = "structured",
+    *,
+    include_buffers: bool = True,
+) -> MultiTreeQoS:
+    """Full QoS analysis of one ``(N, d, construction)`` configuration."""
+    forest = MultiTreeForest.construct(num_nodes, degree, construction)
+    delays = all_playback_delays(forest)
+    if include_buffers:
+        buffers = buffer_requirements(forest)
+        max_buffer = max(buffers.values())
+        avg_buffer = mean(buffers.values())
+    else:
+        max_buffer = -1
+        avg_buffer = -1.0
+    return MultiTreeQoS(
+        num_nodes=num_nodes,
+        degree=degree,
+        construction=construction,
+        height=forest.height,
+        max_delay=max(delays.values()),
+        avg_delay=mean(delays.values()),
+        theorem2_bound=theorem2_bound(num_nodes, degree) if degree >= 2 else -1,
+        theorem3_lower_bound=(
+            theorem3_lower_bound(num_nodes, degree) if degree >= 2 else float("nan")
+        ),
+        max_buffer=max_buffer,
+        avg_buffer=avg_buffer,
+        max_neighbors=forest.max_neighbor_count(),
+    )

@@ -1,0 +1,444 @@
+"""Node churn for the multi-tree scheme (paper appendix).
+
+The appendix gives addition/deletion algorithms that maintain the forest's
+invariants "on-the-fly" by swapping nodes with *all-leaf* nodes (members of the
+``G_d`` tail, which occupy the last positions of every tree), plus "lazy"
+variants that defer the tail bookkeeping until the next event to save swaps.
+
+Representation.  A :class:`DynamicForest` keeps the ``d`` breadth-first layouts
+explicitly, padded so every tree always has ``M = d * (I + 1)`` positions with
+interior positions ``1..I``.  Dummy placeholders carry negative ids so they can
+never collide with real node ids.  The maintained invariants are exactly the
+static construction's:
+
+* every layout is a permutation of the same id population;
+* no id is interior in more than one tree;
+* no id occupies two positions congruent modulo ``d`` (schedule safety);
+* dummies occupy only leaf positions;
+* (eager mode only) tightness: ``I = ceil(N / d) - 1`` for the live count ``N``.
+
+All repairs are built from two primitives that provably preserve the
+congruence invariant: *whole-id swaps* (two ids exchange their positions in
+every tree) and *same-residue swaps* (two occupants of positions congruent
+modulo ``d`` exchange places within one tree).  Operation costs match the
+appendix:
+
+* **addition** — 0 swaps while a dummy slot exists (``d`` does not divide the
+  live population); up to ``d`` swaps when the trees must grow a level.
+* **deletion** — 0 swaps for an all-leaf node away from the tightness
+  boundary; ``d`` swaps to first exchange an interior node with a real
+  all-leaf node; up to ``d^2`` further swaps when the trees shrink a level.
+* **lazy variants** — skip shrinking entirely and grow only when unavoidable.
+  The paper motivates laziness with the delete-then-add sequence, where eager
+  maintenance shrinks and immediately regrows a tree level (up to ``d^2 + d``
+  swaps in the paper's unpadded bookkeeping).  In this padded representation
+  the tail restoration is usually swap-free, so the lazy win shows up as the
+  avoided grow/shrink *events* (each of which relocates tail nodes and risks
+  hiccups) rather than raw swap counts; :meth:`DynamicForest.compact`
+  performs the deferred tightening on demand.
+
+Every swap relocates nodes mid-stream, so swapped nodes may miss or re-wait
+for packets; the per-operation ``touched`` sets in :class:`ChurnReport` bound
+the paper's "up to d^2 nodes may suffer from hiccups" claim and feed the churn
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.errors import ConstructionError
+from repro.trees.forest import MultiTreeForest
+from repro.trees.schedule import first_arrival_slots
+from repro.trees.tree import StreamTree
+
+__all__ = ["ChurnReport", "DynamicForest"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnReport:
+    """Outcome of one churn operation.
+
+    Attributes:
+        operation: ``"add"``, ``"delete"``, or ``"compact"``.
+        node: the node added/removed (0 for compact).
+        swaps: position swaps performed (the paper's maintenance cost metric).
+        touched: real nodes whose position changed in at least one tree —
+            the candidates for playback hiccups.
+        grew: whether the trees gained a level of positions.
+        shrank: whether the trees dropped a level of positions.
+    """
+
+    operation: str
+    node: int
+    swaps: int
+    touched: frozenset[int]
+    grew: bool = False
+    shrank: bool = False
+
+
+class DynamicForest:
+    """A multi-tree forest supporting node addition and deletion under churn.
+
+    Args:
+        num_nodes: initial receiver count (built with the static construction).
+        degree: tree degree ``d``.
+        construction: ``"structured"`` or ``"greedy"`` for the initial build.
+        lazy: use the appendix's lazy maintenance (defer shrinking).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        degree: int,
+        construction: str = "structured",
+        *,
+        lazy: bool = False,
+    ) -> None:
+        forest = MultiTreeForest.construct(num_nodes, degree, construction)
+        self.degree = degree
+        self.lazy = lazy
+        self.interior = forest.partition.interior_per_tree
+        # Real ids keep their 1..N labels; padding dummies become -1, -2, ...
+        dummy_map = {
+            dummy: -(j + 1) for j, dummy in enumerate(forest.partition.dummy_ids)
+        }
+        self._layouts: list[list[int]] = [
+            [dummy_map.get(node, node) for node in tree.layout] for tree in forest.trees
+        ]
+        self.real_ids: set[int] = set(range(1, num_nodes + 1))
+        self._next_real = num_nodes + 1
+        self._next_dummy = -(len(dummy_map) + 1)
+        self.total_swaps = 0
+        self.history: list[ChurnReport] = []
+
+    # ------------------------------------------------------------------ state
+    @property
+    def num_nodes(self) -> int:
+        return len(self.real_ids)
+
+    @property
+    def padded_size(self) -> int:
+        return len(self._layouts[0])
+
+    def is_dummy(self, node: int) -> bool:
+        return node < 0
+
+    def layouts(self) -> list[tuple[int, ...]]:
+        return [tuple(layout) for layout in self._layouts]
+
+    def trees(self) -> list[StreamTree]:
+        """Snapshot the current layouts as immutable :class:`StreamTree` objects."""
+        return [
+            StreamTree(k, self.degree, layout, self.interior)
+            for k, layout in enumerate(self._layouts)
+        ]
+
+    def position_of(self, node: int, tree_index: int) -> int:
+        try:
+            return self._layouts[tree_index].index(node) + 1
+        except ValueError:
+            raise ConstructionError(f"node {node} not in tree T_{tree_index}") from None
+
+    def positions_of(self, node: int) -> list[int]:
+        return [self.position_of(node, k) for k in range(self.degree)]
+
+    def is_all_leaf(self, node: int) -> bool:
+        return all(p > self.interior for p in self.positions_of(node))
+
+    def _real_all_leaf_nodes(self) -> list[int]:
+        """Real ids that are leaves in every tree, ordered by T_0 position."""
+        interior_somewhere = {
+            node for layout in self._layouts for node in layout[: self.interior]
+        }
+        layout0 = self._layouts[0]
+        return [
+            node
+            for node in layout0[self.interior :]
+            if node >= 0 and node not in interior_somewhere
+        ]
+
+    def _dummy_ids(self) -> list[int]:
+        return sorted((n for n in self._layouts[0] if n < 0), reverse=True)
+
+    def _fresh_dummies(self, count: int) -> list[int]:
+        ids = [self._next_dummy - j for j in range(count)]
+        self._next_dummy -= count
+        return ids
+
+    # ------------------------------------------------------------- primitives
+    def _swap_positions(self, tree_index: int, pos_a: int, pos_b: int) -> None:
+        """Exchange the occupants of two same-residue positions in one tree."""
+        if pos_a == pos_b:
+            return
+        if pos_a % self.degree != pos_b % self.degree:
+            raise ConstructionError(
+                f"in-tree swap of positions {pos_a} and {pos_b} would break the "
+                f"mod-{self.degree} congruence invariant"
+            )
+        layout = self._layouts[tree_index]
+        layout[pos_a - 1], layout[pos_b - 1] = layout[pos_b - 1], layout[pos_a - 1]
+        self.total_swaps += 1
+
+    def _swap_ids_everywhere(self, a: int, b: int) -> int:
+        """Exchange two ids' positions in every tree (``d`` swaps)."""
+        if a == b:
+            return 0
+        count = 0
+        for layout in self._layouts:
+            ia = layout.index(a)
+            ib = layout.index(b)
+            layout[ia], layout[ib] = layout[ib], layout[ia]
+            count += 1
+        self.total_swaps += count
+        return count
+
+    # --------------------------------------------------------------- addition
+    def add_node(self) -> tuple[int, ChurnReport]:
+        """Add a new node; returns ``(node_id, report)``.
+
+        The new node takes over an existing dummy's slots (0 swaps); when no
+        dummy slot is free the trees first grow one interior level.
+        """
+        node = self._next_real
+        self._next_real += 1
+        swaps = 0
+        touched: set[int] = set()
+        grew = False
+
+        dummies = self._dummy_ids()
+        if not dummies:
+            swaps += self._grow(touched)
+            grew = True
+            dummies = self._dummy_ids()
+
+        # A dummy's d slots are leaves in pairwise non-congruent positions by
+        # the invariant, so the new node inherits them swap-free.
+        dummy = dummies[0]
+        for layout in self._layouts:
+            layout[layout.index(dummy)] = node
+        self.real_ids.add(node)
+        report = ChurnReport("add", node, swaps, frozenset(touched), grew=grew)
+        self.history.append(report)
+        return node, report
+
+    def _grow(self, touched: set[int]) -> int:
+        """Promote position ``I + 1`` to interior and append ``d`` leaf slots.
+
+        Appendix Step 1 ('Make room for growth'): in each tree the occupant of
+        the new interior position must be a real node that is a leaf in every
+        other tree and not promoted by another tree; otherwise it is exchanged
+        (same-residue, in-tree) with an eligible all-leaf node.
+        """
+        d = self.degree
+        new_interior_pos = self.interior + 1
+        residue = new_interior_pos % d
+        swaps = 0
+        promoted: set[int] = set()
+        for k in range(d):
+            layout = self._layouts[k]
+            occupant = layout[new_interior_pos - 1]
+            eligible = (
+                occupant >= 0
+                and occupant not in promoted
+                and self._leaf_everywhere_but(occupant, k)
+            )
+            if not eligible:
+                donor_pos = self._find_promotable(k, residue, promoted, new_interior_pos)
+                self._swap_positions(k, new_interior_pos, donor_pos)
+                swaps += 1
+                if occupant >= 0:
+                    touched.add(occupant)
+                occupant = layout[new_interior_pos - 1]
+                touched.add(occupant)
+            promoted.add(occupant)
+        # Append d fresh leaf slots to every tree.  The same d dummy ids are
+        # appended everywhere, rotated by the tree index so each dummy's new
+        # positions are pairwise non-congruent across trees.
+        new_dummies = self._fresh_dummies(d)
+        for k, layout in enumerate(self._layouts):
+            layout.extend(new_dummies[(j - k) % d] for j in range(d))
+        self.interior += 1
+        return swaps
+
+    def _find_promotable(
+        self, tree_index: int, residue: int, promoted: set[int], skip_pos: int
+    ) -> int:
+        """Position (in ``tree_index``) of a promotable all-leaf donor.
+
+        The donor must be real, a leaf in every tree, not already promoted,
+        and sit at a position sharing ``residue`` so the in-tree swap is safe.
+        """
+        layout = self._layouts[tree_index]
+        for position in range(self.padded_size, self.interior, -1):
+            if position == skip_pos or position % self.degree != residue:
+                continue
+            candidate = layout[position - 1]
+            if candidate < 0 or candidate in promoted:
+                continue
+            if self.is_all_leaf(candidate):
+                return position
+        raise ConstructionError(
+            f"no promotable all-leaf node of residue {residue} in tree T_{tree_index}"
+        )
+
+    def _leaf_everywhere_but(self, node: int, tree_index: int) -> bool:
+        """True if ``node`` is a leaf in every tree other than ``tree_index``."""
+        for k in range(self.degree):
+            if k != tree_index and self.position_of(node, k) <= self.interior:
+                return False
+        return True
+
+    # --------------------------------------------------------------- deletion
+    def delete_node(self, node: int) -> ChurnReport:
+        """Remove a node, repairing the invariants per the appendix algorithm."""
+        if node not in self.real_ids:
+            raise ConstructionError(f"node {node} is not a live real node")
+        if self.num_nodes == 1:
+            raise ConstructionError("cannot delete the last remaining node")
+        swaps = 0
+        touched: set[int] = set()
+        shrank = False
+
+        # Step 1, 'Find replacement': an interior node is first exchanged with
+        # a real all-leaf node so only an all-leaf slot is vacated.
+        if not self.is_all_leaf(node):
+            candidates = self._real_all_leaf_nodes()
+            if not candidates:
+                # Possible only in lazy mode after unshrunk deletions; force
+                # one level of compaction to free an all-leaf node.
+                swaps += self._shrink(touched)
+                shrank = True
+                candidates = self._real_all_leaf_nodes()
+            replacement = candidates[-1]  # the paper's "last all-leaf node in T_0"
+            swaps += self._swap_ids_everywhere(node, replacement)
+            touched.add(replacement)
+
+        # Step 3, 'Remove node': the vacated slots become a dummy.
+        dummy = self._fresh_dummies(1)[0]
+        for layout in self._layouts:
+            layout[layout.index(node)] = dummy
+        self.real_ids.remove(node)
+
+        # Step 2, 'Restore property' (eager only): shrink when tightness breaks.
+        if not self.lazy:
+            while self._should_shrink():
+                swaps += self._shrink(touched)
+                shrank = True
+
+        report = ChurnReport("delete", node, swaps, frozenset(touched), shrank=shrank)
+        self.history.append(report)
+        return report
+
+    def _should_shrink(self) -> bool:
+        tight_interior = -(-self.num_nodes // self.degree) - 1  # ceil(N/d) - 1
+        return self.interior > tight_interior
+
+    def _shrink(self, touched: set[int]) -> int:
+        """Drop the last level of positions (up to ``d^2`` same-residue swaps).
+
+        Picks ``d`` dummy ids to eliminate.  Within each tree, each of its
+        ``d`` tail positions is swapped (same residue) with the position of
+        the kill-set dummy holding that residue; since a dummy's ``d``
+        positions cover all residues, each tail position finds exactly one
+        partner.  Afterwards every tree's tail holds exactly the kill set and
+        the level can be truncated consistently across trees.
+        """
+        d = self.degree
+        dummies = self._dummy_ids()
+        if len(dummies) < d:
+            raise ConstructionError(
+                f"shrink needs {d} dummy ids, only {len(dummies)} available"
+            )
+        kill = set(dummies[:d])
+        swaps = 0
+        tail_range = range(self.padded_size - d + 1, self.padded_size + 1)
+        for k, layout in enumerate(self._layouts):
+            # Residue -> position of the kill dummy with that residue in T_k.
+            kill_pos_by_residue = {
+                pos % d: pos
+                for pos in range(1, self.padded_size + 1)
+                if layout[pos - 1] in kill
+            }
+            for tail_pos in tail_range:
+                occupant = layout[tail_pos - 1]
+                if occupant in kill:
+                    continue
+                partner = kill_pos_by_residue[tail_pos % d]
+                self._swap_positions(k, tail_pos, partner)
+                swaps += 1
+                if occupant >= 0:
+                    touched.add(occupant)
+                kill_pos_by_residue[tail_pos % d] = tail_pos
+        for layout in self._layouts:
+            removed = layout[-d:]
+            if any(node not in kill for node in removed):
+                raise ConstructionError("shrink failed to clear the tail level")
+            del layout[-d:]
+        self.interior -= 1
+        return swaps
+
+    # ------------------------------------------------------------- compaction
+    def compact(self) -> ChurnReport:
+        """Perform deferred tightening (lazy mode); no-op when already tight."""
+        swaps = 0
+        touched: set[int] = set()
+        shrank = False
+        while self._should_shrink():
+            swaps += self._shrink(touched)
+            shrank = True
+        report = ChurnReport("compact", 0, swaps, frozenset(touched), shrank=shrank)
+        self.history.append(report)
+        return report
+
+    # -------------------------------------------------------------- integrity
+    def verify(self) -> None:
+        """Check all structural invariants; raises ``ConstructionError`` on failure."""
+        d = self.degree
+        population = set(self._layouts[0])
+        if self.real_ids - population:
+            raise ConstructionError("live ids missing from layouts")
+        for k, layout in enumerate(self._layouts):
+            if len(layout) != d * (self.interior + 1):
+                raise ConstructionError(f"T_{k} has inconsistent size {len(layout)}")
+            if len(set(layout)) != len(layout):
+                raise ConstructionError(f"T_{k} layout contains duplicates")
+            if set(layout) != population:
+                raise ConstructionError(f"T_{k} population differs from T_0")
+        interior_owner: dict[int, int] = {}
+        for k, layout in enumerate(self._layouts):
+            for node in layout[: self.interior]:
+                if self.is_dummy(node):
+                    raise ConstructionError(f"dummy {node} interior in T_{k}")
+                if node in interior_owner:
+                    raise ConstructionError(
+                        f"node {node} interior in T_{interior_owner[node]} and T_{k}"
+                    )
+                interior_owner[node] = k
+        for node in population:
+            residues = {self.position_of(node, k) % d for k in range(d)}
+            if len(residues) != d:
+                raise ConstructionError(
+                    f"node {node} has congruent positions mod {d}: schedule collision"
+                )
+        if not self.lazy and self._should_shrink():
+            raise ConstructionError("eager forest is not tight")
+
+    # ---------------------------------------------------------------- metrics
+    def playback_delays(self) -> dict[int, int]:
+        """Current ``a(i)`` for every live real node (paper start rule)."""
+        delays = dict.fromkeys(self.real_ids, 0)
+        for tree in self.trees():
+            first = first_arrival_slots(tree)
+            for node in self.real_ids:
+                arrival = first[tree.position_of(node)] + 1
+                if arrival > delays[node]:
+                    delays[node] = arrival
+        return delays
+
+    def worst_case_delay(self) -> int:
+        return max(self.playback_delays().values())
+
+    def average_delay(self) -> float:
+        return mean(self.playback_delays().values())

@@ -1,0 +1,122 @@
+"""Greedy interior-disjoint tree construction (Section 2.2.2).
+
+Each node ``i`` carries a *parity* ``p_i = (i - 1) mod d`` that fixes the child
+slot it occupies in every tree: node ``i`` sits at child index
+``(p_i - k) mod d`` in tree ``T_k``, equivalently at a position ``q`` with
+``q - 1 + k ≡ p_i (mod d)`` — the paper's "j has parity i + k − 1".  Positions
+are filled breadth-first, always choosing the smallest not-yet-placed node id of
+the parity the position requires.  Because a node's child slots across the
+``d`` trees fall in ``d`` distinct congruence classes modulo ``d``, the
+round-robin schedule is collision-free (appendix proof).
+
+Deviation from the paper (documented in DESIGN.md): the paper draws tree
+``T_k``'s interior nodes strictly from group ``G_k``, but when
+``I ≢ 1 (mod d)`` the parity multiset of ``G_k`` does not match the multiset
+the interior positions require (e.g. ``N = 9, d = 3``: ``G_1 = {3, 4}`` has
+parities ``{2, 0}`` while ``T_1``'s interior positions need ``{1, 2}``), so the
+literal algorithm deadlocks.  We therefore fill interiors from *global* parity
+pools over ``{1 .. d·I}``, processing trees in order and always taking the
+smallest unassigned id of the required parity.  This preserves both paper
+invariants (interior-disjointness and the parity/child-slot rule), is always
+feasible, and reproduces the paper's Figure 3(b) exactly on the paper's own
+example (``N = 15, d = 3``, where ``I ≡ 1 (mod d)`` and the pools coincide
+with ``G_0 .. G_{d-1}``).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConstructionError
+from repro.trees.groups import GroupPartition
+from repro.trees.tree import StreamTree
+
+__all__ = ["build_greedy_trees", "greedy_layouts", "child_slot_of", "required_parity"]
+
+
+def child_slot_of(node: int, tree_index: int, degree: int) -> int:
+    """Child index node ``node`` occupies in tree ``T_{tree_index}``.
+
+    This is the defining invariant of the greedy construction:
+    ``(parity - k) mod d`` with ``parity = (node - 1) mod d``.
+    """
+    if node < 1:
+        raise ConstructionError(f"node ids start at 1, got {node}")
+    if degree < 1:
+        raise ConstructionError(f"degree must be >= 1, got {degree}")
+    parity = (node - 1) % degree
+    return (parity - tree_index) % degree
+
+
+def required_parity(position: int, tree_index: int, degree: int) -> int:
+    """Parity a node must have to legally occupy ``position`` in ``T_k``.
+
+    Position ``q`` is child index ``(q - 1) mod d`` of its parent; the node
+    filling it must satisfy ``(p_i - k) mod d == (q - 1) mod d``, i.e. have
+    parity ``(q - 1 + k) mod d``.
+    """
+    if position < 1:
+        raise ConstructionError(f"positions start at 1, got {position}")
+    return (position - 1 + tree_index) % degree
+
+
+class _ParityPools:
+    """Ascending id pools per parity with O(1) smallest-available extraction."""
+
+    def __init__(self, ids: list[int], degree: int) -> None:
+        self._pools: dict[int, list[int]] = {p: [] for p in range(degree)}
+        for node in sorted(ids):
+            self._pools[(node - 1) % degree].append(node)
+        self._heads = dict.fromkeys(self._pools, 0)
+
+    def take(self, parity: int) -> int:
+        pool = self._pools[parity]
+        head = self._heads[parity]
+        if head >= len(pool):
+            raise ConstructionError(f"parity pool {parity} exhausted")
+        self._heads[parity] = head + 1
+        return pool[head]
+
+    def remaining(self) -> list[int]:
+        out: list[int] = []
+        for parity, pool in self._pools.items():
+            out.extend(pool[self._heads[parity] :])
+        return sorted(out)
+
+
+def greedy_layouts(partition: GroupPartition) -> list[list[int]]:
+    """Breadth-first layouts of the ``d`` greedy trees (dummies included)."""
+    d = partition.degree
+    i_count = partition.interior_per_tree
+    total = partition.padded_size
+    all_ids = list(range(1, total + 1))
+
+    # Interior assignment: global parity pools over the interior candidates
+    # {1 .. d*I}, consumed tree by tree (see module docstring).
+    interior_pools = _ParityPools(list(range(1, d * i_count + 1)), d)
+    interiors: list[list[int]] = []
+    for k in range(d):
+        interiors.append(
+            [interior_pools.take(required_parity(q, k, d)) for q in range(1, i_count + 1)]
+        )
+
+    layouts: list[list[int]] = []
+    for k in range(d):
+        placed = set(interiors[k])
+        leaf_pools = _ParityPools([n for n in all_ids if n not in placed], d)
+        leaves = [
+            leaf_pools.take(required_parity(q, k, d)) for q in range(i_count + 1, total + 1)
+        ]
+        layouts.append(interiors[k] + leaves)
+    return layouts
+
+
+def build_greedy_trees(num_nodes: int, degree: int) -> list[StreamTree]:
+    """Construct the ``d`` greedy interior-disjoint trees for ``N`` nodes.
+
+    Node ids ``1..N`` are real receivers; ids above ``N`` (if any) are dummy
+    leaves introduced by padding (see :class:`~repro.trees.groups.GroupPartition`).
+    """
+    partition = GroupPartition(num_nodes, degree)
+    return [
+        StreamTree(k, degree, layout, partition.interior_per_tree)
+        for k, layout in enumerate(greedy_layouts(partition))
+    ]

@@ -1,0 +1,123 @@
+"""The group partition G_0 .. G_d and dummy-node padding (Section 2.2).
+
+For ``N`` receivers and degree ``d`` the paper sets ``I = ceil(N/d) - 1``
+interior positions per tree and partitions node ids as::
+
+    G_0 = {1 .. I},  G_1 = {I+1 .. 2I},  ...,  G_{d-1} = {(d-1)I+1 .. dI},
+    G_d = {dI+1 .. N}
+
+Nodes in ``G_0 .. G_{d-1}`` each serve as interior nodes in exactly one tree;
+nodes in ``G_d`` are leaves in every tree.  To make every interior node have
+exactly ``d`` children, dummy receivers are appended to ``G_d`` until the
+padded population is ``N' = d * (I + 1)``; the padded ``G_d`` always has
+exactly ``d`` members.  Dummies occupy only leaf positions and are stripped
+from the real transmission schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConstructionError
+
+__all__ = ["GroupPartition", "interior_count", "padded_population"]
+
+
+def interior_count(num_nodes: int, degree: int) -> int:
+    """``I``: interior positions per tree (Section 2.2)."""
+    if num_nodes < 1:
+        raise ConstructionError(f"need at least one receiver, got {num_nodes}")
+    if degree < 1:
+        raise ConstructionError(f"degree must be >= 1, got {degree}")
+    return -(-num_nodes // degree) - 1  # ceil(N/d) - 1
+
+
+def padded_population(num_nodes: int, degree: int) -> int:
+    """``N'``: receiver count after dummy padding, always ``d * (I + 1)``."""
+    return degree * (interior_count(num_nodes, degree) + 1)
+
+
+@dataclass(frozen=True)
+class GroupPartition:
+    """The padded partition ``G_0 .. G_d`` for given ``N`` and ``d``.
+
+    Attributes:
+        num_nodes: real receiver count ``N``.
+        degree: tree degree ``d``.
+
+    Examples:
+        The paper's running example (N=15, d=3):
+
+        >>> part = GroupPartition(15, 3)
+        >>> part.interior_per_tree
+        4
+        >>> part.group(0), part.group(3)
+        ([1, 2, 3, 4], [13, 14, 15])
+        >>> GroupPartition(13, 3).num_dummies  # padded up to 15
+        2
+    """
+
+    num_nodes: int
+    degree: int
+
+    def __post_init__(self) -> None:
+        interior_count(self.num_nodes, self.degree)  # validates inputs
+
+    @property
+    def interior_per_tree(self) -> int:
+        """``I = ceil(N/d) - 1``."""
+        return interior_count(self.num_nodes, self.degree)
+
+    @property
+    def padded_size(self) -> int:
+        """``N' = d(I+1)`` — total positions per tree including dummies."""
+        return padded_population(self.num_nodes, self.degree)
+
+    @property
+    def num_dummies(self) -> int:
+        return self.padded_size - self.num_nodes
+
+    @property
+    def dummy_ids(self) -> range:
+        """Dummy node ids, appended after the real ids ``1..N``."""
+        return range(self.num_nodes + 1, self.padded_size + 1)
+
+    def is_dummy(self, node: int) -> bool:
+        return node > self.num_nodes
+
+    def group(self, index: int) -> list[int]:
+        """Members of ``G_index`` (``0 <= index <= d``), ascending.
+
+        ``G_d`` is returned padded with dummies and always has ``d`` members.
+        """
+        d, i_count = self.degree, self.interior_per_tree
+        if not 0 <= index <= d:
+            raise ConstructionError(f"group index must be in 0..{d}, got {index}")
+        if index < d:
+            return list(range(index * i_count + 1, (index + 1) * i_count + 1))
+        return list(range(d * i_count + 1, self.padded_size + 1))
+
+    def interior_groups(self) -> list[list[int]]:
+        """``[G_0, ..., G_{d-1}]`` — the groups that supply interior nodes."""
+        return [self.group(k) for k in range(self.degree)]
+
+    def leaf_group(self) -> list[int]:
+        """``G_d`` — the d nodes (real + dummy) that are leaves everywhere."""
+        return self.group(self.degree)
+
+    def group_of(self, node: int) -> int:
+        """Index of the group containing ``node``."""
+        if not 1 <= node <= self.padded_size:
+            raise ConstructionError(
+                f"node {node} outside padded population 1..{self.padded_size}"
+            )
+        i_count = self.interior_per_tree
+        if i_count and node <= self.degree * i_count:
+            return (node - 1) // i_count
+        return self.degree
+
+    def parity(self, node: int) -> int:
+        """The greedy construction's parity ``p_i = (i - 1) mod d`` (§2.2.2)."""
+        if node < 1:
+            raise ConstructionError(f"node ids start at 1, got {node}")
+        return (node - 1) % self.degree

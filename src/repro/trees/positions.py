@@ -1,0 +1,134 @@
+"""Breadth-first position arithmetic for the paper's d-ary streaming trees.
+
+Positions are numbered in breadth-first order starting at 1; position 0 is the
+(implicit) source ``S`` at the root.  Every interior position ``q`` (including
+the root) has exactly ``d`` children occupying positions ``d*q + 1 .. d*q + d``,
+so the children of the root are positions ``1..d``, the children of position 1
+are ``d+1..2d``, and so on.  The *child index* of a position (0-indexed, left to
+right) determines when its parent transmits to it under the round-robin
+schedule of Section 2.2.3: position ``p`` is child ``(p-1) mod d`` of its
+parent, and therefore receives packets only in slots congruent to
+``(p-1) mod d``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ROOT",
+    "parent_position",
+    "child_positions",
+    "child_index",
+    "level_of_position",
+    "first_position_at_level",
+    "positions_at_level",
+    "complete_tree_size",
+    "tree_height",
+]
+
+#: Position of the source at the root of every tree.
+ROOT = 0
+
+
+def _check_degree(d: int) -> None:
+    if d < 1:
+        raise ValueError(f"tree degree d must be >= 1, got {d}")
+
+
+def _check_position(p: int) -> None:
+    if p < 0:
+        raise ValueError(f"position must be >= 0, got {p}")
+
+
+def parent_position(p: int, d: int) -> int:
+    """Parent of position ``p`` in a d-ary tree (root has no parent)."""
+    _check_degree(d)
+    _check_position(p)
+    if p == ROOT:
+        raise ValueError("the root has no parent")
+    return (p - 1) // d
+
+
+def child_positions(p: int, d: int) -> range:
+    """Positions of the ``d`` children of position ``p``.
+
+    Examples:
+        >>> list(child_positions(0, 3))  # the source's children
+        [1, 2, 3]
+        >>> list(child_positions(4, 3))  # paper numbering: 4 -> 13, 14, 15
+        [13, 14, 15]
+    """
+    _check_degree(d)
+    _check_position(p)
+    return range(d * p + 1, d * p + d + 1)
+
+
+def child_index(p: int, d: int) -> int:
+    """0-indexed child slot of position ``p`` under its parent.
+
+    The round-robin schedule transmits to child index ``r`` in slots with
+    ``t mod d == r``, so this value fixes the congruence class of all of
+    ``p``'s reception slots.
+    """
+    _check_degree(d)
+    _check_position(p)
+    if p == ROOT:
+        raise ValueError("the root is not a child")
+    return (p - 1) % d
+
+
+def first_position_at_level(level: int, d: int) -> int:
+    """Smallest position at depth ``level`` (root is level 0).
+
+    Level ``L >= 1`` starts at position ``(d^L - 1) / (d - 1)`` for ``d >= 2``
+    and at position ``L`` for ``d == 1`` (the chain).
+    """
+    _check_degree(d)
+    if level < 0:
+        raise ValueError(f"level must be >= 0, got {level}")
+    if level == 0:
+        return ROOT
+    if d == 1:
+        return level
+    return (d**level - 1) // (d - 1)
+
+
+def level_of_position(p: int, d: int) -> int:
+    """Depth of position ``p`` (root is 0, root's children are 1)."""
+    _check_degree(d)
+    _check_position(p)
+    level = 0
+    while first_position_at_level(level + 1, d) <= p:
+        level += 1
+    return level
+
+
+def positions_at_level(level: int, d: int) -> range:
+    """All positions at a given depth (``d^level`` of them for ``d >= 2``)."""
+    return range(first_position_at_level(level, d), first_position_at_level(level + 1, d))
+
+
+def complete_tree_size(h: int, d: int) -> int:
+    """Number of receiver positions in a complete tree of height ``h``.
+
+    The paper's completeness assumption is ``d + d^2 + ... + d^h = N``; the
+    root (source) is not counted.
+    """
+    _check_degree(d)
+    if h < 0:
+        raise ValueError(f"height must be >= 0, got {h}")
+    if d == 1:
+        return h
+    return (d ** (h + 1) - d) // (d - 1)
+
+
+def tree_height(num_positions: int, d: int) -> int:
+    """Height of the d-ary tree holding ``num_positions`` receiver positions.
+
+    Height counts receiver levels: a tree whose deepest receiver sits at level
+    ``h`` (root = level 0) has height ``h`` and depth ``h + 1`` in the paper's
+    wording ("(h+1) is the depth of our trees").
+    """
+    _check_degree(d)
+    if num_positions < 1:
+        raise ValueError(f"need at least one position, got {num_positions}")
+    return level_of_position(num_positions, d)

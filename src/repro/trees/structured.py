@@ -1,0 +1,71 @@
+"""Structured interior-disjoint tree construction (Section 2.2.1).
+
+The ``d`` trees are built by filling positions in breadth-first order from a
+rotating sequence of groups.  ``T_0`` uses ``G_0 ⊕ G_1 ⊕ ... ⊕ G_{d-1} ⊕ G_d``;
+each subsequent tree rotates the group sequence left by one (so a new group
+supplies the interior nodes) and rotates ``G_d`` right by one; after every
+``P = d / gcd(I, d)`` rotations the elements *within* each interior group are
+additionally rotated right by one.  The paper proves (appendix) that under this
+construction no node occupies two positions congruent modulo ``d`` across the
+``d`` trees, which is exactly the condition for the round-robin schedule to be
+collision-free.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+
+from repro.trees.groups import GroupPartition
+from repro.trees.tree import StreamTree
+
+__all__ = ["build_structured_trees", "structured_layouts"]
+
+
+def _rotate_right(items: list[int]) -> list[int]:
+    """Last element becomes first (the paper's 'rotate to the right')."""
+    if len(items) <= 1:
+        return list(items)
+    return [items[-1], *items[:-1]]
+
+
+def structured_layouts(partition: GroupPartition) -> list[list[int]]:
+    """Breadth-first layouts of the ``d`` structured trees.
+
+    Returns ``d`` lists; element ``k`` is the node id sequence filling tree
+    ``T_k``'s positions ``1..N'`` (dummies included).
+    """
+    d = partition.degree
+    i_count = partition.interior_per_tree
+    groups = partition.interior_groups()  # [G_0 .. G_{d-1}] in current order
+    leaf_group = partition.leaf_group()  # G_d
+    # P rotations of the group sequence before intra-group adjustment (Step 3).
+    period = d // gcd(i_count, d) if i_count else d
+
+    layouts: list[list[int]] = []
+    flat = [node for group in groups for node in group]
+    layouts.append(flat + list(leaf_group))
+
+    for k in range(1, d):
+        # Step 2: rotate the group sequence left.
+        groups = groups[1:] + groups[:1]
+        # Step 3: after every P rotations, rotate each group's members right.
+        if k % period == 0:
+            groups = [_rotate_right(g) for g in groups]
+        # Step 4: rotate G_d right, then lay out T_k.
+        leaf_group = _rotate_right(leaf_group)
+        flat = [node for group in groups for node in group]
+        layouts.append(flat + list(leaf_group))
+    return layouts
+
+
+def build_structured_trees(num_nodes: int, degree: int) -> list[StreamTree]:
+    """Construct the ``d`` structured interior-disjoint trees for ``N`` nodes.
+
+    Node ids ``1..N`` are real receivers; ids above ``N`` (if any) are dummy
+    leaves introduced by padding (see :class:`~repro.trees.groups.GroupPartition`).
+    """
+    partition = GroupPartition(num_nodes, degree)
+    return [
+        StreamTree(k, degree, layout, partition.interior_per_tree)
+        for k, layout in enumerate(structured_layouts(partition))
+    ]

@@ -1,0 +1,130 @@
+"""A single streaming tree: a breadth-first layout of node ids over positions."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.core.errors import ConstructionError
+from repro.trees import positions as pos
+
+__all__ = ["StreamTree"]
+
+
+class StreamTree:
+    """One of the ``d`` interior-disjoint trees, as a position -> node layout.
+
+    The source ``S`` sits at the (implicit) root, position 0.  ``layout[i]`` is
+    the node id occupying position ``i + 1``; interior positions are
+    ``1..interior``, all later positions are leaves.
+
+    Args:
+        index: which of the ``d`` trees this is (``T_index``).
+        degree: ``d``.
+        layout: node id per position, breadth-first, positions ``1..len``.
+        interior: number of interior positions (``I``); every position
+            ``<= interior`` has exactly ``degree`` children inside the layout.
+    """
+
+    __slots__ = ("index", "degree", "_layout", "interior", "_position_of")
+
+    def __init__(self, index: int, degree: int, layout: Sequence[int], interior: int) -> None:
+        if degree < 1:
+            raise ConstructionError(f"degree must be >= 1, got {degree}")
+        if interior < 0:
+            raise ConstructionError(f"interior count must be >= 0, got {interior}")
+        if len(layout) != degree * (interior + 1):
+            raise ConstructionError(
+                f"layout of length {len(layout)} inconsistent with degree {degree} and "
+                f"{interior} interior positions (expected {degree * (interior + 1)})"
+            )
+        self.index = index
+        self.degree = degree
+        self._layout = tuple(layout)
+        self.interior = interior
+        position_of: dict[int, int] = {}
+        for position, node in enumerate(self._layout, start=1):
+            if node in position_of:
+                raise ConstructionError(
+                    f"node {node} appears at positions {position_of[node]} and {position} "
+                    f"in tree T_{index}"
+                )
+            position_of[node] = position
+        self._position_of = position_of
+
+    # ------------------------------------------------------------------ layout
+    @property
+    def size(self) -> int:
+        """Number of receiver positions (including dummy-occupied ones)."""
+        return len(self._layout)
+
+    @property
+    def layout(self) -> tuple[int, ...]:
+        return self._layout
+
+    def node_at(self, position: int) -> int:
+        """Node id occupying a position (positions are 1-indexed)."""
+        if not 1 <= position <= self.size:
+            raise ConstructionError(f"position {position} outside 1..{self.size}")
+        return self._layout[position - 1]
+
+    def position_of(self, node: int) -> int:
+        try:
+            return self._position_of[node]
+        except KeyError:
+            raise ConstructionError(f"node {node} not in tree T_{self.index}") from None
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._position_of
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._layout)
+
+    # -------------------------------------------------------------- structure
+    def is_interior(self, node: int) -> bool:
+        return self.position_of(node) <= self.interior
+
+    def interior_nodes(self) -> list[int]:
+        return list(self._layout[: self.interior])
+
+    def leaf_nodes(self) -> list[int]:
+        return list(self._layout[self.interior :])
+
+    def parent_of(self, node: int) -> int | None:
+        """Parent node id, or None if the parent is the source."""
+        parent_pos = pos.parent_position(self.position_of(node), self.degree)
+        if parent_pos == pos.ROOT:
+            return None
+        return self.node_at(parent_pos)
+
+    def children_of(self, node: int) -> list[int]:
+        """Child node ids of ``node`` (empty for leaves)."""
+        position = self.position_of(node)
+        if position > self.interior:
+            return []
+        return [self.node_at(c) for c in pos.child_positions(position, self.degree)]
+
+    def root_children(self) -> list[int]:
+        """The ``d`` nodes fed directly by the source."""
+        return [self.node_at(p) for p in range(1, self.degree + 1)]
+
+    def depth_of(self, node: int) -> int:
+        """Number of hops from the source to ``node``."""
+        return pos.level_of_position(self.position_of(node), self.degree)
+
+    @property
+    def height(self) -> int:
+        """Depth of the deepest position."""
+        return pos.level_of_position(self.size, self.degree)
+
+    def path_from_source(self, node: int) -> list[int]:
+        """Node ids on the source-to-node path, source excluded, node included."""
+        path: list[int] = []
+        position = self.position_of(node)
+        while position != pos.ROOT:
+            path.append(self.node_at(position))
+            position = pos.parent_position(position, self.degree)
+        path.reverse()
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StreamTree(T_{self.index}, d={self.degree}, layout={self._layout})"

@@ -1,0 +1,51 @@
+"""Workload and sweep generators for the benchmark harness."""
+
+from repro.workloads.churn import (
+    ChurnEvent,
+    alternating_trace,
+    apply_trace,
+    flash_crowd_trace,
+    random_trace,
+)
+from repro.workloads.parallel import (
+    cascade_cell,
+    default_workers,
+    multi_tree_cell,
+    parallel_sweep,
+)
+from repro.workloads.faults import (
+    bernoulli_drop,
+    compose_any,
+    link_blackout,
+    slot_blackout,
+)
+from repro.workloads.sweeps import (
+    complete_tree_populations,
+    degree_sweep,
+    figure4_populations,
+    iter_configurations,
+    log_spaced_populations,
+    special_hypercube_populations,
+)
+
+__all__ = [
+    "ChurnEvent",
+    "alternating_trace",
+    "apply_trace",
+    "bernoulli_drop",
+    "cascade_cell",
+    "compose_any",
+    "default_workers",
+    "link_blackout",
+    "slot_blackout",
+    "complete_tree_populations",
+    "degree_sweep",
+    "figure4_populations",
+    "flash_crowd_trace",
+    "iter_configurations",
+    "log_spaced_populations",
+    "multi_tree_cell",
+    "parallel_sweep",
+    "random_trace",
+    "special_hypercube_populations",
+]

@@ -1,0 +1,110 @@
+"""Churn traces for the dynamics ablation (the paper's omitted simulations).
+
+The appendix motivates the lazy maintenance variants with the
+delete-then-add sequence ("the addition of a new node will force us to undo
+swaps made during the deletion"); these generators produce that adversarial
+pattern plus random and flash-crowd traces for the churn bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConstructionError
+
+__all__ = ["ChurnEvent", "alternating_trace", "random_trace", "flash_crowd_trace", "apply_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One churn event: ``kind`` is ``"add"`` or ``"delete"``.
+
+    ``target`` selects the victim for deletions: ``"any"`` (uniform),
+    ``"interior"`` (a node that is interior somewhere), or ``"leaf"``
+    (an all-leaf node).  Additions ignore it.
+    """
+
+    kind: str
+    target: str = "any"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "delete"):
+            raise ConstructionError(f"unknown churn kind {self.kind!r}")
+        if self.target not in ("any", "interior", "leaf"):
+            raise ConstructionError(f"unknown churn target {self.target!r}")
+
+
+def alternating_trace(length: int, *, target: str = "any") -> list[ChurnEvent]:
+    """delete, add, delete, add, ... — the paper's lazy-motivation worst case."""
+    if length < 1:
+        raise ConstructionError(f"trace length must be >= 1, got {length}")
+    return [
+        ChurnEvent("delete" if i % 2 == 0 else "add", target) for i in range(length)
+    ]
+
+
+def random_trace(
+    length: int, *, departure_prob: float = 0.5, seed: int | None = None
+) -> list[ChurnEvent]:
+    """IID arrivals/departures."""
+    if not 0 <= departure_prob <= 1:
+        raise ConstructionError(f"departure_prob must be in [0, 1], got {departure_prob}")
+    rng = np.random.default_rng(seed)
+    return [
+        ChurnEvent("delete" if rng.random() < departure_prob else "add")
+        for _ in range(length)
+    ]
+
+
+def flash_crowd_trace(arrivals: int, departures: int) -> list[ChurnEvent]:
+    """A burst of arrivals followed by a burst of departures."""
+    if arrivals < 0 or departures < 0:
+        raise ConstructionError("arrival/departure counts must be non-negative")
+    return [ChurnEvent("add")] * arrivals + [ChurnEvent("delete")] * departures
+
+
+def apply_trace(forest, trace, *, seed: int | None = None, verify_each: bool = False):
+    """Run a churn trace against a :class:`~repro.trees.dynamics.DynamicForest`.
+
+    Deletions pick their victim by the event's ``target`` policy using ``seed``.
+    Returns the list of :class:`~repro.trees.dynamics.ChurnReport` outcomes.
+    Events that cannot apply (deleting below 1 node) are skipped.
+    """
+    rng = np.random.default_rng(seed)
+    reports = []
+    for event in trace:
+        if event.kind == "add":
+            _, report = forest.add_node()
+        else:
+            if forest.num_nodes <= 1:
+                continue
+            victim = _pick_victim(forest, event.target, rng)
+            if victim is None:
+                continue
+            report = forest.delete_node(victim)
+        if verify_each:
+            forest.verify()
+        reports.append(report)
+    return reports
+
+
+def _pick_victim(forest, target: str, rng) -> int | None:
+    live = sorted(forest.real_ids)
+    if target == "any":
+        return int(rng.choice(live)) if live else None
+    interior = {
+        node
+        for layout in forest.layouts()
+        for node in layout[: forest.interior]
+        if node >= 0
+    }
+    pool = (
+        [n for n in live if n in interior]
+        if target == "interior"
+        else [n for n in live if n not in interior]
+    )
+    if not pool:
+        return None
+    return int(rng.choice(pool))

@@ -1,0 +1,71 @@
+"""Failure injectors for the engine's ``drop_rule`` hook.
+
+The paper assumes a loss-free network; these injectors let the test suite and
+benches probe what happens when that assumption breaks.  Each factory returns
+a callable ``(Transmission) -> bool`` (True = drop the delivery).
+
+Measured finding (``tests/test_faults.py``): under the paper's model, **loss
+is permanent in every scheme** — each receiver's one-receive-per-slot budget
+is exactly consumed by the stream, so there is never spare capacity to
+re-deliver a missed packet, and the greedy hypercube exchange keeps
+prioritizing newer packets over the gap.  Losses are, however, isolated: the
+victim set is the drop's downstream cone (doubling-ladder descendants /
+subtree), and all other packets keep arriving on time.  Real deployments
+would need explicit slack (receive capacity > stream rate) to repair losses,
+an assumption the paper calls out and declines to make.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+
+__all__ = ["bernoulli_drop", "link_blackout", "slot_blackout", "compose_any"]
+
+
+def bernoulli_drop(rate: float, *, seed: int | None = None):
+    """Drop each transmission independently with probability ``rate``."""
+    if not 0 <= rate <= 1:
+        raise ReproError(f"drop rate must be in [0, 1], got {rate}")
+    rng = np.random.default_rng(seed)
+
+    def rule(tx: Transmission) -> bool:
+        return bool(rng.random() < rate)
+
+    return rule
+
+
+def link_blackout(sender: int, receiver: int, *, start: int = 0, end: int | None = None):
+    """Drop everything on one directed link during ``[start, end)``."""
+    if start < 0 or (end is not None and end <= start):
+        raise ReproError(f"invalid blackout window [{start}, {end})")
+
+    def rule(tx: Transmission) -> bool:
+        if tx.sender != sender or tx.receiver != receiver:
+            return False
+        return tx.slot >= start and (end is None or tx.slot < end)
+
+    return rule
+
+
+def slot_blackout(slots):
+    """Drop every transmission sent during any of the given slots."""
+    window = frozenset(slots)
+
+    def rule(tx: Transmission) -> bool:
+        return tx.slot in window
+
+    return rule
+
+
+def compose_any(*rules):
+    """Drop when any constituent rule drops."""
+    if not rules:
+        raise ReproError("compose_any needs at least one rule")
+
+    def rule(tx: Transmission) -> bool:
+        return any(r(tx) for r in rules)
+
+    return rule

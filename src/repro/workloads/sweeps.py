@@ -1,0 +1,87 @@
+"""Parameter sweeps used by the benchmark harness."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.errors import ConstructionError
+
+__all__ = [
+    "figure4_populations",
+    "degree_sweep",
+    "complete_tree_populations",
+    "special_hypercube_populations",
+    "log_spaced_populations",
+]
+
+
+def figure4_populations(
+    max_nodes: int = 2000, *, step: int = 50, start: int = 10
+) -> list[int]:
+    """The Figure 4 x-axis: cluster sizes from ``start`` to ``max_nodes``."""
+    if start < 2:
+        raise ConstructionError(f"start must be >= 2, got {start}")
+    if step < 1:
+        raise ConstructionError(f"step must be >= 1, got {step}")
+    return list(range(start, max_nodes + 1, step))
+
+
+def degree_sweep() -> list[int]:
+    """The Figure 4 degrees: 2 through 5."""
+    return [2, 3, 4, 5]
+
+
+def complete_tree_populations(degree: int, *, max_nodes: int = 100_000) -> list[int]:
+    """Populations with complete trees: ``N = d + d^2 + ... + d^h``.
+
+    These satisfy the assumptions of Theorems 2-3 exactly.
+
+    Examples:
+        >>> complete_tree_populations(3, max_nodes=130)
+        [3, 12, 39, 120]
+    """
+    if degree < 2:
+        raise ConstructionError(f"degree must be >= 2, got {degree}")
+    out: list[int] = []
+    total = 0
+    power = degree
+    while total + power <= max_nodes:
+        total += power
+        out.append(total)
+        power *= degree
+    return out
+
+
+def special_hypercube_populations(max_nodes: int = 100_000) -> list[int]:
+    """Populations ``N = 2^k - 1`` (Proposition 1's special case)."""
+    return [(1 << k) - 1 for k in range(1, max_nodes.bit_length() + 1) if (1 << k) - 1 <= max_nodes]
+
+
+def log_spaced_populations(
+    min_nodes: int, max_nodes: int, *, points: int = 12
+) -> list[int]:
+    """Roughly geometrically spaced populations for scaling-shape checks."""
+    if min_nodes < 1 or max_nodes < min_nodes:
+        raise ConstructionError(
+            f"invalid range [{min_nodes}, {max_nodes}] for population sweep"
+        )
+    if points < 2:
+        raise ConstructionError(f"need at least 2 points, got {points}")
+    ratio = (max_nodes / min_nodes) ** (1 / (points - 1))
+    seen: list[int] = []
+    value = float(min_nodes)
+    for _ in range(points):
+        n = round(value)
+        if not seen or n > seen[-1]:
+            seen.append(n)
+        value *= ratio
+    if seen[-1] != max_nodes:
+        seen.append(max_nodes)
+    return seen
+
+
+def iter_configurations(populations: list[int], degrees: list[int]) -> Iterator[tuple[int, int]]:
+    """Cartesian sweep, skipping configurations with more trees than nodes."""
+    for n in populations:
+        for d in degrees:
+            yield n, d

@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def paper_example():
+    """The paper's running example: N = 15, d = 3 (Figures 2 and 3)."""
+    return {"num_nodes": 15, "degree": 3}

@@ -1,0 +1,113 @@
+"""Tests for the intro baselines: chain and single tree."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.chain import (
+    ChainProtocol,
+    chain_average_delay,
+    chain_delay,
+    chain_worst_delay,
+)
+from repro.baselines.single_tree import (
+    SingleTreeProtocol,
+    single_tree_depth,
+    single_tree_worst_delay,
+    sustainable_rate,
+    wasted_upload_fraction,
+)
+from repro.core.engine import simulate
+from repro.core.errors import ConstructionError
+from repro.core.metrics import collect_metrics
+
+
+class TestChain:
+    def test_closed_forms(self):
+        assert chain_delay(7) == 7
+        assert chain_worst_delay(100) == 100
+        assert chain_average_delay(100) == 50.5
+
+    def test_simulated_delays_match_closed_form(self):
+        protocol = ChainProtocol(12)
+        trace = simulate(protocol, protocol.slots_for_packets(8))
+        metrics = collect_metrics(trace, num_packets=8)
+        assert metrics.max_startup_delay == chain_worst_delay(12)
+        assert metrics.avg_startup_delay == pytest.approx(chain_average_delay(12))
+        for node, summary in metrics.per_node.items():
+            assert summary.startup_delay == chain_delay(node)
+
+    def test_minimal_buffers_and_neighbors(self):
+        protocol = ChainProtocol(12)
+        trace = simulate(protocol, protocol.slots_for_packets(8))
+        metrics = collect_metrics(trace, num_packets=8)
+        assert metrics.max_buffer <= 1  # one packet in transit
+        assert metrics.max_neighbors <= 2
+
+    def test_invalid_population(self):
+        with pytest.raises(ConstructionError):
+            ChainProtocol(0)
+
+    @given(st.integers(1, 60))
+    @settings(max_examples=10, deadline=None)
+    def test_chain_validates(self, n):
+        protocol = ChainProtocol(n)
+        simulate(protocol, protocol.slots_for_packets(4))
+
+
+class TestSingleTree:
+    def test_depth_formulas(self):
+        assert single_tree_depth(1, 2) == 1
+        assert single_tree_depth(6, 2) == 2
+        assert single_tree_depth(7, 2) == 3
+        assert single_tree_worst_delay(20, 2) == 4
+
+    def test_simulated_delay_equals_depth(self):
+        protocol = SingleTreeProtocol(20, 2)
+        trace = simulate(protocol, protocol.slots_for_packets(8))
+        metrics = collect_metrics(trace, num_packets=8)
+        assert metrics.max_startup_delay == single_tree_worst_delay(20, 2)
+        assert metrics.max_buffer <= 1
+
+    def test_interior_nodes_need_b_fold_upload(self):
+        protocol = SingleTreeProtocol(20, 3)
+        # Node 1 has three children -> capacity 3; a leaf keeps capacity 1.
+        assert protocol.send_capacity(1) == 3
+        assert protocol.send_capacity(20) == 1
+
+    def test_sustainable_rate(self):
+        assert sustainable_rate(2) == Fraction(1, 2)
+        assert sustainable_rate(4) == Fraction(1, 4)
+
+    def test_wasted_upload_fraction_binary(self):
+        # Complete binary tree on 14 nodes: positions 1..6 are interior
+        # (position p interior iff 2p + 1 <= 14), so 8/14 contribute nothing.
+        assert wasted_upload_fraction(14, 2) == pytest.approx(8 / 14)
+
+    def test_faster_than_chain_but_capacity_hungry(self):
+        n = 60
+        tree_delay = single_tree_worst_delay(n, 2)
+        assert tree_delay < chain_worst_delay(n)
+        protocol = SingleTreeProtocol(n, 2)
+        # The defining drawback: interior nodes exceed unit capacity.
+        assert any(protocol.send_capacity(v) > 1 for v in protocol.node_ids)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConstructionError):
+            SingleTreeProtocol(0, 2)
+        with pytest.raises(ConstructionError):
+            SingleTreeProtocol(5, 0)
+        with pytest.raises(ConstructionError):
+            sustainable_rate(0)
+
+    @given(st.integers(1, 80), st.integers(1, 4))
+    @settings(max_examples=12, deadline=None)
+    def test_single_tree_validates(self, n, b):
+        protocol = SingleTreeProtocol(n, b)
+        trace = simulate(protocol, protocol.slots_for_packets(4))
+        metrics = collect_metrics(trace, num_packets=4)
+        assert metrics.max_startup_delay == single_tree_worst_delay(n, b)

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--scheme", "torrent"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.scheme == "multi-tree"
+        assert args.nodes == 100
+
+
+class TestCommands:
+    @pytest.mark.parametrize(
+        "scheme", ["multi-tree", "hypercube", "grouped-hypercube", "chain", "single-tree"]
+    )
+    def test_analyze_all_schemes(self, scheme, capsys):
+        assert main(["analyze", "--scheme", scheme, "-n", "20", "-p", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "max_delay" in out
+        assert "20" in out
+
+    def test_figure4(self, capsys):
+        assert main(["figure4", "--max-nodes", "200", "--step", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "degree 2" in out and "degree 5" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "-n", "40", "-p", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "O(d log N)" in out
+        assert "Measured:" in out
+
+    def test_simulate_with_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "trace.json"
+        prefix = str(tmp_path / "run")
+        assert main(
+            ["simulate", "-n", "10", "-p", "5", "--json", str(json_path), "--csv", prefix]
+        ) == 0
+        assert json_path.exists()
+        assert (tmp_path / "run_tx.csv").exists()
+        assert (tmp_path / "run_arrivals.csv").exists()
+
+    def test_churn(self, capsys):
+        assert main(["churn", "-n", "18", "--events", "3", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "total hiccups" in out
+
+    def test_churn_lazy(self, capsys):
+        assert main(["churn", "-n", "18", "--events", "3", "--seed", "5", "--lazy"]) == 0
+
+
+class TestGossipScheme:
+    def test_analyze_gossip_best_effort(self, capsys):
+        assert main(["analyze", "--scheme", "gossip", "-n", "20", "-d", "4", "-p", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "random-gossip" in out
+
+
+class TestVerifyCommand:
+    def test_verify_roundtrip_ok(self, tmp_path, capsys):
+        json_path = tmp_path / "t.json"
+        assert main(["simulate", "-n", "12", "-p", "6", "--json", str(json_path)]) == 0
+        capsys.readouterr()
+        assert main(["verify", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK:" in out
+        assert "source capacity 3" in out
+
+    def test_verify_flags_wrong_capacity_model(self, tmp_path, capsys):
+        json_path = tmp_path / "t.json"
+        main(["simulate", "-n", "12", "-p", "6", "--json", str(json_path)])
+        capsys.readouterr()
+        assert main(["verify", str(json_path), "--source-capacity", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "violations found" in out
+
+    def test_figure4_parallel_matches_serial(self, capsys):
+        assert main(["figure4", "--max-nodes", "150", "--step", "70"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["figure4", "--max-nodes", "150", "--step", "70", "--parallel", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel

@@ -1,0 +1,237 @@
+"""Tests for the multi-cluster backbone (Section 2.1, Figure 1, Theorem 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.analysis import analyze_clustered, predicted_worst_delay, theorem1_bound
+from repro.cluster.protocol import ClusteredStreamingProtocol
+from repro.cluster.supertree import build_supertree
+from repro.core.engine import simulate
+from repro.core.errors import ConstructionError
+
+
+class TestSuperTree:
+    def test_figure1_structure(self):
+        # K = 9, D = 3: the source feeds clusters 0-2; each feeds two more.
+        tree = build_supertree(9, 3)
+        tree.verify()
+        assert tree.root_clusters() == [0, 1, 2]
+        assert tree.children_of(0) == [3, 4]
+        assert tree.children_of(1) == [5, 6]
+        assert tree.children_of(2) == [7, 8]
+        assert tree.height == 2
+
+    def test_single_cluster(self):
+        tree = build_supertree(1, 3)
+        tree.verify()
+        assert tree.parent == (-1,)
+        assert tree.height == 1
+
+    def test_depths(self):
+        tree = build_supertree(9, 3)
+        assert [tree.depth_of(c) for c in range(9)] == [1, 1, 1, 2, 2, 2, 2, 2, 2]
+
+    def test_tightness_with_partial_last_level(self):
+        tree = build_supertree(7, 3)
+        tree.verify()
+        assert tree.height == 2
+
+    @given(st.integers(1, 200), st.integers(2, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_verify_accepts_all_builds(self, k, D):
+        tree = build_supertree(k, D)
+        tree.verify()
+        assert sorted(
+            c for cl in range(-1, k) for c in ([cl] if cl >= 0 else [])
+        ) == list(range(k))
+
+    def test_fanout_limits(self):
+        tree = build_supertree(50, 4)
+        assert len(tree.root_clusters()) <= 4
+        for c in range(50):
+            assert len(tree.children_of(c)) <= 3  # D - 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConstructionError):
+            build_supertree(0, 3)
+        with pytest.raises(ConstructionError):
+            build_supertree(5, 1)
+
+
+class TestClusteredProtocol:
+    @pytest.fixture(scope="class")
+    def protocol(self):
+        return ClusteredStreamingProtocol(
+            [12, 12, 12, 12], source_degree=3, degree=3, inter_cluster_latency=4
+        )
+
+    def test_id_layout_disjoint(self, protocol):
+        ids = list(protocol.node_ids)
+        assert len(ids) == len(set(ids))
+        assert 0 not in ids
+
+    def test_capacities(self, protocol):
+        layout = protocol.layouts[0]
+        assert protocol.send_capacity(0) == 3  # source: D
+        assert protocol.send_capacity(layout.super_node) == 3  # S_i: D
+        assert protocol.send_capacity(layout.local_root) == 3  # S'_i: d
+        assert protocol.send_capacity(layout.first_receiver) == 1
+
+    def test_super_node_arrival_scales_with_depth_and_tc(self, protocol):
+        # Depth-1 clusters: T_c - 1; depth-2: 2 T_c - 1.
+        assert protocol.super_node_arrival(0) == 3
+        assert protocol.super_node_arrival(3) == 7
+
+    def test_simulation_validates_and_matches_prediction(self, protocol):
+        qos = analyze_clustered(protocol, num_packets=8)
+        assert qos.measured_max_delay <= predicted_worst_delay(protocol)
+        assert qos.total_receivers == 48
+
+    def test_receivers_get_contiguous_stream(self, protocol):
+        trace = simulate(protocol, protocol.slots_for_packets(8))
+        for node in protocol.receiver_ids:
+            arrivals = trace.arrivals(node)
+            assert set(range(8)).issubset(arrivals)
+
+    def test_heterogeneous_cluster_sizes(self):
+        protocol = ClusteredStreamingProtocol(
+            [5, 20, 9], source_degree=3, degree=2, inter_cluster_latency=6
+        )
+        qos = analyze_clustered(protocol, num_packets=6)
+        assert qos.total_receivers == 34
+
+    def test_tc_one_allowed(self):
+        protocol = ClusteredStreamingProtocol(
+            [6, 6], source_degree=3, degree=2, inter_cluster_latency=1
+        )
+        analyze_clustered(protocol, num_packets=5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConstructionError):
+            ClusteredStreamingProtocol([], source_degree=3, degree=2, inter_cluster_latency=2)
+        with pytest.raises(ConstructionError):
+            ClusteredStreamingProtocol([5], source_degree=3, degree=2, inter_cluster_latency=0)
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        # T_c * log_{D-1} K + T_i * d * (h - 1) with K=9, D=3, d=4, h=3, T_c=5:
+        # 5 * log2(9) + 1 * 4 * 2.
+        import math
+
+        bound = theorem1_bound(9, 3, 4, 3, 5)
+        assert bound == pytest.approx(5 * math.log2(9) + 8)
+
+    def test_deeper_backbone_costs_more(self):
+        shallow = theorem1_bound(4, 4, 3, 2, 10)
+        deep = theorem1_bound(64, 4, 3, 2, 10)
+        assert deep > shallow
+
+    def test_larger_tc_costs_more(self):
+        assert theorem1_bound(9, 3, 3, 3, 20) > theorem1_bound(9, 3, 3, 3, 2)
+
+    def test_measured_delay_tracks_bound_shape(self):
+        # The bound is an order estimate; verify the measured worst delay
+        # scales the same way when T_c doubles.
+        def measure(tc):
+            protocol = ClusteredStreamingProtocol(
+                [12] * 9, source_degree=3, degree=3, inter_cluster_latency=tc
+            )
+            return analyze_clustered(protocol, num_packets=6).measured_max_delay
+
+        d_small, d_big = measure(3), measure(12)
+        assert d_big > d_small
+        # Backbone depth is 2, so delay should grow by roughly 2 * 9 = 18.
+        assert 12 <= d_big - d_small <= 24
+
+
+class TestMixedClusterSchemes:
+    """Per-cluster scheme choice (Section 3: the hypercube scheme 'can be
+    easily adapted to streaming over multiple clusters, using the tree τ')."""
+
+    def test_mixed_deployment_validates(self):
+        protocol = ClusteredStreamingProtocol(
+            [14, 20, 9, 31],
+            source_degree=3,
+            degree=3,
+            inter_cluster_latency=4,
+            cluster_schemes=["multi-tree", "hypercube", "multi-tree", "hypercube"],
+        )
+        qos = analyze_clustered(protocol, num_packets=8)
+        assert qos.total_receivers == 74
+        assert qos.measured_max_delay <= qos.predicted_max_delay
+
+    def test_all_hypercube_deployment(self):
+        protocol = ClusteredStreamingProtocol(
+            [15, 15],
+            source_degree=3,
+            degree=2,
+            inter_cluster_latency=3,
+            cluster_schemes="hypercube",
+        )
+        trace = simulate(protocol, protocol.slots_for_packets(6))
+        for node in protocol.receiver_ids:
+            assert set(range(6)).issubset(trace.arrivals(node))
+
+    def test_hypercube_cluster_splits_into_d_groups(self):
+        protocol = ClusteredStreamingProtocol(
+            [20],
+            source_degree=3,
+            degree=4,
+            inter_cluster_latency=2,
+            cluster_schemes="hypercube",
+        )
+        lanes = protocol._lanes[0]
+        assert len(lanes) == 4
+        assert sum(len(lane.id_map) for lane in lanes) == 20
+
+    def test_hypercube_cluster_shift_is_tighter(self):
+        tree = ClusteredStreamingProtocol(
+            [12], source_degree=3, degree=3, inter_cluster_latency=5
+        )
+        cube = ClusteredStreamingProtocol(
+            [12], source_degree=3, degree=3, inter_cluster_latency=5,
+            cluster_schemes="hypercube",
+        )
+        assert cube.cluster_schedule_shift(0) < tree.cluster_schedule_shift(0)
+
+    def test_scheme_validation(self):
+        with pytest.raises(ConstructionError, match="unknown cluster schemes"):
+            ClusteredStreamingProtocol(
+                [5], source_degree=3, degree=2, inter_cluster_latency=2,
+                cluster_schemes="bittorrent",
+            )
+        with pytest.raises(ConstructionError, match="match"):
+            ClusteredStreamingProtocol(
+                [5, 5], source_degree=3, degree=2, inter_cluster_latency=2,
+                cluster_schemes=["multi-tree"],
+            )
+
+    def test_describe_tags_schemes(self):
+        protocol = ClusteredStreamingProtocol(
+            [5, 6], source_degree=3, degree=2, inter_cluster_latency=2,
+            cluster_schemes=["multi-tree", "hypercube"],
+        )
+        assert "5t" in protocol.describe()
+        assert "6h" in protocol.describe()
+
+
+class TestPerClusterQoS:
+    def test_breakdown_matches_schemes(self):
+        from repro.cluster.analysis import per_cluster_qos
+
+        protocol = ClusteredStreamingProtocol(
+            [15, 15], source_degree=3, degree=3, inter_cluster_latency=3,
+            cluster_schemes=["multi-tree", "hypercube"],
+        )
+        trace = simulate(protocol, protocol.slots_for_packets(9))
+        rows = per_cluster_qos(protocol, trace, num_packets=9)
+        assert [r["scheme"] for r in rows] == ["multi-tree", "hypercube"]
+        assert all(r["receivers"] == 15 for r in rows)
+        assert rows[1]["max_buffer"] <= 2  # the hypercube cluster's signature
+        assert rows[0]["max_delay"] >= 1
+        for row in rows:
+            assert row["avg_delay"] <= row["max_delay"]

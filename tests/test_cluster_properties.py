@@ -1,0 +1,78 @@
+"""Randomized property testing of the full clustered system."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.analysis import analyze_clustered, per_cluster_qos
+from repro.cluster.protocol import ClusteredStreamingProtocol
+from repro.core.engine import simulate
+
+
+@st.composite
+def cluster_configs(draw):
+    num_clusters = draw(st.integers(1, 5))
+    sizes = [draw(st.integers(2, 18)) for _ in range(num_clusters)]
+    schemes = [
+        draw(st.sampled_from(["multi-tree", "hypercube"])) for _ in range(num_clusters)
+    ]
+    source_degree = draw(st.integers(2, 4))
+    degree = draw(st.integers(2, 3))
+    t_c = draw(st.integers(1, 8))
+    return sizes, schemes, source_degree, degree, t_c
+
+
+class TestClusterProperties:
+    @given(cluster_configs())
+    @settings(max_examples=20, deadline=None)
+    def test_every_configuration_streams_hiccup_free(self, config):
+        sizes, schemes, source_degree, degree, t_c = config
+        protocol = ClusteredStreamingProtocol(
+            sizes,
+            source_degree=source_degree,
+            degree=degree,
+            inter_cluster_latency=t_c,
+            cluster_schemes=schemes,
+        )
+        packets = 5
+        # The strict engine validates capacities/causality on every slot.
+        trace = simulate(protocol, protocol.slots_for_packets(packets))
+        for node in protocol.receiver_ids:
+            assert set(range(packets)).issubset(trace.arrivals(node))
+
+    @given(cluster_configs())
+    @settings(max_examples=12, deadline=None)
+    def test_qos_is_internally_consistent(self, config):
+        sizes, schemes, source_degree, degree, t_c = config
+        protocol = ClusteredStreamingProtocol(
+            sizes,
+            source_degree=source_degree,
+            degree=degree,
+            inter_cluster_latency=t_c,
+            cluster_schemes=schemes,
+        )
+        qos = analyze_clustered(protocol, num_packets=5)
+        assert qos.total_receivers == sum(sizes)
+        assert qos.measured_avg_delay <= qos.measured_max_delay
+        assert qos.measured_max_delay <= qos.predicted_max_delay
+        trace = simulate(protocol, protocol.slots_for_packets(5))
+        breakdown = per_cluster_qos(protocol, trace, num_packets=5)
+        assert max(r["max_delay"] for r in breakdown) == qos.measured_max_delay
+
+    @given(cluster_configs(), st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_larger_tc_never_helps(self, config, extra):
+        sizes, schemes, source_degree, degree, t_c = config
+
+        def run(latency):
+            protocol = ClusteredStreamingProtocol(
+                sizes,
+                source_degree=source_degree,
+                degree=degree,
+                inter_cluster_latency=latency,
+                cluster_schemes=schemes,
+            )
+            return analyze_clustered(protocol, num_packets=4).measured_max_delay
+
+        assert run(t_c) <= run(t_c + extra)

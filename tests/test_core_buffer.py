@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.buffer.PlaybackBuffer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.buffer import PlaybackBuffer
+
+
+class TestBasics:
+    def test_insert_then_consume_in_order(self):
+        buf = PlaybackBuffer()
+        for p in range(5):
+            buf.insert(p)
+        assert [buf.consume() for _ in range(5)] == [0, 1, 2, 3, 4]
+        assert buf.occupancy == 0
+
+    def test_out_of_order_insert_plays_in_order(self):
+        buf = PlaybackBuffer()
+        for p in (2, 0, 1):
+            buf.insert(p)
+        assert buf.consume() == 0
+        assert buf.consume() == 1
+        assert buf.consume() == 2
+
+    def test_hiccup_on_missing_packet(self):
+        buf = PlaybackBuffer()
+        buf.insert(1)  # packet 0 missing
+        assert buf.consume() is None
+        assert buf.hiccups == 1
+        buf.insert(0)
+        assert buf.consume() == 0
+        assert buf.consume() == 1
+
+    def test_duplicate_insert_is_idempotent(self):
+        buf = PlaybackBuffer()
+        buf.insert(0)
+        buf.insert(0)
+        assert buf.occupancy == 1
+
+    def test_stale_insert_ignored(self):
+        buf = PlaybackBuffer()
+        buf.insert(0)
+        assert buf.consume() == 0
+        buf.insert(0)  # already played
+        assert buf.occupancy == 0
+
+    def test_negative_packet_rejected(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer().insert(-1)
+
+
+class TestCapacity:
+    def test_capacity_enforced(self):
+        buf = PlaybackBuffer(capacity=2)
+        buf.insert(0)
+        buf.insert(1)
+        with pytest.raises(OverflowError):
+            buf.insert(2)
+
+    def test_consume_frees_capacity(self):
+        buf = PlaybackBuffer(capacity=1)
+        buf.insert(0)
+        buf.consume()
+        buf.insert(1)  # does not raise
+        assert buf.occupancy == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer(capacity=0)
+
+
+class TestAccounting:
+    def test_peak_tracks_high_water_mark(self):
+        buf = PlaybackBuffer()
+        buf.insert(0)
+        buf.insert(1)
+        buf.insert(2)
+        buf.consume()
+        buf.consume()
+        assert buf.peak_occupancy == 3
+        assert buf.occupancy == 1
+
+    def test_contains(self):
+        buf = PlaybackBuffer()
+        buf.insert(3)
+        assert 3 in buf
+        assert 0 not in buf
+
+    @given(st.lists(st.integers(0, 40), max_size=60))
+    def test_never_plays_out_of_order(self, inserts):
+        buf = PlaybackBuffer()
+        played = []
+        for p in inserts:
+            buf.insert(p)
+            out = buf.consume()
+            if out is not None:
+                played.append(out)
+        assert played == sorted(played)
+        assert played == list(range(len(played)))

@@ -1,0 +1,97 @@
+"""Tests for the online playback client and start policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.client import (
+    BufferStart,
+    FixedStart,
+    PlaybackClient,
+    WindowStart,
+    replay,
+)
+from repro.core.errors import ReproError
+from repro.core.engine import simulate
+from repro.trees import MultiTreeProtocol
+from repro.trees.analysis import all_playback_delays
+
+
+class TestPolicies:
+    def test_fixed_start(self):
+        run = replay({0: 0, 1: 1, 2: 2}, FixedStart(2))
+        assert run.start_slot == 2
+        assert run.played == (0, 1, 2)
+        assert run.hiccups == 0
+
+    def test_fixed_start_too_early_hiccups(self):
+        run = replay({0: 5, 1: 6}, FixedStart(0))
+        assert run.hiccups > 0
+        assert run.played == (0, 1)  # eventually catches up
+
+    def test_window_start_waits_for_prefix(self):
+        # Packet 1 arrives late; WindowStart(2) must not start before it.
+        run = replay({0: 0, 1: 4, 2: 2, 3: 5}, WindowStart(2))
+        assert run.start_slot == 4
+        assert run.hiccups == 0
+
+    def test_buffer_start_threshold(self):
+        run = replay({0: 0, 1: 1, 2: 2, 3: 3}, BufferStart(2))
+        # Two resident packets first happens at slot 1 (0 and 1 in buffer).
+        assert run.start_slot == 1
+        assert run.played[0] == 0
+
+    def test_buffer_start_can_be_unsafe(self):
+        # Buffer fills with *later* packets while packet 0 is still missing:
+        # the heuristic starts and hiccups, the window rule would not.
+        arrivals = {0: 6, 1: 1, 2: 2, 3: 3, 4: 4}
+        heuristic = replay(arrivals, BufferStart(2))
+        safe = replay(arrivals, WindowStart(2))
+        assert heuristic.hiccups > 0
+        assert safe.hiccups == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ReproError):
+            FixedStart(-1)
+        with pytest.raises(ReproError):
+            WindowStart(0)
+        with pytest.raises(ReproError):
+            BufferStart(0)
+
+    def test_never_started(self):
+        run = replay({0: 50}, WindowStart(2), horizon=10)
+        assert run.start_slot == -1
+        assert run.played == ()
+
+
+class TestAgainstMultiTree:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        protocol = MultiTreeProtocol(15, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(15))
+        return protocol, trace
+
+    def test_window_rule_is_hiccup_free_for_every_node(self, traces):
+        protocol, trace = traces
+        for node in protocol.node_ids:
+            arrivals = {p: s for p, s in trace.arrivals(node).items() if p < 15}
+            run = replay(arrivals, WindowStart(3))
+            assert run.hiccups == 0, f"node {node}"
+            assert run.played == tuple(range(15))
+
+    def test_window_rule_matches_paper_delay(self, traces):
+        # Observation 2's online rule starts exactly when the paper's a(i)
+        # analysis says all first-tree packets have arrived.
+        protocol, trace = traces
+        expected = all_playback_delays(protocol.forest)
+        for node in protocol.node_ids:
+            arrivals = {p: s for p, s in trace.arrivals(node).items() if p < 15}
+            run = replay(arrivals, WindowStart(3))
+            assert run.start_slot == expected[node] - 1  # a(i) counts slots
+
+    def test_client_step_interface(self):
+        client = PlaybackClient(FixedStart(1))
+        assert client.step(0, [0, 1]) is None  # not started yet
+        assert client.step(1, [2]) == 0
+        assert client.step(2, []) == 1
+        assert client.played == [0, 1]

@@ -1,0 +1,149 @@
+"""Unit tests for the slotted simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SimConfig, SlottedEngine, simulate
+from repro.core.errors import CausalityViolation, ReproError
+from repro.core.packet import Transmission
+from repro.core.protocol import StreamingProtocol
+
+
+class RelayProtocol(StreamingProtocol):
+    """Source 0 -> node 1 -> node 2, one packet per slot (test double)."""
+
+    def __init__(self, latency: int = 1):
+        self.latency = latency
+
+    @property
+    def node_ids(self):
+        return (1, 2)
+
+    @property
+    def source_ids(self):
+        return frozenset((0,))
+
+    def transmissions(self, slot, view):
+        out = [Transmission(slot=slot, sender=0, receiver=1, packet=slot, latency=self.latency)]
+        for packet in range(slot):
+            # Forward exactly the packet node 1 can legally forward this slot.
+            if view.holds(1, packet) and not view.holds(2, packet) and packet == slot - self.latency:
+                out.append(
+                    Transmission(slot=slot, sender=1, receiver=2, packet=packet, latency=self.latency)
+                )
+        return out
+
+
+class TestEngineBasics:
+    def test_arrivals_recorded(self):
+        trace = simulate(RelayProtocol(), 5)
+        assert trace.arrivals(1) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+        assert trace.arrivals(2) == {0: 1, 1: 2, 2: 3, 3: 4}
+
+    def test_forwarding_respects_one_slot_delay(self):
+        # Node 2's copy of packet p always arrives one slot after node 1's.
+        trace = simulate(RelayProtocol(), 10)
+        for packet, slot in trace.arrivals(2).items():
+            assert slot == trace.arrivals(1)[packet] + 1
+
+    def test_neighbor_tracking(self):
+        trace = simulate(RelayProtocol(), 5)
+        assert trace.nodes[1].neighbors == {0, 2}
+        assert trace.nodes[2].neighbors == {1}
+        assert trace.source_states[0].sent_to == {1}
+
+    def test_transmission_log(self):
+        trace = simulate(RelayProtocol(), 3)
+        assert len(trace.transmissions) == 3 + 2  # 3 source sends, 2 forwards
+        assert not simulate(RelayProtocol(), 3, record_transmissions=False).transmissions
+
+    def test_zero_slots(self):
+        trace = simulate(RelayProtocol(), 0)
+        assert trace.arrivals(1) == {}
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_slots=-1)
+
+
+class TestLatency:
+    def test_latency_delays_arrival(self):
+        trace = simulate(RelayProtocol(latency=4), 12)
+        assert trace.arrivals(1)[0] == 3  # sent slot 0, T_c = 4
+        assert trace.arrivals(1)[5] == 8
+
+    def test_pipelined_inflight_packets(self):
+        # With latency 4 the link carries 4 packets simultaneously; all arrive.
+        trace = simulate(RelayProtocol(latency=4), 20)
+        assert set(trace.arrivals(1)) == set(range(17))
+
+
+class TestValidationIntegration:
+    def test_forward_before_arrival_caught(self):
+        class Cheater(RelayProtocol):
+            def transmissions(self, slot, view):
+                # Node 1 forwards the packet the source sends this very slot.
+                return [
+                    Transmission(slot=slot, sender=0, receiver=1, packet=slot),
+                    Transmission(slot=slot, sender=1, receiver=2, packet=slot),
+                ]
+
+        with pytest.raises(CausalityViolation):
+            simulate(Cheater(), 3)
+
+    def test_validation_can_be_disabled(self):
+        class Cheater(RelayProtocol):
+            def transmissions(self, slot, view):
+                return [
+                    Transmission(slot=slot, sender=0, receiver=1, packet=slot),
+                    Transmission(slot=slot, sender=1, receiver=2, packet=slot),
+                ]
+
+        trace = simulate(Cheater(), 3, validate=False)
+        assert trace.arrivals(2)  # ran to completion, physically nonsensical
+
+    def test_unknown_sender_rejected(self):
+        class Ghost(RelayProtocol):
+            def transmissions(self, slot, view):
+                return [Transmission(slot=slot, sender=99, receiver=1, packet=0)]
+
+        with pytest.raises((ReproError, CausalityViolation)):
+            simulate(Ghost(), 1)
+
+    def test_node_cannot_be_source_and_receiver(self):
+        class Conflicted(RelayProtocol):
+            @property
+            def source_ids(self):
+                return frozenset((1,))
+
+        with pytest.raises(ReproError, match="both receiver and source"):
+            SlottedEngine(Conflicted(), SimConfig(num_slots=1))
+
+
+class TestHoldingsView:
+    def test_holds_excludes_same_slot_arrivals(self):
+        observed = {}
+
+        class Probe(RelayProtocol):
+            def transmissions(self, slot, view):
+                if slot == 1:
+                    observed["holds_packet_0"] = view.holds(1, 0)
+                    observed["holds_packet_1"] = view.holds(1, 1)
+                    observed["packets"] = view.packets_of(1)
+                return super().transmissions(slot, view)
+
+        simulate(Probe(), 3)
+        assert observed["holds_packet_0"] is True  # arrived slot 0
+        assert observed["holds_packet_1"] is False  # arrives this slot
+        assert observed["packets"] == frozenset({0})
+
+    def test_unknown_node_queries(self):
+        class Probe(RelayProtocol):
+            def transmissions(self, slot, view):
+                assert not view.holds(42, 0)
+                assert view.arrival_slot(42, 0) is None
+                assert view.packets_of(42) == frozenset()
+                return super().transmissions(slot, view)
+
+        simulate(Probe(), 2)

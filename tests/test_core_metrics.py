@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.metrics and repro.core.events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.events import (
+    communication_pairs,
+    receive_schedule,
+    send_schedule,
+    transmissions_by_slot,
+    transmissions_involving,
+)
+from repro.core.metrics import collect_metrics, truncate_arrivals
+from repro.trees import MultiTreeProtocol
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    protocol = MultiTreeProtocol(15, 3)
+    return protocol, simulate(protocol, protocol.slots_for_packets(9))
+
+
+class TestTruncate:
+    def test_happy_path(self):
+        assert truncate_arrivals({0: 5, 1: 6, 2: 7}, 2) == {0: 5, 1: 6}
+
+    def test_missing_packet_raises(self):
+        with pytest.raises(ValueError, match="missing"):
+            truncate_arrivals({0: 5, 2: 7}, 3)
+
+    def test_zero_packets_rejected(self):
+        with pytest.raises(ValueError):
+            truncate_arrivals({0: 5}, 0)
+
+
+class TestCollectMetrics:
+    def test_table1_quantities(self, small_trace):
+        _, trace = small_trace
+        metrics = collect_metrics(trace, num_packets=9)
+        assert metrics.num_nodes == 15
+        assert metrics.max_startup_delay >= metrics.avg_startup_delay
+        assert metrics.max_buffer >= metrics.avg_buffer
+        assert metrics.max_neighbors <= 2 * 3  # paper: at most 2d neighbors
+        assert set(metrics.per_node) == set(range(1, 16))
+
+    def test_row_is_flat(self, small_trace):
+        _, trace = small_trace
+        row = collect_metrics(trace, num_packets=9).row()
+        assert row["num_nodes"] == 15
+        assert all(isinstance(v, (int, float)) for v in row.values())
+
+    def test_insufficient_horizon_raises(self, small_trace):
+        _, trace = small_trace
+        with pytest.raises(ValueError, match="simulate more slots"):
+            collect_metrics(trace, num_packets=10_000)
+
+
+class TestEventQueries:
+    def test_by_slot_partition(self, small_trace):
+        _, trace = small_trace
+        grouped = transmissions_by_slot(trace)
+        assert sum(len(v) for v in grouped.values()) == len(trace.transmissions)
+        for slot, txs in grouped.items():
+            assert all(tx.slot == slot for tx in txs)
+
+    def test_involving(self, small_trace):
+        _, trace = small_trace
+        for tx in transmissions_involving(trace, 6):
+            assert 6 in (tx.sender, tx.receiver)
+
+    def test_receive_schedule_sorted_and_complete(self, small_trace):
+        _, trace = small_trace
+        rows = receive_schedule(trace, 6)
+        slots = [r[0] for r in rows]
+        assert slots == sorted(slots)
+        packets = {r[1] for r in rows}
+        assert set(range(9)).issubset(packets)
+
+    def test_send_schedule_matches_capacity(self, small_trace):
+        _, trace = small_trace
+        rows = send_schedule(trace, 6)
+        by_slot: dict[int, int] = {}
+        for slot, _, _ in rows:
+            by_slot[slot] = by_slot.get(slot, 0) + 1
+        assert all(count == 1 for count in by_slot.values())  # unit capacity
+
+    def test_communication_pairs(self, small_trace):
+        _, trace = small_trace
+        pairs = communication_pairs(trace.transmissions)
+        for slot, slot_pairs in pairs.items():
+            for pair in slot_pairs:
+                assert len(pair) == 2

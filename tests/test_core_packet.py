@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.packet."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.packet import Transmission
+
+
+class TestTransmissionValidation:
+    def test_basic_construction(self):
+        tx = Transmission(slot=3, sender=1, receiver=2, packet=7)
+        assert tx.slot == 3
+        assert tx.sender == 1
+        assert tx.receiver == 2
+        assert tx.packet == 7
+        assert tx.latency == 1
+        assert tx.tree is None
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError, match="slot"):
+            Transmission(slot=-1, sender=0, receiver=1, packet=0)
+
+    def test_negative_packet_rejected(self):
+        with pytest.raises(ValueError, match="packet"):
+            Transmission(slot=0, sender=0, receiver=1, packet=-1)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            Transmission(slot=0, sender=0, receiver=1, packet=0, latency=0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Transmission(slot=0, sender=5, receiver=5, packet=0)
+
+    def test_frozen(self):
+        tx = Transmission(slot=0, sender=0, receiver=1, packet=0)
+        with pytest.raises(AttributeError):
+            tx.slot = 9  # type: ignore[misc]
+
+
+class TestTransmissionTiming:
+    def test_unit_latency_arrives_same_slot(self):
+        tx = Transmission(slot=4, sender=0, receiver=1, packet=2)
+        assert tx.arrival_slot == 4
+        assert tx.forwardable_slot == 5
+
+    def test_inter_cluster_latency(self):
+        tx = Transmission(slot=10, sender=0, receiver=1, packet=0, latency=5)
+        assert tx.arrival_slot == 14
+        assert tx.forwardable_slot == 15
+
+    def test_tree_tag_carried(self):
+        tx = Transmission(slot=0, sender=0, receiver=1, packet=0, tree=2)
+        assert tx.tree == 2
+
+    def test_equality_and_hash(self):
+        a = Transmission(slot=1, sender=2, receiver=3, packet=4)
+        b = Transmission(slot=1, sender=2, receiver=3, packet=4)
+        assert a == b
+        assert hash(a) == hash(b)

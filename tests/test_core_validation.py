@@ -1,0 +1,114 @@
+"""Unit tests for the communication-model validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import (
+    CausalityViolation,
+    DuplicateDeliveryViolation,
+    ReceiveCapacityViolation,
+    SendCapacityViolation,
+)
+from repro.core.packet import Transmission
+from repro.core.validation import SlotValidator
+
+
+def make_validator(send=lambda n: 1, recv=lambda n: 1, strict=True):
+    return SlotValidator(send, recv, strict_duplicates=strict)
+
+
+def validate(validator, slot, txs, holds=lambda n, p: False, sources=frozenset({0})):
+    return validator.validate_slot(
+        slot,
+        txs,
+        holds=holds,
+        source_available=lambda p: 0,
+        is_source=lambda n: n in sources,
+    )
+
+
+class TestCapacities:
+    def test_unit_send_capacity_enforced(self):
+        v = make_validator()
+        txs = [
+            Transmission(slot=0, sender=1, receiver=2, packet=0),
+            Transmission(slot=0, sender=1, receiver=3, packet=1),
+        ]
+        with pytest.raises(SendCapacityViolation, match="node 1 sent 2"):
+            validate(v, 0, txs, holds=lambda n, p: n == 1)
+
+    def test_source_capacity_d(self):
+        v = make_validator(send=lambda n: 3 if n == 0 else 1)
+        txs = [
+            Transmission(slot=0, sender=0, receiver=r, packet=r) for r in (1, 2, 3)
+        ]
+        assert len(validate(v, 0, txs)) == 3
+
+    def test_unit_receive_capacity_enforced(self):
+        v = make_validator()
+        txs = [
+            Transmission(slot=0, sender=1, receiver=3, packet=0),
+            Transmission(slot=0, sender=2, receiver=3, packet=1),
+        ]
+        with pytest.raises(ReceiveCapacityViolation, match="node 3 receives 2"):
+            validate(v, 0, txs, holds=lambda n, p: n in (1, 2))
+
+    def test_same_packet_twice_to_one_node(self):
+        v = make_validator(recv=lambda n: 2)
+        txs = [
+            Transmission(slot=0, sender=1, receiver=3, packet=0),
+            Transmission(slot=0, sender=2, receiver=3, packet=0),
+        ]
+        with pytest.raises(ReceiveCapacityViolation, match="twice"):
+            validate(v, 0, txs, holds=lambda n, p: n in (1, 2))
+
+
+class TestCausality:
+    def test_forward_unheld_packet(self):
+        v = make_validator()
+        txs = [Transmission(slot=0, sender=1, receiver=2, packet=0)]
+        with pytest.raises(CausalityViolation, match="before receiving"):
+            validate(v, 0, txs, holds=lambda n, p: False)
+
+    def test_source_live_availability(self):
+        v = make_validator()
+        tx = [Transmission(slot=0, sender=0, receiver=1, packet=5)]
+        with pytest.raises(CausalityViolation, match="available from slot 5"):
+            v.validate_slot(
+                0,
+                tx,
+                holds=lambda n, p: False,
+                source_available=lambda p: p,  # live stream
+                is_source=lambda n: n == 0,
+            )
+
+    def test_wrong_slot_stamp(self):
+        v = make_validator()
+        txs = [Transmission(slot=1, sender=0, receiver=1, packet=0)]
+        with pytest.raises(CausalityViolation, match="stamped for slot 1"):
+            validate(v, 0, txs)
+
+
+class TestDuplicates:
+    def test_redundant_delivery_rejected_when_strict(self):
+        v = make_validator()
+        txs = [Transmission(slot=0, sender=0, receiver=2, packet=0)]
+        with pytest.raises(DuplicateDeliveryViolation):
+            validate(v, 0, txs, holds=lambda n, p: n == 2)
+
+    def test_redundant_delivery_allowed_when_lenient(self):
+        v = make_validator(strict=False)
+        txs = [Transmission(slot=0, sender=0, receiver=2, packet=0)]
+        assert len(validate(v, 0, txs, holds=lambda n, p: n == 2)) == 1
+
+    def test_violation_carries_slot_and_node(self):
+        v = make_validator()
+        txs = [
+            Transmission(slot=7, sender=1, receiver=2, packet=0),
+            Transmission(slot=7, sender=1, receiver=3, packet=1),
+        ]
+        with pytest.raises(SendCapacityViolation) as err:
+            validate(v, 7, txs, holds=lambda n, p: n == 1)
+        assert err.value.slot == 7
+        assert err.value.node == 1

@@ -1,0 +1,151 @@
+"""Deeper coverage of query APIs and edge cases across subsystems."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.supertree import backbone_depth_bound, build_supertree
+from repro.core.engine import simulate
+from repro.core.errors import ConstructionError
+from repro.core.packet import Transmission
+from repro.core.protocol import StreamingProtocol
+from repro.hypercube.analysis import (
+    analyze_grouped,
+    average_delay_check,
+    grouped_delay_bounds,
+    special_populations,
+)
+from repro.trees.forest import MultiTreeForest
+from repro.trees.schedule import _FIRST_ARRIVAL_CACHE, _first_arrivals_cached
+
+
+class TestForestQueries:
+    @pytest.fixture(scope="class")
+    def forest(self):
+        return MultiTreeForest.construct(15, 3)
+
+    def test_positions_of(self, forest):
+        positions = forest.positions_of(6)
+        assert positions == [6, 2, 10]
+        assert sorted(p % 3 for p in positions) == [0, 1, 2]
+
+    def test_interior_tree_of(self, forest):
+        assert forest.interior_tree_of(1) == 0
+        assert forest.interior_tree_of(6) == 1
+        assert forest.interior_tree_of(10) == 2
+        assert forest.interior_tree_of(13) is None  # all-leaf (G_d)
+
+    def test_neighbors_of_symmetry(self, forest):
+        for node in forest.real_nodes:
+            for peer in forest.neighbors_of(node):
+                assert node in forest.neighbors_of(peer)
+
+    def test_wrong_tree_count_rejected(self):
+        trees = MultiTreeForest.construct(15, 3).trees[:2]
+        with pytest.raises(ConstructionError, match="expected 3 trees"):
+            MultiTreeForest(15, 3, trees)
+
+    def test_mismatched_tree_size_rejected(self):
+        small = MultiTreeForest.construct(12, 3).trees
+        with pytest.raises(ConstructionError, match="positions"):
+            MultiTreeForest(15, 3, small)
+
+    def test_verify_catches_interior_overlap(self):
+        from repro.trees.tree import StreamTree
+
+        # Two trees that both use node 1 as interior.
+        t0 = StreamTree(0, 2, [1, 2, 3, 4, 5, 6], 2)
+        t1 = StreamTree(1, 2, [1, 3, 2, 5, 6, 4], 2)
+        forest = MultiTreeForest(6, 2, [t0, t1])
+        with pytest.raises(ConstructionError, match="interior in both"):
+            forest.verify_interior_disjoint()
+
+    def test_verify_catches_congruent_positions(self):
+        from repro.trees.tree import StreamTree
+
+        t0 = StreamTree(0, 2, [1, 2, 3, 4, 5, 6], 2)
+        t1 = StreamTree(1, 2, [3, 4, 1, 2, 6, 5], 2)  # node 1: positions 1, 3
+        forest = MultiTreeForest(6, 2, [t0, t1])
+        with pytest.raises(ConstructionError, match="congruent"):
+            forest.verify_position_congruence()
+
+
+class TestScheduleCache:
+    def test_cache_hit_returns_same_object(self):
+        forest = MultiTreeForest.construct(21, 3)
+        a = _first_arrivals_cached(forest.trees[0], 1)
+        b = _first_arrivals_cached(forest.trees[0], 1)
+        assert a is b
+
+    def test_cache_bounded(self):
+        _FIRST_ARRIVAL_CACHE.clear()
+        for n in range(2, 80):
+            forest = MultiTreeForest.construct(n, 2)
+            _first_arrivals_cached(forest.trees[0], 1)
+            _first_arrivals_cached(forest.trees[1], 1)
+        assert len(_FIRST_ARRIVAL_CACHE) <= 257
+
+
+class TestEngineLatencyMixing:
+    def test_interleaved_latencies_deliver_in_order(self):
+        class Mixed(StreamingProtocol):
+            node_ids = (1,)
+            source_ids = frozenset({0})
+
+            def send_capacity(self, node):
+                return 4 if node == 0 else 1
+
+            def recv_capacity(self, node):
+                return 4
+
+            def transmissions(self, slot, view):
+                if slot != 0:
+                    return []
+                # Four packets with decreasing latencies: arrivals interleave.
+                return [
+                    Transmission(slot=0, sender=0, receiver=1, packet=p, latency=5 - p)
+                    for p in range(4)
+                ]
+
+        trace = simulate(Mixed(), 8)
+        assert trace.arrivals(1) == {0: 4, 1: 3, 2: 2, 3: 1}
+
+
+class TestHypercubeAnalysisHelpers:
+    def test_average_delay_check_rows(self):
+        rows = average_delay_check(50, step=7)
+        assert rows[0][0] == 1
+        for n, avg, bound in rows:
+            assert avg <= bound
+
+    def test_special_populations(self):
+        assert special_populations(100) == [1, 3, 7, 15, 31, 63]
+
+    def test_grouped_delay_bounds_shrink_with_d(self):
+        one = grouped_delay_bounds(1000, 1)
+        four = grouped_delay_bounds(1000, 4)
+        assert four["group_size"] < one["group_size"]
+        assert four["worst_delay_bound"] < one["worst_delay_bound"]
+
+    def test_analyze_grouped_with_degree_one(self):
+        qos = analyze_grouped(20, 1, num_packets=6)
+        assert qos.num_nodes == 20
+
+
+class TestBackboneDepthBound:
+    def test_log_base_d_minus_one(self):
+        import math
+
+        assert backbone_depth_bound(27, 4) == pytest.approx(math.log(27, 3))
+
+    def test_degenerate_degree_two_is_linear(self):
+        assert backbone_depth_bound(10, 2) == 10.0
+
+    def test_single_cluster(self):
+        assert backbone_depth_bound(1, 5) == 1.0
+
+    def test_chain_backbone_builds(self):
+        # D = 2: the source feeds two clusters, everyone else chains (D-1=1).
+        tree = build_supertree(6, 2)
+        tree.verify()
+        assert tree.height >= 3

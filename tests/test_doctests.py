@@ -1,0 +1,35 @@
+"""Executable documentation: run every doctest in the library."""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name == "repro.__main__":  # runs the CLI on import
+            continue
+        names.append(info.name)
+    return sorted(names)
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_some_doctests_exist():
+    total = 0
+    for name in _all_modules():
+        module = importlib.import_module(name)
+        total += doctest.testmod(module).attempted
+    assert total >= 12  # the worked examples stay executable

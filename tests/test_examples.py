@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs clean and prints its key results."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "live_sports_broadcast.py",
+        "set_top_box_swarm.py",
+        "churn_resilience.py",
+    } <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "interior-disjoint" in out
+    assert "worst-case startup delay" in out
+    assert "Theorem 2 bound: 12" in out
+
+
+def test_live_sports_broadcast():
+    out = run_example("live_sports_broadcast.py")
+    assert "Backbone (super-tree" in out
+    assert "NYC" in out and "Miami" in out
+    assert "worst-case startup delay" in out
+    assert "no hiccups" in out
+
+
+def test_set_top_box_swarm():
+    out = run_example("set_top_box_swarm.py")
+    assert "Cascade structure" in out
+    assert "buffer 2 packets" in out
+    assert "The tradeoff, concretely" in out
+
+
+def test_churn_resilience():
+    out = run_example("churn_resilience.py")
+    assert "eager maintenance" in out
+    assert "lazy maintenance" in out
+    assert "Invariant checks passed" in out
+
+
+def test_global_cdn_mixed():
+    out = run_example("global_cdn_mixed.py")
+    assert "Stream profile" in out
+    assert "Frankfurt" in out and "Johannesburg" in out
+    assert "wall-clock" in out

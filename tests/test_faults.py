@@ -1,0 +1,174 @@
+"""Failure-injection tests: loss behaviour of both schemes.
+
+Headline finding (documented in EXPERIMENTS.md): the paper's communication
+model has **zero throughput slack** — every receiver's one-receive-per-slot
+budget is exactly consumed by the stream — so *no* scheme can re-deliver a
+lost packet without falling behind.  Losses are therefore permanent in both
+schemes, but isolated: a dropped transmission costs exactly that packet at
+the nodes downstream of the drop (the doubling-ladder descendants in the
+hypercube, the subtree in the multi-tree), while all later packets keep
+arriving on time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import SimConfig, simulate
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+from repro.hypercube.protocol import HypercubeProtocol
+from repro.trees.live import ChurningMultiTreeProtocol
+from repro.workloads.faults import bernoulli_drop, compose_any, link_blackout, slot_blackout
+
+
+class TestInjectors:
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ReproError):
+            bernoulli_drop(1.5)
+        rule = bernoulli_drop(0.0, seed=1)
+        tx = Transmission(slot=0, sender=0, receiver=1, packet=0)
+        assert not rule(tx)
+        assert all(bernoulli_drop(1.0, seed=1)(tx) for _ in range(5))
+
+    def test_bernoulli_seeded_reproducible(self):
+        tx = Transmission(slot=0, sender=0, receiver=1, packet=0)
+        a = [bernoulli_drop(0.5, seed=9)(tx) for _ in range(20)]
+        b = [bernoulli_drop(0.5, seed=9)(tx) for _ in range(20)]
+        assert a == b
+
+    def test_link_blackout_window(self):
+        rule = link_blackout(1, 2, start=5, end=10)
+        assert rule(Transmission(slot=7, sender=1, receiver=2, packet=0))
+        assert not rule(Transmission(slot=4, sender=1, receiver=2, packet=0))
+        assert not rule(Transmission(slot=7, sender=1, receiver=3, packet=0))
+        with pytest.raises(ReproError):
+            link_blackout(1, 2, start=5, end=5)
+
+    def test_slot_blackout(self):
+        rule = slot_blackout({3, 4})
+        assert rule(Transmission(slot=3, sender=0, receiver=1, packet=0))
+        assert not rule(Transmission(slot=5, sender=0, receiver=1, packet=0))
+
+    def test_compose(self):
+        rule = compose_any(slot_blackout({1}), link_blackout(0, 2))
+        assert rule(Transmission(slot=1, sender=5, receiver=6, packet=0))
+        assert rule(Transmission(slot=9, sender=0, receiver=2, packet=0))
+        assert not rule(Transmission(slot=9, sender=5, receiver=6, packet=0))
+        with pytest.raises(ReproError):
+            compose_any()
+
+    def test_config_rejects_non_callable(self):
+        with pytest.raises(ValueError):
+            SimConfig(num_slots=1, drop_rule=42)
+
+
+class TestEngineDrops:
+    def test_dropped_deliveries_recorded(self):
+        protocol = HypercubeProtocol(7, loss_aware=True)
+        trace = simulate(protocol, 20, drop_rule=slot_blackout({5}))
+        assert trace.dropped
+        assert all(tx.slot == 5 for tx in trace.dropped)
+
+    def test_sender_capacity_still_spent(self):
+        # A dropped send still counts against the sender's slot.
+        clean = simulate(HypercubeProtocol(7), 20)
+        lossy = simulate(
+            HypercubeProtocol(7, loss_aware=True), 20, drop_rule=slot_blackout({5})
+        )
+        assert (
+            lossy.source_states[0].packets_sent == clean.source_states[0].packets_sent
+        )
+
+    def test_loss_aware_model_matches_clean_run(self):
+        # Without drops the loss-aware protocol behaves identically.
+        clean = simulate(HypercubeProtocol(15), 30)
+        aware = simulate(HypercubeProtocol(15, loss_aware=True), 30)
+        for node in range(1, 16):
+            assert clean.arrivals(node) == aware.arrivals(node)
+
+
+def _single_drop_after(slot, *, exclude_source=True):
+    """Drop exactly the first transmission at/after ``slot`` (optionally
+    skipping source sends); remembers what it dropped."""
+    state: dict = {"dropped": None}
+
+    def rule(tx: Transmission) -> bool:
+        if state["dropped"] is None and tx.slot >= slot:
+            if exclude_source and tx.sender == 0:
+                return False
+            state["dropped"] = tx
+            return True
+        return False
+
+    return rule, state
+
+
+class TestLossIsPermanentButIsolated:
+    def test_hypercube_loss_is_permanent(self):
+        # Zero slack: the missed packet is never re-delivered to the victim.
+        rule, state = _single_drop_after(8)
+        protocol = HypercubeProtocol(15, loss_aware=True)
+        trace = simulate(protocol, 70, drop_rule=rule)
+        dropped = state["dropped"]
+        assert dropped is not None
+        assert dropped.packet not in trace.arrivals(dropped.receiver)
+
+    def test_hypercube_loss_is_isolated_to_one_packet(self):
+        # Every other packet still reaches every node on schedule.
+        rule, state = _single_drop_after(8)
+        protocol = HypercubeProtocol(15, loss_aware=True)
+        trace = simulate(protocol, 70, drop_rule=rule)
+        lost_packet = state["dropped"].packet
+        for node in protocol.node_ids:
+            arrivals = trace.arrivals(node)
+            for packet in range(40):
+                if packet != lost_packet:
+                    assert packet in arrivals, (node, packet)
+
+    def test_hypercube_blast_radius_is_ladder_descendants(self):
+        # An early-ladder drop deprives every node that would have received
+        # its copy through the victim: between 1 and N/2 + something nodes,
+        # never the packets around it.
+        rule, state = _single_drop_after(6)
+        protocol = HypercubeProtocol(15, loss_aware=True)
+        trace = simulate(protocol, 70, drop_rule=rule)
+        lost_packet = state["dropped"].packet
+        victims = [
+            n for n in protocol.node_ids if lost_packet not in trace.arrivals(n)
+        ]
+        assert 1 <= len(victims) <= 8
+
+    def test_tree_loss_costs_the_subtree(self):
+        protocol = ChurningMultiTreeProtocol(15, 3, [])
+        trace = simulate(
+            protocol,
+            protocol.slots_for_packets(12),
+            strict_duplicates=False,
+            drop_rule=link_blackout(0, 1, start=0, end=3),
+        )
+        lost_nodes = [n for n in protocol.node_ids if 0 not in trace.arrivals(n)]
+        # Node 1 (root child of T_0) and its T_0 descendants lose packet 0.
+        assert 1 in lost_nodes
+        assert len(lost_nodes) >= 2
+        # Later packets of the same tree flow normally.
+        for node in protocol.node_ids:
+            assert 3 in trace.arrivals(node)
+
+    def test_bernoulli_loss_rate_maps_to_miss_rate(self):
+        # Sustained random loss produces proportionate, not catastrophic,
+        # packet misses (every miss is isolated).
+        protocol = HypercubeProtocol(15, loss_aware=True)
+        trace = simulate(
+            protocol,
+            120,
+            drop_rule=bernoulli_drop(0.05, seed=3),
+        )
+        horizon = 80
+        total = misses = 0
+        for node in protocol.node_ids:
+            arrivals = trace.arrivals(node)
+            for packet in range(horizon):
+                total += 1
+                misses += packet not in arrivals
+        assert 0 < misses / total < 0.3  # bounded, roughly ~loss-rate scale

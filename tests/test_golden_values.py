@@ -1,0 +1,95 @@
+"""Golden regression values.
+
+Every number here was produced by the validated implementation and
+cross-checked against the paper's examples where the paper gives one.
+They pin the exact behaviour of the deterministic schemes so that any
+future refactor that shifts a schedule, a construction, or a timing
+convention fails loudly here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import collect_metrics
+from repro.hypercube.cascade import cascade_plan, expected_average_delay, expected_worst_delay
+from repro.trees import MultiTreeProtocol
+from repro.trees.analysis import (
+    all_playback_delays,
+    theorem2_bound,
+    theorem3_lower_bound,
+    worst_case_delay,
+)
+from repro.trees.forest import MultiTreeForest
+from repro.theory.degree import crossover_population, optimal_degree
+
+
+class TestMultiTreeGolden:
+    def test_paper_example_all_delays(self):
+        # N = 15, d = 3, structured: per-node playback delays a(i).
+        forest = MultiTreeForest.construct(15, 3)
+        assert all_playback_delays(forest) == {
+            1: 3, 2: 4, 3: 5, 4: 6, 5: 3, 6: 4, 7: 5, 8: 6,
+            9: 3, 10: 4, 11: 5, 12: 6, 13: 7, 14: 7, 15: 7,
+        }
+
+    def test_greedy_example_all_delays(self):
+        forest = MultiTreeForest.construct(15, 3, "greedy")
+        delays = all_playback_delays(forest)
+        assert delays[1] == 3  # same node-1 behaviour as structured
+        assert max(delays.values()) == 7
+        assert sum(delays.values()) == 77
+
+    def test_worst_case_sweep_golden(self):
+        # Figure 4 anchor points.
+        expected = {
+            (100, 2): 11, (100, 3): 11, (100, 4): 13, (100, 5): 13,
+            (1000, 2): 17, (1000, 3): 17, (1000, 4): 18, (1000, 5): 21,
+            (2000, 2): 19, (2000, 3): 19, (2000, 4): 21, (2000, 5): 22,
+        }
+        for (n, d), value in expected.items():
+            assert worst_case_delay(MultiTreeForest.construct(n, d)) == value
+
+    def test_bounds_golden(self):
+        assert theorem2_bound(100, 2) == 12
+        assert theorem2_bound(100, 3) == 12
+        assert theorem2_bound(2000, 2) == 20
+        assert theorem3_lower_bound(1022, 2) == pytest.approx(5.9814, abs=1e-3)
+
+    def test_simulated_metrics_golden(self):
+        protocol = MultiTreeProtocol(15, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(9))
+        metrics = collect_metrics(trace, num_packets=9)
+        assert metrics.max_startup_delay == 7
+        assert metrics.avg_startup_delay == pytest.approx(4.2667, abs=1e-3)
+        assert metrics.max_buffer == 3  # the paper's node-1 buffer example
+        assert metrics.max_neighbors == 6
+
+
+class TestHypercubeGolden:
+    def test_cascade_plans(self):
+        assert [c.k for c in cascade_plan(100)] == [6, 5, 2, 2]
+        assert [c.k for c in cascade_plan(1000)] == [9, 8, 7, 6, 5, 3, 2, 2]
+        assert [c.offset for c in cascade_plan(1000)] == [0, 9, 17, 24, 30, 35, 38, 40]
+
+    def test_delay_values(self):
+        assert expected_worst_delay(7) == 4
+        assert expected_worst_delay(100) == 16
+        assert expected_worst_delay(1000) == 43
+        assert expected_average_delay(100) == pytest.approx(9.03, abs=0.01)
+
+    def test_single_cube_delays_are_k_plus_one(self):
+        for k in range(2, 10):
+            assert expected_worst_delay((1 << k) - 1) == k + 1
+
+
+class TestTheoryGolden:
+    def test_degree_crossover(self):
+        assert crossover_population() == 322
+
+    def test_optimal_degrees(self):
+        assert optimal_degree(100) == 2
+        assert optimal_degree(321) == 2
+        assert optimal_degree(322) == 3
+        assert optimal_degree(10**6) == 3

@@ -1,0 +1,90 @@
+"""Tests for the randomized interior-disjoint tree heuristic."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import ConstructionError
+from repro.graphs.disjoint_trees import has_two_interior_disjoint_trees, interior_nodes
+from repro.graphs.heuristic import heuristic_two_interior_disjoint_trees
+
+
+def assert_valid_pair(graph, root, pair):
+    t1, t2 = pair
+    assert nx.is_tree(t1) and nx.is_tree(t2)
+    assert set(t1.nodes) == set(graph.nodes) == set(t2.nodes)
+    assert interior_nodes(t1, root).isdisjoint(interior_nodes(t2, root))
+
+
+class TestSoundness:
+    def test_complete_graph(self):
+        g = nx.complete_graph(12)
+        pair = heuristic_two_interior_disjoint_trees(g, 0, seed=1)
+        assert pair is not None
+        assert_valid_pair(g, 0, pair)
+
+    def test_five_cycle(self):
+        g = nx.cycle_graph(5)
+        pair = heuristic_two_interior_disjoint_trees(g, 0, seed=2, restarts=200)
+        assert pair is not None
+        assert_valid_pair(g, 0, pair)
+
+    def test_six_cycle_never_returns_false_positive(self):
+        # Provably infeasible: the heuristic must return None.
+        g = nx.cycle_graph(6)
+        assert heuristic_two_interior_disjoint_trees(g, 0, seed=3, restarts=100) is None
+
+    def test_path_graph_infeasible(self):
+        assert heuristic_two_interior_disjoint_trees(nx.path_graph(6), 0, seed=4) is None
+
+    def test_disconnected(self):
+        g = nx.Graph([(0, 1), (2, 3)])
+        assert heuristic_two_interior_disjoint_trees(g, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            heuristic_two_interior_disjoint_trees(nx.complete_graph(4), 99)
+        with pytest.raises(ConstructionError):
+            heuristic_two_interior_disjoint_trees(nx.complete_graph(4), 0, restarts=0)
+
+
+class TestAgreementWithExact:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_small_graphs(self, seed):
+        rng_graph = nx.gnp_random_graph(9, 0.4, seed=seed)
+        if not nx.is_connected(rng_graph):
+            rng_graph = nx.compose(rng_graph, nx.path_graph(9))
+        exact = has_two_interior_disjoint_trees(rng_graph, 0)
+        pair = heuristic_two_interior_disjoint_trees(
+            rng_graph, 0, restarts=150, seed=seed
+        )
+        if pair is not None:
+            assert exact, "heuristic returned a pair on an infeasible graph"
+            assert_valid_pair(rng_graph, 0, pair)
+        # (Missing a solvable instance is allowed: the heuristic is incomplete.)
+
+
+class TestScale:
+    def test_large_dense_graph(self):
+        # Far beyond the exact solver's 20-vertex guard.
+        g = nx.gnp_random_graph(120, 0.15, seed=7)
+        assert nx.is_connected(g)
+        pair = heuristic_two_interior_disjoint_trees(g, 0, seed=7)
+        assert pair is not None
+        assert_valid_pair(g, 0, pair)
+
+    def test_grid_graph_sound_either_way(self):
+        # Sparse grids may genuinely lack two disjoint connected dominating
+        # sets; the heuristic must stay sound whichever way it answers.
+        g = nx.convert_node_labels_to_integers(nx.grid_2d_graph(6, 6))
+        pair = heuristic_two_interior_disjoint_trees(g, 0, seed=11, restarts=80)
+        if pair is not None:
+            assert_valid_pair(g, 0, pair)
+
+    def test_dense_medium_graph(self):
+        g = nx.gnp_random_graph(40, 0.3, seed=5)
+        assert nx.is_connected(g)
+        pair = heuristic_two_interior_disjoint_trees(g, 0, seed=5)
+        assert pair is not None
+        assert_valid_pair(g, 0, pair)

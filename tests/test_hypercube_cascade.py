@@ -1,0 +1,171 @@
+"""Tests for the arbitrary-N cascade (Section 3.2, Prop 2, Theorem 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.core.errors import ConstructionError
+from repro.core.metrics import collect_metrics
+from repro.hypercube.analysis import analyze_cascade, analyze_grouped, proposition1_claims
+from repro.hypercube.cascade import (
+    cascade_plan,
+    expected_average_delay,
+    expected_worst_delay,
+    proposition2_neighbor_bound,
+    theorem4_bound,
+    worst_case_delay_bound,
+)
+from repro.hypercube.protocol import (
+    GroupedHypercubeProtocol,
+    HypercubeCascadeProtocol,
+    HypercubeProtocol,
+)
+
+
+class TestCascadePlan:
+    def test_special_population_single_cube(self):
+        plan = cascade_plan(127)
+        assert len(plan) == 1
+        assert plan[0].k == 7
+        assert plan[0].offset == 0
+
+    def test_paper_recursion(self):
+        # N = 100: k1 = floor(log2(101)) = 6 (63 nodes), remainder 37 -> k = 5
+        # (31 nodes), remainder 6 -> k = 2 (3), remainder 3 -> k = 2 (3).
+        plan = cascade_plan(100)
+        assert [c.k for c in plan] == [6, 5, 2, 2]
+        assert sum(c.num_receivers for c in plan) == 100
+
+    def test_offsets_accumulate_dimensions(self):
+        plan = cascade_plan(100)
+        offsets = [c.offset for c in plan]
+        assert offsets == [0, 6, 11, 13]
+
+    def test_node_ranges_partition(self):
+        for n in (1, 5, 64, 200):
+            plan = cascade_plan(n)
+            ids = [i for cube in plan for i in cube.node_range]
+            assert ids == list(range(1, n + 1))
+
+    def test_each_cube_at_least_half_remainder(self):
+        # The halving argument behind Theorem 4.
+        for n in (10, 99, 777):
+            remaining = n
+            for cube in cascade_plan(n):
+                assert 2 * cube.num_receivers >= remaining
+                remaining -= cube.num_receivers
+
+    def test_invalid_population(self):
+        with pytest.raises(ConstructionError):
+            cascade_plan(0)
+
+    @given(st.integers(1, 5000))
+    def test_cube_count_logarithmic(self, n):
+        plan = cascade_plan(n)
+        assert len(plan) <= n.bit_length()
+
+
+class TestDelayPredictions:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 12, 20, 37, 64, 100])
+    def test_prediction_matches_simulation(self, n):
+        protocol = HypercubeCascadeProtocol(n)
+        trace = simulate(protocol, protocol.slots_for_packets(12))
+        metrics = collect_metrics(trace, num_packets=12)
+        assert metrics.max_startup_delay == expected_worst_delay(n)
+        assert metrics.avg_startup_delay <= expected_average_delay(n) + 1e-9
+
+    @given(st.integers(1, 100_000))
+    def test_prop2_worst_delay_bound(self, n):
+        assert expected_worst_delay(n) <= worst_case_delay_bound(n)
+
+    @given(st.integers(2, 100_000))
+    def test_theorem4_average_bound(self, n):
+        assert expected_average_delay(n) <= theorem4_bound(n)
+
+    def test_theorem4_tiny_population(self):
+        assert expected_average_delay(1) <= theorem4_bound(1)
+
+
+class TestProposition1:
+    def test_claims_shape(self):
+        claims = proposition1_claims(7)
+        assert claims == {"neighbors": 3, "playback_start": 4, "buffer": 2}
+
+    @pytest.mark.parametrize("n", [3, 7, 15, 31])
+    def test_special_n_measured_guarantees(self, n):
+        claims = proposition1_claims(n)
+        protocol = HypercubeProtocol(n)
+        trace = simulate(protocol, protocol.slots_for_packets(16))
+        metrics = collect_metrics(trace, num_packets=16)
+        assert metrics.max_startup_delay <= claims["playback_start"]
+        assert metrics.max_buffer <= claims["buffer"]
+        assert metrics.max_neighbors <= claims["neighbors"]
+
+    def test_non_special_rejected(self):
+        with pytest.raises(ConstructionError):
+            HypercubeProtocol(10)
+
+
+class TestProposition2:
+    @pytest.mark.parametrize("n", [6, 23, 50, 100])
+    def test_neighbor_bound_holds(self, n):
+        protocol = HypercubeCascadeProtocol(n)
+        trace = simulate(protocol, protocol.slots_for_packets(20))
+        bound = proposition2_neighbor_bound(n)
+        for node in protocol.node_ids:
+            assert len(trace.nodes[node].neighbors) <= bound
+
+    def test_buffers_constant(self):
+        protocol = HypercubeCascadeProtocol(60)
+        trace = simulate(protocol, protocol.slots_for_packets(20))
+        metrics = collect_metrics(trace, num_packets=20)
+        assert metrics.max_buffer <= 2  # O(1): two packets per node
+
+
+class TestGroupedVariant:
+    def test_groups_partition_population(self):
+        protocol = GroupedHypercubeProtocol(100, 3)
+        sizes = [len(lane.id_map) for lane in protocol.lanes]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_source_capacity_d(self):
+        protocol = GroupedHypercubeProtocol(30, 4)
+        assert protocol.send_capacity(0) == 4
+        assert protocol.send_capacity(5) == 1
+
+    def test_grouped_cuts_delay(self):
+        single = analyze_cascade(100, num_packets=10)
+        grouped = analyze_grouped(100, 4, num_packets=10)
+        assert grouped.measured.max_startup_delay < single.measured.max_startup_delay
+
+    def test_degree_larger_than_population(self):
+        protocol = GroupedHypercubeProtocol(3, 8)
+        assert len(protocol.lanes) == 3  # clamped, no empty lanes
+        trace = simulate(protocol, protocol.slots_for_packets(6))
+        assert collect_metrics(trace, num_packets=6).num_nodes == 3
+
+    @given(st.integers(1, 80), st.integers(1, 6))
+    @settings(max_examples=12, deadline=None)
+    def test_grouped_validates(self, n, d):
+        protocol = GroupedHypercubeProtocol(n, d)
+        trace = simulate(protocol, protocol.slots_for_packets(6))
+        metrics = collect_metrics(trace, num_packets=6)
+        assert metrics.num_nodes == n
+
+
+class TestAnalyses:
+    def test_analyze_cascade_consistency(self):
+        qos = analyze_cascade(45, num_packets=10)
+        assert qos.num_nodes == 45
+        assert qos.measured.max_startup_delay == qos.predicted_max_delay
+        assert qos.measured.avg_startup_delay <= qos.theorem4_avg_bound
+        assert qos.measured.max_neighbors <= qos.neighbor_bound
+
+    def test_analyze_grouped_consistency(self):
+        qos = analyze_grouped(45, 3, num_packets=10)
+        assert qos.num_nodes == 45
+        assert qos.measured.max_startup_delay == qos.predicted_max_delay

@@ -1,0 +1,203 @@
+"""Tests for single-hypercube streaming (Section 3.1, Figures 5-7, Prop 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.hypercube.cube import (
+    CubeExchange,
+    dimension_for_population,
+    dimension_of_slot,
+    is_special_population,
+    partner_of,
+    slot_pairs,
+)
+
+
+class TestSpecialPopulations:
+    def test_detection(self):
+        assert [n for n in range(1, 32) if is_special_population(n)] == [1, 3, 7, 15, 31]
+
+    def test_dimension(self):
+        assert dimension_for_population(7) == 3
+        assert dimension_for_population(1) == 1
+
+    def test_non_special_rejected(self):
+        with pytest.raises(ConstructionError):
+            dimension_for_population(6)
+
+
+class TestPairing:
+    def test_figure7_pairings(self):
+        # Paper (Figure 7): 7 nodes + source, IDs 0..7.  Pairs (xx0)/(xx1):
+        # 0-1, 2-3, 4-5, 6-7; pairs (x0x)/(x1x): 0-2, 1-3, 4-6, 5-7; pairs
+        # (0xx)/(1xx): 0-4, 1-5, 2-6, 3-7.  The paper starts its cycle with
+        # bit 0 at slot 3n+1; we use the equivalent phase with bit 0 at 3n.
+        assert slot_pairs(3, 0) == [(0, 1), (2, 3), (4, 5), (6, 7)]
+        assert slot_pairs(3, 1) == [(0, 2), (1, 3), (4, 6), (5, 7)]
+        assert slot_pairs(3, 2) == [(0, 4), (1, 5), (2, 6), (3, 7)]
+        assert slot_pairs(3, 3) == slot_pairs(3, 0)
+
+    def test_dimension_cycles(self):
+        assert [dimension_of_slot(t, 3) for t in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_partner_involution(self):
+        for v in range(8):
+            for j in range(3):
+                assert partner_of(partner_of(v, j), j) == v
+
+    @given(st.integers(1, 8), st.integers(0, 100))
+    def test_pairs_partition_vertices(self, k, slot):
+        pairs = slot_pairs(k, slot)
+        flat = [v for pair in pairs for v in pair]
+        assert sorted(flat) == list(range(1 << k))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConstructionError):
+            dimension_of_slot(0, 0)
+        with pytest.raises(ConstructionError):
+            dimension_of_slot(-1, 3)
+
+
+class TestCubeExchange:
+    def test_prop1_arrival_bound(self):
+        # Every node holds packet p by local slot p + k (playback after k+1).
+        for k in range(1, 8):
+            cube = CubeExchange(k)
+            horizon = 4 * k + 40
+            arrivals = {v: {} for v in range(1, 1 << k)}
+            for t in range(horizon):
+                for tr in cube.step(inject=t):
+                    arrivals[tr.receiver].setdefault(tr.packet, t)
+                arrivals[1 << (t % k)].setdefault(t, t)
+            for v, arr in arrivals.items():
+                for p in range(horizon - 2 * k - 4):
+                    assert p in arr, f"k={k}: node {v} never got packet {p}"
+                    bound = p if k == 1 else p + k
+                    assert arr[p] <= bound, f"k={k}, node {v}, packet {p}"
+
+    def test_prop1_neighbor_count_is_k(self):
+        for k in (2, 3, 4, 5):
+            cube = CubeExchange(k)
+            partners = {v: set() for v in range(1, 1 << k)}
+            for t in range(6 * k):
+                for tr in cube.step(inject=t):
+                    partners[tr.sender].add(tr.receiver)
+                    partners[tr.receiver].add(tr.sender)
+                partners[1 << (t % k)].add(0)
+            for v, peers in partners.items():
+                assert len(peers) <= k
+
+    def test_port_export_lag_k(self):
+        # The port always holds the packet consumed this slot (lag k), which
+        # is what the cascade's deterministic offsets o_{c+1} = o_c + k use.
+        for k in range(1, 9):
+            cube = CubeExchange(k)
+            for t in range(5 * k + 30):
+                port = cube.port_vertex(t)
+                if t >= k:
+                    held = cube.holdings(port)
+                    assert t - k in held, f"k={k}, slot {t}"
+                cube.step(inject=t)
+
+    def test_figure5_doubling_state(self):
+        # Figure 5: with N = 7 (k = 3), in steady state the number of nodes
+        # holding the i-th newest packet doubles down the ladder: the newest
+        # injected packet is at 1 node, the next at 2, then 4, then all 7.
+        cube = CubeExchange(3)
+        t = 0
+        for t in range(30):
+            cube.step(inject=t)
+        counts = {}
+        for v in range(1, 8):
+            for p in cube.holdings(v):
+                counts[p] = counts.get(p, 0) + 1
+        newest = max(counts)
+        assert counts[newest] == 1
+        assert counts[newest - 1] == 2
+        assert counts[newest - 2] == 4
+        assert counts[newest - 3] == 7
+
+    def test_figure6_buffer_is_constant(self):
+        # O(1) buffers: past the startup transient, a node needs only the
+        # packets newer than its consumption point — at most 2 (Prop 1).
+        k = 3
+        cube = CubeExchange(k)
+        for t in range(40):
+            cube.step(inject=t)
+            if t > 2 * k:
+                consumed_upto = t - k - 1  # consumption frontier (Prop 1)
+                for v in range(1, 8):
+                    live = [p for p in cube.holdings(v) if p > consumed_upto]
+                    assert len(live) <= 2, f"slot {t}, node {v}: {sorted(live)}"
+
+    def test_exchange_is_collision_free(self):
+        # No node sends or receives more than one packet per slot.
+        cube = CubeExchange(4)
+        for t in range(50):
+            transfers = cube.step(inject=t)
+            senders = [tr.sender for tr in transfers]
+            receivers = [tr.receiver for tr in transfers] + [1 << (t % 4)]
+            assert len(senders) == len(set(senders))
+            assert len(receivers) == len(set(receivers))
+
+    def test_no_redundant_transfers(self):
+        cube = CubeExchange(3)
+        seen = set()
+        for t in range(40):
+            for tr in cube.step(inject=t):
+                key = (tr.receiver, tr.packet)
+                assert key not in seen, f"redundant delivery {key}"
+                seen.add(key)
+
+    def test_injection_can_pause(self):
+        cube = CubeExchange(2)
+        cube.step(inject=0)
+        cube.step(inject=None)  # feeder warm-up gap
+        cube.step(inject=1)
+        assert 0 in cube.holdings(1)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ConstructionError):
+            CubeExchange(0)
+
+
+class TestInjectionGaps:
+    """The cascade feeds downstream cubes with warm-up gaps (inject=None);
+    the exchange must stay collision-free and deliver whatever was injected,
+    for any gap pattern."""
+
+    @given(st.integers(2, 4), st.lists(st.booleans(), min_size=10, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_gap_patterns(self, k, pattern):
+        cube = CubeExchange(k)
+        injected = []
+        arrivals = {v: {} for v in range(1, 1 << k)}
+        next_packet = 0
+        for t, fire in enumerate(pattern):
+            inject = None
+            if fire:
+                inject = next_packet
+                injected.append((next_packet, t))
+                next_packet += 1
+            transfers = cube.step(inject=inject)
+            senders = [tr.sender for tr in transfers]
+            receivers = [tr.receiver for tr in transfers]
+            if inject is not None:
+                receivers.append(cube.port_vertex(t))
+            assert len(senders) == len(set(senders))
+            assert len(receivers) == len(set(receivers))
+            for tr in transfers:
+                arrivals[tr.receiver].setdefault(tr.packet, t)
+            if inject is not None:
+                arrivals[cube.port_vertex(t)].setdefault(inject, t)
+        # Drain: everything injected early enough must spread to every node.
+        for t in range(len(pattern), len(pattern) + 4 * k + 8):
+            for tr in cube.step(inject=None):
+                arrivals[tr.receiver].setdefault(tr.packet, t)
+        for packet, _ in injected:
+            for v in range(1, 1 << k):
+                assert packet in arrivals[v], (k, packet, v)

@@ -1,0 +1,196 @@
+"""Tests for hypercube membership dynamics (the paper's future work) and the
+ghost-vertex degradation result that motivates immediate repair."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.hypercube.cube import CubeExchange
+from repro.hypercube.dynamics import CascadeMembership, optimal_delay_for
+
+
+class TestGhostDegradation:
+    def test_ghost_port_loses_packets_forever(self):
+        # Vertex 1 = 2^0 is an injection port; with it vacant, packets
+        # injected in slots ≡ 0 (mod k) reach nobody, ever.
+        cube = CubeExchange(3, ghosts=frozenset({1}))
+        delivered: set[int] = set()
+        for t in range(60):
+            for tr in cube.step(inject=t):
+                delivered.add(tr.packet)
+        horizon = 40
+        lost = [p for p in range(horizon) if p % 3 == 0 and p not in delivered]
+        assert lost, "port-slot packets must be lost with a ghost port"
+
+    def test_any_ghost_starves_its_neighbors(self):
+        # The cube's send budget exactly matches the consumption demand, so a
+        # vacancy removes two transmissions per cycle (the ghost's pair idles)
+        # but only one consumer: the ghost's neighbors fall behind without
+        # bound.  Even a non-port vacancy (vertex 3) breaks real-time
+        # delivery — the strongest argument for immediate membership repair.
+        cube = CubeExchange(3, ghosts=frozenset({3}))
+        arrivals = {v: {} for v in range(1, 8) if v != 3}
+        for t in range(90):
+            for tr in cube.step(inject=t):
+                arrivals[tr.receiver].setdefault(tr.packet, t)
+            port = 1 << (t % 3)
+            if port in arrivals:
+                arrivals[port].setdefault(t, t)
+
+        def frontier(arr, upto):
+            f = -1
+            while f + 1 in arr and arr[f + 1] <= upto:
+                f += 1
+            return f
+
+        lag_mid = max(40 - frontier(arr, 40) for arr in arrivals.values())
+        lag_end = max(80 - frontier(arr, 80) for arr in arrivals.values())
+        assert lag_end > lag_mid  # the worst member keeps falling behind
+
+    def test_ghost_validation(self):
+        with pytest.raises(ConstructionError):
+            CubeExchange(3, ghosts=frozenset({0}))
+        with pytest.raises(ConstructionError):
+            CubeExchange(3, ghosts=frozenset({8}))
+
+
+class TestCascadeMembershipBasics:
+    def test_initial_assignment_is_optimal(self):
+        membership = CascadeMembership(100)
+        membership.verify()
+        assert membership.num_nodes == 100
+        assert membership.worst_case_delay() == optimal_delay_for(100)
+        assert membership.delay_penalty() == 0
+
+    def test_assignment_lookup(self):
+        membership = CascadeMembership(10)
+        index, vertex = membership.assignment_of(1)
+        assert index == 0 and vertex == 1
+        with pytest.raises(ConstructionError):
+            membership.assignment_of(999)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConstructionError):
+            CascadeMembership(10, strategy="magic")
+
+    def test_cannot_remove_last(self):
+        membership = CascadeMembership(1)
+        with pytest.raises(ConstructionError):
+            membership.leave(1)
+
+
+class TestFillFromTail:
+    def test_join_opens_singleton_cube(self):
+        membership = CascadeMembership(100)  # cubes 63+31+3+3: all full
+        node, event = membership.join()
+        membership.verify()
+        assert event.relocated == frozenset()
+        assert membership.num_nodes == 101
+        assert event.cubes_after[-1] == 1
+
+    def test_leave_from_head_backfills_and_replans_tail(self):
+        membership = CascadeMembership(100)  # tail cube: k=2 (3 members)
+        event = membership.leave(1)  # vertex in the big cube
+        membership.verify()
+        # One donor moved, plus the tail cube's 2 survivors re-planned as
+        # two singleton cubes (their neighbor structure changed).
+        assert 1 <= len(event.relocated) <= 3
+        assert membership.num_nodes == 99
+
+    def test_leave_from_singleton_tail_relocates_none(self):
+        membership = CascadeMembership(4)  # cubes: k=2 (3 nodes) + k=1 (1 node)
+        tail_node = membership.assignments[-1][1]
+        event = membership.leave(tail_node)
+        membership.verify()
+        assert event.relocated == frozenset()
+        assert membership.cube_dims == [2]
+
+    def test_cubes_always_full(self):
+        membership = CascadeMembership(20)
+        membership.leave(3)
+        membership.join()
+        membership.leave(7)
+        for k, cube in zip(membership.cube_dims, membership.assignments):
+            assert len(cube) == (1 << k) - 1
+
+    def test_delay_drifts_but_compact_restores(self):
+        membership = CascadeMembership(40)
+        for _ in range(20):
+            membership.join()
+        membership.verify()
+        # 20 unplanned k=1 tail cubes cost real delay vs a rebuild.
+        assert membership.delay_penalty() > 0
+        event = membership.compact()
+        membership.verify()
+        assert membership.delay_penalty() == 0
+        assert event.operation == "compact"
+        assert membership.num_nodes == 60
+
+
+class TestRebuild:
+    def test_rebuild_keeps_optimal_delay(self):
+        membership = CascadeMembership(40, strategy="rebuild")
+        for _ in range(20):
+            membership.join()
+        for victim in (3, 17, 25):
+            membership.leave(victim)
+        membership.verify()
+        assert membership.delay_penalty() == 0
+
+    def test_rebuild_relocates_many(self):
+        # 126 = [k=6, k=6] but 127 = [k=7]: the second half of the population
+        # moves into the grown first cube.
+        membership = CascadeMembership(126, strategy="rebuild")
+        _, event = membership.join()
+        assert event.cubes_after == (7,)
+        assert len(event.relocated) > 20
+
+    def test_rebuild_can_be_free(self):
+        # 63 = [k=6] grows to 64 = [k=6, k=1]: the old prefix is untouched.
+        membership = CascadeMembership(63, strategy="rebuild")
+        _, event = membership.join()
+        assert event.relocated == frozenset()
+
+    def test_join_not_counted_as_relocated(self):
+        membership = CascadeMembership(10, strategy="rebuild")
+        node, event = membership.join()
+        assert node not in event.relocated
+
+
+class TestStrategyComparison:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_fill_relocations_bounded_by_tail_cube(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        membership = CascadeMembership(30)
+        for _ in range(25):
+            tail_size = (1 << membership.cube_dims[-1]) - 1
+            if rng.random() < 0.5 and membership.num_nodes > 2:
+                victim = int(rng.choice(sorted(membership.members())))
+                event = membership.leave(victim)
+                assert len(event.relocated) <= tail_size
+            else:
+                _, event = membership.join()
+                assert event.relocated == frozenset()
+            membership.verify()
+
+    def test_tradeoff_direction(self):
+        # Same event sequence: fill-from-tail disrupts less, rebuild keeps
+        # delays optimal.
+        fill = CascadeMembership(50)
+        rebuild = CascadeMembership(50, strategy="rebuild")
+        for membership in (fill, rebuild):
+            for _ in range(12):
+                membership.join()
+            for victim in (5, 20, 35):
+                membership.leave(victim)
+        fill_moves = sum(len(e.relocated) for e in fill.history)
+        rebuild_moves = sum(len(e.relocated) for e in rebuild.history)
+        assert fill_moves < rebuild_moves
+        assert rebuild.delay_penalty() == 0
+        assert fill.delay_penalty() >= rebuild.delay_penalty()

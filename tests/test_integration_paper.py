@@ -1,0 +1,127 @@
+"""Integration tests: end-to-end reproduction of the paper's headline claims.
+
+Each test here corresponds to a statement in the paper (abstract, Table 1, or
+an inline claim) and verifies it against packet-level simulation under the
+strict communication-model validator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.chain import ChainProtocol
+from repro.core.engine import simulate
+from repro.core.metrics import collect_metrics
+from repro.hypercube.protocol import GroupedHypercubeProtocol, HypercubeCascadeProtocol
+from repro.trees import MultiTreeProtocol
+from repro.trees.analysis import theorem2_bound
+
+
+def metrics_for(protocol, packets):
+    trace = simulate(protocol, protocol.slots_for_packets(packets))
+    return collect_metrics(trace, num_packets=packets)
+
+
+class TestAbstractClaims:
+    """The abstract's summary sentence, measured."""
+
+    def test_multi_tree_dlogn_delay_and_buffer_2d_neighbors(self):
+        n, d = 120, 3
+        m = metrics_for(MultiTreeProtocol(n, d), 2 * theorem2_bound(n, d))
+        bound = theorem2_bound(n, d)  # d * log_d N shape
+        assert m.max_startup_delay <= bound
+        assert m.max_buffer <= bound
+        assert m.max_neighbors <= 2 * d
+
+    def test_hypercube_log2_delay_constant_buffer_logn_neighbors(self):
+        n = 120
+        m = metrics_for(HypercubeCascadeProtocol(n), 24)
+        assert m.max_buffer <= 2  # O(1)
+        k1 = (n + 1).bit_length() - 1
+        assert m.max_startup_delay <= (k1 + 1) ** 2  # O(log^2 N)
+        assert m.max_neighbors <= 3 * k1  # O(log N)
+
+
+class TestTable1Tradeoff:
+    """Table 1's qualitative comparison, measured on one population."""
+
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        # A non-special population: the arbitrary-N cascade pays its
+        # O(log^2 N) offsets, which is the regime where Table 1 ranks the
+        # multi-tree ahead on worst-case delay.
+        n, d = 100, 3
+        packets = 30
+        return {
+            "tree": metrics_for(MultiTreeProtocol(n, d), packets),
+            "cube": metrics_for(HypercubeCascadeProtocol(n), packets),
+            "grouped": metrics_for(GroupedHypercubeProtocol(n, d), packets),
+            "chain": metrics_for(ChainProtocol(n), packets),
+        }
+
+    def test_multi_tree_beats_arbitrary_n_hypercube_on_delay(self, measurements):
+        assert (
+            measurements["tree"].max_startup_delay
+            <= measurements["cube"].max_startup_delay
+        )
+
+    def test_special_n_hypercube_beats_multi_tree_on_delay(self):
+        # The other side of Table 1: for N = 2^k - 1 a single cube's
+        # O(log N) delay beats the multi-tree's O(d log N).
+        n = 127
+        tree = metrics_for(MultiTreeProtocol(n, 2), 20)
+        cube = metrics_for(HypercubeCascadeProtocol(n), 20)
+        assert cube.max_startup_delay < tree.max_startup_delay
+
+    def test_hypercube_beats_multi_tree_on_buffer(self, measurements):
+        assert measurements["cube"].max_buffer < measurements["tree"].max_buffer
+
+    def test_multi_tree_has_constant_neighbors(self, measurements):
+        assert measurements["tree"].max_neighbors <= 6  # 2d
+        assert measurements["cube"].max_neighbors >= 6  # ~log N
+
+    def test_both_beat_chain_on_delay(self, measurements):
+        chain = measurements["chain"].max_startup_delay
+        assert measurements["tree"].max_startup_delay < chain
+        assert measurements["cube"].max_startup_delay < chain
+
+    def test_grouped_variant_beats_single_cascade(self, measurements):
+        assert (
+            measurements["grouped"].max_startup_delay
+            <= measurements["cube"].max_startup_delay
+        )
+
+
+class TestDelayBufferTradeoffCurve:
+    def test_buffer_gap_across_populations(self):
+        # The tradeoff the title names: the multi-tree scheme pays buffer
+        # space (Θ(d log N)) where the hypercube holds O(1) regardless of N.
+        for n in (31, 63, 127):
+            tree = metrics_for(MultiTreeProtocol(n, 2), 20)
+            cube = metrics_for(HypercubeCascadeProtocol(n), 20)
+            assert cube.max_buffer <= 2
+            assert tree.max_buffer > cube.max_buffer
+
+    def test_multi_tree_buffer_grows_with_population(self):
+        buffers = [
+            metrics_for(MultiTreeProtocol(n, 2), 24).max_buffer for n in (14, 126, 1022)
+        ]
+        assert buffers[0] < buffers[-1]
+
+
+class TestScalingShapes:
+    def test_multi_tree_delay_grows_logarithmically(self):
+        delays = [
+            metrics_for(MultiTreeProtocol(n, 2), 10).max_startup_delay
+            for n in (14, 62, 254)
+        ]
+        # Quadrupling N adds a constant (2 levels * d = 4), not a factor.
+        assert delays[1] - delays[0] <= 6
+        assert delays[2] - delays[1] <= 6
+        assert delays[0] < delays[1] < delays[2]
+
+    def test_chain_delay_grows_linearly(self):
+        delays = [
+            metrics_for(ChainProtocol(n), 5).max_startup_delay for n in (10, 20, 40)
+        ]
+        assert delays == [10, 20, 40]

@@ -1,0 +1,52 @@
+"""Tests for the process-parallel sweep runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.workloads.parallel import (
+    cascade_cell,
+    default_workers,
+    multi_tree_cell,
+    parallel_sweep,
+)
+
+
+class TestCells:
+    def test_multi_tree_cell(self):
+        n, d, delay = multi_tree_cell((100, 3))
+        assert (n, d) == (100, 3)
+        from repro.trees.analysis import worst_case_delay
+        from repro.trees.forest import MultiTreeForest
+
+        assert delay == worst_case_delay(MultiTreeForest.construct(100, 3))
+
+    def test_cascade_cell(self):
+        n, worst, avg = cascade_cell((50,))
+        assert n == 50
+        assert avg <= worst
+
+
+class TestRunner:
+    def test_empty_tasks(self):
+        assert parallel_sweep(multi_tree_cell, []) == []
+
+    def test_serial_path(self):
+        results = parallel_sweep(
+            multi_tree_cell, [(20, 2), (20, 3)], max_workers=1
+        )
+        assert [r[:2] for r in results] == [(20, 2), (20, 3)]
+
+    def test_parallel_matches_serial(self):
+        tasks = [(n, d) for n in (20, 50, 90, 130) for d in (2, 3)]
+        serial = parallel_sweep(multi_tree_cell, tasks, max_workers=1)
+        parallel = parallel_sweep(multi_tree_cell, tasks, max_workers=2, chunksize=2)
+        assert serial == parallel  # order-preserving and identical
+
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            parallel_sweep(multi_tree_cell, [(5, 2), (6, 2), (7, 2)], max_workers=0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

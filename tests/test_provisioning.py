@@ -1,0 +1,85 @@
+"""Tests for the Section 2 provisioning arithmetic (the paper's worked numbers)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.theory.provisioning import StreamProfile, mpeg1_profile, paper_example_profile
+
+
+class TestPaperNumbers:
+    def test_slot_is_about_7_5_ms(self):
+        # "each packet would play for ≈ 7.5 msec"
+        profile = mpeg1_profile()
+        assert profile.slot_seconds * 1e3 == pytest.approx(7.47, abs=0.1)
+
+    def test_transmission_is_about_1_1_ms(self):
+        # "it would take ≈ 1.1 msec to transmit one packet"
+        profile = mpeg1_profile()
+        assert profile.transmission_seconds * 1e3 == pytest.approx(1.12, abs=0.05)
+
+    def test_feasibility_holds(self):
+        assert mpeg1_profile().is_feasible
+
+    def test_batch_about_5_packets(self):
+        # "that would be on the order of 5 packets" for a 30 ms one-way delay.
+        profile = paper_example_profile()
+        assert profile.batch_size in (4, 5)
+
+    def test_headroom(self):
+        assert mpeg1_profile().capacity_headroom == pytest.approx(10 / 1.5)
+
+
+class TestFeasibilityBoundary:
+    def test_slow_link_infeasible(self):
+        profile = StreamProfile(
+            stream_rate_bps=1.5e6, packet_bytes=1400, link_rate_bps=1.2e6
+        )
+        assert not profile.is_feasible
+        assert profile.capacity_headroom < 1
+
+    def test_equal_rates_are_exactly_feasible(self):
+        profile = StreamProfile(
+            stream_rate_bps=2e6, packet_bytes=1000, link_rate_bps=2e6
+        )
+        assert profile.is_feasible
+        assert profile.slot_seconds == profile.transmission_seconds
+
+    def test_no_delay_means_no_batching(self):
+        assert mpeg1_profile().batch_size == 1
+
+    def test_slots_to_seconds(self):
+        profile = paper_example_profile()
+        # A 12-slot startup delay in batched wall-clock time.
+        seconds = profile.slots_to_seconds(12)
+        assert seconds == pytest.approx(12 * profile.batch_size * profile.slot_seconds)
+
+    def test_describe_mentions_units(self):
+        text = paper_example_profile().describe()
+        assert "Mbps" in text and "ms" in text
+
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            StreamProfile(stream_rate_bps=0, packet_bytes=1, link_rate_bps=1)
+        with pytest.raises(ConstructionError):
+            StreamProfile(stream_rate_bps=1, packet_bytes=0, link_rate_bps=1)
+        with pytest.raises(ConstructionError):
+            StreamProfile(stream_rate_bps=1, packet_bytes=1, link_rate_bps=-1)
+        with pytest.raises(ConstructionError):
+            StreamProfile(
+                stream_rate_bps=1, packet_bytes=1, link_rate_bps=1, one_way_delay_s=-1
+            )
+
+    @given(
+        st.floats(1e5, 1e8),
+        st.integers(100, 9000),
+        st.floats(1e5, 1e9),
+    )
+    def test_feasibility_matches_headroom(self, stream, packet, link):
+        profile = StreamProfile(
+            stream_rate_bps=stream, packet_bytes=packet, link_rate_bps=link
+        )
+        assert profile.is_feasible == (profile.capacity_headroom >= 1)

@@ -1,0 +1,61 @@
+"""Tests for the plain-text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.reporting.series import ascii_plot, series_table
+from repro.reporting.tables import format_rows, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["n", "delay"], [[10, 4], [2000, 30]])
+        lines = out.splitlines()
+        assert lines[0].startswith("n")
+        assert "2000" in lines[-1]
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159]])
+        assert "3.142" in out
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_rows_from_dicts(self):
+        out = format_rows([{"n": 1, "d": 2}, {"n": 3, "d": 4}])
+        assert out.splitlines()[0].split() == ["n", "d"]
+
+    def test_format_rows_empty(self):
+        assert format_rows([], title="empty") == "empty"
+
+
+class TestSeries:
+    def test_series_table(self):
+        out = series_table("N", [1, 2], {"deg2": [5, 6], "deg3": [7, 8]})
+        assert "deg2" in out and "deg3" in out
+        assert out.splitlines()[-1].split() == ["2", "6", "8"]
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            series_table("N", [1, 2], {"a": [1]})
+
+    def test_ascii_plot_contains_glyphs_and_legend(self):
+        out = ascii_plot([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]}, width=20, height=5)
+        assert "* up" in out
+        assert "o down" in out
+        assert any("*" in line for line in out.splitlines())
+
+    def test_ascii_plot_constant_series(self):
+        out = ascii_plot([0, 1], {"flat": [3, 3]}, width=10, height=3)
+        assert "flat" in out
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([], {}, title="t") == "t"

@@ -1,0 +1,104 @@
+"""Tests for trace export/import."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.errors import ReproError
+from repro.core.metrics import collect_metrics
+from repro.reporting.export import (
+    metrics_to_dict,
+    read_trace_json,
+    trace_to_dict,
+    write_arrivals_csv,
+    write_trace_json,
+    write_transmissions_csv,
+)
+from repro.trees import MultiTreeProtocol
+
+
+@pytest.fixture(scope="module")
+def trace():
+    protocol = MultiTreeProtocol(9, 3)
+    return simulate(protocol, protocol.slots_for_packets(6))
+
+
+class TestJson:
+    def test_round_trip(self, trace, tmp_path):
+        path = write_trace_json(trace, tmp_path / "t.json")
+        loaded = read_trace_json(path)
+        assert loaded["num_slots"] == trace.num_slots
+        assert loaded["arrivals"][1] == dict(trace.arrivals(1))
+        assert loaded["neighbors"][1] == sorted(trace.nodes[1].neighbors)
+
+    def test_transmissions_optional(self, trace):
+        with_tx = trace_to_dict(trace)
+        without = trace_to_dict(trace, include_transmissions=False)
+        assert len(with_tx["transmissions"]) == len(trace.transmissions)
+        assert "transmissions" not in without
+
+    def test_version_check(self, trace, tmp_path):
+        path = write_trace_json(trace, tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        payload["format_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="version"):
+            read_trace_json(path)
+
+    def test_json_is_plain_types(self, trace):
+        json.dumps(trace_to_dict(trace))  # must not raise
+
+
+class TestCsv:
+    def test_transmissions_csv(self, trace, tmp_path):
+        path = write_transmissions_csv(trace, tmp_path / "tx.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == len(trace.transmissions)
+        assert rows[0]["sender"] == "0"  # the source transmits first
+
+    def test_arrivals_csv(self, trace, tmp_path):
+        path = write_arrivals_csv(trace, tmp_path / "arr.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        expected = sum(len(s.arrivals) for s in trace.nodes.values())
+        assert len(rows) == expected
+
+
+class TestMetricsExport:
+    def test_metrics_dict(self, trace):
+        metrics = collect_metrics(trace, num_packets=6)
+        payload = metrics_to_dict(metrics)
+        json.dumps(payload)
+        assert payload["num_nodes"] == 9
+        assert payload["per_node"]["1"]["startup_delay"] >= 1
+
+
+class TestTraceFromDict:
+    def test_round_trip_rebuild(self, trace, tmp_path):
+        from repro.core.trace_checks import audit_trace
+        from repro.reporting.export import trace_from_dict
+
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert rebuilt.arrivals(1) == dict(trace.arrivals(1))
+        assert len(rebuilt.transmissions) == len(trace.transmissions)
+        assert rebuilt.source_states[0].packets_sent == trace.source_states[0].packets_sent
+        audit = audit_trace(rebuilt, send_capacity=lambda n: 3 if n == 0 else 1)
+        assert audit.ok, audit.violations
+
+    def test_rebuild_from_json_file(self, trace, tmp_path):
+        from repro.reporting.export import read_trace_json, trace_from_dict
+
+        path = write_trace_json(trace, tmp_path / "t.json")
+        rebuilt = trace_from_dict(read_trace_json(path))
+        assert rebuilt.num_slots == trace.num_slots
+
+    def test_rebuild_without_arrivals_rejected(self):
+        from repro.reporting.export import trace_from_dict
+
+        with pytest.raises(ReproError, match="arrivals"):
+            trace_from_dict({"num_slots": 3})

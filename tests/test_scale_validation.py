@@ -1,0 +1,51 @@
+"""Large-scale end-to-end validation runs.
+
+One order of magnitude beyond the rest of the suite: full packet-level
+simulation with every per-slot constraint checked, at populations matching
+the paper's Figure 4 axis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import collect_metrics
+from repro.hypercube.cascade import expected_worst_delay
+from repro.hypercube.protocol import HypercubeCascadeProtocol
+from repro.trees import MultiTreeProtocol
+from repro.trees.analysis import theorem2_bound, worst_case_delay
+
+
+@pytest.mark.parametrize("construction", ["structured", "greedy"])
+def test_thousand_node_multi_tree(construction):
+    n, d = 1022, 2
+    protocol = MultiTreeProtocol(n, d, construction=construction)
+    packets = 2 * d
+    trace = simulate(protocol, protocol.slots_for_packets(packets))
+    metrics = collect_metrics(trace, num_packets=packets)
+    assert metrics.num_nodes == n
+    assert metrics.max_startup_delay <= theorem2_bound(n, d)
+    assert metrics.max_neighbors <= 2 * d
+    # Complete tree: the analytic worst case is exactly h*d = 18.
+    assert worst_case_delay(protocol.forest) == 18
+
+
+def test_thousand_node_hypercube_cascade():
+    n = 1023  # single 10-cube
+    protocol = HypercubeCascadeProtocol(n)
+    trace = simulate(protocol, protocol.slots_for_packets(6))
+    metrics = collect_metrics(trace, num_packets=6)
+    assert metrics.num_nodes == n
+    assert metrics.max_startup_delay == expected_worst_delay(n) == 11
+    assert metrics.max_buffer <= 2
+    assert metrics.max_neighbors <= 10
+
+
+def test_seven_hundred_node_cascade_chain():
+    n = 700  # multi-cube chain
+    protocol = HypercubeCascadeProtocol(n)
+    trace = simulate(protocol, protocol.slots_for_packets(6))
+    metrics = collect_metrics(trace, num_packets=6)
+    assert metrics.max_startup_delay == expected_worst_delay(n)
+    assert metrics.max_buffer <= 2

@@ -1,0 +1,32 @@
+"""Smoke test for the one-shot reproduction driver."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_reproduce_all_skip_tests():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "reproduce_all.py"), "--skip-tests"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    record = ROOT / "REPRODUCTION.txt"
+    assert record.exists()
+    text = record.read_text()
+    # Every reproduction section is present.
+    for name in (
+        "figure4_delay_vs_n",
+        "table1_comparison",
+        "theorem2_worst_delay",
+        "prop1_special_n",
+        "ablation_churn",
+    ):
+        assert f"### {name}" in text

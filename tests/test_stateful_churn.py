@@ -1,0 +1,138 @@
+"""Stateful property testing of churn maintenance.
+
+Hypothesis drives arbitrary interleavings of add/delete/compact against a
+:class:`~repro.trees.dynamics.DynamicForest` (and, in parallel, a
+:class:`~repro.hypercube.dynamics.CascadeMembership`), checking every
+structural invariant after every step.  This is the strongest guarantee in
+the suite that no churn sequence can corrupt the overlays.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hypercube.dynamics import CascadeMembership
+from repro.trees.dynamics import DynamicForest
+
+
+class MultiTreeChurnMachine(RuleBasedStateMachine):
+    """Arbitrary churn against the multi-tree maintenance algorithms."""
+
+    @initialize(
+        n=st.integers(2, 25),
+        d=st.integers(2, 4),
+        lazy=st.booleans(),
+        construction=st.sampled_from(["structured", "greedy"]),
+    )
+    def setup(self, n, d, lazy, construction):
+        self.forest = DynamicForest(n, d, construction, lazy=lazy)
+        self.max_swaps_per_op = d * d + d
+
+    @rule()
+    def add(self):
+        _, report = self.forest.add_node()
+        assert report.swaps <= self.max_swaps_per_op
+
+    @rule(pick=st.randoms(use_true_random=False))
+    @precondition(lambda self: self.forest.num_nodes > 1)
+    def delete(self, pick):
+        victim = pick.choice(sorted(self.forest.real_ids))
+        report = self.forest.delete_node(victim)
+        assert victim not in self.forest.real_ids
+        assert report.swaps <= 2 * self.max_swaps_per_op
+
+    @rule()
+    def compact(self):
+        self.forest.compact()
+
+    @invariant()
+    def structural_invariants_hold(self):
+        if hasattr(self, "forest"):
+            self.forest.verify()
+
+    @invariant()
+    def population_is_consistent(self):
+        if not hasattr(self, "forest"):
+            return
+        real_in_layouts = {
+            node for node in self.forest._layouts[0] if node >= 0
+        }
+        assert real_in_layouts == self.forest.real_ids
+
+    @invariant()
+    def delays_bounded_by_structure(self):
+        if not hasattr(self, "forest"):
+            return
+        from repro.trees.analysis import theorem2_bound
+
+        d = self.forest.degree
+        structural_n = self.forest.padded_size
+        assert self.forest.worst_case_delay() <= theorem2_bound(structural_n, d)
+
+
+class CascadeChurnMachine(RuleBasedStateMachine):
+    """Arbitrary churn against the hypercube membership strategies."""
+
+    @initialize(
+        n=st.integers(2, 40),
+        strategy=st.sampled_from(["fill-from-tail", "rebuild"]),
+    )
+    def setup(self, n, strategy):
+        self.membership = CascadeMembership(n, strategy=strategy)
+
+    @rule()
+    def join(self):
+        node, event = self.membership.join()
+        assert node in self.membership.members()
+        if self.membership.strategy == "fill-from-tail":
+            assert event.relocated == frozenset()
+
+    @rule(pick=st.randoms(use_true_random=False))
+    @precondition(lambda self: self.membership.num_nodes > 1)
+    def leave(self, pick):
+        tail_size = (1 << self.membership.cube_dims[-1]) - 1
+        victim = pick.choice(sorted(self.membership.members()))
+        event = self.membership.leave(victim)
+        assert victim not in self.membership.members()
+        if self.membership.strategy == "fill-from-tail":
+            # Disruption is confined to the (former) tail cube plus the donor.
+            assert len(event.relocated) <= tail_size
+
+    @rule()
+    def compact(self):
+        self.membership.compact()
+        assert self.membership.delay_penalty() == 0
+
+    @invariant()
+    def assignments_consistent(self):
+        if hasattr(self, "membership"):
+            self.membership.verify()
+
+    @invariant()
+    def rebuild_stays_optimal(self):
+        if hasattr(self, "membership") and self.membership.strategy == "rebuild":
+            assert self.membership.delay_penalty() == 0
+
+    @invariant()
+    def delays_never_beat_optimal(self):
+        if hasattr(self, "membership"):
+            assert self.membership.delay_penalty() >= 0
+
+
+TestMultiTreeChurnMachine = MultiTreeChurnMachine.TestCase
+TestMultiTreeChurnMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)
+
+TestCascadeChurnMachine = CascadeChurnMachine.TestCase
+TestCascadeChurnMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

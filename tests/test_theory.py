@@ -1,0 +1,124 @@
+"""Tests for the closed-form bounds and degree optimization (§2.3, Table 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.theory.bounds import (
+    hypercube_arbitrary_claims,
+    hypercube_special_claims,
+    multi_tree_claims,
+    table1,
+)
+from repro.theory.degree import (
+    crossover_population,
+    delay_approximation,
+    delay_derivative,
+    f2,
+    f3,
+    optimal_degree,
+    optimal_degree_exact,
+)
+
+
+class TestDelayApproximation:
+    def test_formula(self):
+        # F(d) = d log_d(N(1 - 1/d)); F(2) at N = 1024 is 2 * log2(512) = 18.
+        assert delay_approximation(1024, 2) == pytest.approx(18.0)
+
+    def test_closed_forms_match(self):
+        for n in (64, 500, 10_000):
+            assert f2(n) == pytest.approx(delay_approximation(n, 2))
+            assert f3(n) == pytest.approx(delay_approximation(n, 3))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConstructionError):
+            delay_approximation(1, 2)
+        with pytest.raises(ConstructionError):
+            delay_approximation(100, 1)
+
+
+class TestDerivative:
+    def test_negative_at_two_for_moderate_n(self):
+        # Paper: dF/dd at d=2 is ≈ 1.89 - 0.64 ln N < 0 once N > ~20.
+        for n in (30, 100, 10_000):
+            assert delay_derivative(n, 2) < 0
+
+    def test_positive_for_d_at_least_three(self):
+        for n in (10, 100, 10_000):
+            for d in (3, 4, 5, 8):
+                assert delay_derivative(n, d) > 0
+
+    def test_paper_numeric_form_at_two(self):
+        # 1.89 - 0.64 ln N (paper's approximation).
+        n = 1000
+        approx = 1.89 - 0.64 * math.log(n)
+        assert delay_derivative(n, 2) == pytest.approx(approx, abs=0.15)
+
+
+class TestOptimalDegree:
+    @given(st.integers(4, 100_000))
+    @settings(max_examples=200, deadline=None)
+    def test_always_two_or_three(self, n):
+        assert optimal_degree(n) in (2, 3)
+
+    @given(st.integers(4, 5_000))
+    @settings(max_examples=100, deadline=None)
+    def test_exact_bound_optimum_also_small(self, n):
+        # On the exact ceil-based Theorem 2 bound, small degrees still win
+        # (ties can extend slightly past 3 because of the ceiling).
+        assert optimal_degree_exact(n) <= 4
+
+    def test_crossover(self):
+        n_star = crossover_population()
+        assert f3(n_star) < f2(n_star)
+        assert f3(n_star - 1) >= f2(n_star - 1)
+        # Degree 3 is optimal for all larger populations on F.
+        for n in (n_star, 2 * n_star, 100 * n_star):
+            assert optimal_degree(n) == 3
+
+    def test_degree_two_wins_small(self):
+        assert optimal_degree(16) == 2
+
+
+class TestTable1:
+    def test_multi_tree_row(self):
+        row = multi_tree_claims(100, 3)
+        assert row.scheme == "multi-tree"
+        assert row.max_delay == "O(d log N)"
+        assert row.neighbors_value == 6
+
+    def test_special_row_requires_special_n(self):
+        row = hypercube_special_claims(31)
+        assert row.buffer_value == 2
+        assert row.neighbors_value == 5
+        with pytest.raises(ConstructionError):
+            hypercube_special_claims(30)
+
+    def test_arbitrary_row_scales_with_groups(self):
+        whole = hypercube_arbitrary_claims(1000, 1)
+        grouped = hypercube_arbitrary_claims(1000, 4)
+        assert grouped.max_delay_value < whole.max_delay_value
+
+    def test_table_has_three_rows(self):
+        rows = table1(200, 3)
+        assert [r.scheme for r in rows] == [
+            "multi-tree",
+            "hypercube (special N)",
+            "hypercube (d=3 groups)",
+        ]
+
+    def test_tradeoff_direction(self):
+        # The paper's headline: multi-tree wins on worst-case delay (and
+        # neighbor count), hypercube wins on buffer space.
+        n, d = 1023, 3
+        tree_row = multi_tree_claims(n, d)
+        cube_row = hypercube_special_claims(n)
+        assert tree_row.max_delay_value <= cube_row.max_delay_value * 2
+        assert tree_row.buffer_value > cube_row.buffer_value
+        assert tree_row.neighbors_value < cube_row.neighbors_value

@@ -1,0 +1,71 @@
+"""Tests for the scaling-shape fitter and its use on the paper's series."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.theory.scaling import best_scaling, fit_scaling
+from repro.trees.analysis import worst_case_delay
+from repro.trees.forest import MultiTreeForest
+from repro.hypercube.cascade import expected_worst_delay
+from repro.baselines.chain import chain_worst_delay
+
+POPULATIONS = [16, 32, 64, 128, 256, 512, 1024, 2048]
+
+
+class TestFitMechanics:
+    def test_perfect_log_fit(self):
+        values = [3 * math.log2(n) + 1 for n in POPULATIONS]
+        fit = fit_scaling(POPULATIONS, values, "log")
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.relative_rmse < 1e-9
+
+    def test_best_picks_generating_shape(self):
+        for shape, fn in (
+            ("log", lambda n: 2 * math.log2(n)),
+            ("log^2", lambda n: 0.5 * math.log2(n) ** 2),
+            ("linear", lambda n: 1.5 * n),
+        ):
+            values = [fn(n) for n in POPULATIONS]
+            assert best_scaling(POPULATIONS, values).shape == shape
+
+    def test_constant_series(self):
+        fit = best_scaling(POPULATIONS, [2.0] * len(POPULATIONS))
+        assert fit.shape == "constant"
+
+    def test_unknown_shape(self):
+        with pytest.raises(ReproError):
+            fit_scaling(POPULATIONS, [1.0] * len(POPULATIONS), "exp")
+
+    def test_too_few_points(self):
+        with pytest.raises(ReproError):
+            fit_scaling([2, 4], [1, 2], "log")
+
+
+class TestPaperShapes:
+    """Table 1's asymptotics recovered from measured/closed-form series."""
+
+    def test_multi_tree_delay_is_logarithmic(self):
+        values = [
+            worst_case_delay(MultiTreeForest.construct(n, 2)) for n in POPULATIONS
+        ]
+        fit = best_scaling(POPULATIONS, values, shapes=["constant", "log", "linear"])
+        assert fit.shape == "log"
+
+    def test_chain_delay_is_linear(self):
+        values = [chain_worst_delay(n) for n in POPULATIONS]
+        assert best_scaling(POPULATIONS, values).shape == "linear"
+
+    def test_cascade_delay_is_polylog_not_linear(self):
+        values = [expected_worst_delay(n) for n in POPULATIONS]
+        fit = best_scaling(
+            POPULATIONS, values, shapes=["log", "log^2", "sqrt", "linear"]
+        )
+        assert fit.shape in ("log", "log^2")
+
+    def test_hypercube_buffer_is_constant(self):
+        assert best_scaling(POPULATIONS, [2] * len(POPULATIONS)).shape == "constant"

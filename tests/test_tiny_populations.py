@@ -1,0 +1,88 @@
+"""Degenerate and tiny populations: every scheme must handle N = 1, 2, d-1.
+
+The paper assumes clusters are "sufficiently large"; a library cannot.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.core.metrics import collect_metrics
+from repro.hypercube.protocol import GroupedHypercubeProtocol, HypercubeCascadeProtocol
+from repro.trees import MultiTreeProtocol
+from repro.trees.forest import MultiTreeForest
+
+
+class TestTinyMultiTree:
+    def test_single_node(self):
+        # N = 1: no interior nodes; the source feeds one leaf in d trees.
+        for d in (1, 2, 3, 5):
+            protocol = MultiTreeProtocol(1, d)
+            trace = simulate(protocol, protocol.slots_for_packets(2 * max(d, 2)))
+            arrivals = trace.arrivals(1)
+            assert set(range(d)).issubset(arrivals)
+            metrics = collect_metrics(trace, num_packets=d)
+            assert metrics.max_startup_delay <= d
+
+    def test_fewer_nodes_than_degree(self):
+        protocol = MultiTreeProtocol(2, 5)
+        trace = simulate(protocol, protocol.slots_for_packets(10))
+        metrics = collect_metrics(trace, num_packets=10)
+        assert metrics.num_nodes == 2
+        assert metrics.max_neighbors <= 1  # only the source talks to them
+
+    def test_degree_one_is_a_chain(self):
+        # d = 1 degenerates to the chain baseline: one tree, node i at depth i.
+        forest = MultiTreeForest.construct(6, 1)
+        forest.verify()
+        tree = forest.trees[0]
+        assert tree.layout == (1, 2, 3, 4, 5, 6)
+        assert tree.children_of(1) == [2]
+        protocol = MultiTreeProtocol(6, 1)
+        trace = simulate(protocol, protocol.slots_for_packets(4))
+        metrics = collect_metrics(trace, num_packets=4)
+        from repro.baselines.chain import chain_worst_delay
+
+        assert metrics.max_startup_delay == chain_worst_delay(6)
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_all_tiny_configurations_stream(self, n, d):
+        protocol = MultiTreeProtocol(n, d, construction="greedy")
+        packets = max(d, 2)
+        trace = simulate(protocol, protocol.slots_for_packets(packets))
+        for node in protocol.node_ids:
+            assert set(range(packets)).issubset(trace.arrivals(node))
+
+
+class TestTinyHypercube:
+    def test_single_node(self):
+        protocol = HypercubeCascadeProtocol(1)
+        trace = simulate(protocol, 10)
+        assert trace.arrivals(1) == {p: p for p in range(10)}
+
+    def test_two_nodes(self):
+        protocol = HypercubeCascadeProtocol(2)
+        trace = simulate(protocol, protocol.slots_for_packets(5))
+        metrics = collect_metrics(trace, num_packets=5)
+        assert metrics.max_startup_delay == 2
+
+    def test_grouped_single_node_many_lanes(self):
+        protocol = GroupedHypercubeProtocol(1, 5)
+        trace = simulate(protocol, 8)
+        assert set(range(6)).issubset(trace.arrivals(1))
+
+
+class TestTinyClusters:
+    def test_one_cluster_one_node(self):
+        from repro.cluster.protocol import ClusteredStreamingProtocol
+
+        protocol = ClusteredStreamingProtocol(
+            [1], source_degree=3, degree=2, inter_cluster_latency=2
+        )
+        trace = simulate(protocol, protocol.slots_for_packets(4))
+        receiver = protocol.receiver_ids[0]
+        assert set(range(4)).issubset(trace.arrivals(receiver))

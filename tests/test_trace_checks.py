@@ -1,0 +1,93 @@
+"""Tests for post-hoc trace auditing and the ASCII tree renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.supertree import build_supertree
+from repro.core.engine import simulate
+from repro.core.packet import Transmission
+from repro.core.trace_checks import audit_trace
+from repro.hypercube.protocol import HypercubeProtocol
+from repro.reporting.treeviz import render_forest, render_supertree, render_tree
+from repro.trees import MultiTreeProtocol
+from repro.trees.dynamics import DynamicForest
+from repro.trees.forest import MultiTreeForest
+
+
+class TestAudit:
+    def test_valid_multi_tree_trace_passes(self):
+        protocol = MultiTreeProtocol(15, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(9))
+        audit = audit_trace(trace, send_capacity=protocol.send_capacity)
+        assert audit.ok, audit.violations
+        assert audit.num_transmissions == len(trace.transmissions)
+
+    def test_valid_hypercube_trace_passes(self):
+        protocol = HypercubeProtocol(15)
+        trace = simulate(protocol, 30)
+        assert audit_trace(trace).ok
+
+    def test_unvalidated_cheater_is_caught(self):
+        from repro.core.protocol import StreamingProtocol
+
+        class Cheater(StreamingProtocol):
+            node_ids = (1, 2)
+            source_ids = frozenset({0})
+
+            def transmissions(self, slot, view):
+                # Node 1 forwards a packet the same slot it receives it.
+                return [
+                    Transmission(slot=slot, sender=0, receiver=1, packet=slot),
+                    Transmission(slot=slot, sender=1, receiver=2, packet=slot),
+                ]
+
+        trace = simulate(Cheater(), 3, validate=False)
+        audit = audit_trace(trace)
+        assert not audit.ok
+        assert any("had not received" in v for v in audit.violations)
+
+    def test_send_capacity_violation_detected(self):
+        protocol = MultiTreeProtocol(15, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(6))
+        # Audit with the wrong capacity model: the capacity-3 source trips it.
+        audit = audit_trace(trace, send_capacity=lambda n: 1)
+        assert not audit.ok
+        assert any("node 0 sent" in v for v in audit.violations)
+
+    def test_violation_cap(self):
+        protocol = MultiTreeProtocol(30, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(9))
+        audit = audit_trace(trace, send_capacity=lambda n: 1, max_violations=5)
+        assert len(audit.violations) == 5
+
+
+class TestTreeViz:
+    def test_render_tree_levels(self):
+        forest = MultiTreeForest.construct(15, 3)
+        out = render_tree(forest.trees[0], is_dummy=forest.is_dummy)
+        lines = out.splitlines()
+        assert lines[1].strip() == "S"
+        assert lines[2].split() == ["1", "2", "3"]
+        assert lines[3].split() == [str(i) for i in range(4, 13)]
+
+    def test_dummies_bracketed(self):
+        forest = MultiTreeForest.construct(13, 3)
+        out = render_tree(forest.trees[0], is_dummy=forest.is_dummy)
+        assert "[14]" in out and "[15]" in out
+
+    def test_render_forest_static_and_dynamic(self):
+        static = MultiTreeForest.construct(9, 3)
+        dynamic = DynamicForest(9, 3)
+        assert render_forest(static).count("T_") == 3
+        assert render_forest(dynamic, max_trees=2).count("T_") == 2
+
+    def test_render_supertree(self):
+        out = render_supertree(build_supertree(9, 3))
+        assert out.splitlines()[0] == "S (source)"
+        assert out.count("+-") == 9
+        assert "  +- S_4" in out or "    +- S_4" in out
+
+    def test_render_supertree_custom_names(self):
+        out = render_supertree(build_supertree(2, 3), names=["NYC", "LA"])
+        assert "NYC" in out and "LA" in out

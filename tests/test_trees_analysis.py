@@ -1,0 +1,147 @@
+"""Tests for the multi-tree delay/buffer analysis (Theorems 2 and 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.trees.analysis import (
+    all_playback_delays,
+    analyze,
+    average_delay,
+    buffer_requirements,
+    optimal_startup_delay,
+    per_tree_delays,
+    playback_delay,
+    theorem2_bound,
+    theorem2_height,
+    theorem3_lower_bound,
+    tree_delay,
+    worst_case_delay,
+)
+from repro.trees.forest import MultiTreeForest
+from repro.workloads.sweeps import complete_tree_populations
+
+
+@pytest.fixture(scope="module")
+def forest15():
+    return MultiTreeForest.construct(15, 3, "structured")
+
+
+class TestPerTreeDelays:
+    def test_node1_delays(self, forest15):
+        # Node 1 receives its first packets at slots 0, 2, 1 -> A = 1, 3, 2.
+        assert per_tree_delays(forest15, 1) == [1, 3, 2]
+        assert playback_delay(forest15, 1) == 3
+
+    def test_tree_delay_accessor(self, forest15):
+        assert tree_delay(forest15, 1, 0) == 1
+        assert tree_delay(forest15, 1, 1) == 3
+
+    def test_all_delays_consistent(self, forest15):
+        delays = all_playback_delays(forest15)
+        for node in forest15.real_nodes:
+            assert delays[node] == playback_delay(forest15, node)
+
+    def test_optimal_start_bounds(self, forest15):
+        for node in forest15.real_nodes:
+            optimal = optimal_startup_delay(forest15, node)
+            paper = playback_delay(forest15, node)
+            assert paper - 3 < optimal <= paper
+
+
+class TestTheorem2:
+    def test_height_formula(self):
+        # Complete trees: N = 12 (d=3) has h = 2; N = 14 (d=2) has h = 3.
+        assert theorem2_height(12, 3) == 2
+        assert theorem2_height(14, 2) == 3
+        assert theorem2_height(15, 3) == 3
+
+    def test_bound_values(self):
+        assert theorem2_bound(12, 3) == 6
+        assert theorem2_bound(14, 2) == 6
+
+    def test_complete_trees_meet_bound_exactly(self):
+        # For complete trees the worst node (last position of T_0) achieves
+        # T = h * d exactly.
+        for d in (2, 3, 4):
+            for n in complete_tree_populations(d, max_nodes=400):
+                forest = MultiTreeForest.construct(n, d)
+                assert worst_case_delay(forest) == theorem2_bound(n, d)
+
+    @given(st.integers(2, 250), st.integers(2, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_bound_holds_for_all_populations(self, n, d):
+        for construction in ("structured", "greedy"):
+            forest = MultiTreeForest.construct(n, d, construction)
+            assert worst_case_delay(forest) <= theorem2_bound(n, d)
+
+    def test_degree_one_rejected(self):
+        with pytest.raises(ConstructionError):
+            theorem2_bound(10, 1)
+
+
+class TestTheorem3:
+    def test_lower_bound_holds_on_complete_trees(self):
+        for d in (2, 3):
+            for n in complete_tree_populations(d, max_nodes=700):
+                forest = MultiTreeForest.construct(n, d)
+                measured = average_delay(forest)
+                assert measured >= theorem3_lower_bound(n, d) - 1e-9
+
+    def test_lower_bound_not_vacuous(self):
+        # The bound is loose (the proof's |L_k| = d^(h-1) undercounts leaves)
+        # but must remain a constant fraction of the measured average.
+        n = complete_tree_populations(3, max_nodes=400)[-1]
+        forest = MultiTreeForest.construct(n, 3)
+        assert theorem3_lower_bound(n, 3) >= average_delay(forest) * 0.2
+
+    def test_lower_bound_grows_with_population(self):
+        values = [
+            theorem3_lower_bound(n, 3)
+            for n in complete_tree_populations(3, max_nodes=10_000)[1:]
+        ]
+        assert values == sorted(values)
+
+    def test_degree_one_rejected(self):
+        with pytest.raises(ConstructionError):
+            theorem3_lower_bound(10, 1)
+
+
+class TestBuffers:
+    def test_node1_needs_three(self, forest15):
+        # Paper §2.3: "a buffer size of 3 is sufficient for node 1".
+        buffers = buffer_requirements(forest15)
+        assert buffers[1] == 3
+
+    def test_all_buffers_bounded_by_hd(self, forest15):
+        h, d = forest15.height, forest15.degree
+        assert all(b <= h * d for b in buffer_requirements(forest15).values())
+
+    @given(st.integers(2, 120), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_hd_buffer_bound_property(self, n, d):
+        forest = MultiTreeForest.construct(n, d)
+        bound = forest.height * d
+        assert all(b <= bound for b in buffer_requirements(forest).values())
+
+
+class TestAnalyze:
+    def test_summary_consistency(self):
+        qos = analyze(40, 3)
+        assert qos.num_nodes == 40
+        assert qos.max_delay <= qos.theorem2_bound
+        assert qos.avg_delay <= qos.max_delay
+        assert qos.avg_delay >= 1
+        assert qos.max_buffer <= qos.height * qos.degree
+        assert qos.max_neighbors <= 2 * qos.degree
+
+    def test_construction_choice_respected(self):
+        a = analyze(40, 3, "structured", include_buffers=False)
+        b = analyze(40, 3, "greedy", include_buffers=False)
+        assert a.construction == "structured"
+        assert b.construction == "greedy"
+        # Both constructions share the same worst-case guarantee.
+        assert a.theorem2_bound == b.theorem2_bound

@@ -1,0 +1,170 @@
+"""Tests for the structured and greedy tree constructions, including the
+paper's Figure 3 worked example, reproduced exactly."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.trees.forest import MultiTreeForest
+from repro.trees.greedy import build_greedy_trees, child_slot_of, greedy_layouts, required_parity
+from repro.trees.groups import GroupPartition
+from repro.trees.structured import build_structured_trees, structured_layouts
+from repro.trees.tree import StreamTree
+
+# Figure 3 of the paper: N = 15, d = 3.
+FIGURE3_STRUCTURED = [
+    (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+    (5, 6, 7, 8, 9, 10, 11, 12, 1, 2, 3, 4, 15, 13, 14),
+    (9, 10, 11, 12, 1, 2, 3, 4, 5, 6, 7, 8, 14, 15, 13),
+]
+FIGURE3_GREEDY = [
+    (1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+    (5, 6, 7, 8, 3, 1, 2, 9, 4, 11, 12, 10, 14, 15, 13),
+    (9, 10, 11, 12, 1, 2, 3, 4, 5, 6, 7, 8, 15, 13, 14),
+]
+
+
+class TestFigure3:
+    def test_structured_matches_paper(self):
+        trees = build_structured_trees(15, 3)
+        assert [t.layout for t in trees] == FIGURE3_STRUCTURED
+
+    def test_greedy_matches_paper(self):
+        trees = build_greedy_trees(15, 3)
+        assert [t.layout for t in trees] == FIGURE3_GREEDY
+
+    def test_both_share_tree_zero(self):
+        assert FIGURE3_STRUCTURED[0] == FIGURE3_GREEDY[0]
+
+
+class TestStreamTree:
+    @pytest.fixture
+    def tree(self):
+        return build_structured_trees(15, 3)[1]
+
+    def test_positions(self, tree):
+        assert tree.position_of(5) == 1
+        assert tree.node_at(1) == 5
+        assert tree.position_of(14) == 15
+
+    def test_parent_child(self, tree):
+        assert tree.parent_of(5) is None  # child of the source
+        assert tree.parent_of(9) == 5  # node 9 is at position 5; parent is position 1
+        assert tree.children_of(5) == [8, 9, 10]  # positions 4, 5, 6
+        assert tree.children_of(9) == []  # leaf in T_1
+
+    def test_interior_and_leaves(self, tree):
+        assert tree.interior_nodes() == [5, 6, 7, 8]
+        assert set(tree.leaf_nodes()) == set(range(1, 16)) - {5, 6, 7, 8}
+
+    def test_path_from_source(self, tree):
+        # Node 1 sits at position 9, whose parent position 2 holds node 6.
+        assert tree.path_from_source(1) == [6, 1]
+        assert tree.path_from_source(5) == [5]
+
+    def test_depths(self, tree):
+        assert tree.depth_of(5) == 1
+        assert tree.depth_of(1) == 2
+        assert tree.depth_of(15) == 3  # positions 13..15 start level 3
+        assert tree.height == 3
+
+    def test_root_children(self, tree):
+        assert tree.root_children() == [5, 6, 7]
+
+    def test_duplicate_layout_rejected(self):
+        with pytest.raises(ConstructionError, match="appears at positions"):
+            StreamTree(0, 2, [1, 1, 2, 3, 4, 5], 2)
+
+    def test_size_consistency_enforced(self):
+        with pytest.raises(ConstructionError, match="inconsistent"):
+            StreamTree(0, 3, [1, 2, 3, 4], 1)
+
+    def test_unknown_node(self, tree):
+        with pytest.raises(ConstructionError):
+            tree.position_of(99)
+
+
+class TestGreedyInvariants:
+    def test_child_slot_rule(self):
+        # Node i occupies child slot (p_i - k) mod d in tree k.
+        for tree in build_greedy_trees(15, 3):
+            for node in range(1, 16):
+                position = tree.position_of(node)
+                assert (position - 1) % 3 == child_slot_of(node, tree.index, 3)
+
+    def test_required_parity_inverse(self):
+        for d in (2, 3, 4):
+            for k in range(d):
+                for q in range(1, 30):
+                    parity = required_parity(q, k, d)
+                    assert (parity - k) % d == (q - 1) % d
+
+    def test_infeasible_paper_case_handled(self):
+        # N = 9, d = 3 has I = 2 ≢ 1 (mod 3): the literal per-group algorithm
+        # deadlocks; the global-pool generalization must still succeed.
+        forest = MultiTreeForest(9, 3, build_greedy_trees(9, 3))
+        forest.verify()
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConstructionError):
+            child_slot_of(0, 0, 3)
+        with pytest.raises(ConstructionError):
+            required_parity(0, 0, 3)
+
+
+@st.composite
+def population_and_degree(draw):
+    d = draw(st.integers(1, 6))
+    n = draw(st.integers(1, 120))
+    return n, d
+
+
+class TestConstructionProperties:
+    @given(population_and_degree())
+    @settings(max_examples=60, deadline=None)
+    def test_structured_invariants(self, nd):
+        n, d = nd
+        forest = MultiTreeForest(n, d, build_structured_trees(n, d))
+        forest.verify()
+
+    @given(population_and_degree())
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_invariants(self, nd):
+        n, d = nd
+        forest = MultiTreeForest(n, d, build_greedy_trees(n, d))
+        forest.verify()
+
+    @given(population_and_degree())
+    @settings(max_examples=40, deadline=None)
+    def test_layout_lengths(self, nd):
+        n, d = nd
+        part = GroupPartition(n, d)
+        for layouts in (structured_layouts(part), greedy_layouts(part)):
+            assert len(layouts) == d
+            assert all(len(layout) == part.padded_size for layout in layouts)
+
+    @given(population_and_degree())
+    @settings(max_examples=40, deadline=None)
+    def test_interior_nodes_come_from_interior_groups(self, nd):
+        n, d = nd
+        part = GroupPartition(n, d)
+        leaf_set = set(part.leaf_group())
+        for builder in (build_structured_trees, build_greedy_trees):
+            for tree in builder(n, d):
+                assert leaf_set.isdisjoint(tree.interior_nodes())
+
+    @given(population_and_degree())
+    @settings(max_examples=30, deadline=None)
+    def test_leaf_group_occupies_tail_positions(self, nd):
+        # The appendix churn algorithms rely on G_d sitting at the end of
+        # every tree in breadth-first order.
+        n, d = nd
+        part = GroupPartition(n, d)
+        leaf_set = set(part.leaf_group())
+        for builder in (build_structured_trees, build_greedy_trees):
+            for tree in builder(n, d):
+                tail = set(tree.layout[-d:])
+                assert tail == leaf_set

@@ -1,0 +1,70 @@
+"""Tests for the per-node delay/buffer distribution analytics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trees.distribution import (
+    buffer_histogram,
+    delay_distribution,
+    delay_histogram,
+    delays_by_depth,
+)
+from repro.trees.analysis import all_playback_delays, theorem2_bound
+from repro.trees.forest import MultiTreeForest
+
+
+@pytest.fixture(scope="module")
+def forest():
+    return MultiTreeForest.construct(100, 3)
+
+
+class TestDelayDistribution:
+    def test_summary_consistency(self, forest):
+        dist = delay_distribution(forest)
+        assert dist.num_nodes == 100
+        assert dist.minimum <= dist.median <= dist.maximum
+        assert dist.minimum <= dist.mean <= dist.maximum
+        assert dist.quantiles[50] <= dist.quantiles[90] <= dist.quantiles[99]
+        assert dist.maximum <= theorem2_bound(100, 3)
+
+    def test_matches_raw_delays(self, forest):
+        delays = list(all_playback_delays(forest).values())
+        dist = delay_distribution(forest)
+        assert dist.minimum == min(delays)
+        assert dist.maximum == max(delays)
+        assert dist.mean == pytest.approx(sum(delays) / len(delays))
+
+    def test_histogram_partitions_population(self, forest):
+        hist = delay_histogram(forest)
+        assert sum(hist.values()) == 100
+        assert min(hist) == delay_distribution(forest).minimum
+        assert list(hist) == sorted(hist)
+
+    def test_buffer_histogram(self, forest):
+        hist = buffer_histogram(forest)
+        assert sum(hist.values()) == 100
+        assert max(hist) <= forest.height * 3  # Theorem 2 corollary
+
+    def test_small_forest(self):
+        tiny = MultiTreeForest.construct(2, 2)
+        dist = delay_distribution(tiny)
+        assert dist.num_nodes == 2
+
+
+class TestDelaysByDepth:
+    def test_depths_cover_tree(self, forest):
+        by_depth = delays_by_depth(forest)
+        assert min(by_depth) == 1
+        assert max(by_depth) == forest.trees[0].height
+
+    def test_deeper_never_faster_on_average(self, forest):
+        by_depth = delays_by_depth(forest)
+        means = [mean for _, mean, _ in by_depth.values()]
+        # Depth in T_0 correlates with delay even though it is not the whole
+        # story (positions in the other trees matter too).
+        assert means[0] < means[-1]
+
+    def test_stats_ordered(self, forest):
+        for low, mean, high in delays_by_depth(forest).values():
+            assert low <= mean <= high

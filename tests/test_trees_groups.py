@@ -1,0 +1,110 @@
+"""Unit tests for the G_0..G_d partition and dummy padding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.trees.groups import GroupPartition, interior_count, padded_population
+
+
+class TestInteriorCount:
+    def test_paper_example(self):
+        # N = 15, d = 3: I = ceil(15/3) - 1 = 4.
+        assert interior_count(15, 3) == 4
+
+    def test_small_cases(self):
+        assert interior_count(1, 2) == 0
+        assert interior_count(2, 3) == 0
+        assert interior_count(9, 3) == 2
+        assert interior_count(10, 3) == 3
+
+    def test_invalid(self):
+        with pytest.raises(ConstructionError):
+            interior_count(0, 2)
+        with pytest.raises(ConstructionError):
+            interior_count(5, 0)
+
+
+class TestPadding:
+    def test_exact_fit_needs_no_dummies(self):
+        part = GroupPartition(15, 3)
+        assert part.num_dummies == 0
+        assert part.padded_size == 15
+
+    def test_padding_to_multiple(self):
+        part = GroupPartition(13, 3)
+        assert part.padded_size == 15
+        assert list(part.dummy_ids) == [14, 15]
+        assert part.is_dummy(14) and part.is_dummy(15)
+        assert not part.is_dummy(13)
+
+    def test_padded_population_formula(self):
+        for n in range(1, 60):
+            for d in range(1, 7):
+                assert padded_population(n, d) == d * (interior_count(n, d) + 1)
+
+    @given(st.integers(1, 500), st.integers(1, 8))
+    def test_leaf_group_always_d_members(self, n, d):
+        part = GroupPartition(n, d)
+        assert len(part.leaf_group()) == d
+
+    @given(st.integers(1, 500), st.integers(1, 8))
+    def test_padding_bounded_by_d(self, n, d):
+        part = GroupPartition(n, d)
+        assert 0 <= part.num_dummies < d
+
+
+class TestGroups:
+    def test_paper_groups(self):
+        part = GroupPartition(15, 3)
+        assert part.group(0) == [1, 2, 3, 4]
+        assert part.group(1) == [5, 6, 7, 8]
+        assert part.group(2) == [9, 10, 11, 12]
+        assert part.group(3) == [13, 14, 15]
+
+    def test_groups_partition_population(self):
+        part = GroupPartition(23, 4)
+        seen: list[int] = []
+        for k in range(5):
+            seen.extend(part.group(k))
+        assert sorted(seen) == list(range(1, part.padded_size + 1))
+
+    def test_group_of(self):
+        part = GroupPartition(15, 3)
+        assert part.group_of(1) == 0
+        assert part.group_of(4) == 0
+        assert part.group_of(5) == 1
+        assert part.group_of(12) == 2
+        assert part.group_of(13) == 3
+        assert part.group_of(15) == 3
+
+    def test_group_of_out_of_range(self):
+        part = GroupPartition(15, 3)
+        with pytest.raises(ConstructionError):
+            part.group_of(0)
+        with pytest.raises(ConstructionError):
+            part.group_of(16)
+
+    def test_group_index_out_of_range(self):
+        with pytest.raises(ConstructionError):
+            GroupPartition(15, 3).group(4)
+
+    def test_parity(self):
+        part = GroupPartition(15, 3)
+        assert [part.parity(i) for i in (1, 2, 3, 4, 5, 6)] == [0, 1, 2, 0, 1, 2]
+
+    @given(st.integers(1, 300), st.integers(1, 6))
+    def test_group_of_consistent_with_group(self, n, d):
+        part = GroupPartition(n, d)
+        for k in range(d + 1):
+            for node in part.group(k):
+                assert part.group_of(node) == k
+
+    def test_interior_only_nodes_when_tiny(self):
+        part = GroupPartition(2, 3)  # I = 0
+        assert part.interior_per_tree == 0
+        assert part.interior_groups() == [[], [], []]
+        assert part.leaf_group() == [1, 2, 3]

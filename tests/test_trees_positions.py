@@ -1,0 +1,100 @@
+"""Unit tests for d-ary position arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trees import positions as pos
+
+
+class TestParentChild:
+    def test_root_children(self):
+        assert list(pos.child_positions(0, 3)) == [1, 2, 3]
+
+    def test_paper_numbering_d3(self):
+        # N = 15, d = 3: position 1 -> children 4, 5, 6; position 4 -> 13, 14, 15.
+        assert list(pos.child_positions(1, 3)) == [4, 5, 6]
+        assert list(pos.child_positions(4, 3)) == [13, 14, 15]
+
+    def test_parent_inverts_children(self):
+        for d in (1, 2, 3, 5):
+            for p in range(0, 40):
+                for c in pos.child_positions(p, d):
+                    assert pos.parent_position(c, d) == p
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            pos.parent_position(0, 3)
+
+    def test_child_index(self):
+        assert [pos.child_index(p, 3) for p in (1, 2, 3, 4, 5, 6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_child_index_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            pos.child_index(0, 2)
+
+    @given(st.integers(1, 10_000), st.integers(1, 8))
+    def test_child_index_is_position_mod_d(self, p, d):
+        assert pos.child_index(p, d) == (p - 1) % d
+
+
+class TestLevels:
+    def test_levels_d2(self):
+        assert pos.level_of_position(0, 2) == 0
+        assert [pos.level_of_position(p, 2) for p in (1, 2)] == [1, 1]
+        assert [pos.level_of_position(p, 2) for p in (3, 4, 5, 6)] == [2] * 4
+        assert pos.level_of_position(7, 2) == 3
+
+    def test_chain_levels(self):
+        assert pos.level_of_position(5, 1) == 5
+
+    def test_first_position_at_level(self):
+        assert pos.first_position_at_level(0, 3) == 0
+        assert pos.first_position_at_level(1, 3) == 1
+        assert pos.first_position_at_level(2, 3) == 4
+        assert pos.first_position_at_level(3, 3) == 13
+
+    def test_positions_at_level_partition(self):
+        covered = []
+        for level in range(4):
+            covered.extend(pos.positions_at_level(level, 2))
+        assert covered == list(range(15))
+
+    @given(st.integers(1, 5_000), st.integers(2, 6))
+    def test_level_consistent_with_first_position(self, p, d):
+        level = pos.level_of_position(p, d)
+        assert pos.first_position_at_level(level, d) <= p
+        assert p < pos.first_position_at_level(level + 1, d)
+
+
+class TestSizes:
+    def test_complete_tree_size(self):
+        assert pos.complete_tree_size(1, 3) == 3
+        assert pos.complete_tree_size(2, 3) == 12
+        assert pos.complete_tree_size(3, 2) == 14
+        assert pos.complete_tree_size(0, 4) == 0
+
+    def test_chain_size(self):
+        assert pos.complete_tree_size(7, 1) == 7
+
+    def test_tree_height(self):
+        assert pos.tree_height(12, 3) == 2
+        assert pos.tree_height(13, 3) == 3
+        assert pos.tree_height(1, 2) == 1
+
+    def test_height_of_complete_tree_is_h(self):
+        for d in (2, 3, 4):
+            for h in (1, 2, 3, 4):
+                assert pos.tree_height(pos.complete_tree_size(h, d), d) == h
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pos.complete_tree_size(-1, 2)
+        with pytest.raises(ValueError):
+            pos.tree_height(0, 2)
+        with pytest.raises(ValueError):
+            pos.child_positions(-1, 2)
+        with pytest.raises(ValueError):
+            pos.child_positions(1, 0)

@@ -1,0 +1,104 @@
+"""Engine-level tests of the multi-tree protocol: the simulated packet flow
+must match the closed-form schedule exactly, under full model validation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.core.errors import ConstructionError
+from repro.core.metrics import collect_metrics
+from repro.trees import MultiTreeProtocol
+from repro.trees.schedule import arrival_trace
+
+
+class TestProtocolBasics:
+    def test_capacities(self):
+        protocol = MultiTreeProtocol(15, 3)
+        assert protocol.send_capacity(0) == 3
+        assert protocol.send_capacity(1) == 1
+        assert protocol.recv_capacity(7) == 1
+
+    def test_unknown_construction(self):
+        with pytest.raises(ConstructionError, match="unknown construction"):
+            MultiTreeProtocol(15, 3, construction="magic")
+
+    def test_describe(self):
+        text = MultiTreeProtocol(15, 3).describe()
+        assert "N=15" in text and "d=3" in text
+
+
+class TestSimulationMatchesAnalysis:
+    @pytest.mark.parametrize("construction", ["structured", "greedy"])
+    @pytest.mark.parametrize("n,d", [(15, 3), (9, 3), (14, 2), (23, 4), (5, 2)])
+    def test_engine_equals_closed_form(self, construction, n, d):
+        protocol = MultiTreeProtocol(n, d, construction=construction)
+        packets = 3 * d
+        trace = simulate(protocol, protocol.slots_for_packets(packets))
+        analytic = arrival_trace(protocol.forest, packets)
+        for node in protocol.node_ids:
+            simulated = {p: s for p, s in trace.arrivals(node).items() if p < packets}
+            assert simulated == analytic[node], f"node {node} mismatch"
+
+    def test_live_mode_validates_and_shifts(self):
+        protocol = MultiTreeProtocol(12, 3, mode="live_prebuffered")
+        packets = 9
+        trace = simulate(protocol, protocol.slots_for_packets(packets))
+        base = arrival_trace(protocol.forest, packets)
+        for node in protocol.node_ids:
+            for p in range(packets):
+                assert trace.arrivals(node)[p] == base[node][p] + 3
+
+    @given(st.integers(2, 60), st.integers(2, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_any_configuration_validates(self, n, d):
+        # The strict engine enforces unit capacities, no duplicate deliveries
+        # and causality: any run to completion certifies the schedule.
+        protocol = MultiTreeProtocol(n, d, construction="greedy")
+        trace = simulate(protocol, protocol.slots_for_packets(d))
+        metrics = collect_metrics(trace, num_packets=d)
+        assert metrics.max_neighbors <= 2 * d
+
+
+class TestNeighborClaims:
+    @pytest.mark.parametrize("n,d", [(30, 2), (30, 3), (30, 5)])
+    def test_at_most_2d_neighbors(self, n, d):
+        protocol = MultiTreeProtocol(n, d)
+        trace = simulate(protocol, protocol.slots_for_packets(2 * d))
+        for node in protocol.node_ids:
+            peers = trace.nodes[node].neighbors - {0}
+            assert len(peers) <= 2 * d
+
+    def test_forest_neighbor_query_matches_engine(self):
+        protocol = MultiTreeProtocol(21, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(9))
+        for node in protocol.node_ids:
+            engine_peers = trace.nodes[node].neighbors - {0}
+            assert engine_peers == protocol.forest.neighbors_of(node)
+
+
+class TestLatencyGeneralization:
+    """T_i > 1 (the paper normalizes T_i = 1; the schedule generalizes)."""
+
+    @pytest.mark.parametrize("latency", [2, 3])
+    def test_engine_matches_closed_form_with_latency(self, latency):
+        protocol = MultiTreeProtocol(12, 3, latency=latency)
+        packets = 6
+        trace = simulate(protocol, protocol.slots_for_packets(packets))
+        analytic = arrival_trace(
+            protocol.forest, packets, protocol.params
+        )
+        for node in protocol.node_ids:
+            simulated = {p: s for p, s in trace.arrivals(node).items() if p < packets}
+            assert simulated == analytic[node]
+
+    def test_latency_scales_delays(self):
+        fast = MultiTreeProtocol(20, 2)
+        slow = MultiTreeProtocol(20, 2, latency=3)
+        t_fast = simulate(fast, fast.slots_for_packets(4))
+        t_slow = simulate(slow, slow.slots_for_packets(4))
+        m_fast = collect_metrics(t_fast, num_packets=4)
+        m_slow = collect_metrics(t_slow, num_packets=4)
+        assert m_slow.max_startup_delay > m_fast.max_startup_delay

@@ -1,0 +1,92 @@
+"""Tests for sweep and churn workload generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import ConstructionError
+from repro.workloads.churn import (
+    ChurnEvent,
+    alternating_trace,
+    flash_crowd_trace,
+    random_trace,
+)
+from repro.workloads.sweeps import (
+    complete_tree_populations,
+    degree_sweep,
+    figure4_populations,
+    iter_configurations,
+    log_spaced_populations,
+    special_hypercube_populations,
+)
+
+
+class TestSweeps:
+    def test_figure4_axis(self):
+        pops = figure4_populations(2000, step=50, start=10)
+        assert pops[0] == 10
+        assert pops[-1] == 1960
+        assert all(b - a == 50 for a, b in zip(pops, pops[1:]))
+
+    def test_degree_sweep_matches_figure(self):
+        assert degree_sweep() == [2, 3, 4, 5]
+
+    def test_complete_tree_populations(self):
+        assert complete_tree_populations(3, max_nodes=130) == [3, 12, 39, 120]
+        assert complete_tree_populations(2, max_nodes=30) == [2, 6, 14, 30]
+
+    def test_special_hypercube_populations(self):
+        assert special_hypercube_populations(40) == [1, 3, 7, 15, 31]
+
+    def test_log_spaced(self):
+        pops = log_spaced_populations(10, 1000, points=5)
+        assert pops[0] == 10
+        assert pops[-1] == 1000
+        assert pops == sorted(pops)
+
+    def test_iter_configurations(self):
+        configs = list(iter_configurations([5, 10], [2, 3]))
+        assert configs == [(5, 2), (5, 3), (10, 2), (10, 3)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConstructionError):
+            figure4_populations(100, step=0)
+        with pytest.raises(ConstructionError):
+            complete_tree_populations(1)
+        with pytest.raises(ConstructionError):
+            log_spaced_populations(10, 5)
+
+
+class TestChurnTraces:
+    def test_event_validation(self):
+        with pytest.raises(ConstructionError):
+            ChurnEvent("join")
+        with pytest.raises(ConstructionError):
+            ChurnEvent("add", "random")
+
+    def test_alternating_starts_with_delete(self):
+        trace = alternating_trace(4)
+        assert [e.kind for e in trace] == ["delete", "add", "delete", "add"]
+
+    def test_random_trace_seeded(self):
+        a = random_trace(20, seed=5)
+        b = random_trace(20, seed=5)
+        assert [e.kind for e in a] == [e.kind for e in b]
+
+    def test_departure_prob_extremes(self):
+        assert all(e.kind == "delete" for e in random_trace(10, departure_prob=1.0))
+        assert all(e.kind == "add" for e in random_trace(10, departure_prob=0.0))
+
+    def test_flash_crowd_shape(self):
+        trace = flash_crowd_trace(3, 2)
+        assert [e.kind for e in trace] == ["add"] * 3 + ["delete"] * 2
+
+    @given(st.floats(min_value=-1, max_value=2))
+    def test_bad_probability_rejected(self, p):
+        if 0 <= p <= 1:
+            random_trace(1, departure_prob=p)
+        else:
+            with pytest.raises(ConstructionError):
+                random_trace(1, departure_prob=p)
