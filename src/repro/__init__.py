@@ -13,6 +13,8 @@ The package implements, from scratch, everything the paper describes:
 * :mod:`repro.graphs` — the Two Interior-Disjoint Tree problem and its
   NP-completeness reduction from E4-Set-Splitting;
 * :mod:`repro.theory` — every closed-form bound, plus degree optimization;
+* :mod:`repro.repair` — the loss-repair subsystem (slack provisioning,
+  NACK retransmission, XOR parity) the paper's loss-free model leaves out;
 * :mod:`repro.workloads` / :mod:`repro.reporting` — sweep generators and
   plain-text rendering for the benchmark harness.
 
@@ -44,6 +46,14 @@ from repro.hypercube import (
     analyze_cascade,
     cascade_plan,
 )
+from repro.repair import (
+    ParityScheme,
+    RepairRunResult,
+    RetransmissionCoordinator,
+    SlackPolicy,
+    SlackProvisioner,
+    run_repair_experiment,
+)
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
@@ -58,10 +68,15 @@ __all__ = [
     "HypercubeProtocol",
     "MultiTreeForest",
     "MultiTreeProtocol",
+    "ParityScheme",
     "PlaybackBuffer",
+    "RepairRunResult",
+    "RetransmissionCoordinator",
     "SchemeMetrics",
     "SimTrace",
     "SingleTreeProtocol",
+    "SlackPolicy",
+    "SlackProvisioner",
     "SlottedEngine",
     "StreamingProtocol",
     "Transmission",
@@ -74,6 +89,7 @@ __all__ = [
     "collect_metrics",
     "earliest_safe_start",
     "optimal_degree",
+    "run_repair_experiment",
     "simulate",
     "table1",
 ]

@@ -6,7 +6,8 @@ Commands:
 * ``figure4``  — regenerate the paper's Figure 4 series;
 * ``table1``   — regenerate Table 1 (claimed vs measured);
 * ``simulate`` — run a scheme and export the trace (JSON/CSV);
-* ``churn``    — stream through a random churn trace and report hiccups.
+* ``churn``    — stream through a random churn trace and report hiccups;
+* ``repair``   — sweep loss rate × slack × scheme over the repair subsystem.
 """
 
 from __future__ import annotations
@@ -26,7 +27,7 @@ from repro.reporting.tables import format_rows, format_table
 __all__ = ["main", "build_parser"]
 
 
-def _make_protocol(scheme: str, num_nodes: int, degree: int):
+def _make_protocol(scheme: str, num_nodes: int, degree: int, seed: int = 0):
     if scheme == "multi-tree":
         from repro.trees import MultiTreeProtocol
 
@@ -50,7 +51,7 @@ def _make_protocol(scheme: str, num_nodes: int, degree: int):
     if scheme == "gossip":
         from repro.baselines import RandomGossipProtocol
 
-        return RandomGossipProtocol(num_nodes, degree)
+        return RandomGossipProtocol(num_nodes, degree, seed=seed)
     raise SystemExit(f"unknown scheme {scheme!r}")
 
 
@@ -91,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("-p", "--packets", type=int, default=12)
     sim.add_argument("--json", metavar="PATH", help="write trace JSON here")
     sim.add_argument("--csv", metavar="PREFIX", help="write PREFIX_{tx,arrivals}.csv")
+    sim.add_argument(
+        "--seed", type=int, default=0,
+        help="RNG seed (randomized schemes and fault injection)",
+    )
+    sim.add_argument(
+        "--drop-rate", type=float, default=0.0, metavar="RATE",
+        help="Bernoulli per-transmission drop probability; >0 switches to the "
+        "loss-aware protocol variant (multi-tree / hypercube only)",
+    )
 
     churn = sub.add_parser("churn", help="stream through churn, report hiccups")
     churn.add_argument("-n", "--nodes", type=int, default=30)
@@ -98,6 +108,30 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--events", type=int, default=6)
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--lazy", action="store_true")
+
+    repair = sub.add_parser(
+        "repair", help="sweep loss rate × slack × scheme over the repair subsystem"
+    )
+    repair.add_argument(
+        "--scheme", choices=["multi-tree", "hypercube", "both"], default="both"
+    )
+    repair.add_argument("-n", "--nodes", type=int, default=15)
+    repair.add_argument("-d", "--degree", type=int, default=3)
+    repair.add_argument("-p", "--packets", type=int, default=40)
+    repair.add_argument(
+        "--mode", choices=["none", "retransmit", "parity", "all"], default="all"
+    )
+    repair.add_argument(
+        "--loss", type=float, nargs="+", default=[0.01], metavar="RATE",
+        help="Bernoulli drop probabilities to sweep",
+    )
+    repair.add_argument(
+        "--epsilon", type=float, nargs="+", default=[0.05], metavar="EPS",
+        help="retransmission slack fractions to sweep",
+    )
+    repair.add_argument("--group", type=int, default=4, help="parity group size g")
+    repair.add_argument("--seed", type=int, default=0)
+    repair.add_argument("--json", metavar="PATH", help="write the sweep rows as JSON")
 
     verify = sub.add_parser(
         "verify", help="audit an exported trace JSON against the model"
@@ -179,10 +213,33 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    protocol = _make_protocol(args.scheme, args.nodes, args.degree)
-    trace = simulate(protocol, protocol.slots_for_packets(args.packets))
-    metrics = collect_metrics(trace, num_packets=args.packets)
-    print(format_rows([metrics.row()], title=protocol.describe()))
+    if args.drop_rate > 0:
+        from repro.core.metrics import collect_repair_metrics
+        from repro.repair import make_lossy_protocol
+        from repro.workloads.faults import bernoulli_drop
+
+        if args.scheme not in ("multi-tree", "hypercube"):
+            raise SystemExit(
+                f"--drop-rate needs a loss-aware scheme (multi-tree or "
+                f"hypercube), not {args.scheme!r}"
+            )
+        protocol = make_lossy_protocol(args.scheme, args.nodes, args.degree)
+        num_slots = protocol.slots_for_packets(args.packets)
+        trace = simulate(
+            protocol, num_slots, drop_rule=bernoulli_drop(args.drop_rate, seed=args.seed)
+        )
+        metrics = collect_repair_metrics(
+            trace.all_arrivals(), num_packets=args.packets, num_slots=num_slots
+        )
+        print(format_rows(
+            [metrics.row()],
+            title=f"{protocol.describe()} under loss {args.drop_rate} (seed {args.seed})",
+        ))
+    else:
+        protocol = _make_protocol(args.scheme, args.nodes, args.degree, seed=args.seed)
+        trace = simulate(protocol, protocol.slots_for_packets(args.packets))
+        metrics = collect_metrics(trace, num_packets=args.packets)
+        print(format_rows([metrics.row()], title=protocol.describe()))
     if args.json:
         print(f"trace JSON -> {write_trace_json(trace, args.json)}")
     if args.csv:
@@ -216,6 +273,44 @@ def _cmd_churn(args) -> int:
     print(f"total hiccups: {report.total_hiccups} across "
           f"{len(report.hiccup_nodes)} nodes "
           f"({len(report.relocated_nodes)} relocated by repairs)")
+    return 0
+
+
+def _cmd_repair(args) -> int:
+    import json
+
+    from repro.repair import REPAIR_SCHEMES, run_repair_experiment
+
+    schemes = list(REPAIR_SCHEMES) if args.scheme == "both" else [args.scheme]
+    modes = ["none", "retransmit", "parity"] if args.mode == "all" else [args.mode]
+    rows = []
+    for scheme in schemes:
+        for loss in args.loss:
+            for mode in modes:
+                # Only retransmission sweeps ε; other modes fix their own slack.
+                epsilons = args.epsilon if mode == "retransmit" else args.epsilon[:1]
+                for eps in epsilons:
+                    point = run_repair_experiment(
+                        scheme,
+                        args.nodes,
+                        args.degree,
+                        num_packets=args.packets,
+                        mode=mode,
+                        epsilon=eps,
+                        group=args.group,
+                        loss_rate=loss,
+                        seed=args.seed,
+                    )
+                    rows.append(point.row())
+    print(format_rows(
+        rows,
+        title=f"repair tradeoff: N={args.nodes}, d={args.degree}, "
+        f"P={args.packets}, seed={args.seed}",
+    ))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(rows, fh, indent=2)
+        print(f"sweep JSON -> {args.json}")
     return 0
 
 
@@ -255,6 +350,7 @@ _COMMANDS = {
     "table1": _cmd_table1,
     "simulate": _cmd_simulate,
     "churn": _cmd_churn,
+    "repair": _cmd_repair,
     "verify": _cmd_verify,
 }
 

@@ -28,7 +28,15 @@ from repro.core.errors import (
     ScheduleError,
     SendCapacityViolation,
 )
-from repro.core.metrics import SchemeMetrics, collect_metrics, truncate_arrivals
+from repro.core.metrics import (
+    LossyPlaybackSummary,
+    RepairMetrics,
+    SchemeMetrics,
+    collect_metrics,
+    collect_repair_metrics,
+    summarize_lossy_playback,
+    truncate_arrivals,
+)
 from repro.core.node import NodeState
 from repro.core.packet import Transmission
 from repro.core.playback import (
@@ -51,12 +59,14 @@ __all__ = [
     "DuplicateDeliveryViolation",
     "HoldingsView",
     "FixedStart",
+    "LossyPlaybackSummary",
     "NodeState",
     "PlaybackBuffer",
     "PlaybackClient",
     "PlaybackRun",
     "PlaybackSummary",
     "ReceiveCapacityViolation",
+    "RepairMetrics",
     "ReproError",
     "ScheduleError",
     "SchemeMetrics",
@@ -73,11 +83,13 @@ __all__ = [
     "buffer_occupancy_series",
     "buffer_peak",
     "collect_metrics",
+    "collect_repair_metrics",
     "earliest_safe_start",
     "hiccup_count",
     "hiccup_packets",
     "replay",
     "simulate",
+    "summarize_lossy_playback",
     "summarize_playback",
     "truncate_arrivals",
 ]

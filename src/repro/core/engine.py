@@ -12,6 +12,7 @@ occupancy, neighbor counts — are derived.
 from __future__ import annotations
 
 import heapq
+from collections import Counter
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
@@ -43,6 +44,17 @@ class SimConfig:
             experiments, which show that under the paper's zero-slack model
             losses are permanent but isolated in both schemes (see
             :mod:`repro.workloads.faults`).
+        repair_hook: optional post-delivery observer
+            ``(slot, arrived, dropped) -> Iterable[Transmission] | None``
+            called at the end of every slot with the transmissions delivered
+            during the slot and the transmissions dropped by ``drop_rule``.
+            Any transmissions it returns (stamped for ``slot + 1``) are merged
+            into the next slot's batch ahead of validation; injections that
+            would conflict with the protocol's own schedule — duplicate
+            ``(receiver, packet)`` deliveries, capacity overflows, deliveries
+            the receiver already holds — are silently skipped, so repairs
+            always yield to the schedule.  This is the attachment point for
+            the loss-repair subsystem (:mod:`repro.repair`).
     """
 
     num_slots: int
@@ -50,12 +62,15 @@ class SimConfig:
     strict_duplicates: bool = True
     record_transmissions: bool = True
     drop_rule: object = None
+    repair_hook: object = None
 
     def __post_init__(self) -> None:
         if self.num_slots < 0:
             raise ValueError(f"num_slots must be non-negative, got {self.num_slots}")
         if self.drop_rule is not None and not callable(self.drop_rule):
             raise ValueError("drop_rule must be callable or None")
+        if self.repair_hook is not None and not callable(self.repair_hook):
+            raise ValueError("repair_hook must be callable or None")
 
 
 @dataclass(slots=True)
@@ -67,6 +82,9 @@ class SimTrace:
         nodes: node id -> :class:`NodeState` (receivers only).
         source_states: node id -> :class:`NodeState` for sources (tracks sends).
         transmissions: full transmission log if recorded, else empty.
+        dropped: transmissions removed by ``drop_rule`` (send spent, no delivery).
+        injected: repair transmissions injected via ``repair_hook`` that were
+            actually sent (a subset may still appear in ``dropped``).
     """
 
     num_slots: int
@@ -74,6 +92,7 @@ class SimTrace:
     source_states: dict[int, NodeState]
     transmissions: list[Transmission] = field(default_factory=list)
     dropped: list[Transmission] = field(default_factory=list)
+    injected: list[Transmission] = field(default_factory=list)
 
     def arrivals(self, node: int) -> Mapping[int, int]:
         """Packet -> arrival slot for one node."""
@@ -147,7 +166,9 @@ class SlottedEngine:
         )
         log: list[Transmission] = []
         dropped: list[Transmission] = []
+        injected: list[Transmission] = []
         drop_rule = config.drop_rule
+        repair_hook = config.repair_hook
         # Min-heap of (arrival_slot, seq, Transmission) for latency > 1 links.
         in_flight: list[tuple[int, int, Transmission]] = []
         seq = 0
@@ -156,9 +177,15 @@ class SlottedEngine:
         def holds(node: int, packet: int) -> bool:
             return view.holds(node, packet)
 
+        pending_repairs: list[Transmission] = []
         for slot in range(config.num_slots):
             view._slot = slot
-            batch = protocol.transmissions(slot, view)
+            batch = list(protocol.transmissions(slot, view))
+            if pending_repairs:
+                merged = self._merge_repairs(slot, batch, pending_repairs, holds)
+                injected.extend(merged)
+                batch.extend(merged)
+                pending_repairs = []
             if config.validate:
                 batch = validator.validate_slot(
                     slot,
@@ -167,9 +194,8 @@ class SlottedEngine:
                     source_available=protocol.packet_available_slot,
                     is_source=lambda n: n in source_ids,
                 )
-            else:
-                batch = list(batch)
 
+            dropped_this_slot: list[Transmission] = []
             for tx in batch:
                 sender_state = receivers.get(tx.sender) or sources.get(tx.sender)
                 if sender_state is None:
@@ -178,6 +204,7 @@ class SlottedEngine:
                 sender_state.packets_sent += 1
                 if drop_rule is not None and drop_rule(tx):
                     dropped.append(tx)
+                    dropped_this_slot.append(tx)
                     continue
                 if config.record_transmissions:
                     log.append(tx)
@@ -185,6 +212,7 @@ class SlottedEngine:
                 heapq.heappush(in_flight, (tx.arrival_slot, seq, tx))
 
             # Deliver everything arriving by the end of this slot.
+            arrived_this_slot: list[Transmission] = []
             while in_flight and in_flight[0][0] <= slot:
                 _, _, tx = heapq.heappop(in_flight)
                 receiver_state = receivers.get(tx.receiver)
@@ -195,6 +223,12 @@ class SlottedEngine:
                 # First arrival wins; duplicates (if allowed) are ignored.
                 receiver_state.arrivals.setdefault(tx.packet, tx.arrival_slot)
                 receiver_state.received_from.add(tx.sender)
+                arrived_this_slot.append(tx)
+
+            if repair_hook is not None:
+                repairs = repair_hook(slot, arrived_this_slot, dropped_this_slot)
+                if repairs:
+                    pending_repairs = list(repairs)
 
         return SimTrace(
             num_slots=config.num_slots,
@@ -202,7 +236,53 @@ class SlottedEngine:
             source_states=sources,
             transmissions=log,
             dropped=dropped,
+            injected=injected,
         )
+
+    def _merge_repairs(
+        self,
+        slot: int,
+        batch: list[Transmission],
+        repairs: list[Transmission],
+        holds,
+    ) -> list[Transmission]:
+        """Select the injected repairs that coexist with the scheduled batch.
+
+        Repairs always yield: any injection that would double-deliver a
+        ``(receiver, packet)`` pair, exceed a node's send/receive capacity, or
+        re-deliver a packet the receiver already holds is skipped.  Unfixed
+        gaps persist in the holdings view, so a well-behaved ``repair_hook``
+        simply re-detects them and tries again later.
+        """
+        protocol = self.protocol
+        send_used: Counter[int] = Counter()
+        recv_used: Counter[int] = Counter()
+        scheduled: set[tuple[int, int]] = set()
+        for tx in batch:
+            send_used[tx.sender] += 1
+            recv_used[tx.receiver] += 1
+            scheduled.add((tx.receiver, tx.packet))
+        merged: list[Transmission] = []
+        for tx in repairs:
+            if tx.slot != slot:
+                raise ReproError(
+                    f"repair_hook injected a transmission stamped for slot "
+                    f"{tx.slot} into slot {slot}"
+                )
+            key = (tx.receiver, tx.packet)
+            if key in scheduled:
+                continue
+            if holds(tx.receiver, tx.packet):
+                continue
+            if send_used[tx.sender] + 1 > protocol.send_capacity(tx.sender):
+                continue
+            if recv_used[tx.receiver] + 1 > protocol.recv_capacity(tx.receiver):
+                continue
+            send_used[tx.sender] += 1
+            recv_used[tx.receiver] += 1
+            scheduled.add(key)
+            merged.append(tx)
+        return merged
 
 
 def simulate(
@@ -213,6 +293,7 @@ def simulate(
     strict_duplicates: bool = True,
     record_transmissions: bool = True,
     drop_rule=None,
+    repair_hook=None,
 ) -> SimTrace:
     """Convenience wrapper: build an engine, run it, return the trace."""
     config = SimConfig(
@@ -221,5 +302,6 @@ def simulate(
         strict_duplicates=strict_duplicates,
         record_transmissions=record_transmissions,
         drop_rule=drop_rule,
+        repair_hook=repair_hook,
     )
     return SlottedEngine(protocol, config).run()

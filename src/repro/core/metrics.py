@@ -1,19 +1,36 @@
-"""Trace-level metrics: the paper's four QoS quantities.
+"""Trace-level metrics: the paper's four QoS quantities, plus repair-aware ones.
 
 Table 1 of the paper compares schemes on four axes — maximum playback delay,
 average playback delay, buffer size, and number of neighbors.  This module
 computes all four from a :class:`~repro.core.engine.SimTrace`.
+
+The repair subsystem (:mod:`repro.repair`) extends the same trace-level
+approach to lossy runs, where the paper's metrics are undefined (a node with
+a permanent hole has no hiccup-free startup delay at all):
+:func:`summarize_lossy_playback` scores playback over whatever arrived, and
+:func:`collect_repair_metrics` aggregates the repair tradeoff curve —
+residual loss, recovery latency distribution, goodput, and the effective
+playback delay/buffer price paid for repair.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
 from statistics import mean
 
 from repro.core.engine import SimTrace
 from repro.core.playback import PlaybackSummary, summarize_playback
 
-__all__ = ["SchemeMetrics", "collect_metrics", "truncate_arrivals"]
+__all__ = [
+    "SchemeMetrics",
+    "collect_metrics",
+    "truncate_arrivals",
+    "LossyPlaybackSummary",
+    "summarize_lossy_playback",
+    "RepairMetrics",
+    "collect_repair_metrics",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,4 +119,180 @@ def collect_metrics(trace: SimTrace, *, num_packets: int) -> SchemeMetrics:
         max_neighbors=max(neigh),
         avg_neighbors=mean(neigh),
         per_node=per_node,
+    )
+
+
+# --------------------------------------------------------------------------
+# Repair-aware metrics (lossy runs)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class LossyPlaybackSummary:
+    """Per-node playback metrics when some packets may be missing for good.
+
+    A residual hole means no hiccup-free start exists, so ``startup_delay``
+    is the earliest start for which every packet that *did* become available
+    meets its deadline — missing packets are skipped (playback keeps
+    real-time pace), and are reported separately in ``missing``.
+
+    Attributes:
+        startup_delay: earliest start meeting every available deadline.
+        buffer_peak: peak end-of-slot occupancy at that start.
+        available: packets available (received or repaired) in the prefix.
+        missing: residual holes in the measured prefix.
+    """
+
+    startup_delay: int
+    buffer_peak: int
+    available: int
+    missing: tuple[int, ...]
+
+
+def summarize_lossy_playback(
+    arrivals: Mapping[int, int], num_packets: int
+) -> LossyPlaybackSummary:
+    """Loss-tolerant counterpart of :func:`~repro.core.playback.summarize_playback`.
+
+    Args:
+        arrivals: packet -> slot the packet became available (direct arrival
+            or repair); packets ``>= num_packets`` are ignored.
+        num_packets: the measured stream prefix ``0..num_packets-1``.
+    """
+    if num_packets < 1:
+        raise ValueError(f"num_packets must be positive, got {num_packets}")
+    avail = {p: s for p, s in arrivals.items() if 0 <= p < num_packets}
+    missing = tuple(sorted(set(range(num_packets)) - set(avail)))
+    if not avail:
+        return LossyPlaybackSummary(0, 0, 0, missing)
+    start = max(slot - packet for packet, slot in avail.items()) + 1
+    # Buffer occupancy with holes: packet j is consumed at slot
+    # start + j - 1 (clamped to its arrival); missing packets never occupy.
+    horizon = max(max(avail.values()) + 1, start + num_packets)
+    delta = [0] * (horizon + 1)
+    for packet, slot in avail.items():
+        consume = max(start + packet - 1, slot)
+        delta[slot] += 1
+        if consume + 1 < horizon:
+            delta[consume + 1] -= 1
+    peak = running = 0
+    for t in range(horizon):
+        running += delta[t]
+        peak = max(peak, running)
+    return LossyPlaybackSummary(start, peak, len(avail), missing)
+
+
+@dataclass(frozen=True, slots=True)
+class RepairMetrics:
+    """Aggregate loss/repair metrics for one lossy run (one tradeoff point).
+
+    Attributes:
+        num_nodes: receivers measured.
+        num_packets: stream prefix measured.
+        num_slots: slots simulated (denominator of goodput).
+        residual_pairs: ``(node, packet)`` pairs never recovered.
+        residual_loss_rate: residual pairs over all measured pairs.
+        recovered_pairs: pairs delivered later than the loss-free baseline
+            (repaired or knock-on delayed).
+        recovery_latency_mean: mean extra slots over the baseline arrival,
+            across recovered pairs (0 when nothing was recovered).
+        recovery_latency_max: worst extra slots over the baseline arrival.
+        recovery_latencies: the full latency distribution (slots late).
+        goodput: available data pairs per node per slot.
+        max_effective_delay: worst loss-tolerant startup delay over nodes.
+        avg_effective_delay: mean loss-tolerant startup delay over nodes.
+        max_buffer: worst peak buffer over nodes at those starts.
+        avg_buffer: mean peak buffer over nodes.
+    """
+
+    num_nodes: int
+    num_packets: int
+    num_slots: int
+    residual_pairs: int
+    residual_loss_rate: float
+    recovered_pairs: int
+    recovery_latency_mean: float
+    recovery_latency_max: int
+    recovery_latencies: tuple[int, ...]
+    goodput: float
+    max_effective_delay: int
+    avg_effective_delay: float
+    max_buffer: int
+    avg_buffer: float
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for table rendering (drops the latency distribution)."""
+        return {
+            "num_nodes": self.num_nodes,
+            "residual": self.residual_pairs,
+            "residual_rate": round(self.residual_loss_rate, 5),
+            "recovered": self.recovered_pairs,
+            "rec_lat_mean": round(self.recovery_latency_mean, 2),
+            "rec_lat_max": self.recovery_latency_max,
+            "goodput": round(self.goodput, 4),
+            "max_delay": self.max_effective_delay,
+            "avg_delay": round(self.avg_effective_delay, 3),
+            "max_buffer": self.max_buffer,
+            "avg_buffer": round(self.avg_buffer, 3),
+        }
+
+
+def collect_repair_metrics(
+    arrivals_by_node: Mapping[int, Mapping[int, int]],
+    *,
+    num_packets: int,
+    num_slots: int,
+    baseline: Mapping[int, Mapping[int, int]] | None = None,
+) -> RepairMetrics:
+    """Aggregate the repair tradeoff metrics over effective arrival traces.
+
+    Args:
+        arrivals_by_node: node -> (data packet -> slot available).  For
+            retransmission runs this is the trace's raw arrivals; for parity
+            runs it is the post-decode effective arrivals.
+        num_packets: measured stream prefix.
+        num_slots: slots the run simulated.
+        baseline: the same protocol's loss-free arrivals (same clock!), used
+            to attribute lateness: a pair arriving after its baseline slot
+            was recovered, and the difference is its recovery latency.
+    """
+    if not arrivals_by_node:
+        raise ValueError("no receiver traces to measure")
+    if num_slots < 1:
+        raise ValueError(f"num_slots must be positive, got {num_slots}")
+    summaries: dict[int, LossyPlaybackSummary] = {}
+    residual = 0
+    available = 0
+    latencies: list[int] = []
+    for node, arrivals in arrivals_by_node.items():
+        summary = summarize_lossy_playback(arrivals, num_packets)
+        summaries[node] = summary
+        residual += len(summary.missing)
+        available += summary.available
+        if baseline is not None:
+            reference = baseline[node]
+            for packet, slot in arrivals.items():
+                if packet >= num_packets:
+                    continue
+                base_slot = reference.get(packet)
+                if base_slot is not None and slot > base_slot:
+                    latencies.append(slot - base_slot)
+    num_nodes = len(summaries)
+    delays = [s.startup_delay for s in summaries.values()]
+    buffers = [s.buffer_peak for s in summaries.values()]
+    return RepairMetrics(
+        num_nodes=num_nodes,
+        num_packets=num_packets,
+        num_slots=num_slots,
+        residual_pairs=residual,
+        residual_loss_rate=residual / (num_nodes * num_packets),
+        recovered_pairs=len(latencies),
+        recovery_latency_mean=mean(latencies) if latencies else 0.0,
+        recovery_latency_max=max(latencies, default=0),
+        recovery_latencies=tuple(sorted(latencies)),
+        goodput=available / (num_nodes * num_slots),
+        max_effective_delay=max(delays),
+        avg_effective_delay=mean(delays),
+        max_buffer=max(buffers),
+        avg_buffer=mean(buffers),
     )

@@ -1,0 +1,67 @@
+"""Loss-repair subsystem: making the paper's schedules loss-tolerant.
+
+The paper assumes a loss-free network, and the repository's fault-injection
+experiments measured the consequence: with zero receive slack a single
+dropped transmission is *permanent* in both schemes
+(``tests/test_faults.py``).  This subpackage closes that gap with the two
+canonical repair designs from the related work, built **on top of** the
+paper's schedules rather than into them:
+
+* :mod:`repro.repair.slack` — provision spare capacity: thin the stream to
+  rate ``1 - ε`` (dedicated repair slots) or grant receivers ``1 + c``
+  receive capacity, wrapping any
+  :class:`~repro.core.protocol.StreamingProtocol` unchanged;
+* :mod:`repro.repair.retransmit` — ARQ: NACK-driven retransmission from the
+  nearest upstream holder into the provisioned slack (after Joshi, Kochman &
+  Wornell);
+* :mod:`repro.repair.parity` — FEC: XOR parity every ``g`` data packets so
+  single losses per group repair locally with no feedback (after Badr, Lui &
+  Khisti);
+* :mod:`repro.repair.session` — one-call experiments reporting the measured
+  delay/buffer price of repair against the paper's loss-free operating point.
+
+Quickstart::
+
+    from repro.repair import run_repair_experiment
+    point = run_repair_experiment("multi-tree", 15, 3, loss_rate=0.01,
+                                  mode="retransmit", epsilon=0.05)
+    assert point.metrics.residual_pairs == 0
+    print(point.row())
+"""
+
+from repro.repair.parity import ParityDecode, ParityScheme, Recovery
+from repro.repair.retransmit import (
+    GapRecord,
+    RepairEvent,
+    RetransmissionCoordinator,
+    make_repairable,
+)
+from repro.repair.session import (
+    REPAIR_MODES,
+    REPAIR_SCHEMES,
+    RepairRunResult,
+    default_grace,
+    make_lossy_protocol,
+    run_repair_experiment,
+)
+from repro.repair.slack import CAPACITY, THIN, SlackPolicy, SlackProvisioner
+
+__all__ = [
+    "CAPACITY",
+    "GapRecord",
+    "ParityDecode",
+    "ParityScheme",
+    "REPAIR_MODES",
+    "REPAIR_SCHEMES",
+    "Recovery",
+    "RepairEvent",
+    "RepairRunResult",
+    "RetransmissionCoordinator",
+    "SlackPolicy",
+    "SlackProvisioner",
+    "THIN",
+    "default_grace",
+    "make_lossy_protocol",
+    "make_repairable",
+    "run_repair_experiment",
+]

@@ -1,0 +1,168 @@
+"""Forward parity repair: XOR parity packets every ``g`` data packets.
+
+Reproduces the feedback-free side of the repair design space (Badr, Lui &
+Khisti, *Streaming-Codes for Multicast over Burst Erasure Channels*): the
+source interleaves one XOR parity packet after every ``g`` data packets, so a
+receiver that got ``g - 1`` data packets of a group plus its parity recovers
+the missing one **locally, with no feedback channel** — the repair costs
+decode latency (wait for the rest of the group) instead of a retransmission
+round trip.
+
+The wrapped schedule is untouched: the underlying protocol streams *stream
+positions* ``0, 1, 2, …`` exactly as before, and :class:`ParityScheme` fixes
+the interpretation of each position — position ``i`` is a parity packet iff
+``(i + 1) % (g + 1) == 0``, else the next data packet in sequence.  The data
+rate is therefore ``g / (g + 1) = 1 - ε`` with ``ε = 1/(g + 1)``: parity is
+the same slack the retransmission path provisions, spent on coding instead
+of spare slots.  Decoding happens post-hoc from the arrival trace
+(:meth:`ParityScheme.decode`), mirroring how playback metrics are computed.
+
+Limits (measured in ``benchmarks/bench_repair_tradeoff.py``): a group with
+two or more losses at the same receiver is unrecoverable — residual loss is
+nonzero under sustained random loss, the price of forgoing feedback.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+
+__all__ = ["ParityScheme", "ParityDecode", "Recovery"]
+
+
+@dataclass(frozen=True, slots=True)
+class Recovery:
+    """One data packet reconstructed from parity.
+
+    Attributes:
+        packet: the recovered data packet id.
+        slot: slot at whose end the decode completes (arrival of the last
+            other member of the group).
+        group: parity group index.
+    """
+
+    packet: int
+    slot: int
+    group: int
+
+
+@dataclass(frozen=True, slots=True)
+class ParityDecode:
+    """Per-node result of parity decoding an arrival trace.
+
+    Attributes:
+        arrivals: data packet -> slot at which it became *available* (direct
+            arrival or parity reconstruction).
+        recoveries: packets that needed reconstruction.
+        unrecoverable: data packets neither received nor reconstructible
+            (two or more losses in their group).
+    """
+
+    arrivals: dict[int, int]
+    recoveries: tuple[Recovery, ...]
+    unrecoverable: tuple[int, ...]
+
+
+class ParityScheme:
+    """Bookkeeping for the interleaved data/parity stream.
+
+    Args:
+        group: data packets per parity group ``g`` (one parity packet is
+            appended after every ``g`` data packets).
+    """
+
+    def __init__(self, group: int) -> None:
+        if group < 2:
+            raise ReproError(f"parity group must be >= 2 data packets, got {group}")
+        self.group = group
+
+    # ------------------------------------------------------------- id mapping
+    @property
+    def epsilon(self) -> float:
+        """Throughput fraction spent on parity: ``1 / (g + 1)``."""
+        return 1.0 / (self.group + 1)
+
+    def position_of_data(self, packet: int) -> int:
+        """Stream position carrying data packet ``packet``."""
+        if packet < 0:
+            raise ReproError(f"packet must be non-negative, got {packet}")
+        return packet + packet // self.group
+
+    def data_of_position(self, position: int) -> int | None:
+        """Data packet carried at ``position``, or None for parity positions."""
+        if self.is_parity_position(position):
+            return None
+        return position - position // (self.group + 1)
+
+    def is_parity_position(self, position: int) -> bool:
+        return (position + 1) % (self.group + 1) == 0
+
+    def group_of_position(self, position: int) -> int:
+        return position // (self.group + 1)
+
+    def parity_position(self, group_index: int) -> int:
+        """Stream position of group ``group_index``'s parity packet."""
+        return group_index * (self.group + 1) + self.group
+
+    def positions_for(self, num_data: int) -> int:
+        """Stream positions that must be delivered to protect ``num_data``
+        data packets: everything up to and including the parity packet of the
+        last covering group (a partial last group is padded with data packets
+        beyond ``num_data``, which the decoder simply ignores)."""
+        if num_data < 1:
+            raise ReproError(f"num_data must be positive, got {num_data}")
+        groups = (num_data + self.group - 1) // self.group
+        return self.parity_position(groups - 1) + 1
+
+    # --------------------------------------------------------------- decoding
+    def decode(self, arrivals: Mapping[int, int], num_data: int) -> ParityDecode:
+        """Recover a node's effective data arrivals from its position trace.
+
+        Args:
+            arrivals: stream position -> arrival slot (a node's raw trace).
+            num_data: data packets the caller cares about (``0..num_data-1``).
+        """
+        effective: dict[int, int] = {}
+        recoveries: list[Recovery] = []
+        unrecoverable: list[int] = []
+        groups = (num_data + self.group - 1) // self.group
+        for g_index in range(groups):
+            first_data = g_index * self.group
+            # The parity packet XORs the *full* group, including any padding
+            # data packets beyond ``num_data`` in a partial last group.
+            member_packets = range(first_data, first_data + self.group)
+            missing: list[int] = []
+            for p in member_packets:
+                slot = arrivals.get(self.position_of_data(p))
+                if slot is None:
+                    missing.append(p)
+                elif p < num_data:
+                    effective[p] = slot
+            if not missing:
+                continue
+            parity_slot = arrivals.get(self.parity_position(g_index))
+            # XOR parity repairs exactly one hole per group, and only when
+            # every other member (including parity) is present.
+            if len(missing) == 1 and parity_slot is not None:
+                packet = missing[0]
+                present = [
+                    arrivals[self.position_of_data(q)] for q in member_packets if q != packet
+                ]
+                decode_slot = max(present + [parity_slot])
+                if packet < num_data:
+                    effective[packet] = decode_slot
+                    recoveries.append(
+                        Recovery(packet=packet, slot=decode_slot, group=g_index)
+                    )
+            else:
+                unrecoverable.extend(p for p in missing if p < num_data)
+        return ParityDecode(
+            arrivals=effective,
+            recoveries=tuple(recoveries),
+            unrecoverable=tuple(sorted(unrecoverable)),
+        )
+
+    def describe(self) -> str:
+        return f"parity(g={self.group}, ε={self.epsilon:.3f})"

@@ -1,0 +1,292 @@
+"""NACK-driven retransmission scheduling into provisioned slack.
+
+Reproduces the ARQ side of the repair design space (Joshi, Kochman & Wornell,
+*Throughput-Smoothness Trade-offs in Multicasting of an Ordered Packet
+Stream*): receivers consume an ordered stream, gaps are negatively
+acknowledged, and a holder retransmits into spare capacity, oldest packet
+first (in-order repair priority).
+
+The :class:`RetransmissionCoordinator` plugs into the engine's
+``repair_hook`` (see :class:`~repro.core.engine.SimConfig`): at the end of
+every slot it observes the transmissions that arrived and the ones the fault
+injector dropped, maintains its own view of each receiver's holdings, and
+returns repair transmissions for the next slot.  Two detectors feed the gap
+table:
+
+* **drop observations** — a dropped delivery is an exact ``(receiver,
+  packet)`` gap, actionable as soon as the packet would have arrived (the
+  sender-side NACK short-circuit);
+* **frontier holes** — a receiver holding packet ``q`` but missing some
+  ``p < q`` has an in-order gap even if no transmission for ``p`` was ever
+  scheduled (the downstream cone of an upstream loss).  Because the paper's
+  schedules deliver different trees'/positions' packets with bounded skew,
+  a hole must age ``grace`` slots before it is NACKed; premature repairs are
+  harmless (the engine skips conflicting injections) but would waste slack.
+
+Repairs come from the *nearest upstream holder*: the original sender when it
+holds the packet, else the lowest-id receiver that does, else the source.
+Every repair respects the one-send/one-receive-per-slot model — the engine
+validates injected repairs together with the scheduled batch, so a completed
+run certifies the repairs fit in the provisioned slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+from repro.repair.slack import THIN, SlackProvisioner
+
+__all__ = ["GapRecord", "RepairEvent", "RetransmissionCoordinator", "make_repairable"]
+
+
+@dataclass(slots=True)
+class GapRecord:
+    """One outstanding ``(receiver, packet)`` hole.
+
+    Attributes:
+        node: the receiver missing the packet.
+        packet: the missing packet.
+        noticed_slot: slot at which the gap was first registered.
+        due_slot: earliest slot a repair may be scheduled.
+        origin: sender of the lost transmission, when known (drop-observed
+            gaps); frontier holes have no origin.
+        attempts: repairs scheduled so far (a repair can itself be dropped).
+    """
+
+    node: int
+    packet: int
+    noticed_slot: int
+    due_slot: int
+    origin: int | None = None
+    attempts: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class RepairEvent:
+    """One scheduled repair transmission (for reporting and tests)."""
+
+    slot: int
+    sender: int
+    receiver: int
+    packet: int
+    attempt: int
+
+
+@dataclass(slots=True)
+class _ReceiverLedger:
+    """Incrementally-maintained holdings of one receiver."""
+
+    holdings: set[int] = field(default_factory=set)
+    max_seen: int = -1
+
+
+class RetransmissionCoordinator:
+    """Detects gaps and schedules retransmissions into provisioned slack.
+
+    Args:
+        provisioned: the slack-provisioned protocol being simulated.  In
+            ``thin`` mode repairs are emitted only into repair slots; in
+            ``capacity`` mode they ride alongside the schedule, bounded by
+            the extra per-node capacity.
+        grace: slots an in-order frontier hole must age before being NACKed.
+            Must cover the schedule's cross-tree/position arrival skew
+            (``h·d`` for the multi-tree scheme) to avoid NACKing packets
+            that are merely still in the pipeline.
+
+    Use :attr:`hook` as the engine's ``repair_hook``.
+    """
+
+    def __init__(self, provisioned: SlackProvisioner, *, grace: int = 16) -> None:
+        if grace < 1:
+            raise ReproError(f"grace must be >= 1, got {grace}")
+        self.provisioned = provisioned
+        self.grace = grace
+        self._receivers = set(provisioned.node_ids)
+        self._sources = provisioned.source_ids
+        self._ledgers: dict[int, _ReceiverLedger] = {
+            n: _ReceiverLedger() for n in self._receivers
+        }
+        self._holes: dict[tuple[int, int], int] = {}  # aging frontier holes
+        self.gaps: dict[tuple[int, int], GapRecord] = {}
+        self.events: list[RepairEvent] = []
+        self.repaired_pairs: set[tuple[int, int]] = set()
+
+    # ---------------------------------------------------------------- ingest
+    def _ingest_arrival(self, slot: int, tx: Transmission) -> None:
+        ledger = self._ledgers.get(tx.receiver)
+        if ledger is None:
+            return
+        key = (tx.receiver, tx.packet)
+        if key in self.gaps:
+            del self.gaps[key]
+            self.repaired_pairs.add(key)
+        self._holes.pop(key, None)
+        holdings = ledger.holdings
+        if tx.packet in holdings:
+            return
+        holdings.add(tx.packet)
+        if tx.packet > ledger.max_seen:
+            # New frontier: everything between the old frontier and this
+            # packet that has not arrived is an in-order hole.
+            for p in range(ledger.max_seen + 1, tx.packet):
+                if p not in holdings:
+                    hole = (tx.receiver, p)
+                    if hole not in self.gaps:
+                        self._holes.setdefault(hole, slot)
+            ledger.max_seen = tx.packet
+
+    def _ingest_drop(self, tx: Transmission) -> None:
+        ledger = self._ledgers.get(tx.receiver)
+        if ledger is None or tx.packet in ledger.holdings:
+            return
+        key = (tx.receiver, tx.packet)
+        self._holes.pop(key, None)
+        record = self.gaps.get(key)
+        if record is None:
+            self.gaps[key] = GapRecord(
+                node=tx.receiver,
+                packet=tx.packet,
+                noticed_slot=tx.slot,
+                due_slot=tx.arrival_slot + 1,
+                origin=tx.sender,
+            )
+        else:
+            # A repair (or re-scheduled delivery) was dropped again; it
+            # becomes retryable as soon as its arrival slot has passed.
+            record.due_slot = max(record.due_slot, tx.arrival_slot + 1)
+
+    def _promote_aged_holes(self, slot: int) -> None:
+        for key, since in list(self._holes.items()):
+            if slot - since >= self.grace:
+                node, packet = key
+                del self._holes[key]
+                self.gaps[key] = GapRecord(
+                    node=node,
+                    packet=packet,
+                    noticed_slot=since,
+                    due_slot=slot + 1,
+                )
+
+    # -------------------------------------------------------------- schedule
+    def _repair_send_budget(self, node: int) -> int:
+        policy = self.provisioned.policy
+        if policy.mode == THIN:
+            return self.provisioned.send_capacity(node)
+        if node in self._sources:
+            return 1  # optimistic; the engine skips it if the schedule is busy
+        return policy.extra
+
+    def _repair_recv_budget(self, node: int) -> int:
+        policy = self.provisioned.policy
+        if policy.mode == THIN:
+            return self.provisioned.recv_capacity(node)
+        return policy.extra
+
+    def _pick_sender(self, gap: GapRecord, slot: int, send_used: dict[int, int]) -> int | None:
+        def free(node: int) -> bool:
+            return send_used.get(node, 0) < self._repair_send_budget(node)
+
+        packet = gap.packet
+        candidates: list[int] = []
+        if gap.origin is not None and free(gap.origin):
+            if gap.origin in self._sources:
+                if self.provisioned.packet_available_slot(packet) <= slot:
+                    candidates.append(gap.origin)
+            elif packet in self._ledgers[gap.origin].holdings:
+                candidates.append(gap.origin)
+        for node in sorted(self._receivers):
+            if (
+                node != gap.node
+                and node != gap.origin
+                and free(node)
+                and packet in self._ledgers[node].holdings
+            ):
+                candidates.append(node)
+        for source in sorted(self._sources):
+            if (
+                source != gap.origin
+                and free(source)
+                and self.provisioned.packet_available_slot(packet) <= slot
+            ):
+                candidates.append(source)
+        if not candidates:
+            return None
+        # Rotate by attempt count: a retry means the last repair was dropped
+        # (dead link) or skipped by the engine (sender busy in the schedule),
+        # so route the next one through a different holder.
+        return candidates[gap.attempts % len(candidates)]
+
+    def hook(self, slot: int, arrived: list[Transmission], dropped: list[Transmission]):
+        """Engine ``repair_hook``: ingest the slot's outcome, emit repairs."""
+        for tx in arrived:
+            self._ingest_arrival(slot, tx)
+        for tx in dropped:
+            self._ingest_drop(tx)
+        self._promote_aged_holes(slot)
+        nxt = slot + 1
+        if self.provisioned.policy.mode == THIN and not self.provisioned.is_repair_slot(nxt):
+            return []
+        return self._schedule_repairs(nxt)
+
+    def _schedule_repairs(self, slot: int) -> list[Transmission]:
+        send_used: dict[int, int] = {}
+        recv_used: dict[int, int] = {}
+        repairs: list[Transmission] = []
+        # Oldest packet first: in-order streams unblock playback fastest by
+        # repairing the head-of-line gap (the ARQ ordering of Joshi et al.).
+        for key in sorted(self.gaps, key=lambda k: (k[1], k[0])):
+            gap = self.gaps[key]
+            if slot < gap.due_slot:
+                continue
+            if recv_used.get(gap.node, 0) >= self._repair_recv_budget(gap.node):
+                continue
+            sender = self._pick_sender(gap, slot, send_used)
+            if sender is None:
+                continue
+            send_used[sender] = send_used.get(sender, 0) + 1
+            recv_used[gap.node] = recv_used.get(gap.node, 0) + 1
+            gap.attempts += 1
+            gap.due_slot = slot + 2  # retry later unless the repair lands
+            repairs.append(
+                Transmission(slot=slot, sender=sender, receiver=gap.node, packet=gap.packet)
+            )
+            self.events.append(
+                RepairEvent(
+                    slot=slot,
+                    sender=sender,
+                    receiver=gap.node,
+                    packet=gap.packet,
+                    attempt=gap.attempts,
+                )
+            )
+        return repairs
+
+    # --------------------------------------------------------------- summary
+    @property
+    def outstanding(self) -> int:
+        """Gaps still open (never successfully repaired)."""
+        return len(self.gaps)
+
+    def describe(self) -> str:
+        return (
+            f"retransmit(grace={self.grace}, repairs={len(self.events)}, "
+            f"outstanding={self.outstanding}) on {self.provisioned.describe()}"
+        )
+
+
+def make_repairable(protocol, policy=None, *, grace: int = 16):
+    """Wrap ``protocol`` for loss-tolerant simulation.
+
+    Returns ``(provisioned, coordinator)``; simulate with::
+
+        provisioned, coord = make_repairable(protocol, SlackPolicy(epsilon=0.05))
+        trace = simulate(provisioned, provisioned.slots_for_packets(P),
+                         drop_rule=bernoulli_drop(0.01, seed=7),
+                         repair_hook=coord.hook)
+    """
+    from repro.repair.slack import SlackPolicy
+
+    provisioned = SlackProvisioner(protocol, policy or SlackPolicy())
+    return provisioned, RetransmissionCoordinator(provisioned, grace=grace)

@@ -1,0 +1,250 @@
+"""One-call loss-repair experiments: build, provision, stream, repair, score.
+
+:func:`run_repair_experiment` is the front door used by the CLI (``repro
+repair``) and ``benchmarks/bench_repair_tradeoff.py``: it builds the
+loss-aware variant of a scheme, applies the requested repair mode, simulates
+under a fault injector, and returns the full tradeoff point — repair metrics
+of the lossy run *and* the loss-free paper metrics it should be compared
+against, so the delay/buffer price of repair is explicit.
+
+Loss runs require the holdings-aware protocol variants (the static schedule
+tables would violate causality once a sender misses a packet), so only the
+``multi-tree`` and ``hypercube`` schemes are supported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine import simulate
+from repro.core.errors import ReproError
+from repro.core.metrics import (
+    RepairMetrics,
+    SchemeMetrics,
+    collect_metrics,
+    collect_repair_metrics,
+)
+from repro.repair.parity import ParityScheme
+from repro.repair.retransmit import RetransmissionCoordinator
+from repro.repair.slack import SlackPolicy, SlackProvisioner
+from repro.workloads.faults import bernoulli_drop
+
+__all__ = [
+    "REPAIR_SCHEMES",
+    "REPAIR_MODES",
+    "RepairRunResult",
+    "make_lossy_protocol",
+    "default_grace",
+    "run_repair_experiment",
+]
+
+REPAIR_SCHEMES = ("multi-tree", "hypercube")
+REPAIR_MODES = ("none", "retransmit", "parity")
+
+
+def make_lossy_protocol(scheme: str, num_nodes: int, degree: int = 3):
+    """Loss-aware variant of ``scheme`` (safe to simulate under drops)."""
+    if scheme == "multi-tree":
+        from repro.trees.live import ChurningMultiTreeProtocol
+
+        return ChurningMultiTreeProtocol(num_nodes, degree, [])
+    if scheme == "hypercube":
+        from repro.hypercube.protocol import HypercubeCascadeProtocol
+
+        return HypercubeCascadeProtocol(num_nodes, loss_aware=True)
+    raise ReproError(
+        f"scheme {scheme!r} has no loss-aware variant; choose from {REPAIR_SCHEMES}"
+    )
+
+
+def default_grace(protocol) -> int:
+    """NACK grace covering the protocol's worst cross-tree arrival skew.
+
+    The first packet's worst-case arrival bounds how far apart one node's
+    per-tree (or per-position) arrivals can sit, so no packet still in the
+    pipeline is NACKed.  Works for any protocol exposing
+    ``slots_for_packets``.
+    """
+    return protocol.slots_for_packets(1) + 2
+
+
+@dataclass(frozen=True)
+class RepairRunResult:
+    """One point on the loss × slack × scheme tradeoff surface.
+
+    Attributes:
+        scheme: base scheme name.
+        mode: ``none`` / ``retransmit`` / ``parity``.
+        loss_rate: Bernoulli drop probability applied per transmission.
+        slack: throughput fraction spent on repair (``ε``; parity spends
+            ``1/(g+1)``; mode ``none`` spends 0).
+        num_packets: measured data-packet prefix.
+        num_slots: slots simulated.
+        metrics: repair-aware metrics of the lossy run.
+        paper: loss-free metrics of the unprovisioned scheme (the paper's
+            operating point, for pricing the repair overhead).
+        repairs: retransmissions actually sent / parity recoveries decoded.
+        description: human-readable run description.
+    """
+
+    scheme: str
+    mode: str
+    loss_rate: float
+    slack: float
+    num_packets: int
+    num_slots: int
+    metrics: RepairMetrics
+    paper: SchemeMetrics
+    repairs: int
+    description: str
+
+    def row(self) -> dict[str, object]:
+        """Flat dict for table/JSON rendering, with explicit repair costs."""
+        out: dict[str, object] = {
+            "scheme": self.scheme,
+            "mode": self.mode,
+            "loss": self.loss_rate,
+            "slack": round(self.slack, 4),
+        }
+        out.update(self.metrics.row())
+        out.pop("num_nodes", None)
+        out["repairs"] = self.repairs
+        out["delay_cost"] = self.metrics.max_effective_delay - self.paper.max_startup_delay
+        out["buffer_cost"] = self.metrics.max_buffer - self.paper.max_buffer
+        return out
+
+
+def _paper_baseline(scheme: str, num_nodes: int, degree: int, num_packets: int) -> SchemeMetrics:
+    protocol = make_lossy_protocol(scheme, num_nodes, degree)
+    trace = simulate(protocol, protocol.slots_for_packets(num_packets))
+    return collect_metrics(trace, num_packets=num_packets)
+
+
+def run_repair_experiment(
+    scheme: str,
+    num_nodes: int,
+    degree: int = 3,
+    *,
+    num_packets: int = 40,
+    mode: str = "retransmit",
+    epsilon: float = 0.05,
+    slack_mode: str = "thin",
+    extra: int = 1,
+    group: int = 4,
+    loss_rate: float = 0.01,
+    seed: int = 0,
+    drop_rule=None,
+    grace: int | None = None,
+) -> RepairRunResult:
+    """Run one lossy streaming experiment and score the repair tradeoff.
+
+    Args:
+        scheme: ``multi-tree`` or ``hypercube``.
+        num_nodes: receiver count.
+        degree: tree degree (multi-tree only).
+        num_packets: data-packet prefix to measure.
+        mode: ``none`` (reproduce the paper's permanent-loss finding),
+            ``retransmit`` (slack ``ε`` + NACK repair), or ``parity``
+            (XOR parity every ``group`` data packets, no feedback).
+        epsilon: retransmission slack (thin mode).
+        slack_mode: ``thin`` or ``capacity`` (retransmit only).
+        extra: extra per-node capacity in ``capacity`` slack mode.
+        group: parity group size ``g``.
+        loss_rate: Bernoulli per-transmission drop probability (ignored when
+            ``drop_rule`` is given).
+        seed: RNG seed for the default fault injector.
+        drop_rule: custom fault injector overriding the Bernoulli default.
+        grace: NACK grace override (default: the scheme's skew bound).
+    """
+    if mode not in REPAIR_MODES:
+        raise ReproError(f"unknown repair mode {mode!r}; choose from {REPAIR_MODES}")
+    if drop_rule is None and loss_rate > 0:
+        drop_rule = bernoulli_drop(loss_rate, seed=seed)
+    paper = _paper_baseline(scheme, num_nodes, degree, num_packets)
+
+    if mode == "parity":
+        scheme_parity = ParityScheme(group)
+        positions = scheme_parity.positions_for(num_packets)
+        protocol = make_lossy_protocol(scheme, num_nodes, degree)
+        num_slots = protocol.slots_for_packets(positions)
+        clean = simulate(protocol, num_slots)
+        lossy = simulate(protocol, num_slots, drop_rule=drop_rule)
+        baseline = {
+            node: scheme_parity.decode(clean.arrivals(node), num_packets).arrivals
+            for node in protocol.node_ids
+        }
+        effective: dict[int, dict[int, int]] = {}
+        recoveries = 0
+        for node in protocol.node_ids:
+            decode = scheme_parity.decode(lossy.arrivals(node), num_packets)
+            effective[node] = decode.arrivals
+            recoveries += len(decode.recoveries)
+        metrics = collect_repair_metrics(
+            effective, num_packets=num_packets, num_slots=num_slots, baseline=baseline
+        )
+        return RepairRunResult(
+            scheme=scheme,
+            mode=mode,
+            loss_rate=loss_rate,
+            slack=scheme_parity.epsilon,
+            num_packets=num_packets,
+            num_slots=num_slots,
+            metrics=metrics,
+            paper=paper,
+            repairs=recoveries,
+            description=f"{scheme_parity.describe()} over {protocol.describe()}",
+        )
+
+    if mode == "retransmit":
+        policy = SlackPolicy(epsilon=epsilon, mode=slack_mode, extra=extra)
+        protocol = SlackProvisioner(make_lossy_protocol(scheme, num_nodes, degree), policy)
+        num_slots = protocol.slots_for_packets(num_packets)
+        clean = simulate(protocol, num_slots)
+        coordinator = RetransmissionCoordinator(
+            protocol, grace=default_grace(protocol) if grace is None else grace
+        )
+        lossy = simulate(
+            protocol, num_slots, drop_rule=drop_rule, repair_hook=coordinator.hook
+        )
+        metrics = collect_repair_metrics(
+            lossy.all_arrivals(),
+            num_packets=num_packets,
+            num_slots=num_slots,
+            baseline=clean.all_arrivals(),
+        )
+        return RepairRunResult(
+            scheme=scheme,
+            mode=mode,
+            loss_rate=loss_rate,
+            slack=policy.epsilon if policy.mode == "thin" else 0.0,
+            num_packets=num_packets,
+            num_slots=num_slots,
+            metrics=metrics,
+            paper=paper,
+            repairs=len(lossy.injected),
+            description=f"{coordinator.describe()}",
+        )
+
+    # mode == "none": the unrepaired baseline (reproduces permanent loss).
+    protocol = make_lossy_protocol(scheme, num_nodes, degree)
+    num_slots = protocol.slots_for_packets(num_packets)
+    clean = simulate(protocol, num_slots)
+    lossy = simulate(protocol, num_slots, drop_rule=drop_rule)
+    metrics = collect_repair_metrics(
+        lossy.all_arrivals(),
+        num_packets=num_packets,
+        num_slots=num_slots,
+        baseline=clean.all_arrivals(),
+    )
+    return RepairRunResult(
+        scheme=scheme,
+        mode=mode,
+        loss_rate=loss_rate,
+        slack=0.0,
+        num_packets=num_packets,
+        num_slots=num_slots,
+        metrics=metrics,
+        paper=paper,
+        repairs=0,
+        description=f"unrepaired {protocol.describe()}",
+    )

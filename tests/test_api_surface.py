@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.graphs",
     "repro.theory",
+    "repro.repair",
     "repro.workloads",
     "repro.reporting",
 ]

@@ -93,3 +93,58 @@ class TestVerifyCommand:
         assert main(["figure4", "--max-nodes", "150", "--step", "70", "--parallel", "2"]) == 0
         parallel = capsys.readouterr().out
         assert serial == parallel
+
+
+class TestRepairCommand:
+    def test_repair_sweep_table(self, capsys):
+        assert main(
+            ["repair", "--scheme", "multi-tree", "-n", "7", "-p", "12",
+             "--mode", "retransmit", "--epsilon", "0.2", "--loss", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repair tradeoff" in out
+        assert "retransmit" in out
+        assert "delay_cost" in out
+
+    def test_repair_json_export(self, tmp_path, capsys):
+        path = tmp_path / "sweep.json"
+        assert main(
+            ["repair", "--scheme", "hypercube", "-n", "7", "-p", "12",
+             "--mode", "parity", "--loss", "0.02", "--json", str(path)]
+        ) == 0
+        import json
+
+        rows = json.loads(path.read_text())
+        assert rows and rows[0]["scheme"] == "hypercube"
+        assert rows[0]["mode"] == "parity"
+
+    def test_repair_epsilon_sweep_only_applies_to_retransmit(self, capsys):
+        assert main(
+            ["repair", "--scheme", "multi-tree", "-n", "7", "-p", "12",
+             "--mode", "none", "--loss", "0.02",
+             "--epsilon", "0.1", "0.2", "0.3"]
+        ) == 0
+        out = capsys.readouterr().out
+        # mode=none does not multiply rows by the epsilon sweep
+        assert out.count("none") == 1
+
+
+class TestSimulateLossFlags:
+    def test_simulate_with_drop_rate(self, capsys):
+        assert main(
+            ["simulate", "--scheme", "multi-tree", "-n", "10", "-p", "8",
+             "--drop-rate", "0.05", "--seed", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "residual" in out
+        assert "loss 0.05" in out
+
+    def test_simulate_drop_rate_rejects_static_schemes(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scheme", "chain", "-n", "10", "--drop-rate", "0.1"])
+
+    def test_simulate_seed_changes_gossip(self, capsys):
+        assert main(
+            ["simulate", "--scheme", "multi-tree", "-n", "10", "-p", "6", "--seed", "9"]
+        ) == 0
+        assert "max_delay" in capsys.readouterr().out

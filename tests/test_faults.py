@@ -172,3 +172,56 @@ class TestLossIsPermanentButIsolated:
                 total += 1
                 misses += packet not in arrivals
         assert 0 < misses / total < 0.3  # bounded, roughly ~loss-rate scale
+
+
+class TestDeterminism:
+    """Satellite regression: seeded fault injection is reproducible run-to-run."""
+
+    def test_bernoulli_full_run_deterministic(self):
+        def run():
+            protocol = ChurningMultiTreeProtocol(9, 3, [])
+            return simulate(protocol, 40, drop_rule=bernoulli_drop(0.05, seed=11))
+
+        a, b = run(), run()
+        assert [
+            (tx.slot, tx.sender, tx.receiver, tx.packet) for tx in a.dropped
+        ] == [(tx.slot, tx.sender, tx.receiver, tx.packet) for tx in b.dropped]
+        for node in (1, 5, 9):
+            assert a.arrivals(node) == b.arrivals(node)
+
+    def test_different_seeds_differ(self):
+        protocol = ChurningMultiTreeProtocol(9, 3, [])
+        a = simulate(protocol, 40, drop_rule=bernoulli_drop(0.1, seed=1))
+        protocol.reset()
+        b = simulate(protocol, 40, drop_rule=bernoulli_drop(0.1, seed=2))
+        assert {(tx.slot, tx.receiver, tx.packet) for tx in a.dropped} != {
+            (tx.slot, tx.receiver, tx.packet) for tx in b.dropped
+        }
+
+
+class TestComposeEdgeCases:
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ReproError):
+            compose_any()
+
+    def test_overlapping_rules_drop_once(self):
+        # Both rules match the same transmission; composition is a single
+        # boolean OR, so the engine sees exactly one drop decision.
+        rule = compose_any(slot_blackout({3}), link_blackout(0, 1, start=3, end=4))
+        tx = Transmission(slot=3, sender=0, receiver=1, packet=0)
+        assert rule(tx) is True
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        trace = simulate(protocol, 20, drop_rule=rule)
+        keys = [(t.slot, t.sender, t.receiver, t.packet) for t in trace.dropped]
+        assert len(keys) == len(set(keys))  # no double-counted drops
+
+    def test_composition_is_union(self):
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        composed = simulate(
+            protocol, 20, drop_rule=compose_any(slot_blackout({4}), slot_blackout({8}))
+        )
+        protocol.reset()
+        only4 = simulate(protocol, 20, drop_rule=slot_blackout({4}))
+        dropped_slots = {t.slot for t in composed.dropped}
+        assert dropped_slots == {4, 8}
+        assert {t.slot for t in only4.dropped} == {4}

@@ -1,0 +1,129 @@
+"""Tests for XOR parity repair (repro.repair.parity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.repair.parity import ParityScheme
+from repro.repair.session import run_repair_experiment
+
+
+class TestPositionMapping:
+    def test_group_bounds(self):
+        with pytest.raises(ReproError):
+            ParityScheme(1)
+
+    def test_data_position_roundtrip(self):
+        scheme = ParityScheme(4)
+        for packet in range(50):
+            position = scheme.position_of_data(packet)
+            assert not scheme.is_parity_position(position)
+            assert scheme.data_of_position(position) == packet
+
+    def test_parity_positions_interleaved(self):
+        scheme = ParityScheme(3)
+        # g=3: positions 3, 7, 11, ... carry parity.
+        assert [i for i in range(12) if scheme.is_parity_position(i)] == [3, 7, 11]
+        assert scheme.parity_position(0) == 3
+        assert scheme.parity_position(2) == 11
+        assert scheme.data_of_position(3) is None
+
+    def test_positions_partition_into_data_and_parity(self):
+        scheme = ParityScheme(4)
+        data_positions = {scheme.position_of_data(p) for p in range(40)}
+        parity_positions = {scheme.parity_position(g) for g in range(10)}
+        assert data_positions | parity_positions == set(range(50))
+        assert not data_positions & parity_positions
+
+    def test_positions_for_covers_last_group(self):
+        scheme = ParityScheme(4)
+        assert scheme.positions_for(4) == 5  # one full group + its parity
+        assert scheme.positions_for(8) == 10
+        # Partial last group still needs that group's parity position.
+        assert scheme.positions_for(5) == 10
+        assert scheme.epsilon == pytest.approx(0.2)
+
+
+class TestDecode:
+    def _trace(self, scheme, num_data, *, lost=()):
+        """Arrival trace where position i arrives at slot i, minus ``lost``."""
+        positions = scheme.positions_for(num_data)
+        return {i: i for i in range(positions) if i not in lost}
+
+    def test_no_loss_passthrough(self):
+        scheme = ParityScheme(4)
+        decode = scheme.decode(self._trace(scheme, 8), 8)
+        assert decode.arrivals == {p: scheme.position_of_data(p) for p in range(8)}
+        assert not decode.recoveries
+        assert not decode.unrecoverable
+
+    def test_single_loss_recovered_when_group_completes(self):
+        scheme = ParityScheme(4)
+        lost_position = scheme.position_of_data(2)
+        decode = scheme.decode(self._trace(scheme, 8, lost={lost_position}), 8)
+        assert decode.unrecoverable == ()
+        (recovery,) = decode.recoveries
+        assert recovery.packet == 2
+        assert recovery.group == 0
+        # Decode completes when the last other member (the parity) arrives.
+        assert recovery.slot == scheme.parity_position(0)
+        assert decode.arrivals[2] == recovery.slot
+
+    def test_two_losses_in_group_unrecoverable(self):
+        scheme = ParityScheme(4)
+        lost = {scheme.position_of_data(1), scheme.position_of_data(3)}
+        decode = scheme.decode(self._trace(scheme, 8, lost=lost), 8)
+        assert decode.unrecoverable == (1, 3)
+        assert 1 not in decode.arrivals and 3 not in decode.arrivals
+        # The other group decodes untouched.
+        assert all(p in decode.arrivals for p in range(4, 8))
+
+    def test_lost_parity_costs_nothing_when_data_arrives(self):
+        scheme = ParityScheme(4)
+        decode = scheme.decode(self._trace(scheme, 8, lost={scheme.parity_position(0)}), 8)
+        assert not decode.unrecoverable
+        assert not decode.recoveries
+
+    def test_data_plus_parity_lost_in_same_group_unrecoverable(self):
+        scheme = ParityScheme(4)
+        lost = {scheme.position_of_data(1), scheme.parity_position(0)}
+        decode = scheme.decode(self._trace(scheme, 8, lost=lost), 8)
+        assert decode.unrecoverable == (1,)
+
+    def test_padding_loss_consumes_the_group_budget(self):
+        # 5 data packets with g=4: group 1 is {4, 5pad, 6pad, 7pad}.  Losing
+        # packet 4 *and* a padding position leaves two holes — unrecoverable —
+        # even though only one is a real data packet.
+        scheme = ParityScheme(4)
+        lost = {scheme.position_of_data(4), scheme.position_of_data(5)}
+        decode = scheme.decode(self._trace(scheme, 5, lost=lost), 5)
+        assert decode.unrecoverable == (4,)
+
+    def test_padding_only_loss_is_invisible(self):
+        scheme = ParityScheme(4)
+        decode = scheme.decode(
+            self._trace(scheme, 5, lost={scheme.position_of_data(6)}), 5
+        )
+        assert not decode.unrecoverable
+        assert not decode.recoveries
+        assert set(decode.arrivals) == set(range(5))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("scheme", ["multi-tree", "hypercube"])
+    def test_parity_repairs_sparse_loss(self, scheme):
+        point = run_repair_experiment(
+            scheme, 15, 3, num_packets=40, mode="parity", group=4,
+            loss_rate=0.01, seed=0,
+        )
+        assert point.metrics.residual_pairs == 0
+        assert point.repairs > 0
+        assert point.slack == pytest.approx(0.2)
+
+    def test_parity_leaves_residual_under_heavy_loss(self):
+        point = run_repair_experiment(
+            "multi-tree", 15, 3, num_packets=40, mode="parity", group=4,
+            loss_rate=0.2, seed=1,
+        )
+        assert point.metrics.residual_pairs > 0

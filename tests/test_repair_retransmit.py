@@ -1,0 +1,185 @@
+"""Tests for NACK retransmission into provisioned slack (repro.repair.retransmit).
+
+The headline acceptance test: under Bernoulli loss the unrepaired schemes
+reproduce the permanent-loss finding of ``tests/test_faults.py``, while the
+same schemes with ε = 0.05 retransmission slack recover every pair within a
+bounded number of slots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+from repro.repair.retransmit import RetransmissionCoordinator, make_repairable
+from repro.repair.session import default_grace, make_lossy_protocol, run_repair_experiment
+from repro.repair.slack import SlackPolicy
+from repro.trees.live import ChurningMultiTreeProtocol
+from repro.workloads.faults import bernoulli_drop, link_blackout, slot_blackout
+
+
+class TestAcceptance:
+    """The issue's acceptance criteria, verbatim."""
+
+    @pytest.mark.parametrize("scheme", ["multi-tree", "hypercube"])
+    def test_slack_retransmission_reaches_zero_residual(self, scheme):
+        repaired = run_repair_experiment(
+            scheme, 15, 3, num_packets=40, mode="retransmit", epsilon=0.05,
+            loss_rate=0.01, seed=0,
+        )
+        unrepaired = run_repair_experiment(
+            scheme, 15, 3, num_packets=40, mode="none", loss_rate=0.01, seed=0,
+        )
+        # The unrepaired baseline reproduces the permanent-loss finding...
+        assert unrepaired.metrics.residual_pairs > 0
+        # ...and ε = 0.05 slack repairs every one of those pairs,
+        assert repaired.metrics.residual_pairs == 0
+        assert repaired.repairs > 0
+        # with recovery latency bounded by the simulated horizon.
+        assert 0 < repaired.metrics.recovery_latency_max < repaired.num_slots
+
+    def test_repair_has_measured_delay_cost(self):
+        point = run_repair_experiment(
+            "multi-tree", 15, 3, num_packets=40, mode="retransmit",
+            epsilon=0.05, loss_rate=0.01, seed=0,
+        )
+        row = point.row()
+        # Thin-mode dilation makes repair strictly more expensive than the
+        # paper's loss-free operating point — the tradeoff is visible.
+        assert row["delay_cost"] > 0
+
+
+class TestCoordinator:
+    def test_grace_bounds(self):
+        provisioned, _ = make_repairable(ChurningMultiTreeProtocol(7, 3, []))
+        with pytest.raises(ReproError):
+            RetransmissionCoordinator(provisioned, grace=0)
+
+    def test_clean_run_schedules_no_repairs(self):
+        provisioned, coord = make_repairable(
+            ChurningMultiTreeProtocol(7, 3, []), SlackPolicy(epsilon=0.2), grace=10
+        )
+        trace = simulate(provisioned, 50, repair_hook=coord.hook)
+        assert not trace.injected
+        assert not coord.events
+        assert coord.outstanding == 0
+
+    def test_slot_blackout_repaired(self):
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        provisioned, coord = make_repairable(
+            protocol, SlackPolicy(epsilon=0.2), grace=default_grace(protocol)
+        )
+        num_slots = provisioned.slots_for_packets(12)
+        trace = simulate(
+            provisioned, num_slots, drop_rule=slot_blackout({7}),
+            repair_hook=coord.hook,
+        )
+        assert trace.dropped  # the blackout hit something
+        assert coord.outstanding == 0
+        for node in provisioned.node_ids:
+            assert all(p in trace.arrivals(node) for p in range(12))
+
+    def test_link_blackout_repaired(self):
+        # A *bounded* outage of one schedule link: everything it loses is
+        # repaired.  (A permanent outage of a schedule link is a sustained
+        # 1/d loss at the downstream node, beyond any fixed ε — the repair
+        # rate, one packet per period, cannot exceed the provisioned slack.)
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        clean = simulate(protocol, 20)
+        victim = next(tx for tx in clean.transmissions if tx.sender != 0 and tx.slot >= 5)
+        protocol.reset()
+        provisioned, coord = make_repairable(
+            protocol, SlackPolicy(epsilon=0.2), grace=default_grace(protocol)
+        )
+        num_slots = provisioned.slots_for_packets(12)
+        outer = provisioned.outer_slot(victim.slot)
+        trace = simulate(
+            provisioned,
+            num_slots,
+            drop_rule=link_blackout(victim.sender, victim.receiver, start=outer, end=outer + 4),
+            repair_hook=coord.hook,
+        )
+        assert trace.dropped
+        assert coord.outstanding == 0
+        for node in provisioned.node_ids:
+            assert all(p in trace.arrivals(node) for p in range(12))
+
+    def test_dropped_repair_is_retried(self):
+        # Drop every delivery of one (receiver, packet) pair twice — the
+        # scheduled one and the first repair — and verify a second repair
+        # attempt lands.
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        clean = simulate(protocol, 20)
+        victim = next(tx for tx in clean.transmissions if tx.sender != 0 and tx.slot >= 5)
+        protocol.reset()
+        drops = {"left": 2}
+
+        def rule(tx: Transmission) -> bool:
+            if (tx.receiver, tx.packet) == (victim.receiver, victim.packet) and drops["left"]:
+                drops["left"] -= 1
+                return True
+            return False
+
+        provisioned, coord = make_repairable(
+            protocol, SlackPolicy(epsilon=0.2), grace=default_grace(protocol)
+        )
+        num_slots = provisioned.slots_for_packets(12)
+        trace = simulate(provisioned, num_slots, drop_rule=rule, repair_hook=coord.hook)
+        attempts = [
+            e for e in coord.events
+            if (e.receiver, e.packet) == (victim.receiver, victim.packet)
+        ]
+        assert len(attempts) >= 2
+        assert max(e.attempt for e in attempts) >= 2
+        assert victim.packet in trace.arrivals(victim.receiver)
+        assert coord.outstanding == 0
+
+    def test_thin_mode_repairs_only_in_repair_slots(self):
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        provisioned, coord = make_repairable(
+            protocol, SlackPolicy(epsilon=0.2), grace=default_grace(protocol)
+        )
+        num_slots = provisioned.slots_for_packets(12)
+        trace = simulate(
+            provisioned, num_slots, drop_rule=bernoulli_drop(0.05, seed=2),
+            repair_hook=coord.hook,
+        )
+        assert trace.injected
+        for tx in trace.injected:
+            assert provisioned.is_repair_slot(tx.slot)
+
+    def test_capacity_mode_repairs_without_dilation(self):
+        protocol = ChurningMultiTreeProtocol(7, 3, [])
+        provisioned, coord = make_repairable(
+            protocol, SlackPolicy(mode="capacity", extra=1),
+            grace=default_grace(protocol),
+        )
+        num_slots = provisioned.slots_for_packets(12)
+        trace = simulate(
+            provisioned, num_slots, drop_rule=slot_blackout({7}),
+            repair_hook=coord.hook,
+        )
+        assert trace.dropped
+        assert coord.outstanding == 0
+        for node in provisioned.node_ids:
+            assert all(p in trace.arrivals(node) for p in range(12))
+
+
+class TestSession:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ReproError):
+            make_lossy_protocol("chain", 7)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            run_repair_experiment("multi-tree", 7, mode="wishful")
+
+    def test_zero_loss_rate_means_no_repairs(self):
+        point = run_repair_experiment(
+            "multi-tree", 7, 3, num_packets=12, mode="retransmit",
+            epsilon=0.2, loss_rate=0.0,
+        )
+        assert point.repairs == 0
+        assert point.metrics.residual_pairs == 0
