@@ -12,6 +12,7 @@ from conftest import report
 
 from repro.core.engine import simulate
 from repro.core.metrics import collect_metrics
+from repro.obs import Timer
 from repro.reporting.series import ascii_plot, series_table
 from repro.trees import MultiTreeProtocol
 from repro.trees.analysis import worst_case_delay
@@ -31,7 +32,10 @@ def sweep(populations, degrees):
 def test_figure4_reproduction(benchmark):
     populations = figure4_populations(2000, step=50, start=10)
     degrees = degree_sweep()
-    series = benchmark.pedantic(sweep, args=(populations, degrees), rounds=1, iterations=1)
+    with Timer() as timer:
+        series = benchmark.pedantic(
+            sweep, args=(populations, degrees), rounds=1, iterations=1
+        )
 
     # Paper-shape checks: monotone-ish growth, degree ordering at the tail.
     tail = {name: values[-1] for name, values in series.items()}
@@ -53,7 +57,7 @@ def test_figure4_reproduction(benchmark):
             series_table("N", populations[::4], {k: v[::4] for k, v in series.items()}),
         ]
     )
-    report("figure4_delay_vs_n", text)
+    report("figure4_delay_vs_n", text, elapsed=timer.elapsed)
 
 
 def test_figure4_simulation_cross_check(benchmark):

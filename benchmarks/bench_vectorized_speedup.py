@@ -8,10 +8,9 @@ following the profile-then-vectorize workflow of the HPC guides.
 
 from __future__ import annotations
 
-import time
-
 from conftest import report
 
+from repro.obs import PhaseProfiler
 from repro.trees.analysis import worst_case_delay
 from repro.trees.forest import MultiTreeForest
 from repro.trees.vectorized import figure4_series_fast
@@ -31,16 +30,17 @@ def test_vectorized_sweep_equivalent_and_faster(benchmark):
     populations = figure4_populations(2000, step=100)
     degrees = degree_sweep()
 
-    start = time.perf_counter()
-    scalar = scalar_sweep(populations, degrees)
-    scalar_seconds = time.perf_counter() - start
+    profiler = PhaseProfiler()
+    with profiler.phase("scalar"):
+        scalar = scalar_sweep(populations, degrees)
+    scalar_seconds = profiler.stats["scalar"].total
 
     fast = benchmark.pedantic(
         figure4_series_fast, args=(populations, degrees), rounds=3, iterations=1
     )
-    start = time.perf_counter()
-    figure4_series_fast(populations, degrees)
-    vector_seconds = time.perf_counter() - start
+    with profiler.phase("vectorized"):
+        figure4_series_fast(populations, degrees)
+    vector_seconds = profiler.stats["vectorized"].total
 
     assert fast == scalar  # bit-identical results
     speedup = scalar_seconds / max(vector_seconds, 1e-9)
@@ -55,4 +55,6 @@ def test_vectorized_sweep_equivalent_and_faster(benchmark):
                 f"  speedup:    {speedup:8.1f}x  (identical outputs)",
             ]
         ),
+        elapsed=profiler.total_time,
+        phases=profiler.snapshot(),
     )

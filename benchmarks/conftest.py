@@ -5,21 +5,75 @@ output is registered via :func:`report` and (a) written to
 ``benchmarks/results/<name>.txt`` and (b) echoed into the terminal summary, so
 ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
 reproductions alongside the timing table.
+
+Benches that measure their own wall-clock (via :class:`repro.obs.Timer` or a
+:class:`repro.obs.PhaseProfiler`) pass ``elapsed=`` / ``phases=`` to
+:func:`report`; the harness then also writes ``results/<name>.json`` with the
+machine-readable timing row, so the BENCH trajectory keeps a numeric history
+alongside the text reproduction.  Benches that do not time themselves still
+get a JSON row: the harness times each test's call phase with
+:class:`repro.obs.Timer` and backfills ``wall_clock_s`` (scope ``"test"``)
+for every report the test registered.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+
+import pytest
+
+from repro.obs import Timer
 
 _RESULTS_DIR = Path(__file__).parent / "results"
 _REGISTRY: list[tuple[str, str]] = []
+_PENDING_TIMING: list[str] = []
 
 
-def report(name: str, text: str) -> None:
-    """Register one reproduced table/figure for the terminal summary."""
+def report(
+    name: str,
+    text: str,
+    *,
+    elapsed: float | None = None,
+    phases: dict | None = None,
+) -> None:
+    """Register one reproduced table/figure for the terminal summary.
+
+    Args:
+        name: result file stem (``results/<name>.txt`` / ``.json``).
+        text: the reproduced table/figure text.
+        elapsed: wall-clock seconds for the bench body (``Timer.elapsed``).
+        phases: per-phase timing snapshot (``PhaseProfiler.snapshot()``).
+    """
     _REGISTRY.append((name, text))
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if elapsed is not None or phases is not None:
+        payload: dict = {"name": name, "timing_scope": "bench"}
+        if elapsed is not None:
+            payload["wall_clock_s"] = round(elapsed, 6)
+        if phases is not None:
+            payload["phases"] = phases
+        (_RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1) + "\n")
+    else:
+        _PENDING_TIMING.append(name)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Backfill wall-clock timing for reports that did not time themselves."""
+    _PENDING_TIMING.clear()
+    with Timer() as timer:
+        yield
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    for name in _PENDING_TIMING:
+        payload = {
+            "name": name,
+            "timing_scope": "test",
+            "wall_clock_s": round(timer.elapsed, 6),
+        }
+        (_RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1) + "\n")
+    _PENDING_TIMING.clear()
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

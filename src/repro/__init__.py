@@ -15,6 +15,9 @@ The package implements, from scratch, everything the paper describes:
 * :mod:`repro.theory` — every closed-form bound, plus degree optimization;
 * :mod:`repro.repair` — the loss-repair subsystem (slack provisioning,
   NACK retransmission, XOR parity) the paper's loss-free model leaves out;
+* :mod:`repro.obs` — the instrumentation layer: metrics registry, structured
+  event tracing, and per-phase profiling hooks (all opt-in, zero overhead
+  when off);
 * :mod:`repro.workloads` / :mod:`repro.reporting` — sweep generators and
   plain-text rendering for the benchmark harness.
 
@@ -46,6 +49,7 @@ from repro.hypercube import (
     analyze_cascade,
     cascade_plan,
 )
+from repro.obs import EventTracer, Instrumentation, MetricsRegistry, PhaseProfiler
 from repro.repair import (
     ParityScheme,
     RepairRunResult,
@@ -63,12 +67,16 @@ __all__ = [
     "ChainProtocol",
     "ClusteredStreamingProtocol",
     "DynamicForest",
+    "EventTracer",
     "GroupedHypercubeProtocol",
     "HypercubeCascadeProtocol",
     "HypercubeProtocol",
+    "Instrumentation",
+    "MetricsRegistry",
     "MultiTreeForest",
     "MultiTreeProtocol",
     "ParityScheme",
+    "PhaseProfiler",
     "PlaybackBuffer",
     "RepairRunResult",
     "RetransmissionCoordinator",

@@ -7,7 +7,12 @@ Commands:
 * ``table1``   — regenerate Table 1 (claimed vs measured);
 * ``simulate`` — run a scheme and export the trace (JSON/CSV);
 * ``churn``    — stream through a random churn trace and report hiccups;
-* ``repair``   — sweep loss rate × slack × scheme over the repair subsystem.
+* ``repair``   — sweep loss rate × slack × scheme over the repair subsystem;
+* ``stats``    — fully instrumented run: metrics, event counts, phase timings.
+
+``simulate``, ``churn``, and ``repair`` accept ``--profile`` (per-phase
+wall-clock table) and ``--trace-events PATH`` (JSONL event stream) — the
+observability layer of :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ import sys
 
 from repro.core.engine import simulate
 from repro.core.metrics import collect_metrics
+from repro.obs import Instrumentation, format_profile_table
 from repro.reporting.export import (
     write_arrivals_csv,
     write_trace_json,
@@ -25,6 +31,38 @@ from repro.reporting.export import (
 from repro.reporting.tables import format_rows, format_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_instrumentation_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="time engine phases and print a per-phase table after the run",
+    )
+    parser.add_argument(
+        "--trace-events", metavar="PATH", default=None,
+        help="write the structured event stream here as JSONL",
+    )
+
+
+def _make_instrumentation(args) -> Instrumentation | None:
+    """Build the bundle the flags ask for (``None`` = fully off)."""
+    if not args.profile and not args.trace_events:
+        return None
+    return Instrumentation.collecting(
+        events_path=args.trace_events, ring_capacity=None, profile=args.profile
+    )
+
+
+def _report_instrumentation(instr: Instrumentation | None, args) -> None:
+    if instr is None:
+        return
+    instr.close()
+    if instr.profiler is not None:
+        print()
+        print(format_profile_table(instr.profiler))
+    if instr.tracer is not None:
+        total = sum(instr.tracer.counts.values())
+        print(f"events: {total} -> {args.trace_events}")
 
 
 def _make_protocol(scheme: str, num_nodes: int, degree: int, seed: int = 0):
@@ -101,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Bernoulli per-transmission drop probability; >0 switches to the "
         "loss-aware protocol variant (multi-tree / hypercube only)",
     )
+    _add_instrumentation_flags(sim)
 
     churn = sub.add_parser("churn", help="stream through churn, report hiccups")
     churn.add_argument("-n", "--nodes", type=int, default=30)
@@ -108,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     churn.add_argument("--events", type=int, default=6)
     churn.add_argument("--seed", type=int, default=0)
     churn.add_argument("--lazy", action="store_true")
+    _add_instrumentation_flags(churn)
 
     repair = sub.add_parser(
         "repair", help="sweep loss rate × slack × scheme over the repair subsystem"
@@ -132,6 +172,24 @@ def build_parser() -> argparse.ArgumentParser:
     repair.add_argument("--group", type=int, default=4, help="parity group size g")
     repair.add_argument("--seed", type=int, default=0)
     repair.add_argument("--json", metavar="PATH", help="write the sweep rows as JSON")
+    _add_instrumentation_flags(repair)
+
+    stats = sub.add_parser(
+        "stats", help="fully instrumented run: metrics, event counts, timings"
+    )
+    stats.add_argument("--scheme", choices=_SCHEMES, default="multi-tree")
+    stats.add_argument("-n", "--nodes", type=int, default=63)
+    stats.add_argument("-d", "--degree", type=int, default=3)
+    stats.add_argument("-p", "--packets", type=int, default=16)
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--drop-rate", type=float, default=0.0, metavar="RATE",
+        help="Bernoulli drop probability (loss-aware schemes only)",
+    )
+    stats.add_argument(
+        "--json", metavar="PATH",
+        help="also write the metrics/profile/event-count snapshot as JSON",
+    )
 
     verify = sub.add_parser(
         "verify", help="audit an exported trace JSON against the model"
@@ -213,6 +271,7 @@ def _cmd_table1(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    instr = _make_instrumentation(args)
     if args.drop_rate > 0:
         from repro.core.metrics import collect_repair_metrics
         from repro.repair import make_lossy_protocol
@@ -226,7 +285,9 @@ def _cmd_simulate(args) -> int:
         protocol = make_lossy_protocol(args.scheme, args.nodes, args.degree)
         num_slots = protocol.slots_for_packets(args.packets)
         trace = simulate(
-            protocol, num_slots, drop_rule=bernoulli_drop(args.drop_rate, seed=args.seed)
+            protocol, num_slots,
+            drop_rule=bernoulli_drop(args.drop_rate, seed=args.seed),
+            instrumentation=instr,
         )
         metrics = collect_repair_metrics(
             trace.all_arrivals(), num_packets=args.packets, num_slots=num_slots
@@ -237,14 +298,17 @@ def _cmd_simulate(args) -> int:
         ))
     else:
         protocol = _make_protocol(args.scheme, args.nodes, args.degree, seed=args.seed)
-        trace = simulate(protocol, protocol.slots_for_packets(args.packets))
+        trace = simulate(
+            protocol, protocol.slots_for_packets(args.packets), instrumentation=instr
+        )
         metrics = collect_metrics(trace, num_packets=args.packets)
         print(format_rows([metrics.row()], title=protocol.describe()))
     if args.json:
-        print(f"trace JSON -> {write_trace_json(trace, args.json)}")
+        print(f"trace JSON -> {write_trace_json(trace, args.json, instrumentation=instr)}")
     if args.csv:
         print(f"transmissions -> {write_transmissions_csv(trace, args.csv + '_tx.csv')}")
         print(f"arrivals -> {write_arrivals_csv(trace, args.csv + '_arrivals.csv')}")
+    _report_instrumentation(instr, args)
     return 0
 
 
@@ -265,14 +329,17 @@ def _cmd_churn(args) -> int:
             churn.append(ScheduledChurn(slot, ChurnEvent("delete"), victim=victim))
         else:
             churn.append(ScheduledChurn(slot, ChurnEvent("add")))
+    instr = _make_instrumentation(args)
     protocol, report = run_churn_experiment(
-        args.nodes, args.degree, churn, num_packets=30, lazy=args.lazy
+        args.nodes, args.degree, churn, num_packets=30, lazy=args.lazy,
+        instrumentation=instr,
     )
     print(f"churn events applied: {len(protocol.reports)}; "
           f"population {args.nodes} -> {protocol.forest.num_nodes}")
     print(f"total hiccups: {report.total_hiccups} across "
           f"{len(report.hiccup_nodes)} nodes "
           f"({len(report.relocated_nodes)} relocated by repairs)")
+    _report_instrumentation(instr, args)
     return 0
 
 
@@ -281,6 +348,7 @@ def _cmd_repair(args) -> int:
 
     from repro.repair import REPAIR_SCHEMES, run_repair_experiment
 
+    instr = _make_instrumentation(args)
     schemes = list(REPAIR_SCHEMES) if args.scheme == "both" else [args.scheme]
     modes = ["none", "retransmit", "parity"] if args.mode == "all" else [args.mode]
     rows = []
@@ -300,6 +368,7 @@ def _cmd_repair(args) -> int:
                         group=args.group,
                         loss_rate=loss,
                         seed=args.seed,
+                        instrumentation=instr,
                     )
                     rows.append(point.row())
     print(format_rows(
@@ -311,6 +380,54 @@ def _cmd_repair(args) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             json.dump(rows, fh, indent=2)
         print(f"sweep JSON -> {args.json}")
+    _report_instrumentation(instr, args)
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.reporting.export import write_metrics_json
+
+    instr = Instrumentation.collecting(profile=True)
+    if args.drop_rate > 0:
+        from repro.core.metrics import collect_repair_metrics
+        from repro.repair import make_lossy_protocol
+        from repro.workloads.faults import bernoulli_drop
+
+        if args.scheme not in ("multi-tree", "hypercube"):
+            raise SystemExit(
+                f"--drop-rate needs a loss-aware scheme (multi-tree or "
+                f"hypercube), not {args.scheme!r}"
+            )
+        protocol = make_lossy_protocol(args.scheme, args.nodes, args.degree)
+        num_slots = protocol.slots_for_packets(args.packets)
+        trace = simulate(
+            protocol, num_slots,
+            drop_rule=bernoulli_drop(args.drop_rate, seed=args.seed),
+            instrumentation=instr,
+        )
+        metrics_row = collect_repair_metrics(
+            trace.all_arrivals(), num_packets=args.packets, num_slots=num_slots
+        ).row()
+    else:
+        protocol = _make_protocol(args.scheme, args.nodes, args.degree, seed=args.seed)
+        trace = simulate(
+            protocol, protocol.slots_for_packets(args.packets), instrumentation=instr
+        )
+        metrics_row = collect_metrics(trace, num_packets=args.packets).row()
+    instr.close()
+    print(format_rows([metrics_row], title=protocol.describe()))
+    print()
+    print(format_rows(instr.registry.rows(), title="metrics registry:"))
+    print()
+    event_rows = [
+        {"event": name, "count": count}
+        for name, count in sorted(instr.tracer.counts.items())
+    ]
+    print(format_rows(event_rows, title="event counts:"))
+    print()
+    print(format_profile_table(instr.profiler))
+    if args.json:
+        print(f"stats JSON -> {write_metrics_json(instr, args.json)}")
     return 0
 
 
@@ -351,6 +468,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "churn": _cmd_churn,
     "repair": _cmd_repair,
+    "stats": _cmd_stats,
     "verify": _cmd_verify,
 }
 

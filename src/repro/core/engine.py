@@ -12,8 +12,9 @@ occupancy, neighbor counts — are derived.
 from __future__ import annotations
 
 import heapq
+import inspect
 from collections import Counter
-from collections.abc import Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.core.errors import ReproError
@@ -21,8 +22,36 @@ from repro.core.node import NodeState
 from repro.core.packet import Transmission
 from repro.core.protocol import StreamingProtocol
 from repro.core.validation import SlotValidator
+from repro.obs import events as ev
+from repro.obs.instrumentation import Instrumentation
 
 __all__ = ["SimConfig", "SimTrace", "SlottedEngine", "simulate"]
+
+DropRule = Callable[[Transmission], bool]
+RepairHook = Callable[
+    [int, list[Transmission], list[Transmission]], "Iterable[Transmission] | None"
+]
+
+
+def _check_hook_arity(hook: Callable, name: str, arity: int, expected: str) -> None:
+    """Reject hooks whose signature cannot accept the engine's call early.
+
+    A mis-shaped hook would otherwise surface as a ``TypeError`` deep inside
+    the slot loop; checking at config time turns that into an immediate,
+    located :class:`ReproError`.  Objects whose signature cannot be
+    introspected (some builtins/C callables) are let through.
+    """
+    try:
+        signature = inspect.signature(hook)
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return
+    try:
+        signature.bind(*([None] * arity))
+    except TypeError:
+        raise ReproError(
+            f"{name} must accept {arity} positional argument(s) — expected "
+            f"signature {expected}, got {name}{signature}"
+        ) from None
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,22 +84,37 @@ class SimConfig:
             the receiver already holds — are silently skipped, so repairs
             always yield to the schedule.  This is the attachment point for
             the loss-repair subsystem (:mod:`repro.repair`).
+        instrumentation: optional :class:`~repro.obs.Instrumentation` bundle.
+            When set, the engine emits structured events (``slot_start``,
+            ``tx_sent``, ``tx_dropped``, ``tx_delivered``,
+            ``repair_injected``, ``run_start``/``run_end``), times its phases
+            (``schedule``, ``repair_merge``, ``validate``, ``deliver``,
+            ``repair_hook``), and bumps run counters.  ``None`` (the default)
+            keeps the hot loop instrumentation-free.
     """
 
     num_slots: int
     validate: bool = True
     strict_duplicates: bool = True
     record_transmissions: bool = True
-    drop_rule: object = None
-    repair_hook: object = None
+    drop_rule: DropRule | None = None
+    repair_hook: RepairHook | None = None
+    instrumentation: Instrumentation | None = None
 
     def __post_init__(self) -> None:
         if self.num_slots < 0:
             raise ValueError(f"num_slots must be non-negative, got {self.num_slots}")
-        if self.drop_rule is not None and not callable(self.drop_rule):
-            raise ValueError("drop_rule must be callable or None")
-        if self.repair_hook is not None and not callable(self.repair_hook):
-            raise ValueError("repair_hook must be callable or None")
+        if self.drop_rule is not None:
+            if not callable(self.drop_rule):
+                raise ValueError("drop_rule must be callable or None")
+            _check_hook_arity(self.drop_rule, "drop_rule", 1, "(transmission) -> bool")
+        if self.repair_hook is not None:
+            if not callable(self.repair_hook):
+                raise ValueError("repair_hook must be callable or None")
+            _check_hook_arity(
+                self.repair_hook, "repair_hook", 3,
+                "(slot, arrived, dropped) -> Iterable[Transmission] | None",
+            )
 
 
 @dataclass(slots=True)
@@ -106,6 +150,25 @@ class SimTrace:
         if node in self.nodes:
             return self.nodes[node]
         return self.source_states[node]
+
+
+class _NullScope:
+    """Reusable no-op scope so the uninstrumented slot loop stays branch-free."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def _null_phase(name: str) -> _NullScope:
+    return _NULL_SCOPE
 
 
 class _EngineView:
@@ -155,6 +218,15 @@ class SlottedEngine:
     def run(self) -> SimTrace:
         protocol = self.protocol
         config = self.config
+        instr = config.instrumentation
+        registry = instr.registry if instr is not None else None
+        profiler = instr.profiler if instr is not None else None
+        emit = (
+            instr.tracer.emit
+            if instr is not None and instr.tracer is not None
+            else None
+        )
+        phase = profiler.phase if profiler is not None else _null_phase
         protocol.reset()
         receivers = {nid: NodeState(nid) for nid in protocol.node_ids}
         sources = {nid: NodeState(nid) for nid in protocol.source_ids}
@@ -177,59 +249,103 @@ class SlottedEngine:
         def holds(node: int, packet: int) -> bool:
             return view.holds(node, packet)
 
+        if emit is not None:
+            emit(ev.RUN_START, 0, num_slots=config.num_slots)
+        sent_total = 0
+        delivered_new = 0
+
         pending_repairs: list[Transmission] = []
         for slot in range(config.num_slots):
             view._slot = slot
-            batch = list(protocol.transmissions(slot, view))
+            if emit is not None:
+                emit(ev.SLOT_START, slot)
+            with phase("schedule"):
+                batch = list(protocol.transmissions(slot, view))
             if pending_repairs:
-                merged = self._merge_repairs(slot, batch, pending_repairs, holds)
+                with phase("repair_merge"):
+                    merged = self._merge_repairs(slot, batch, pending_repairs, holds)
                 injected.extend(merged)
+                if emit is not None:
+                    for tx in merged:
+                        emit(ev.REPAIR_INJECTED, slot, sender=tx.sender,
+                             receiver=tx.receiver, packet=tx.packet)
                 batch.extend(merged)
                 pending_repairs = []
             if config.validate:
-                batch = validator.validate_slot(
-                    slot,
-                    batch,
-                    holds=holds,
-                    source_available=protocol.packet_available_slot,
-                    is_source=lambda n: n in source_ids,
-                )
+                with phase("validate"):
+                    batch = validator.validate_slot(
+                        slot,
+                        batch,
+                        holds=holds,
+                        source_available=protocol.packet_available_slot,
+                        is_source=lambda n: n in source_ids,
+                    )
 
             dropped_this_slot: list[Transmission] = []
-            for tx in batch:
-                sender_state = receivers.get(tx.sender) or sources.get(tx.sender)
-                if sender_state is None:
-                    raise ReproError(f"unknown sender node {tx.sender}")
-                sender_state.sent_to.add(tx.receiver)
-                sender_state.packets_sent += 1
-                if drop_rule is not None and drop_rule(tx):
-                    dropped.append(tx)
-                    dropped_this_slot.append(tx)
-                    continue
-                if config.record_transmissions:
-                    log.append(tx)
-                seq += 1
-                heapq.heappush(in_flight, (tx.arrival_slot, seq, tx))
+            with phase("deliver"):
+                for tx in batch:
+                    sender_state = receivers.get(tx.sender) or sources.get(tx.sender)
+                    if sender_state is None:
+                        raise ReproError(f"unknown sender node {tx.sender}")
+                    sender_state.sent_to.add(tx.receiver)
+                    sender_state.packets_sent += 1
+                    sent_total += 1
+                    if emit is not None:
+                        emit(ev.TX_SENT, slot, sender=tx.sender, receiver=tx.receiver,
+                             packet=tx.packet, latency=tx.latency)
+                    if drop_rule is not None and drop_rule(tx):
+                        dropped.append(tx)
+                        dropped_this_slot.append(tx)
+                        if emit is not None:
+                            emit(ev.TX_DROPPED, slot, sender=tx.sender,
+                                 receiver=tx.receiver, packet=tx.packet)
+                        continue
+                    if config.record_transmissions:
+                        log.append(tx)
+                    seq += 1
+                    heapq.heappush(in_flight, (tx.arrival_slot, seq, tx))
 
-            # Deliver everything arriving by the end of this slot.
-            arrived_this_slot: list[Transmission] = []
-            while in_flight and in_flight[0][0] <= slot:
-                _, _, tx = heapq.heappop(in_flight)
-                receiver_state = receivers.get(tx.receiver)
-                if receiver_state is None:
-                    receiver_state = sources.get(tx.receiver)
+                # Deliver everything arriving by the end of this slot.
+                arrived_this_slot: list[Transmission] = []
+                while in_flight and in_flight[0][0] <= slot:
+                    _, _, tx = heapq.heappop(in_flight)
+                    receiver_state = receivers.get(tx.receiver)
                     if receiver_state is None:
-                        raise ReproError(f"unknown receiver node {tx.receiver}")
-                # First arrival wins; duplicates (if allowed) are ignored.
-                receiver_state.arrivals.setdefault(tx.packet, tx.arrival_slot)
-                receiver_state.received_from.add(tx.sender)
-                arrived_this_slot.append(tx)
+                        receiver_state = sources.get(tx.receiver)
+                        if receiver_state is None:
+                            raise ReproError(f"unknown receiver node {tx.receiver}")
+                    # First arrival wins; duplicates (if allowed) are ignored.
+                    if emit is None:
+                        if tx.packet not in receiver_state.arrivals:
+                            receiver_state.arrivals[tx.packet] = tx.arrival_slot
+                            delivered_new += 1
+                    else:
+                        new = tx.packet not in receiver_state.arrivals
+                        if new:
+                            receiver_state.arrivals[tx.packet] = tx.arrival_slot
+                            delivered_new += 1
+                        emit(ev.TX_DELIVERED, tx.arrival_slot, sender=tx.sender,
+                             receiver=tx.receiver, packet=tx.packet, new=new)
+                    receiver_state.received_from.add(tx.sender)
+                    arrived_this_slot.append(tx)
 
             if repair_hook is not None:
-                repairs = repair_hook(slot, arrived_this_slot, dropped_this_slot)
+                with phase("repair_hook"):
+                    repairs = repair_hook(slot, arrived_this_slot, dropped_this_slot)
                 if repairs:
                     pending_repairs = list(repairs)
 
+        if emit is not None:
+            emit(ev.RUN_END, config.num_slots, sent=sent_total, dropped=len(dropped),
+                 delivered=delivered_new, injected=len(injected))
+        if registry is not None:
+            label = type(protocol).__name__
+            registry.counter("engine.runs", protocol=label).inc()
+            registry.counter("engine.slots", protocol=label).inc(config.num_slots)
+            registry.counter("engine.tx.sent", protocol=label).inc(sent_total)
+            registry.counter("engine.tx.dropped", protocol=label).inc(len(dropped))
+            registry.counter("engine.tx.delivered", protocol=label).inc(delivered_new)
+            registry.counter("engine.repairs.injected", protocol=label).inc(len(injected))
         return SimTrace(
             num_slots=config.num_slots,
             nodes=receivers,
@@ -292,8 +408,9 @@ def simulate(
     validate: bool = True,
     strict_duplicates: bool = True,
     record_transmissions: bool = True,
-    drop_rule=None,
-    repair_hook=None,
+    drop_rule: DropRule | None = None,
+    repair_hook: RepairHook | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> SimTrace:
     """Convenience wrapper: build an engine, run it, return the trace."""
     config = SimConfig(
@@ -303,5 +420,6 @@ def simulate(
         record_transmissions=record_transmissions,
         drop_rule=drop_rule,
         repair_hook=repair_hook,
+        instrumentation=instrumentation,
     )
     return SlottedEngine(protocol, config).run()

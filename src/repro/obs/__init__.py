@@ -1,0 +1,92 @@
+"""repro.obs — the instrumentation layer: metrics, events, profiling.
+
+Three zero-dependency pieces, usable separately or bundled:
+
+* :mod:`repro.obs.registry` — a metrics registry (counters, gauges,
+  histograms with labels; snapshot/reset; process-safe merge for sweep
+  workers);
+* :mod:`repro.obs.events` — a structured event tracer with a fixed typed
+  vocabulary and pluggable sinks (JSONL, in-memory ring buffer), plus replay
+  helpers that rebuild arrival maps from a stream;
+* :mod:`repro.obs.profile` — per-phase wall-clock timers
+  (``perf_counter``-based scopes) aggregated per run and per sweep.
+
+:class:`Instrumentation` bundles the trio; pass it through
+``SimConfig.instrumentation`` (engine), ``run_repair_experiment`` (repair),
+``run_churn_experiment`` (churn), or the CLI's ``--profile`` /
+``--trace-events`` flags.  Everything is opt-in: with no bundle attached the
+instrumented code paths cost a single ``None`` check.
+"""
+
+from repro.obs.events import (
+    CHURN_APPLIED,
+    EVENT_SCHEMA,
+    GAP_DETECTED,
+    PARITY_RECOVERED,
+    PLAYBACK_STALL,
+    REPAIR_INJECTED,
+    REPAIR_SCHEDULED,
+    RUN_END,
+    RUN_START,
+    SLOT_START,
+    TX_DELIVERED,
+    TX_DROPPED,
+    TX_SENT,
+    Event,
+    EventSink,
+    EventTracer,
+    JsonlSink,
+    RingBufferSink,
+    count_events,
+    read_events_jsonl,
+    replay_arrivals,
+)
+from repro.obs.instrumentation import Instrumentation
+from repro.obs.profile import PhaseProfiler, PhaseStats, Timer, format_profile_table
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    active_registry,
+    global_registry,
+    use_registry,
+)
+
+__all__ = [
+    "CHURN_APPLIED",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_SCHEMA",
+    "Event",
+    "EventSink",
+    "EventTracer",
+    "GAP_DETECTED",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "JsonlSink",
+    "MetricsRegistry",
+    "PARITY_RECOVERED",
+    "PLAYBACK_STALL",
+    "PhaseProfiler",
+    "PhaseStats",
+    "REPAIR_INJECTED",
+    "REPAIR_SCHEDULED",
+    "RUN_END",
+    "RUN_START",
+    "RingBufferSink",
+    "SLOT_START",
+    "TX_DELIVERED",
+    "TX_DROPPED",
+    "TX_SENT",
+    "Timer",
+    "active_registry",
+    "count_events",
+    "format_profile_table",
+    "global_registry",
+    "read_events_jsonl",
+    "replay_arrivals",
+    "use_registry",
+]

@@ -1,0 +1,166 @@
+"""Profiling hooks: per-phase wall-clock timers built on ``perf_counter``.
+
+The engine wraps its phases (schedule generation, repair merge, validation,
+delivery, repair hook) in :meth:`PhaseProfiler.phase` scopes; each scope
+records one elapsed sample into the phase's running stats.  Profiles are
+picklable via :meth:`PhaseProfiler.snapshot` and additive via
+:meth:`PhaseProfiler.merge`, so sweeps aggregate per-run profiles into one
+per-sweep table.  :class:`Timer` is the standalone one-shot variant used by
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+__all__ = ["PhaseStats", "PhaseProfiler", "Timer", "format_profile_table"]
+
+
+@dataclass
+class PhaseStats:
+    """Running wall-clock statistics for one named phase."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def record(self, elapsed: float) -> None:
+        self.count += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    def merge(self, other: PhaseStats) -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class _PhaseScope:
+    """Context manager recording one ``perf_counter`` interval."""
+
+    __slots__ = ("_stats", "_start")
+
+    def __init__(self, stats: PhaseStats) -> None:
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> _PhaseScope:
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stats.record(perf_counter() - self._start)
+
+
+class PhaseProfiler:
+    """Accumulates per-phase timing samples.
+
+    Usage::
+
+        profiler = PhaseProfiler()
+        with profiler.phase("validate"):
+            ...
+        print(format_profile_table(profiler))
+    """
+
+    def __init__(self) -> None:
+        self.stats: dict[str, PhaseStats] = {}
+
+    def phase(self, name: str) -> _PhaseScope:
+        """A scope that times one execution of ``name``."""
+        stats = self.stats.get(name)
+        if stats is None:
+            stats = self.stats[name] = PhaseStats()
+        return _PhaseScope(stats)
+
+    def record(self, name: str, elapsed: float) -> None:
+        """Record an externally measured sample."""
+        stats = self.stats.get(name)
+        if stats is None:
+            stats = self.stats[name] = PhaseStats()
+        stats.record(elapsed)
+
+    @property
+    def total_time(self) -> float:
+        return sum(s.total for s in self.stats.values())
+
+    def snapshot(self) -> dict:
+        """Plain picklable dict (phase -> count/total/min/max)."""
+        return {
+            name: {"count": s.count, "total": s.total, "min": s.min, "max": s.max}
+            for name, s in self.stats.items()
+        }
+
+    def merge(self, other: "PhaseProfiler | dict") -> None:
+        """Fold another profiler (or its snapshot) into this one."""
+        incoming = other.snapshot() if isinstance(other, PhaseProfiler) else other
+        for name, row in incoming.items():
+            stats = self.stats.get(name)
+            if stats is None:
+                stats = self.stats[name] = PhaseStats()
+            stats.merge(PhaseStats(
+                count=row["count"], total=row["total"], min=row["min"], max=row["max"]
+            ))
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flat per-phase rows for table rendering, slowest total first."""
+        total = self.total_time or 1.0
+        rows = []
+        for name, s in sorted(self.stats.items(), key=lambda kv: -kv[1].total):
+            rows.append({
+                "phase": name,
+                "calls": s.count,
+                "total_s": round(s.total, 6),
+                "mean_us": round(s.mean * 1e6, 2),
+                "max_us": round(s.max * 1e6, 2),
+                "share": f"{100 * s.total / total:.1f}%",
+            })
+        return rows
+
+
+class Timer:
+    """One-shot wall-clock timer (the benchmark harness's stopwatch)::
+
+        with Timer() as t:
+            work()
+        record(t.elapsed)
+    """
+
+    __slots__ = ("start", "elapsed")
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> Timer:
+        self.start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = perf_counter() - self.start
+
+
+def format_profile_table(profiler: PhaseProfiler, *, title: str = "per-phase timings") -> str:
+    """Render a profiler as a fixed-width text table (zero-dependency)."""
+    rows = profiler.rows()
+    if not rows:
+        return f"{title}: (no samples)"
+    headers = ["phase", "calls", "total_s", "mean_us", "max_us", "share"]
+    cells = [[str(r[h]) for h in headers] for r in rows]
+    widths = [max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)]
+    lines = [title]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

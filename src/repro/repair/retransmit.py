@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.core.errors import ReproError
 from repro.core.packet import Transmission
+from repro.obs.events import GAP_DETECTED, REPAIR_SCHEDULED
 from repro.repair.slack import THIN, SlackProvisioner
 
 __all__ = ["GapRecord", "RepairEvent", "RetransmissionCoordinator", "make_repairable"]
@@ -94,15 +95,21 @@ class RetransmissionCoordinator:
             Must cover the schedule's cross-tree/position arrival skew
             (``h·d`` for the multi-tree scheme) to avoid NACKing packets
             that are merely still in the pipeline.
+        tracer: optional :class:`~repro.obs.EventTracer`; when set the
+            coordinator emits ``gap_detected`` (a hole entered the gap table)
+            and ``repair_scheduled`` (a retransmission was emitted) events.
 
     Use :attr:`hook` as the engine's ``repair_hook``.
     """
 
-    def __init__(self, provisioned: SlackProvisioner, *, grace: int = 16) -> None:
+    def __init__(
+        self, provisioned: SlackProvisioner, *, grace: int = 16, tracer=None
+    ) -> None:
         if grace < 1:
             raise ReproError(f"grace must be >= 1, got {grace}")
         self.provisioned = provisioned
         self.grace = grace
+        self.tracer = tracer
         self._receivers = set(provisioned.node_ids)
         self._sources = provisioned.source_ids
         self._ledgers: dict[int, _ReceiverLedger] = {
@@ -152,6 +159,11 @@ class RetransmissionCoordinator:
                 due_slot=tx.arrival_slot + 1,
                 origin=tx.sender,
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    GAP_DETECTED, tx.slot, node=tx.receiver, packet=tx.packet,
+                    origin=tx.sender,
+                )
         else:
             # A repair (or re-scheduled delivery) was dropped again; it
             # becomes retryable as soon as its arrival slot has passed.
@@ -168,6 +180,10 @@ class RetransmissionCoordinator:
                     noticed_slot=since,
                     due_slot=slot + 1,
                 )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        GAP_DETECTED, slot, node=node, packet=packet, origin=None
+                    )
 
     # -------------------------------------------------------------- schedule
     def _repair_send_budget(self, node: int) -> int:
@@ -261,6 +277,11 @@ class RetransmissionCoordinator:
                     attempt=gap.attempts,
                 )
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    REPAIR_SCHEDULED, slot, sender=sender, receiver=gap.node,
+                    packet=gap.packet, attempt=gap.attempts,
+                )
         return repairs
 
     # --------------------------------------------------------------- summary

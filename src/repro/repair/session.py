@@ -24,6 +24,7 @@ from repro.core.metrics import (
     collect_metrics,
     collect_repair_metrics,
 )
+from repro.obs.events import PARITY_RECOVERED
 from repro.repair.parity import ParityScheme
 from repro.repair.retransmit import RetransmissionCoordinator
 from repro.repair.slack import SlackPolicy, SlackProvisioner
@@ -135,6 +136,7 @@ def run_repair_experiment(
     seed: int = 0,
     drop_rule=None,
     grace: int | None = None,
+    instrumentation=None,
 ) -> RepairRunResult:
     """Run one lossy streaming experiment and score the repair tradeoff.
 
@@ -155,6 +157,11 @@ def run_repair_experiment(
         seed: RNG seed for the default fault injector.
         drop_rule: custom fault injector overriding the Bernoulli default.
         grace: NACK grace override (default: the scheme's skew bound).
+        instrumentation: optional :class:`~repro.obs.Instrumentation` applied
+            to the *lossy* run (the clean baseline stays uninstrumented so
+            the event stream describes exactly one run).  The coordinator
+            shares the tracer, so ``gap_detected`` / ``repair_scheduled`` /
+            ``parity_recovered`` events interleave with the engine's.
     """
     if mode not in REPAIR_MODES:
         raise ReproError(f"unknown repair mode {mode!r}; choose from {REPAIR_MODES}")
@@ -168,7 +175,10 @@ def run_repair_experiment(
         protocol = make_lossy_protocol(scheme, num_nodes, degree)
         num_slots = protocol.slots_for_packets(positions)
         clean = simulate(protocol, num_slots)
-        lossy = simulate(protocol, num_slots, drop_rule=drop_rule)
+        lossy = simulate(
+            protocol, num_slots, drop_rule=drop_rule, instrumentation=instrumentation
+        )
+        tracer = instrumentation.tracer if instrumentation is not None else None
         baseline = {
             node: scheme_parity.decode(clean.arrivals(node), num_packets).arrivals
             for node in protocol.node_ids
@@ -179,6 +189,12 @@ def run_repair_experiment(
             decode = scheme_parity.decode(lossy.arrivals(node), num_packets)
             effective[node] = decode.arrivals
             recoveries += len(decode.recoveries)
+            if tracer is not None:
+                for recovery in decode.recoveries:
+                    tracer.emit(
+                        PARITY_RECOVERED, decode.arrivals[recovery.packet],
+                        node=node, packet=recovery.packet,
+                    )
         metrics = collect_repair_metrics(
             effective, num_packets=num_packets, num_slots=num_slots, baseline=baseline
         )
@@ -201,10 +217,13 @@ def run_repair_experiment(
         num_slots = protocol.slots_for_packets(num_packets)
         clean = simulate(protocol, num_slots)
         coordinator = RetransmissionCoordinator(
-            protocol, grace=default_grace(protocol) if grace is None else grace
+            protocol,
+            grace=default_grace(protocol) if grace is None else grace,
+            tracer=instrumentation.tracer if instrumentation is not None else None,
         )
         lossy = simulate(
-            protocol, num_slots, drop_rule=drop_rule, repair_hook=coordinator.hook
+            protocol, num_slots, drop_rule=drop_rule, repair_hook=coordinator.hook,
+            instrumentation=instrumentation,
         )
         metrics = collect_repair_metrics(
             lossy.all_arrivals(),
@@ -229,7 +248,9 @@ def run_repair_experiment(
     protocol = make_lossy_protocol(scheme, num_nodes, degree)
     num_slots = protocol.slots_for_packets(num_packets)
     clean = simulate(protocol, num_slots)
-    lossy = simulate(protocol, num_slots, drop_rule=drop_rule)
+    lossy = simulate(
+        protocol, num_slots, drop_rule=drop_rule, instrumentation=instrumentation
+    )
     metrics = collect_repair_metrics(
         lossy.all_arrivals(),
         num_packets=num_packets,

@@ -24,13 +24,25 @@ __all__ = [
     "write_transmissions_csv",
     "write_arrivals_csv",
     "metrics_to_dict",
+    "instrumentation_to_dict",
+    "write_metrics_json",
 ]
 
 _FORMAT_VERSION = 1
 
 
-def trace_to_dict(trace: SimTrace, *, include_transmissions: bool = True) -> dict:
-    """JSON-serializable snapshot of a trace."""
+def trace_to_dict(
+    trace: SimTrace,
+    *,
+    include_transmissions: bool = True,
+    instrumentation=None,
+) -> dict:
+    """JSON-serializable snapshot of a trace.
+
+    ``instrumentation`` (an :class:`~repro.obs.Instrumentation`) embeds the
+    run's metrics/profile/event-count snapshot under an ``instrumentation``
+    key; readers that predate the key ignore it.
+    """
     payload = {
         "format_version": _FORMAT_VERSION,
         "num_slots": trace.num_slots,
@@ -43,6 +55,8 @@ def trace_to_dict(trace: SimTrace, *, include_transmissions: bool = True) -> dic
             for node, state in sorted(trace.nodes.items())
         },
     }
+    if instrumentation is not None:
+        payload["instrumentation"] = instrumentation_to_dict(instrumentation)
     if include_transmissions:
         payload["transmissions"] = [
             {
@@ -162,6 +176,31 @@ def write_arrivals_csv(trace: SimTrace, path: str | Path) -> Path:
         for node, state in sorted(trace.nodes.items()):
             for packet, slot in sorted(state.arrivals.items()):
                 writer.writerow([node, packet, slot])
+    return path
+
+
+def instrumentation_to_dict(instrumentation) -> dict:
+    """Serializable view of an :class:`~repro.obs.Instrumentation` bundle.
+
+    Keys present only for the parts that were attached: ``metrics`` (registry
+    snapshot), ``profile`` (per-phase count/total/min/max), ``event_counts``
+    (per-name tallies — the cheap summary; the full stream lives in the
+    tracer's JSONL sink, not here).
+    """
+    payload: dict = {}
+    if instrumentation.registry is not None:
+        payload["metrics"] = instrumentation.registry.snapshot()
+    if instrumentation.profiler is not None:
+        payload["profile"] = instrumentation.profiler.snapshot()
+    if instrumentation.tracer is not None:
+        payload["event_counts"] = dict(instrumentation.tracer.counts)
+    return payload
+
+
+def write_metrics_json(instrumentation, path: str | Path) -> Path:
+    """Write an instrumentation snapshot alone (no trace) to ``path``."""
+    path = Path(path)
+    path.write_text(json.dumps(instrumentation_to_dict(instrumentation), indent=1))
     return path
 
 

@@ -29,6 +29,7 @@ from repro.core.engine import SimTrace, simulate
 from repro.core.errors import ConstructionError
 from repro.core.packet import Transmission
 from repro.core.protocol import HoldingsView, StreamingProtocol
+from repro.obs.events import CHURN_APPLIED, PLAYBACK_STALL
 from repro.trees.dynamics import ChurnReport, DynamicForest
 from repro.trees.forest import SOURCE_ID
 from repro.workloads.churn import ChurnEvent
@@ -227,6 +228,7 @@ def churn_hiccup_report(
     trace: SimTrace,
     *,
     horizon_packet: int,
+    tracer=None,
 ) -> ChurnHiccupReport:
     """Score a finished churn run.
 
@@ -236,6 +238,8 @@ def churn_hiccup_report(
     with the first full window ``w*d..(w+1)*d-1`` arriving after it joined.
     After starting, consuming one packet per slot must never outrun arrivals;
     every miss counts as a hiccup (playback skips, keeping real-time pace).
+    A :class:`~repro.obs.EventTracer` passed as ``tracer`` receives one
+    ``playback_stall`` event per missed deadline.
     """
     d = protocol.degree
     relocated = {
@@ -253,6 +257,9 @@ def churn_hiccup_report(
         if window is None:
             per_node[node] = NodeHiccups(node, -1, horizon_packet, node in relocated)
             total += horizon_packet
+            if tracer is not None:
+                for packet in range(horizon_packet):
+                    tracer.emit(PLAYBACK_STALL, -1, node=node, packet=packet)
             continue
         start_packet, start_slot = window
         hiccups = 0
@@ -262,6 +269,8 @@ def churn_hiccup_report(
             arrived = arrivals.get(packet)
             if arrived is None or arrived > deadline:
                 hiccups += 1
+                if tracer is not None:
+                    tracer.emit(PLAYBACK_STALL, deadline, node=node, packet=packet)
         per_node[node] = NodeHiccups(node, start_slot, hiccups, node in relocated)
         total += hiccups
     hiccup_nodes = frozenset(n for n, h in per_node.items() if h.hiccups)
@@ -293,8 +302,14 @@ def run_churn_experiment(
     num_packets: int = 40,
     lazy: bool = False,
     construction: str = "structured",
+    instrumentation=None,
 ) -> tuple[ChurningMultiTreeProtocol, ChurnHiccupReport]:
-    """Build, stream, and score a churn scenario in one call."""
+    """Build, stream, and score a churn scenario in one call.
+
+    With ``instrumentation`` set, the run emits the engine's event stream
+    plus one ``churn_applied`` event per applied churn operation and one
+    ``playback_stall`` event per missed deadline.
+    """
     protocol = ChurningMultiTreeProtocol(
         num_nodes, degree, churn, construction=construction, lazy=lazy
     )
@@ -302,7 +317,17 @@ def run_churn_experiment(
         protocol,
         protocol.slots_for_packets(num_packets),
         strict_duplicates=False,  # relocated nodes may be offered duplicates
+        instrumentation=instrumentation,
     )
     protocol.forest.verify()
-    report = churn_hiccup_report(protocol, trace, horizon_packet=num_packets)
+    tracer = instrumentation.tracer if instrumentation is not None else None
+    if tracer is not None:
+        for slot, churn_report in protocol.reports:
+            tracer.emit(
+                CHURN_APPLIED, slot, kind=churn_report.operation,
+                node=churn_report.node,
+            )
+    report = churn_hiccup_report(
+        protocol, trace, horizon_packet=num_packets, tracer=tracer
+    )
     return protocol, report

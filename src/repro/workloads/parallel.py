@@ -6,6 +6,14 @@ provides a small map-style runner over ``concurrent.futures`` following the
 message-passing decomposition style of the HPC guides: workers receive plain
 picklable task tuples and return plain results; no shared state.
 
+Instrumentation crosses the process boundary the same way: each task runs
+against a fresh :class:`~repro.obs.MetricsRegistry` installed as the
+thread-local :func:`~repro.obs.active_registry`, its picklable snapshot rides
+back with the result, and the parent merges every snapshot into the registry
+the caller passed to :func:`parallel_sweep` — so worker counters (cells
+evaluated, delay histograms) aggregate exactly as if the sweep had run
+in-process.
+
 The evaluation functions live at module scope so they pickle under the
 ``spawn`` start method as well as ``fork``.
 """
@@ -14,8 +22,10 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from functools import partial
 
 from repro.core.errors import ReproError
+from repro.obs.registry import MetricsRegistry, active_registry, use_registry
 
 __all__ = ["parallel_sweep", "multi_tree_cell", "cascade_cell", "default_workers"]
 
@@ -30,7 +40,11 @@ def multi_tree_cell(task: tuple[int, int]) -> tuple[int, int, int]:
     n, d = task
     from repro.trees.vectorized import worst_case_delay_fast
 
-    return n, d, worst_case_delay_fast(n, d)
+    delay = worst_case_delay_fast(n, d)
+    registry = active_registry()
+    registry.counter("sweep.cells", scheme="multi-tree", degree=str(d)).inc()
+    registry.histogram("sweep.delay", scheme="multi-tree", degree=str(d)).observe(delay)
+    return n, d, delay
 
 
 def cascade_cell(task: tuple[int]) -> tuple[int, int, float]:
@@ -38,10 +52,29 @@ def cascade_cell(task: tuple[int]) -> tuple[int, int, float]:
     (n,) = task
     from repro.hypercube.cascade import expected_average_delay, expected_worst_delay
 
-    return n, expected_worst_delay(n), expected_average_delay(n)
+    worst = expected_worst_delay(n)
+    registry = active_registry()
+    registry.counter("sweep.cells", scheme="hypercube-cascade").inc()
+    registry.histogram("sweep.delay", scheme="hypercube-cascade").observe(worst)
+    return n, worst, expected_average_delay(n)
 
 
-def parallel_sweep(worker, tasks, *, max_workers: int | None = None, chunksize: int = 8):
+def _snapshotting_task(worker, task):
+    """Run one task against a fresh registry; return (result, snapshot)."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = worker(task)
+    return result, registry.snapshot()
+
+
+def parallel_sweep(
+    worker,
+    tasks,
+    *,
+    max_workers: int | None = None,
+    chunksize: int = 8,
+    registry: MetricsRegistry | None = None,
+):
     """Evaluate ``worker`` over ``tasks`` across processes, order-preserving.
 
     Args:
@@ -50,6 +83,10 @@ def parallel_sweep(worker, tasks, *, max_workers: int | None = None, chunksize: 
         max_workers: process count (default: cores - 1).  ``1`` short-circuits
             to an in-process loop (useful under coverage or debuggers).
         chunksize: tasks per IPC batch.
+        registry: when given, every task runs against an isolated registry
+            (workers record via :func:`~repro.obs.active_registry`) and the
+            per-task snapshots are merged into this one — the process-safe
+            metrics path.  ``None`` skips all snapshotting.
     """
     tasks = list(tasks)
     if not tasks:
@@ -57,7 +94,16 @@ def parallel_sweep(worker, tasks, *, max_workers: int | None = None, chunksize: 
     if max_workers is not None and max_workers < 1:
         raise ReproError(f"max_workers must be >= 1, got {max_workers}")
     workers = max_workers or default_workers()
+    run = worker if registry is None else partial(_snapshotting_task, worker)
     if workers == 1 or len(tasks) <= 2:
-        return [worker(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(worker, tasks, chunksize=chunksize))
+        raw = [run(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            raw = list(pool.map(run, tasks, chunksize=chunksize))
+    if registry is None:
+        return raw
+    results = []
+    for result, snapshot in raw:
+        registry.merge(snapshot)
+        results.append(result)
+    return results

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.graphs",
     "repro.theory",
     "repro.repair",
+    "repro.obs",
     "repro.workloads",
     "repro.reporting",
 ]

@@ -129,6 +129,91 @@ class TestRepairCommand:
         assert out.count("none") == 1
 
 
+class TestStatsCommand:
+    def test_stats_prints_all_sections(self, capsys):
+        assert main(["stats", "--scheme", "multi-tree", "-n", "15", "-p", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics registry:" in out
+        assert "engine.tx.sent" in out
+        assert "event counts:" in out
+        assert "tx_delivered" in out
+        assert "per-phase timings" in out
+        assert "deliver" in out
+
+    def test_stats_lossy(self, capsys):
+        assert main(
+            ["stats", "--scheme", "multi-tree", "-n", "15", "-p", "9",
+             "--drop-rate", "0.05", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tx_dropped" in out
+
+    def test_stats_json_export(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        assert main(
+            ["stats", "-n", "15", "-p", "9", "--json", str(path)]
+        ) == 0
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"]
+        assert payload["event_counts"]["run_start"] == 1
+        assert "deliver" in payload["profile"]
+
+    def test_stats_drop_rate_rejects_static_schemes(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--scheme", "chain", "-n", "10", "--drop-rate", "0.1"])
+
+
+class TestInstrumentationFlags:
+    def test_simulate_profile_and_trace_events(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["simulate", "-n", "15", "-p", "9",
+             "--profile", "--trace-events", str(events)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-phase timings" in out
+        assert "events:" in out
+        assert events.stat().st_size > 0
+
+    def test_trace_events_replayable(self, tmp_path):
+        from repro.obs.events import count_events, read_events_jsonl
+
+        events = tmp_path / "events.jsonl"
+        assert main(
+            ["simulate", "-n", "15", "-p", "9", "--trace-events", str(events)]
+        ) == 0
+        counts = count_events(read_events_jsonl(events))
+        assert counts["run_start"] == 1
+        assert counts["tx_delivered"] > 0
+
+    def test_repair_profile_flag(self, capsys):
+        assert main(
+            ["repair", "--scheme", "multi-tree", "-n", "7", "-p", "12",
+             "--mode", "retransmit", "--loss", "0.05", "--profile"]
+        ) == 0
+        assert "per-phase timings" in capsys.readouterr().out
+
+    def test_churn_trace_events(self, tmp_path, capsys):
+        events = tmp_path / "churn.jsonl"
+        assert main(
+            ["churn", "-n", "18", "--events", "3", "--seed", "5",
+             "--trace-events", str(events)]
+        ) == 0
+        from repro.obs.events import count_events, read_events_jsonl
+
+        counts = count_events(read_events_jsonl(events))
+        assert counts["churn_applied"] > 0
+
+    def test_instrumentation_does_not_change_results(self, capsys):
+        assert main(["simulate", "-n", "12", "-p", "6"]) == 0
+        bare = capsys.readouterr().out
+        assert main(["simulate", "-n", "12", "-p", "6", "--profile"]) == 0
+        profiled = capsys.readouterr().out
+        assert bare.splitlines()[0] in profiled  # same metrics row
+
+
 class TestSimulateLossFlags:
     def test_simulate_with_drop_rate(self, capsys):
         assert main(

@@ -1,0 +1,88 @@
+"""Tests for the per-phase profiling hooks (repro.obs.profile)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs.profile import PhaseProfiler, PhaseStats, Timer, format_profile_table
+
+
+class TestPhaseStats:
+    def test_record(self):
+        s = PhaseStats()
+        s.record(0.5)
+        s.record(1.5)
+        assert (s.count, s.total, s.min, s.max) == (2, 2.0, 0.5, 1.5)
+        assert s.mean == 1.0
+
+    def test_merge(self):
+        a, b = PhaseStats(), PhaseStats()
+        a.record(1.0)
+        b.record(3.0)
+        a.merge(b)
+        assert (a.count, a.total, a.min, a.max) == (2, 4.0, 1.0, 3.0)
+
+    def test_empty_mean(self):
+        assert PhaseStats().mean == 0.0
+
+
+class TestPhaseProfiler:
+    def test_phase_scope_records(self):
+        p = PhaseProfiler()
+        with p.phase("validate"):
+            pass
+        with p.phase("validate"):
+            pass
+        assert p.stats["validate"].count == 2
+        assert p.stats["validate"].total >= 0.0
+        assert p.total_time == pytest.approx(p.stats["validate"].total)
+
+    def test_record_external_sample(self):
+        p = PhaseProfiler()
+        p.record("io", 0.25)
+        assert p.stats["io"].total == 0.25
+
+    def test_snapshot_picklable_and_merge(self):
+        a = PhaseProfiler()
+        a.record("x", 1.0)
+        snap = a.snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+        b = PhaseProfiler()
+        b.record("x", 2.0)
+        b.record("y", 0.5)
+        a.merge(b)  # profiler form
+        a.merge(snap)  # snapshot form
+        assert a.stats["x"].count == 3
+        assert a.stats["x"].total == pytest.approx(4.0)
+        assert a.stats["y"].count == 1
+
+    def test_rows_sorted_by_total(self):
+        p = PhaseProfiler()
+        p.record("fast", 0.1)
+        p.record("slow", 0.9)
+        rows = p.rows()
+        assert [r["phase"] for r in rows] == ["slow", "fast"]
+        assert rows[0]["share"] == "90.0%"
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            sum(range(1000))
+        assert t.elapsed > 0.0
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "(no samples)" in format_profile_table(PhaseProfiler())
+
+    def test_table_contains_phases(self):
+        p = PhaseProfiler()
+        p.record("deliver", 0.5)
+        out = format_profile_table(p, title="engine phases")
+        assert out.splitlines()[0] == "engine phases"
+        assert "deliver" in out
+        assert "share" in out

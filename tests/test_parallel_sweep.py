@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.errors import ReproError
+from repro.obs import MetricsRegistry
 from repro.workloads.parallel import (
     cascade_cell,
     default_workers,
@@ -43,6 +44,36 @@ class TestRunner:
         serial = parallel_sweep(multi_tree_cell, tasks, max_workers=1)
         parallel = parallel_sweep(multi_tree_cell, tasks, max_workers=2, chunksize=2)
         assert serial == parallel  # order-preserving and identical
+
+    def test_registry_merges_worker_snapshots(self):
+        tasks = [(20, 2), (20, 3), (50, 2), (50, 3)]
+        registry = MetricsRegistry()
+        results = parallel_sweep(
+            multi_tree_cell, tasks, max_workers=2, chunksize=1, registry=registry
+        )
+        assert len(results) == len(tasks)
+        cells = sum(
+            row["value"]
+            for row in registry.snapshot()["counters"]
+            if row["name"] == "sweep.cells"
+        )
+        assert cells == len(tasks)
+        hist = registry.histogram("sweep.delay", scheme="multi-tree", degree="2")
+        assert hist.count == 2  # one observation per degree-2 cell
+
+    def test_registry_merge_matches_serial(self):
+        tasks = [(20, 2), (30, 2), (40, 2), (50, 2)]
+        serial, parallel = MetricsRegistry(), MetricsRegistry()
+        a = parallel_sweep(multi_tree_cell, tasks, max_workers=1, registry=serial)
+        b = parallel_sweep(
+            multi_tree_cell, tasks, max_workers=2, chunksize=1, registry=parallel
+        )
+        assert a == b
+        assert serial.snapshot() == parallel.snapshot()
+
+    def test_no_registry_means_raw_results(self):
+        results = parallel_sweep(multi_tree_cell, [(20, 2)], max_workers=1)
+        assert results == [(20, 2, results[0][2])]
 
     def test_invalid_workers(self):
         with pytest.raises(ReproError):

@@ -78,6 +78,38 @@ class TestMetricsExport:
         assert payload["per_node"]["1"]["startup_delay"] >= 1
 
 
+class TestInstrumentationExport:
+    def _instrumented_run(self):
+        from repro.obs import Instrumentation
+
+        instr = Instrumentation.collecting(profile=True)
+        protocol = MultiTreeProtocol(9, 3)
+        run = simulate(protocol, protocol.slots_for_packets(6), instrumentation=instr)
+        return run, instr
+
+    def test_trace_to_dict_embeds_instrumentation(self):
+        run, instr = self._instrumented_run()
+        payload = trace_to_dict(run, instrumentation=instr)
+        json.dumps(payload)  # must stay plain types
+        embedded = payload["instrumentation"]
+        assert embedded["event_counts"]["run_start"] == 1
+        assert any(
+            row["name"] == "engine.tx.sent" for row in embedded["metrics"]["counters"]
+        )
+        assert "deliver" in embedded["profile"]
+
+    def test_trace_to_dict_without_instrumentation_unchanged(self, trace):
+        assert "instrumentation" not in trace_to_dict(trace)
+
+    def test_write_metrics_json(self, tmp_path):
+        from repro.reporting.export import write_metrics_json
+
+        _, instr = self._instrumented_run()
+        path = write_metrics_json(instr, tmp_path / "metrics.json")
+        payload = json.loads(path.read_text())
+        assert set(payload) >= {"metrics", "profile", "event_counts"}
+
+
 class TestTraceFromDict:
     def test_round_trip_rebuild(self, trace, tmp_path):
         from repro.core.trace_checks import audit_trace

@@ -28,6 +28,19 @@ class TestAudit:
         trace = simulate(protocol, 30)
         assert audit_trace(trace).ok
 
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: MultiTreeProtocol(15, 3), lambda: HypercubeProtocol(15)],
+        ids=["multi-tree", "hypercube"],
+    )
+    def test_unvalidated_honest_trace_passes(self, factory):
+        """validate=False skips in-run checks; the post-hoc audit still holds."""
+        protocol = factory()
+        trace = simulate(protocol, 24, validate=False)
+        audit = audit_trace(trace, send_capacity=protocol.send_capacity)
+        assert audit.ok, audit.violations
+        assert audit.num_transmissions == len(trace.transmissions)
+
     def test_unvalidated_cheater_is_caught(self):
         from repro.core.protocol import StreamingProtocol
 
