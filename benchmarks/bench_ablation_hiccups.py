@@ -15,12 +15,12 @@ from __future__ import annotations
 from conftest import report
 
 from repro.reporting.tables import format_table
-from repro.trees.live import ScheduledChurn, run_churn_experiment
+from repro.trees.live import ScheduledChurn, churn_experiment
 from repro.workloads.churn import ChurnEvent
 
 
 def scenario(name, num_nodes, degree, churn, packets=36, lazy=False):
-    protocol, rep = run_churn_experiment(
+    protocol, rep = churn_experiment(
         num_nodes, degree, churn, num_packets=packets, lazy=lazy
     )
     return (

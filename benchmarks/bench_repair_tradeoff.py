@@ -27,7 +27,7 @@ from pathlib import Path
 from conftest import report
 
 from repro.obs import Timer
-from repro.repair import REPAIR_SCHEMES, run_repair_experiment
+from repro.repair import REPAIR_SCHEMES, repair_experiment
 from repro.reporting.tables import format_rows
 
 NUM_NODES = 15
@@ -46,7 +46,7 @@ def sweep_rows() -> list[dict[str, object]]:
     for scheme in REPAIR_SCHEMES:
         for loss in LOSS_RATES:
             for mode in ("none", "retransmit", "parity"):
-                point = run_repair_experiment(
+                point = repair_experiment(
                     scheme,
                     NUM_NODES,
                     DEGREE,

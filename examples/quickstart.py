@@ -9,7 +9,8 @@ delay, buffer space, and neighbor count.
 Run:  python examples/quickstart.py
 """
 
-from repro import MultiTreeProtocol, collect_metrics, simulate
+from repro import MultiTreeProtocol, collect_metrics
+from repro.core.engine import simulate
 from repro.trees.analysis import theorem2_bound
 
 

@@ -18,8 +18,8 @@ from repro import (
     HypercubeCascadeProtocol,
     MultiTreeProtocol,
     collect_metrics,
-    simulate,
 )
+from repro.core.engine import simulate
 from repro.hypercube import GroupedHypercubeProtocol, theorem4_bound
 
 

@@ -18,15 +18,34 @@ The package implements, from scratch, everything the paper describes:
 * :mod:`repro.obs` — the instrumentation layer: metrics registry, structured
   event tracing, and per-phase profiling hooks (all opt-in, zero overhead
   when off);
+* :mod:`repro.exec` — the compiled-schedule execution layer: schedule
+  compiler, content-addressed cache, engine-free replay, and the
+  process-parallel sweep executor;
+* :mod:`repro.experiments` — the unified experiment facade
+  (:func:`run` over :class:`ExperimentSpec`);
 * :mod:`repro.workloads` / :mod:`repro.reporting` — sweep generators and
   plain-text rendering for the benchmark harness.
 
-Quickstart::
+Quickstart — one experiment, one call::
 
-    from repro import MultiTreeProtocol, simulate, collect_metrics
-    protocol = MultiTreeProtocol(num_nodes=100, degree=3)
-    trace = simulate(protocol, protocol.slots_for_packets(32))
-    print(collect_metrics(trace, num_packets=32).row())
+    import repro
+    result = repro.run(repro.ExperimentSpec(
+        scheme="multi-tree", num_nodes=100, degree=3, num_packets=32))
+    print(result.row)                 # flat metrics
+    print(result.provenance["cache"]) # compiled-schedule cache outcome
+
+Sweeps fan a ``seeds × drop_rates`` grid over compiled-schedule replay::
+
+    result = repro.run(repro.ExperimentSpec(
+        kind="sweep", scheme="multi-tree", num_nodes=255,
+        seeds=range(8), drop_rates=(0.0, 0.01)))
+    print(len(result.rows), result.provenance["executor"])
+
+The low-level pieces (protocols + :func:`repro.core.engine.simulate`) remain
+public for custom experiments; the legacy one-off entry points
+(``run_repair_experiment``, ``run_churn_experiment``, ``parallel_sweep``, and
+the top-level ``repro.simulate`` re-export) are deprecated in favor of the
+facade — see ``docs/API.md`` for the migration table.
 """
 
 from repro.baselines import ChainProtocol, SingleTreeProtocol
@@ -40,8 +59,16 @@ from repro.core import (
     Transmission,
     collect_metrics,
     earliest_safe_start,
-    simulate,
 )
+from repro.core import simulate as _engine_simulate
+from repro.exec import (
+    CompiledSchedule,
+    ExecutorPolicy,
+    ScheduleCache,
+    SweepExecutor,
+    compile_schedule,
+)
+from repro.experiments import ExperimentResult, ExperimentSpec, run
 from repro.hypercube import (
     GroupedHypercubeProtocol,
     HypercubeCascadeProtocol,
@@ -56,18 +83,41 @@ from repro.repair import (
     RetransmissionCoordinator,
     SlackPolicy,
     SlackProvisioner,
+    repair_experiment,
     run_repair_experiment,
 )
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+def simulate(*args, **kwargs):
+    """Deprecated top-level re-export of :func:`repro.core.engine.simulate`.
+
+    Prefer :func:`repro.run` with an :class:`ExperimentSpec` (which adds
+    compiled-schedule replay, caching, and provenance), or import the
+    low-level primitive from its home: ``from repro.core.engine import
+    simulate``.
+    """
+    from repro.experiments import deprecated_entry_point
+
+    deprecated_entry_point(
+        "repro.simulate",
+        "repro.run(ExperimentSpec(...)) or repro.core.engine.simulate",
+    )
+    return _engine_simulate(*args, **kwargs)
+
 
 __all__ = [
     "ChainProtocol",
     "ClusteredStreamingProtocol",
+    "CompiledSchedule",
     "DynamicForest",
     "EventTracer",
+    "ExecutorPolicy",
+    "ExperimentResult",
+    "ExperimentSpec",
     "GroupedHypercubeProtocol",
     "HypercubeCascadeProtocol",
     "HypercubeProtocol",
@@ -80,6 +130,7 @@ __all__ = [
     "PlaybackBuffer",
     "RepairRunResult",
     "RetransmissionCoordinator",
+    "ScheduleCache",
     "SchemeMetrics",
     "SimTrace",
     "SingleTreeProtocol",
@@ -87,6 +138,7 @@ __all__ = [
     "SlackProvisioner",
     "SlottedEngine",
     "StreamingProtocol",
+    "SweepExecutor",
     "Transmission",
     "__version__",
     "analyze",
@@ -95,8 +147,11 @@ __all__ = [
     "build_supertree",
     "cascade_plan",
     "collect_metrics",
+    "compile_schedule",
     "earliest_safe_start",
     "optimal_degree",
+    "repair_experiment",
+    "run",
     "run_repair_experiment",
     "simulate",
     "table1",

@@ -6,13 +6,18 @@ Commands:
 * ``figure4``  — regenerate the paper's Figure 4 series;
 * ``table1``   — regenerate Table 1 (claimed vs measured);
 * ``simulate`` — run a scheme and export the trace (JSON/CSV);
+* ``sweep``    — replay a compiled schedule over a seeds × drop-rates grid;
 * ``churn``    — stream through a random churn trace and report hiccups;
 * ``repair``   — sweep loss rate × slack × scheme over the repair subsystem;
 * ``stats``    — fully instrumented run: metrics, event counts, phase timings.
 
-``simulate``, ``churn``, and ``repair`` accept ``--profile`` (per-phase
-wall-clock table) and ``--trace-events PATH`` (JSONL event stream) — the
-observability layer of :mod:`repro.obs`.
+The experiment commands (``simulate``, ``sweep``, ``churn``, ``repair``,
+``stats``) are thin argument translators over the unified facade —
+``repro.run`` with an :class:`~repro.experiments.ExperimentSpec` — so the CLI
+and the library take the same code path, including the compiled-schedule
+cache.  ``simulate``, ``churn``, and ``repair`` accept ``--profile``
+(per-phase wall-clock table) and ``--trace-events PATH`` (JSONL event
+stream) — the observability layer of :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -21,7 +26,9 @@ import argparse
 import sys
 
 from repro.core.engine import simulate
+from repro.core.errors import ReproError
 from repro.core.metrics import collect_metrics
+from repro.experiments import ExperimentSpec, run
 from repro.obs import Instrumentation, format_profile_table
 from repro.reporting.export import (
     write_arrivals_csv,
@@ -141,6 +148,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_instrumentation_flags(sim)
 
+    sweep = sub.add_parser(
+        "sweep", help="replay a compiled schedule over a seeds × drop-rates grid"
+    )
+    sweep.add_argument(
+        "--scheme",
+        choices=["multi-tree", "hypercube", "grouped-hypercube", "chain", "single-tree"],
+        default="multi-tree",
+    )
+    sweep.add_argument("-n", "--nodes", type=int, default=255)
+    sweep.add_argument("-d", "--degree", type=int, default=3)
+    sweep.add_argument("-p", "--packets", type=int, default=24)
+    sweep.add_argument(
+        "--seeds", type=int, default=8, metavar="COUNT",
+        help="replay seeds 0..COUNT-1 at every drop rate",
+    )
+    sweep.add_argument(
+        "--drop", type=float, nargs="+", default=[0.0], metavar="RATE",
+        help="Bernoulli drop probabilities to sweep",
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process count (default: cores - 1)",
+    )
+    sweep.add_argument(
+        "--mode", choices=["auto", "serial", "parallel"], default="auto",
+        help="executor mode (auto falls back to serial for tiny grids)",
+    )
+    sweep.add_argument("--json", metavar="PATH", help="write the sweep rows as JSON")
+
     churn = sub.add_parser("churn", help="stream through churn, report hiccups")
     churn.add_argument("-n", "--nodes", type=int, default=30)
     churn.add_argument("-d", "--degree", type=int, default=3)
@@ -225,14 +261,16 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_figure4(args) -> int:
+    from repro.exec.executor import ExecutorPolicy, SweepExecutor
     from repro.reporting.series import series_table
-    from repro.workloads.parallel import multi_tree_cell, parallel_sweep
+    from repro.workloads.parallel import multi_tree_cell
     from repro.workloads.sweeps import degree_sweep, figure4_populations
 
     populations = figure4_populations(args.max_nodes, step=args.step)
     degrees = degree_sweep()
     tasks = [(n, d) for d in degrees for n in populations]
-    results = parallel_sweep(multi_tree_cell, tasks, max_workers=args.parallel)
+    executor = SweepExecutor(ExecutorPolicy(max_workers=args.parallel))
+    results = executor.map(multi_tree_cell, tasks)
     by_degree: dict[int, list[int]] = {d: [] for d in degrees}
     for n, d, delay in results:
         by_degree[d].append(delay)
@@ -270,39 +308,32 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+def _spec_base(args, **overrides) -> ExperimentSpec:
+    """Translate the shared CLI flags into an :class:`ExperimentSpec`."""
+    fields = {
+        "scheme": getattr(args, "scheme", "multi-tree"),
+        "num_nodes": args.nodes,
+        "degree": args.degree,
+        "num_packets": getattr(args, "packets", 30),
+        "seed": getattr(args, "seed", 0),
+    }
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
 def _cmd_simulate(args) -> int:
     instr = _make_instrumentation(args)
+    try:
+        result = run(
+            _spec_base(args, drop_rate=args.drop_rate), instrumentation=instr
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    title = result.provenance["description"]
     if args.drop_rate > 0:
-        from repro.core.metrics import collect_repair_metrics
-        from repro.repair import make_lossy_protocol
-        from repro.workloads.faults import bernoulli_drop
-
-        if args.scheme not in ("multi-tree", "hypercube"):
-            raise SystemExit(
-                f"--drop-rate needs a loss-aware scheme (multi-tree or "
-                f"hypercube), not {args.scheme!r}"
-            )
-        protocol = make_lossy_protocol(args.scheme, args.nodes, args.degree)
-        num_slots = protocol.slots_for_packets(args.packets)
-        trace = simulate(
-            protocol, num_slots,
-            drop_rule=bernoulli_drop(args.drop_rate, seed=args.seed),
-            instrumentation=instr,
-        )
-        metrics = collect_repair_metrics(
-            trace.all_arrivals(), num_packets=args.packets, num_slots=num_slots
-        )
-        print(format_rows(
-            [metrics.row()],
-            title=f"{protocol.describe()} under loss {args.drop_rate} (seed {args.seed})",
-        ))
-    else:
-        protocol = _make_protocol(args.scheme, args.nodes, args.degree, seed=args.seed)
-        trace = simulate(
-            protocol, protocol.slots_for_packets(args.packets), instrumentation=instr
-        )
-        metrics = collect_metrics(trace, num_packets=args.packets)
-        print(format_rows([metrics.row()], title=protocol.describe()))
+        title += f" under loss {args.drop_rate} (seed {args.seed})"
+    print(format_rows([result.row], title=title))
+    trace = result.trace
     if args.json:
         print(f"trace JSON -> {write_trace_json(trace, args.json, instrumentation=instr)}")
     if args.csv:
@@ -312,33 +343,56 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_sweep(args) -> int:
+    import json
+
+    from repro.exec.executor import ExecutorPolicy
+
+    spec = _spec_base(
+        args,
+        kind="sweep",
+        seeds=tuple(range(args.seeds)),
+        drop_rates=tuple(args.drop),
+        executor=ExecutorPolicy(max_workers=args.workers, mode=args.mode),
+    )
+    try:
+        result = run(spec)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    print(format_rows(
+        list(result.rows),
+        title=f"{result.provenance['description']}: "
+        f"{args.seeds} seeds x {len(args.drop)} drop rates",
+    ))
+    executor = result.provenance["executor"]
+    print(f"executor: {executor['mode']} ({executor['workers']} workers, "
+          f"{executor['tasks']} points); schedule cache: "
+          f"{result.provenance['cache']}; {result.timing_s:.2f}s")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(list(result.rows), fh, indent=2)
+        print(f"sweep JSON -> {args.json}")
+    return 0
+
+
 def _cmd_churn(args) -> int:
-    import numpy as np
-
-    from repro.trees.live import ScheduledChurn, run_churn_experiment
-    from repro.workloads.churn import ChurnEvent
-
-    rng = np.random.default_rng(args.seed)
-    live = set(range(1, args.nodes + 1))
-    churn = []
-    for _ in range(args.events):
-        slot = int(rng.integers(5, 5 + 4 * args.events))
-        if rng.random() < 0.5 and len(live) > 2:
-            victim = int(rng.choice(sorted(live)))
-            live.discard(victim)
-            churn.append(ScheduledChurn(slot, ChurnEvent("delete"), victim=victim))
-        else:
-            churn.append(ScheduledChurn(slot, ChurnEvent("add")))
     instr = _make_instrumentation(args)
-    protocol, report = run_churn_experiment(
-        args.nodes, args.degree, churn, num_packets=30, lazy=args.lazy,
+    result = run(
+        _spec_base(
+            args,
+            kind="churn",
+            scheme="multi-tree",
+            churn_events=args.events,
+            lazy_churn=args.lazy,
+        ),
         instrumentation=instr,
     )
-    print(f"churn events applied: {len(protocol.reports)}; "
-          f"population {args.nodes} -> {protocol.forest.num_nodes}")
-    print(f"total hiccups: {report.total_hiccups} across "
-          f"{len(report.hiccup_nodes)} nodes "
-          f"({len(report.relocated_nodes)} relocated by repairs)")
+    row = result.row
+    print(f"churn events applied: {row['events_applied']}; "
+          f"population {args.nodes} -> {row['population_after']}")
+    print(f"total hiccups: {row['total_hiccups']} across "
+          f"{row['hiccup_nodes']} nodes "
+          f"({row['relocated_nodes']} relocated by repairs)")
     _report_instrumentation(instr, args)
     return 0
 
@@ -346,7 +400,7 @@ def _cmd_churn(args) -> int:
 def _cmd_repair(args) -> int:
     import json
 
-    from repro.repair import REPAIR_SCHEMES, run_repair_experiment
+    from repro.repair import REPAIR_SCHEMES
 
     instr = _make_instrumentation(args)
     schemes = list(REPAIR_SCHEMES) if args.scheme == "both" else [args.scheme]
@@ -358,19 +412,19 @@ def _cmd_repair(args) -> int:
                 # Only retransmission sweeps ε; other modes fix their own slack.
                 epsilons = args.epsilon if mode == "retransmit" else args.epsilon[:1]
                 for eps in epsilons:
-                    point = run_repair_experiment(
-                        scheme,
-                        args.nodes,
-                        args.degree,
-                        num_packets=args.packets,
-                        mode=mode,
-                        epsilon=eps,
-                        group=args.group,
-                        loss_rate=loss,
-                        seed=args.seed,
+                    result = run(
+                        _spec_base(
+                            args,
+                            kind="repair",
+                            scheme=scheme,
+                            repair_mode=mode,
+                            epsilon=eps,
+                            group=args.group,
+                            drop_rate=loss,
+                        ),
                         instrumentation=instr,
                     )
-                    rows.append(point.row())
+                    rows.append(result.row)
     print(format_rows(
         rows,
         title=f"repair tradeoff: N={args.nodes}, d={args.degree}, "
@@ -388,34 +442,14 @@ def _cmd_stats(args) -> int:
     from repro.reporting.export import write_metrics_json
 
     instr = Instrumentation.collecting(profile=True)
-    if args.drop_rate > 0:
-        from repro.core.metrics import collect_repair_metrics
-        from repro.repair import make_lossy_protocol
-        from repro.workloads.faults import bernoulli_drop
-
-        if args.scheme not in ("multi-tree", "hypercube"):
-            raise SystemExit(
-                f"--drop-rate needs a loss-aware scheme (multi-tree or "
-                f"hypercube), not {args.scheme!r}"
-            )
-        protocol = make_lossy_protocol(args.scheme, args.nodes, args.degree)
-        num_slots = protocol.slots_for_packets(args.packets)
-        trace = simulate(
-            protocol, num_slots,
-            drop_rule=bernoulli_drop(args.drop_rate, seed=args.seed),
-            instrumentation=instr,
+    try:
+        result = run(
+            _spec_base(args, drop_rate=args.drop_rate), instrumentation=instr
         )
-        metrics_row = collect_repair_metrics(
-            trace.all_arrivals(), num_packets=args.packets, num_slots=num_slots
-        ).row()
-    else:
-        protocol = _make_protocol(args.scheme, args.nodes, args.degree, seed=args.seed)
-        trace = simulate(
-            protocol, protocol.slots_for_packets(args.packets), instrumentation=instr
-        )
-        metrics_row = collect_metrics(trace, num_packets=args.packets).row()
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
     instr.close()
-    print(format_rows([metrics_row], title=protocol.describe()))
+    print(format_rows([result.row], title=result.provenance["description"]))
     print()
     print(format_rows(instr.registry.rows(), title="metrics registry:"))
     print()
@@ -466,6 +500,7 @@ _COMMANDS = {
     "figure4": _cmd_figure4,
     "table1": _cmd_table1,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "churn": _cmd_churn,
     "repair": _cmd_repair,
     "stats": _cmd_stats,

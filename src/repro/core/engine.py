@@ -38,13 +38,27 @@ def _check_hook_arity(hook: Callable, name: str, arity: int, expected: str) -> N
 
     A mis-shaped hook would otherwise surface as a ``TypeError`` deep inside
     the slot loop; checking at config time turns that into an immediate,
-    located :class:`ReproError`.  Objects whose signature cannot be
-    introspected (some builtins/C callables) are let through.
+    located :class:`ReproError`.  The engine always calls hooks positionally,
+    so two shapes are rejected: signatures that cannot bind ``arity``
+    positional arguments, and signatures with *required keyword-only*
+    parameters the engine would never supply.  Objects whose signature cannot
+    be introspected (some builtins/C callables) are let through.
     """
     try:
         signature = inspect.signature(hook)
     except (TypeError, ValueError):  # pragma: no cover - C callables
         return
+    required_kwonly = [
+        p.name
+        for p in signature.parameters.values()
+        if p.kind is inspect.Parameter.KEYWORD_ONLY and p.default is p.empty
+    ]
+    if required_kwonly:
+        raise ReproError(
+            f"{name} has required keyword-only parameter(s) "
+            f"{required_kwonly} the engine never passes — it is called "
+            f"positionally as {expected}, got {name}{signature}"
+        )
     try:
         signature.bind(*([None] * arity))
     except TypeError:
@@ -91,6 +105,13 @@ class SimConfig:
             (``schedule``, ``repair_merge``, ``validate``, ``deliver``,
             ``repair_hook``), and bumps run counters.  ``None`` (the default)
             keeps the hot loop instrumentation-free.
+        compiled_schedule: optional
+            :class:`~repro.exec.compiler.CompiledSchedule` replayed in place
+            of querying ``protocol.transmissions`` each slot — the fast path
+            for sweeps over one configuration.  The protocol object still
+            supplies topology and capacities (and validation still applies
+            when enabled); only the per-slot scheduling work is skipped.  The
+            compiled horizon must cover ``num_slots``.
     """
 
     num_slots: int
@@ -100,6 +121,7 @@ class SimConfig:
     drop_rule: DropRule | None = None
     repair_hook: RepairHook | None = None
     instrumentation: Instrumentation | None = None
+    compiled_schedule: object | None = None
 
     def __post_init__(self) -> None:
         if self.num_slots < 0:
@@ -115,6 +137,18 @@ class SimConfig:
                 self.repair_hook, "repair_hook", 3,
                 "(slot, arrived, dropped) -> Iterable[Transmission] | None",
             )
+        if self.compiled_schedule is not None:
+            compiled = self.compiled_schedule
+            if not hasattr(compiled, "batch") or not hasattr(compiled, "num_slots"):
+                raise ValueError(
+                    "compiled_schedule must be a CompiledSchedule "
+                    "(repro.exec.compile_schedule) or None"
+                )
+            if compiled.num_slots < self.num_slots:
+                raise ValueError(
+                    f"compiled schedule covers {compiled.num_slots} slots, "
+                    f"run needs {self.num_slots}"
+                )
 
 
 @dataclass(slots=True)
@@ -214,6 +248,15 @@ class SlottedEngine:
         overlap = set(protocol.node_ids) & protocol.source_ids
         if overlap:
             raise ReproError(f"node ids {sorted(overlap)} listed as both receiver and source")
+        compiled = config.compiled_schedule
+        if compiled is not None:
+            node_ids = getattr(compiled, "node_ids", None)
+            if node_ids is not None and tuple(node_ids) != tuple(protocol.node_ids):
+                raise ReproError(
+                    "compiled schedule was lowered for a different node set "
+                    f"({len(node_ids)} receivers) than this protocol "
+                    f"({len(tuple(protocol.node_ids))} receivers)"
+                )
 
     def run(self) -> SimTrace:
         protocol = self.protocol
@@ -254,13 +297,17 @@ class SlottedEngine:
         sent_total = 0
         delivered_new = 0
 
+        compiled = config.compiled_schedule
         pending_repairs: list[Transmission] = []
         for slot in range(config.num_slots):
             view._slot = slot
             if emit is not None:
                 emit(ev.SLOT_START, slot)
             with phase("schedule"):
-                batch = list(protocol.transmissions(slot, view))
+                if compiled is not None:
+                    batch = compiled.batch(slot)
+                else:
+                    batch = list(protocol.transmissions(slot, view))
             if pending_repairs:
                 with phase("repair_merge"):
                     merged = self._merge_repairs(slot, batch, pending_repairs, holds)
@@ -411,6 +458,7 @@ def simulate(
     drop_rule: DropRule | None = None,
     repair_hook: RepairHook | None = None,
     instrumentation: Instrumentation | None = None,
+    compiled_schedule: object | None = None,
 ) -> SimTrace:
     """Convenience wrapper: build an engine, run it, return the trace."""
     config = SimConfig(
@@ -421,5 +469,6 @@ def simulate(
         drop_rule=drop_rule,
         repair_hook=repair_hook,
         instrumentation=instrumentation,
+        compiled_schedule=compiled_schedule,
     )
     return SlottedEngine(protocol, config).run()

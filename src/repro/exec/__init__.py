@@ -1,0 +1,48 @@
+"""Compiled-schedule execution layer: compiler, cache, replay, sweep executor.
+
+The schedules of the paper's schemes are deterministic per configuration;
+this subpackage compiles them once into flat arrays
+(:mod:`repro.exec.compiler`), caches the result content-addressed in memory
+and optionally on disk (:mod:`repro.exec.cache`), replays them without the
+engine for sweep workers (:mod:`repro.exec.replay`), and fans grids out
+across processes with per-worker payload shipping
+(:mod:`repro.exec.executor`).  The unified experiment facade
+(:mod:`repro.experiments`) builds on all four.
+"""
+
+from repro.exec.cache import CACHE_VERSION, ScheduleCache, ScheduleKey, default_cache
+from repro.exec.compiler import (
+    COMPILABLE_SCHEMES,
+    CompiledSchedule,
+    build_protocol,
+    compile_protocol,
+    compile_schedule,
+)
+from repro.exec.executor import (
+    ExecutorPolicy,
+    SweepExecutor,
+    default_workers,
+    replay_sweep_task,
+    worker_payload,
+)
+from repro.exec.replay import bernoulli_mask, replay_arrivals, replay_point
+
+__all__ = [
+    "CACHE_VERSION",
+    "COMPILABLE_SCHEMES",
+    "CompiledSchedule",
+    "ExecutorPolicy",
+    "ScheduleCache",
+    "ScheduleKey",
+    "SweepExecutor",
+    "bernoulli_mask",
+    "build_protocol",
+    "compile_protocol",
+    "compile_schedule",
+    "default_cache",
+    "default_workers",
+    "replay_arrivals",
+    "replay_point",
+    "replay_sweep_task",
+    "worker_payload",
+]

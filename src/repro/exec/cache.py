@@ -1,0 +1,239 @@
+"""Content-addressed cache for compiled schedules.
+
+A compiled schedule is a pure function of its :class:`ScheduleKey` — scheme,
+construction, population ``N``, degree ``d``, horizon ``D`` (slots), stream
+mode, and link latency ``T_c`` — so identical keys across seeds, drop rates,
+and churn variants of a sweep can share one lowering.  The cache has two
+layers:
+
+* an **in-process LRU** (always on) bounded by ``capacity`` entries;
+* an **optional on-disk layer** under ``~/.cache/repro/schedules`` (or
+  ``$REPRO_CACHE_DIR``) with versioned, content-addressed file names and a
+  corruption-safe load path: any unreadable, truncated, or version-skewed
+  entry is treated as a miss and recompiled, never raised.
+
+The disk layer is off by default so test runs stay hermetic; enable it with
+``ScheduleCache(disk=True)`` or by exporting ``REPRO_CACHE_DIR``.
+
+Hit/miss traffic is counted on the :func:`~repro.obs.active_registry`
+(``schedule_cache.hit{layer=memory|disk}`` / ``schedule_cache.miss``) so
+sweeps report their amortization through the normal metrics path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.registry import active_registry
+
+__all__ = ["CACHE_VERSION", "ScheduleKey", "ScheduleCache", "default_cache"]
+
+#: Bump when the compiled representation changes; stale disk entries become
+#: unreachable (their tokens embed the old version) rather than misread.
+CACHE_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleKey:
+    """Identity of one compiled schedule.
+
+    Attributes:
+        scheme: protocol family (``multi-tree``, ``hypercube``, ...).
+        construction: forest construction (``structured``/``greedy``) or the
+            scheme's fixed construction tag (e.g. ``cascade``).
+        num_nodes: receiver count ``N``.
+        degree: tree degree / source capacity ``d``.
+        num_slots: compiled horizon ``D`` in slots.
+        mode: stream mode (``prerecorded``/``live_prebuffered``/``-``).
+        latency: link latency ``T_c`` in slots.
+    """
+
+    scheme: str
+    construction: str
+    num_nodes: int
+    degree: int
+    num_slots: int
+    mode: str = "prerecorded"
+    latency: int = 1
+
+    def token(self) -> str:
+        """Stable content address (embeds :data:`CACHE_VERSION`)."""
+        canonical = (
+            f"v{CACHE_VERSION}|{self.scheme}|{self.construction}|"
+            f"N{self.num_nodes}|d{self.degree}|D{self.num_slots}|"
+            f"{self.mode}|Tc{self.latency}"
+        )
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _default_disk_dir() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "schedules"
+
+
+class ScheduleCache:
+    """Two-layer (memory LRU + optional disk) cache keyed by :class:`ScheduleKey`.
+
+    Args:
+        capacity: max in-process entries (least recently used evicted).
+        disk: enable the on-disk layer.  Defaults to True only when
+            ``$REPRO_CACHE_DIR`` is set, so plain library use never writes
+            outside the process.
+        disk_dir: on-disk location override (implies ``disk=True``).
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 32,
+        disk: bool | None = None,
+        disk_dir: str | Path | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        if disk_dir is not None:
+            disk = True
+        elif disk is None:
+            disk = _ENV_DIR in os.environ
+        self._disk_dir = (
+            Path(disk_dir) if disk_dir is not None else _default_disk_dir()
+        ) if disk else None
+        self._memory: OrderedDict[str, object] = OrderedDict()
+
+    # ------------------------------------------------------------------ layers
+    @property
+    def disk_dir(self) -> Path | None:
+        """Directory of the disk layer, or None when disk caching is off."""
+        return self._disk_dir
+
+    def _path_for(self, token: str) -> Path:
+        assert self._disk_dir is not None
+        return self._disk_dir / f"{token}.pkl"
+
+    def _disk_load(self, key: ScheduleKey, token: str):
+        """Corruption-safe disk read: any failure is a miss, never an error."""
+        if self._disk_dir is None:
+            return None
+        path = self._path_for(token)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+            if (
+                envelope.get("version") != CACHE_VERSION
+                or envelope.get("token") != token
+                or envelope.get("key") != key
+            ):
+                raise ValueError("cache envelope mismatch")
+            return envelope["schedule"]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupted / truncated / stale entry: drop it and recompile.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - best effort
+                pass
+            return None
+
+    def _disk_store(self, key: ScheduleKey, token: str, schedule) -> None:
+        if self._disk_dir is None:
+            return
+        envelope = {
+            "version": CACHE_VERSION,
+            "token": token,
+            "key": key,
+            "schedule": schedule,
+        }
+        try:
+            self._disk_dir.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: readers never observe a partial pickle.
+            fd, tmp = tempfile.mkstemp(dir=self._disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path_for(token))
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:  # pragma: no cover - disk layer is best effort
+            pass
+
+    # --------------------------------------------------------------------- api
+    def get(self, key: ScheduleKey):
+        """Cached schedule for ``key`` or None (checks memory, then disk)."""
+        schedule, _ = self.get_with_layer(key)
+        return schedule
+
+    def get_with_layer(self, key: ScheduleKey):
+        """``(schedule, layer)`` where layer is ``memory``/``disk``/None."""
+        token = key.token()
+        if token in self._memory:
+            self._memory.move_to_end(token)
+            active_registry().counter("schedule_cache.hit", layer="memory").inc()
+            return self._memory[token], "memory"
+        schedule = self._disk_load(key, token)
+        if schedule is not None:
+            self._remember(token, schedule)
+            active_registry().counter("schedule_cache.hit", layer="disk").inc()
+            return schedule, "disk"
+        return None, None
+
+    def put(self, key: ScheduleKey, schedule) -> None:
+        token = key.token()
+        self._remember(token, schedule)
+        self._disk_store(key, token, schedule)
+
+    def get_or_compile(self, key: ScheduleKey, builder, provenance: dict | None = None):
+        """Return the cached schedule or build, store, and return a fresh one.
+
+        Args:
+            key: schedule identity.
+            builder: zero-argument callable compiling the schedule on a miss.
+            provenance: optional dict; receives ``cache`` (``memory``/``disk``/
+                ``miss``) and ``cache_token``.
+        """
+        schedule, layer = self.get_with_layer(key)
+        if schedule is None:
+            active_registry().counter("schedule_cache.miss").inc()
+            schedule = builder()
+            self.put(key, schedule)
+            layer = "miss"
+        if provenance is not None:
+            provenance["cache"] = layer
+            provenance["cache_token"] = key.token()
+        return schedule
+
+    def _remember(self, token: str, schedule) -> None:
+        self._memory[token] = schedule
+        self._memory.move_to_end(token)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-process layer (disk entries are left in place)."""
+        self._memory.clear()
+
+
+_DEFAULT: ScheduleCache | None = None
+
+
+def default_cache() -> ScheduleCache:
+    """The process-wide cache used when callers do not supply one."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ScheduleCache()
+    return _DEFAULT

@@ -1,0 +1,389 @@
+"""Schedule compiler: lower a protocol's per-slot scheduling into flat arrays.
+
+For a fixed ``(scheme, construction, N, d, D, T_c)`` the paper's schedules are
+deterministic, yet every experiment re-derives them — walking tree positions
+or stepping the hypercube exchange — once per run even though a sweep replays
+the identical schedule across dozens of seeds and drop rates.  The compiler
+runs the protocol's scheduling loop **once**, against the same holdings
+semantics the engine uses, and records every transmission into contiguous
+``array('i')`` columns (sender, receiver, packet, arrival slot, latency,
+tree) with a per-slot offset index.  The result is a small, picklable
+:class:`CompiledSchedule` that
+
+* replays through the engine's fast path slot-for-slot identically to the
+  object-based scheduling (``SimConfig.compiled_schedule``),
+* replays without the engine at all for sweep workers
+  (:mod:`repro.exec.replay`), and
+* crosses process boundaries once per worker instead of once per task.
+
+:func:`compile_schedule` adds the content-addressed cache from
+:mod:`repro.exec.cache` in front of the lowering.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+from repro.exec.cache import ScheduleCache, ScheduleKey, default_cache
+
+__all__ = [
+    "COMPILABLE_SCHEMES",
+    "CompiledSchedule",
+    "compile_protocol",
+    "compile_schedule",
+    "build_protocol",
+]
+
+#: Schemes with a deterministic loss-free schedule the compiler can lower.
+#: (``gossip`` is randomized; its schedule is not a function of the key.)
+COMPILABLE_SCHEMES = (
+    "multi-tree",
+    "hypercube",
+    "grouped-hypercube",
+    "chain",
+    "single-tree",
+)
+
+
+class CompiledSchedule:
+    """A protocol's full transmission timetable as flat per-slot arrays.
+
+    Attributes:
+        key: the :class:`~repro.exec.cache.ScheduleKey` identity (None for
+            ad-hoc :func:`compile_protocol` lowerings).
+        num_slots: compiled horizon.
+        node_ids: receiver ids, in protocol order.
+        source_ids: origin node ids.
+        starts: ``array('i')`` of length ``num_slots + 1``; transmissions of
+            slot ``s`` occupy flat indices ``starts[s]:starts[s+1]``.
+        senders / receivers / packets / arrivals / latencies / trees: parallel
+            ``array('i')`` columns (``trees`` uses ``-1`` for "no tree").
+    """
+
+    __slots__ = (
+        "key", "num_slots", "node_ids", "source_ids",
+        "starts", "senders", "receivers", "packets",
+        "arrivals", "latencies", "trees", "_batches",
+    )
+
+    def __init__(
+        self,
+        *,
+        key: ScheduleKey | None,
+        num_slots: int,
+        node_ids: tuple[int, ...],
+        source_ids: tuple[int, ...],
+        starts: array,
+        senders: array,
+        receivers: array,
+        packets: array,
+        arrivals: array,
+        latencies: array,
+        trees: array,
+    ) -> None:
+        self.key = key
+        self.num_slots = num_slots
+        self.node_ids = node_ids
+        self.source_ids = source_ids
+        self.starts = starts
+        self.senders = senders
+        self.receivers = receivers
+        self.packets = packets
+        self.arrivals = arrivals
+        self.latencies = latencies
+        self.trees = trees
+        self._batches: list[list[Transmission]] | None = None
+
+    # ----------------------------------------------------------------- basics
+    @property
+    def size(self) -> int:
+        """Total transmissions across the horizon."""
+        return len(self.senders)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledSchedule):
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.num_slots == other.num_slots
+            and self.node_ids == other.node_ids
+            and self.source_ids == other.source_ids
+            and self.starts == other.starts
+            and self.senders == other.senders
+            and self.receivers == other.receivers
+            and self.packets == other.packets
+            and self.arrivals == other.arrivals
+            and self.latencies == other.latencies
+            and self.trees == other.trees
+        )
+
+    def __getstate__(self):
+        # The materialized Transmission batches are a per-process cache;
+        # never pickle them (workers rebuild lazily on first use).
+        return {name: getattr(self, name) for name in self.__slots__ if name != "_batches"}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._batches = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledSchedule(key={self.key!r}, num_slots={self.num_slots}, "
+            f"transmissions={self.size})"
+        )
+
+    # ------------------------------------------------------------------ replay
+    def _materialize(self) -> list[list[Transmission]]:
+        batches: list[list[Transmission]] = []
+        starts = self.starts
+        for slot in range(self.num_slots):
+            lo, hi = starts[slot], starts[slot + 1]
+            batches.append(
+                [
+                    Transmission(
+                        slot=slot,
+                        sender=self.senders[i],
+                        receiver=self.receivers[i],
+                        packet=self.packets[i],
+                        latency=self.latencies[i],
+                        tree=self.trees[i] if self.trees[i] >= 0 else None,
+                    )
+                    for i in range(lo, hi)
+                ]
+            )
+        return batches
+
+    def batch(self, slot: int) -> list[Transmission]:
+        """Fresh list of the transmissions initiated during ``slot``.
+
+        Materialized :class:`Transmission` objects are built once per process
+        and shared; the returned list is a copy the engine may extend.
+        """
+        if not 0 <= slot < self.num_slots:
+            raise ReproError(
+                f"slot {slot} outside compiled horizon [0, {self.num_slots})"
+            )
+        if self._batches is None:
+            self._batches = self._materialize()
+        return list(self._batches[slot])
+
+    def iter_transmissions(self):
+        """All transmissions in slot order (materializing lazily)."""
+        if self._batches is None:
+            self._batches = self._materialize()
+        for batch in self._batches:
+            yield from batch
+
+
+class _CompileView:
+    """Holdings view with the engine's exact semantics (arrival < slot)."""
+
+    __slots__ = ("arrivals", "slot")
+
+    def __init__(self, arrivals: dict[int, dict[int, int]]) -> None:
+        self.arrivals = arrivals
+        self.slot = 0
+
+    def holds(self, node: int, packet: int) -> bool:
+        trace = self.arrivals.get(node)
+        if trace is None:
+            return False
+        arrival = trace.get(packet)
+        return arrival is not None and arrival < self.slot
+
+    def arrival_slot(self, node: int, packet: int) -> int | None:
+        trace = self.arrivals.get(node)
+        if trace is None:
+            return None
+        return trace.get(packet)
+
+    def packets_of(self, node: int) -> frozenset[int]:
+        trace = self.arrivals.get(node)
+        if trace is None:
+            return frozenset()
+        slot = self.slot
+        return frozenset(p for p, a in trace.items() if a < slot)
+
+
+def compile_protocol(protocol, num_slots: int, *, key: ScheduleKey | None = None) -> CompiledSchedule:
+    """Lower ``protocol``'s first ``num_slots`` slots into a :class:`CompiledSchedule`.
+
+    Runs the protocol's own scheduling loop against a loss-free holdings model
+    identical to the engine's (first arrival wins, a slot-``t`` arrival is
+    forwardable from ``t + 1``, link latencies honored), so the recorded
+    timetable is exactly what :func:`~repro.core.engine.simulate` would
+    execute.  State-driven protocols (the hypercube exchange) are stepped
+    sequentially, same as in a live run.
+    """
+    if num_slots < 0:
+        raise ReproError(f"num_slots must be non-negative, got {num_slots}")
+    protocol.reset()
+    node_ids = tuple(protocol.node_ids)
+    source_ids = tuple(sorted(protocol.source_ids))
+    holdings: dict[int, dict[int, int]] = {nid: {} for nid in node_ids}
+    for sid in source_ids:
+        holdings.setdefault(sid, {})
+    view = _CompileView(holdings)
+
+    starts = array("i", [0])
+    senders = array("i")
+    receivers = array("i")
+    packets = array("i")
+    arrivals = array("i")
+    latencies = array("i")
+    trees = array("i")
+
+    in_flight: list[tuple[int, int, Transmission]] = []
+    seq = 0
+    for slot in range(num_slots):
+        view.slot = slot
+        for tx in protocol.transmissions(slot, view):
+            senders.append(tx.sender)
+            receivers.append(tx.receiver)
+            packets.append(tx.packet)
+            arrivals.append(tx.arrival_slot)
+            latencies.append(tx.latency)
+            trees.append(-1 if tx.tree is None else tx.tree)
+            seq += 1
+            heapq.heappush(in_flight, (tx.arrival_slot, seq, tx))
+        starts.append(len(senders))
+        # Deliver everything arriving by the end of this slot (engine order:
+        # earliest arrival first, ties by send sequence; first arrival wins).
+        while in_flight and in_flight[0][0] <= slot:
+            _, _, tx = heapq.heappop(in_flight)
+            trace = holdings.get(tx.receiver)
+            if trace is None:
+                raise ReproError(f"unknown receiver node {tx.receiver}")
+            if tx.packet not in trace:
+                trace[tx.packet] = tx.arrival_slot
+    return CompiledSchedule(
+        key=key,
+        num_slots=num_slots,
+        node_ids=node_ids,
+        source_ids=source_ids,
+        starts=starts,
+        senders=senders,
+        receivers=receivers,
+        packets=packets,
+        arrivals=arrivals,
+        latencies=latencies,
+        trees=trees,
+    )
+
+
+def build_protocol(
+    scheme: str,
+    num_nodes: int,
+    degree: int = 3,
+    *,
+    construction: str = "structured",
+    mode: str = "prerecorded",
+    latency: int = 1,
+):
+    """Instantiate the protocol object a :class:`ScheduleKey` describes."""
+    if scheme == "multi-tree":
+        from repro.trees import MultiTreeProtocol
+
+        return MultiTreeProtocol(
+            num_nodes, degree, construction=construction, mode=mode, latency=latency
+        )
+    if scheme == "hypercube":
+        from repro.hypercube import HypercubeCascadeProtocol
+
+        return HypercubeCascadeProtocol(num_nodes)
+    if scheme == "grouped-hypercube":
+        from repro.hypercube import GroupedHypercubeProtocol
+
+        return GroupedHypercubeProtocol(num_nodes, degree)
+    if scheme == "chain":
+        from repro.baselines import ChainProtocol
+
+        return ChainProtocol(num_nodes)
+    if scheme == "single-tree":
+        from repro.baselines import SingleTreeProtocol
+
+        return SingleTreeProtocol(num_nodes, degree)
+    raise ReproError(
+        f"scheme {scheme!r} is not compilable; choose from {COMPILABLE_SCHEMES}"
+    )
+
+
+def _normalized_key(
+    scheme: str,
+    num_nodes: int,
+    degree: int,
+    num_slots: int,
+    construction: str,
+    mode: str,
+    latency: int,
+) -> ScheduleKey:
+    if scheme not in COMPILABLE_SCHEMES:
+        raise ReproError(
+            f"scheme {scheme!r} is not compilable; choose from {COMPILABLE_SCHEMES}"
+        )
+    if scheme != "multi-tree":
+        # These schemes have exactly one construction/mode; pin the key fields
+        # so equivalent requests share a cache entry.
+        construction = "cascade" if "hypercube" in scheme else scheme
+        mode = "-"
+    return ScheduleKey(
+        scheme=scheme,
+        construction=construction,
+        num_nodes=num_nodes,
+        degree=degree,
+        num_slots=num_slots,
+        mode=mode,
+        latency=latency,
+    )
+
+
+def compile_schedule(
+    scheme: str,
+    num_nodes: int,
+    degree: int = 3,
+    *,
+    num_slots: int | None = None,
+    num_packets: int | None = None,
+    construction: str = "structured",
+    mode: str = "prerecorded",
+    latency: int = 1,
+    cache: ScheduleCache | None = None,
+    provenance: dict | None = None,
+) -> CompiledSchedule:
+    """Compile (or fetch from cache) the schedule for one configuration.
+
+    Exactly one of ``num_slots`` / ``num_packets`` must be given;
+    ``num_packets`` derives the horizon from the scheme's
+    ``slots_for_packets`` bound.  ``provenance``, when passed, receives the
+    cache outcome (``memory``/``disk``/``miss``) and the content token.
+    """
+    if (num_slots is None) == (num_packets is None):
+        raise ReproError("pass exactly one of num_slots / num_packets")
+    protocol = None
+    if num_slots is None:
+        protocol = build_protocol(
+            scheme, num_nodes, degree,
+            construction=construction, mode=mode, latency=latency,
+        )
+        num_slots = protocol.slots_for_packets(num_packets)
+    key = _normalized_key(
+        scheme, num_nodes, degree, num_slots, construction, mode, latency
+    )
+    cache = cache if cache is not None else default_cache()
+
+    def _build() -> CompiledSchedule:
+        built = protocol if protocol is not None else build_protocol(
+            scheme, num_nodes, degree,
+            construction=construction, mode=mode, latency=latency,
+        )
+        return compile_protocol(built, num_slots, key=key)
+
+    return cache.get_or_compile(key, _build, provenance)

@@ -1,0 +1,200 @@
+"""Process-parallel sweep executor with per-worker payload shipping.
+
+:class:`SweepExecutor` generalizes the PR-2 ``parallel_sweep`` runner:
+
+* a picklable **payload** (typically a compiled schedule) is shipped once per
+  worker through the pool initializer instead of once per task;
+* every task runs against an isolated :class:`~repro.obs.MetricsRegistry`
+  whose snapshot rides back with the result and is merged into the caller's
+  registry — metrics aggregate exactly as in a serial run;
+* task order is preserved and per-task seeds travel inside the task tuples,
+  so a grid is deterministic regardless of worker count;
+* any pool-level failure (broken workers, unpicklable payloads, fork limits)
+  **degrades gracefully to the serial path** — the sweep completes either
+  way, and the fallback is visible as ``executor.fallbacks`` on the active
+  registry.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+from repro.core.errors import ReproError
+from repro.obs.registry import MetricsRegistry, active_registry, use_registry
+
+__all__ = [
+    "ExecutorPolicy",
+    "SweepExecutor",
+    "worker_payload",
+    "default_workers",
+    "replay_sweep_task",
+]
+
+
+def default_workers() -> int:
+    """A conservative worker count (leave one core for the parent)."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutorPolicy:
+    """How a sweep fans out.
+
+    Attributes:
+        max_workers: process count (None = cores - 1).
+        chunksize: tasks per IPC batch.
+        mode: ``auto`` (parallel unless the grid is tiny or one worker is
+            requested), ``serial`` (never fork), or ``parallel`` (always try
+            the pool first).
+    """
+
+    max_workers: int | None = None
+    chunksize: int = 4
+    mode: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1, got {self.max_workers}")
+        if self.chunksize < 1:
+            raise ReproError(f"chunksize must be >= 1, got {self.chunksize}")
+        if self.mode not in ("auto", "serial", "parallel"):
+            raise ReproError(
+                f"executor mode must be auto/serial/parallel, got {self.mode!r}"
+            )
+
+    def resolved_workers(self) -> int:
+        return self.max_workers or default_workers()
+
+
+# Per-process payload installed by the pool initializer (or the serial path).
+_PAYLOAD = None
+
+
+def _init_worker(payload) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def worker_payload():
+    """The payload shipped to this worker (None outside an executor run)."""
+    return _PAYLOAD
+
+
+def _snapshotting_task(worker, task):
+    """Run one task against a fresh registry; return (result, snapshot)."""
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = worker(task)
+    return result, registry.snapshot()
+
+
+class SweepExecutor:
+    """Order-preserving map over a task grid, across processes when useful.
+
+    Args:
+        policy: fan-out policy (worker count, chunk size, mode).
+        registry: when given, worker metric snapshots are merged into it;
+            None skips all snapshotting.
+    """
+
+    def __init__(
+        self,
+        policy: ExecutorPolicy | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.policy = policy if policy is not None else ExecutorPolicy()
+        self.registry = registry
+        #: Filled by :meth:`map`: how the last sweep actually executed.
+        self.last_run: dict[str, object] = {}
+
+    # ------------------------------------------------------------------ paths
+    def _run_serial(self, run, tasks, payload):
+        global _PAYLOAD
+        previous = _PAYLOAD
+        _PAYLOAD = payload
+        try:
+            return [run(task) for task in tasks]
+        finally:
+            _PAYLOAD = previous
+
+    def _run_parallel(self, run, tasks, payload, workers: int):
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(payload,)
+        ) as pool:
+            return list(pool.map(run, tasks, chunksize=self.policy.chunksize))
+
+    # -------------------------------------------------------------------- api
+    def map(self, worker, tasks, *, payload=None) -> list:
+        """Evaluate ``worker`` over ``tasks``; results keep task order.
+
+        Args:
+            worker: module-level function of one task tuple (module-level so
+                it pickles under ``spawn`` as well as ``fork``).
+            tasks: iterable of picklable task tuples.
+            payload: optional picklable object made available to every task
+                via :func:`worker_payload` — shipped once per worker.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            self.last_run = {"mode": "empty", "workers": 0, "fallback": False}
+            return []
+        policy = self.policy
+        workers = policy.resolved_workers()
+        serial = (
+            policy.mode == "serial"
+            or (policy.mode == "auto" and (workers == 1 or len(tasks) <= 2))
+        )
+        run = worker if self.registry is None else partial(_snapshotting_task, worker)
+        fallback = False
+        if serial:
+            raw = self._run_serial(run, tasks, payload)
+            mode = "serial"
+        else:
+            try:
+                raw = self._run_parallel(run, tasks, payload, workers)
+                mode = "parallel"
+            except Exception:
+                # Pool infrastructure failed (broken worker, unpicklable
+                # payload, no fork available): finish the sweep serially.
+                active_registry().counter("executor.fallbacks").inc()
+                fallback = True
+                raw = self._run_serial(run, tasks, payload)
+                mode = "serial"
+        self.last_run = {
+            "mode": mode,
+            "workers": workers if mode == "parallel" else 1,
+            "fallback": fallback,
+            "tasks": len(tasks),
+        }
+        if self.registry is None:
+            return raw
+        results = []
+        for result, snapshot in raw:
+            self.registry.merge(snapshot)
+            results.append(result)
+        return results
+
+
+def replay_sweep_task(task):
+    """Sweep worker: replay the payload schedule at one ``(seed, drop_rate)``.
+
+    Task tuple: ``(seed, drop_rate, num_packets)``.  The compiled schedule
+    arrives via :func:`worker_payload`; returns the point's flat metrics row
+    (plus the task coordinates) so results are picklable and table-ready.
+    """
+    from repro.exec.replay import replay_point
+
+    schedule = worker_payload()
+    if schedule is None:
+        raise ReproError("replay_sweep_task needs a CompiledSchedule payload")
+    seed, drop_rate, num_packets = task
+    metrics = replay_point(
+        schedule, num_packets=num_packets, seed=seed, drop_rate=drop_rate
+    )
+    row = {"seed": seed, "drop_rate": drop_rate}
+    row.update(metrics.row())
+    return row

@@ -1,0 +1,137 @@
+"""Engine-free replay of compiled schedules for sweep workers.
+
+The engine's object path exists to *validate* a scheme against the paper's
+communication model; once a schedule is compiled (and its loss-free run
+certified once), a sweep point only needs the arrival traces.  This module
+walks the flat arrays of a :class:`~repro.exec.compiler.CompiledSchedule`
+directly — no Transmission objects, no validator, no heap — applying the
+engine's delivery semantics (earliest arrival wins; a slot-``t`` arrival is
+forwardable from ``t + 1``).
+
+Loss model: with a drop mask, a dropped index simply never delivers, and any
+transmission whose sender does not actually hold its packet at send time is a
+silent no-op — the sender has nothing to forward.  This is the paper's
+zero-slack permanent-loss behavior (losses prune the downstream cone; all
+other packets stay on time), matching the headline finding of
+``tests/test_faults.py``.  Loss-*repairing* runs still need the object path
+(:mod:`repro.repair`), because repairs change the schedule itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.core.metrics import RepairMetrics, collect_repair_metrics
+from repro.exec.compiler import CompiledSchedule
+from repro.obs.registry import active_registry
+
+__all__ = ["replay_arrivals", "bernoulli_mask", "replay_point"]
+
+
+def bernoulli_mask(schedule: CompiledSchedule, rate: float, seed: int) -> np.ndarray | None:
+    """Deterministic per-transmission drop mask over the whole schedule.
+
+    Drawn in flat (send-order) index space with one ``default_rng(seed)``
+    stream, so a ``(seed, rate)`` pair always prunes the same indices — on
+    any worker, serial or parallel.
+    """
+    if not 0 <= rate <= 1:
+        raise ReproError(f"drop rate must be in [0, 1], got {rate}")
+    if rate == 0:
+        return None
+    rng = np.random.default_rng(seed)
+    return rng.random(schedule.size) < rate
+
+
+def replay_arrivals(
+    schedule: CompiledSchedule,
+    *,
+    num_slots: int | None = None,
+    drop_mask=None,
+) -> dict[int, dict[int, int]]:
+    """Replay the compiled timetable; return node -> (packet -> arrival slot).
+
+    Loss-free (``drop_mask=None``) this reproduces the engine's arrival
+    traces exactly; with a mask it applies the zero-slack loss model
+    described in the module docstring.  Only receiver nodes appear in the
+    result.
+    """
+    horizon = schedule.num_slots if num_slots is None else num_slots
+    if not 0 <= horizon <= schedule.num_slots:
+        raise ReproError(
+            f"replay horizon {horizon} outside compiled range "
+            f"[0, {schedule.num_slots}]"
+        )
+    starts = schedule.starts
+    senders = schedule.senders
+    receivers = schedule.receivers
+    packets = schedule.packets
+    arrivals = schedule.arrivals
+    have: dict[int, dict[int, int]] = {nid: {} for nid in schedule.node_ids}
+    sources = frozenset(schedule.source_ids)
+    end = starts[horizon]
+    if drop_mask is None:
+        # Loss-free fast path: every compiled sender holds by construction.
+        for i in range(end):
+            trace = have[receivers[i]]
+            p = packets[i]
+            a = arrivals[i]
+            prior = trace.get(p)
+            if prior is None or a < prior:
+                trace[p] = a
+        return have
+    if len(drop_mask) < end:
+        raise ReproError(
+            f"drop mask covers {len(drop_mask)} transmissions, need {end}"
+        )
+    slot = 0
+    next_boundary = starts[1] if horizon > 0 else 0
+    for i in range(end):
+        while i >= next_boundary:
+            slot += 1
+            next_boundary = starts[slot + 1]
+        s = senders[i]
+        if s not in sources:
+            held = have[s].get(packets[i])
+            if held is None or held >= slot:
+                continue  # upstream loss: nothing to forward
+        if drop_mask[i]:
+            continue
+        trace = have[receivers[i]]
+        p = packets[i]
+        a = arrivals[i]
+        prior = trace.get(p)
+        if prior is None or a < prior:
+            trace[p] = a
+    return have
+
+
+def replay_point(
+    schedule: CompiledSchedule,
+    *,
+    num_packets: int,
+    seed: int = 0,
+    drop_rate: float = 0.0,
+    num_slots: int | None = None,
+) -> RepairMetrics:
+    """One sweep point: replay under ``(seed, drop_rate)`` and score it.
+
+    Returns loss-aware :class:`~repro.core.metrics.RepairMetrics` (which
+    degrade to the plain playback metrics when nothing is dropped) and bumps
+    ``sweep.points`` / ``sweep.replayed_tx`` on the active registry.
+    """
+    horizon = schedule.num_slots if num_slots is None else num_slots
+    mask = bernoulli_mask(schedule, drop_rate, seed)
+    arrivals = replay_arrivals(schedule, num_slots=horizon, drop_mask=mask)
+    metrics = collect_repair_metrics(
+        arrivals, num_packets=num_packets, num_slots=horizon
+    )
+    registry = active_registry()
+    scheme = schedule.key.scheme if schedule.key is not None else "ad-hoc"
+    registry.counter("sweep.points", scheme=scheme).inc()
+    registry.counter("sweep.replayed_tx", scheme=scheme).inc(schedule.starts[horizon])
+    registry.histogram("sweep.max_delay", scheme=scheme).observe(
+        metrics.max_effective_delay
+    )
+    return metrics

@@ -1,0 +1,411 @@
+"""Unified experiment facade: ``repro.run(ExperimentSpec) -> ExperimentResult``.
+
+Every experiment family this reproduction grew — plain streaming runs
+(:func:`repro.core.engine.simulate`), loss-repair tradeoffs
+(``run_repair_experiment``), churn streaming (``run_churn_experiment``), and
+parameter sweeps (``parallel_sweep``) — historically had its own entry point
+with its own argument conventions.  This module collapses them behind one
+declarative API:
+
+* :class:`ExperimentSpec` — a frozen dataclass naming the scheme,
+  construction, sizes, faults, repair, instrumentation policy, and executor
+  policy of one experiment;
+* :func:`run` — the single dispatcher.  The CLI subcommands and the library
+  surface both route through it, so both take the same code path;
+* :class:`ExperimentResult` — a uniform result: flat metric rows, the
+  primary metrics object, timing, and provenance (including schedule-cache
+  hit/miss and how the executor actually ran).
+
+``run`` uses the compiled-schedule fast path (:mod:`repro.exec`) whenever the
+spec allows it and the scheme's loss-free schedule is deterministic; the old
+entry points remain as thin deprecated wrappers.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+
+from repro.core.engine import simulate as _engine_simulate
+from repro.core.errors import ReproError
+from repro.core.metrics import collect_metrics, collect_repair_metrics
+from repro.exec.cache import default_cache
+from repro.exec.compiler import (
+    COMPILABLE_SCHEMES,
+    build_protocol,
+    compile_protocol,
+    compile_schedule,
+)
+from repro.exec.executor import ExecutorPolicy, SweepExecutor, replay_sweep_task
+from repro.obs import Instrumentation
+
+__all__ = [
+    "EXPERIMENT_KINDS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "run",
+    "deprecated_entry_point",
+]
+
+EXPERIMENT_KINDS = ("stream", "repair", "churn", "sweep")
+
+_SCHEMES = (
+    "multi-tree",
+    "hypercube",
+    "grouped-hypercube",
+    "chain",
+    "single-tree",
+    "gossip",
+)
+
+
+def deprecated_entry_point(name: str, replacement: str) -> None:
+    """Emit the standard deprecation warning for a legacy ``run_*`` entry point."""
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} "
+        "(see docs/API.md for the migration table)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentSpec:
+    """Declarative description of one experiment.
+
+    Attributes:
+        kind: ``stream`` (one simulated run), ``repair`` (loss-repair
+            tradeoff point), ``churn`` (stream through scheduled churn), or
+            ``sweep`` (a ``seeds x drop_rates`` grid over one configuration).
+        scheme: streaming scheme.
+        num_nodes / degree / construction / mode / latency: configuration of
+            the scheme (construction/mode/latency apply to multi-tree).
+        num_packets: measured stream prefix.
+        seed: RNG seed (fault injection, gossip, churn traces).
+        drop_rate: Bernoulli per-transmission drop probability.
+        repair_mode / epsilon / slack_mode / extra / group / grace: repair
+            experiment knobs (see :mod:`repro.repair.session`).
+        churn_events: number of random churn events (kind ``churn``).
+        lazy_churn: use the lazy repair variant.
+        seeds / drop_rates: sweep grid axes (kind ``sweep``); empty tuples
+            fall back to ``(seed,)`` / ``(drop_rate,)``.
+        compiled: replay a compiled schedule when the scheme allows it.
+        cache: consult the content-addressed schedule cache.
+        executor: :class:`~repro.exec.executor.ExecutorPolicy` for sweeps.
+        validate: engine validation override (None = engine default).
+        record_transmissions: keep the full transmission log.
+        profile / trace_events: instrumentation policy — per-phase profiling
+            and/or a JSONL event stream (ignored when an explicit
+            ``instrumentation`` bundle is passed to :func:`run`).
+    """
+
+    kind: str = "stream"
+    scheme: str = "multi-tree"
+    num_nodes: int = 31
+    degree: int = 3
+    construction: str = "structured"
+    mode: str = "prerecorded"
+    latency: int = 1
+    num_packets: int = 16
+    seed: int = 0
+    drop_rate: float = 0.0
+    # --- repair
+    repair_mode: str = "retransmit"
+    epsilon: float = 0.05
+    slack_mode: str = "thin"
+    extra: int = 1
+    group: int = 4
+    grace: int | None = None
+    # --- churn
+    churn_events: int = 6
+    lazy_churn: bool = False
+    # --- sweep grid
+    seeds: tuple[int, ...] = ()
+    drop_rates: tuple[float, ...] = ()
+    # --- execution policy
+    compiled: bool = True
+    cache: bool = True
+    executor: ExecutorPolicy = field(default_factory=ExecutorPolicy)
+    validate: bool | None = None
+    record_transmissions: bool = True
+    # --- instrumentation policy
+    profile: bool = False
+    trace_events: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EXPERIMENT_KINDS:
+            raise ReproError(
+                f"unknown experiment kind {self.kind!r}; choose from {EXPERIMENT_KINDS}"
+            )
+        if self.scheme not in _SCHEMES:
+            raise ReproError(
+                f"unknown scheme {self.scheme!r}; choose from {_SCHEMES}"
+            )
+        if self.num_nodes < 1:
+            raise ReproError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.num_packets < 1:
+            raise ReproError(f"num_packets must be >= 1, got {self.num_packets}")
+        if not 0 <= self.drop_rate <= 1:
+            raise ReproError(f"drop_rate must be in [0, 1], got {self.drop_rate}")
+        # Accept lists for the grid axes; store hashable tuples.
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        object.__setattr__(self, "drop_rates", tuple(self.drop_rates))
+
+    # ----------------------------------------------------------------- helpers
+    def with_(self, **changes) -> "ExperimentSpec":
+        """A copy with ``changes`` applied (``dataclasses.replace`` sugar)."""
+        return replace(self, **changes)
+
+    def grid(self) -> list[tuple[int, float, int]]:
+        """The sweep task grid: ``(seed, drop_rate, num_packets)`` tuples."""
+        seeds = self.seeds or (self.seed,)
+        rates = self.drop_rates or (self.drop_rate,)
+        return [(s, r, self.num_packets) for r in rates for s in seeds]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Uniform result of :func:`run`.
+
+    Attributes:
+        spec: the spec that produced this result.
+        rows: flat, table/JSON-ready metric rows (one per run or sweep point).
+        metrics: the primary metrics object of the experiment
+            (:class:`~repro.core.metrics.SchemeMetrics`,
+            :class:`~repro.core.metrics.RepairMetrics`, a churn report, or
+            None for sweeps).
+        trace: the :class:`~repro.core.engine.SimTrace` when a single engine
+            run was executed (stream kind), else None.
+        artifacts: experiment-family extras (e.g. the churn protocol and
+            hiccup report, the repair tradeoff point).
+        timing_s: wall-clock seconds spent inside :func:`run`.
+        provenance: how the result was produced — scheme description,
+            ``compiled`` flag, schedule-cache outcome (``memory`` / ``disk``
+            / ``miss`` / None), executor mode/workers/fallback, package
+            version.
+        instrumentation: the bundle used (facade-created or caller-passed).
+    """
+
+    spec: ExperimentSpec
+    rows: tuple[dict, ...]
+    metrics: object | None
+    trace: object | None
+    artifacts: dict
+    timing_s: float
+    provenance: dict
+    instrumentation: Instrumentation | None
+
+    @property
+    def row(self) -> dict:
+        """The first (often only) metrics row."""
+        if not self.rows:
+            raise ReproError("experiment produced no metric rows")
+        return self.rows[0]
+
+
+def _instrumentation_for(spec: ExperimentSpec) -> Instrumentation | None:
+    if not spec.profile and not spec.trace_events:
+        return None
+    return Instrumentation.collecting(
+        events_path=spec.trace_events, ring_capacity=None, profile=spec.profile
+    )
+
+
+def _base_provenance(spec: ExperimentSpec) -> dict:
+    from repro import __version__
+
+    return {
+        "kind": spec.kind,
+        "scheme": spec.scheme,
+        "compiled": False,
+        "cache": None,
+        "version": __version__,
+    }
+
+
+def _build_plain_protocol(spec: ExperimentSpec):
+    if spec.scheme == "gossip":
+        from repro.baselines import RandomGossipProtocol
+
+        return RandomGossipProtocol(spec.num_nodes, spec.degree, seed=spec.seed)
+    return build_protocol(
+        spec.scheme, spec.num_nodes, spec.degree,
+        construction=spec.construction, mode=spec.mode, latency=spec.latency,
+    )
+
+
+def _compiled_for(spec: ExperimentSpec, num_slots: int, provenance: dict):
+    """Compile (through the cache when enabled) or return None if ineligible."""
+    if not spec.compiled or spec.scheme not in COMPILABLE_SCHEMES:
+        return None
+    if spec.cache:
+        schedule = compile_schedule(
+            spec.scheme, spec.num_nodes, spec.degree,
+            num_slots=num_slots, construction=spec.construction,
+            mode=spec.mode, latency=spec.latency,
+            cache=default_cache(), provenance=provenance,
+        )
+    else:
+        protocol = build_protocol(
+            spec.scheme, spec.num_nodes, spec.degree,
+            construction=spec.construction, mode=spec.mode, latency=spec.latency,
+        )
+        schedule = compile_protocol(protocol, num_slots)
+        provenance["cache"] = "bypassed"
+    provenance["compiled"] = True
+    return schedule
+
+
+# --------------------------------------------------------------------- kinds
+def _run_stream(spec: ExperimentSpec, instr) -> tuple:
+    provenance = _base_provenance(spec)
+    validate = True if spec.validate is None else spec.validate
+    if spec.drop_rate > 0:
+        from repro.repair.session import make_lossy_protocol
+        from repro.workloads.faults import bernoulli_drop
+
+        if spec.scheme not in ("multi-tree", "hypercube"):
+            raise ReproError(
+                f"drop_rate needs a loss-aware scheme (multi-tree or "
+                f"hypercube), not {spec.scheme!r}"
+            )
+        protocol = make_lossy_protocol(spec.scheme, spec.num_nodes, spec.degree)
+        num_slots = protocol.slots_for_packets(spec.num_packets)
+        trace = _engine_simulate(
+            protocol, num_slots,
+            validate=validate,
+            record_transmissions=spec.record_transmissions,
+            drop_rule=bernoulli_drop(spec.drop_rate, seed=spec.seed),
+            instrumentation=instr,
+        )
+        metrics = collect_repair_metrics(
+            trace.all_arrivals(), num_packets=spec.num_packets, num_slots=num_slots
+        )
+    else:
+        protocol = _build_plain_protocol(spec)
+        num_slots = protocol.slots_for_packets(spec.num_packets)
+        schedule = _compiled_for(spec, num_slots, provenance)
+        trace = _engine_simulate(
+            protocol, num_slots,
+            validate=validate,
+            record_transmissions=spec.record_transmissions,
+            instrumentation=instr,
+            compiled_schedule=schedule,
+        )
+        metrics = collect_metrics(trace, num_packets=spec.num_packets)
+    provenance["description"] = protocol.describe()
+    provenance["num_slots"] = num_slots
+    return (metrics.row(),), metrics, trace, {"protocol": protocol}, provenance
+
+
+def _run_repair(spec: ExperimentSpec, instr) -> tuple:
+    from repro.repair.session import repair_experiment
+
+    provenance = _base_provenance(spec)
+    point = repair_experiment(
+        spec.scheme, spec.num_nodes, spec.degree,
+        num_packets=spec.num_packets,
+        mode=spec.repair_mode,
+        epsilon=spec.epsilon,
+        slack_mode=spec.slack_mode,
+        extra=spec.extra,
+        group=spec.group,
+        loss_rate=spec.drop_rate,
+        seed=spec.seed,
+        grace=spec.grace,
+        instrumentation=instr,
+    )
+    provenance["description"] = point.description
+    provenance["num_slots"] = point.num_slots
+    return (point.row(),), point.metrics, None, {"point": point}, provenance
+
+
+def _run_churn(spec: ExperimentSpec, instr) -> tuple:
+    from repro.trees.live import churn_experiment, random_churn_schedule
+
+    provenance = _base_provenance(spec)
+    churn = random_churn_schedule(
+        spec.num_nodes, spec.churn_events, seed=spec.seed
+    )
+    protocol, report = churn_experiment(
+        spec.num_nodes, spec.degree, churn,
+        num_packets=spec.num_packets,
+        lazy=spec.lazy_churn,
+        construction=spec.construction,
+        instrumentation=instr,
+    )
+    provenance["description"] = protocol.describe()
+    row = {
+        "events_applied": len(protocol.reports),
+        "population_before": spec.num_nodes,
+        "population_after": protocol.forest.num_nodes,
+        "total_hiccups": report.total_hiccups,
+        "hiccup_nodes": len(report.hiccup_nodes),
+        "relocated_nodes": len(report.relocated_nodes),
+    }
+    return (row,), report, None, {"protocol": protocol, "report": report}, provenance
+
+
+def _run_sweep(spec: ExperimentSpec, instr) -> tuple:
+    provenance = _base_provenance(spec)
+    if spec.scheme not in COMPILABLE_SCHEMES:
+        raise ReproError(
+            f"sweeps replay compiled schedules; scheme {spec.scheme!r} is not "
+            f"compilable (choose from {COMPILABLE_SCHEMES})"
+        )
+    protocol = build_protocol(
+        spec.scheme, spec.num_nodes, spec.degree,
+        construction=spec.construction, mode=spec.mode, latency=spec.latency,
+    )
+    num_slots = protocol.slots_for_packets(spec.num_packets)
+    schedule = _compiled_for(spec.with_(compiled=True), num_slots, provenance)
+    registry = instr.registry if instr is not None else None
+    executor = SweepExecutor(spec.executor, registry=registry)
+    rows = executor.map(replay_sweep_task, spec.grid(), payload=schedule)
+    provenance["description"] = protocol.describe()
+    provenance["num_slots"] = num_slots
+    provenance["executor"] = dict(executor.last_run)
+    return tuple(rows), None, None, {"schedule": schedule}, provenance
+
+
+_KIND_RUNNERS = {
+    "stream": _run_stream,
+    "repair": _run_repair,
+    "churn": _run_churn,
+    "sweep": _run_sweep,
+}
+
+
+def run(
+    spec: ExperimentSpec,
+    *,
+    instrumentation: Instrumentation | None = None,
+) -> ExperimentResult:
+    """Run one experiment described by ``spec``.
+
+    Args:
+        spec: the experiment description.
+        instrumentation: explicit bundle overriding the spec's
+            ``profile``/``trace_events`` policy (the facade then neither
+            creates nor closes it).
+    """
+    if not isinstance(spec, ExperimentSpec):
+        raise ReproError(f"run() takes an ExperimentSpec, got {type(spec).__name__}")
+    owns_instr = instrumentation is None
+    instr = _instrumentation_for(spec) if owns_instr else instrumentation
+    start = time.perf_counter()
+    rows, metrics, trace, artifacts, provenance = _KIND_RUNNERS[spec.kind](spec, instr)
+    timing = time.perf_counter() - start
+    if owns_instr and instr is not None:
+        instr.close()
+    return ExperimentResult(
+        spec=spec,
+        rows=rows,
+        metrics=metrics,
+        trace=trace,
+        artifacts=artifacts,
+        timing_s=timing,
+        provenance=provenance,
+        instrumentation=instr,
+    )

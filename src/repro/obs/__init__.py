@@ -12,8 +12,9 @@ Three zero-dependency pieces, usable separately or bundled:
   (``perf_counter``-based scopes) aggregated per run and per sweep.
 
 :class:`Instrumentation` bundles the trio; pass it through
-``SimConfig.instrumentation`` (engine), ``run_repair_experiment`` (repair),
-``run_churn_experiment`` (churn), or the CLI's ``--profile`` /
+``repro.run(spec, instrumentation=...)`` (any experiment family),
+``SimConfig.instrumentation`` (engine), ``repair_experiment`` (repair),
+``churn_experiment`` (churn), or the CLI's ``--profile`` /
 ``--trace-events`` flags.  Everything is opt-in: with no bundle attached the
 instrumented code paths cost a single ``None`` check.
 """

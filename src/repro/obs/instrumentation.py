@@ -1,8 +1,8 @@
 """The bundle instrumented components accept: registry + tracer + profiler.
 
 An :class:`Instrumentation` is what flows through the system
-(``SimConfig.instrumentation``, ``run_repair_experiment(...,
-instrumentation=)``, CLI flags).  Every part is optional — components guard
+(``repro.run(spec, instrumentation=...)``, ``SimConfig.instrumentation``,
+``repair_experiment(..., instrumentation=)``, CLI flags).  Every part is optional — components guard
 each use — and ``None`` anywhere means zero overhead: the engine's hot loop
 only ever pays a single ``is None`` check when instrumentation is off.
 """

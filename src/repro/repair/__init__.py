@@ -22,11 +22,14 @@ paper's schedules rather than into them:
 
 Quickstart::
 
-    from repro.repair import run_repair_experiment
-    point = run_repair_experiment("multi-tree", 15, 3, loss_rate=0.01,
-                                  mode="retransmit", epsilon=0.05)
+    from repro.repair import repair_experiment
+    point = repair_experiment("multi-tree", 15, 3, loss_rate=0.01,
+                              mode="retransmit", epsilon=0.05)
     assert point.metrics.residual_pairs == 0
     print(point.row())
+
+(Or, through the unified facade: ``repro.run(ExperimentSpec(kind="repair",
+...))``.  ``run_repair_experiment`` is the deprecated pre-facade name.)
 """
 
 from repro.repair.parity import ParityDecode, ParityScheme, Recovery
@@ -42,6 +45,7 @@ from repro.repair.session import (
     RepairRunResult,
     default_grace,
     make_lossy_protocol,
+    repair_experiment,
     run_repair_experiment,
 )
 from repro.repair.slack import CAPACITY, THIN, SlackPolicy, SlackProvisioner
@@ -63,5 +67,6 @@ __all__ = [
     "default_grace",
     "make_lossy_protocol",
     "make_repairable",
+    "repair_experiment",
     "run_repair_experiment",
 ]

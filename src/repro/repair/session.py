@@ -1,11 +1,13 @@
 """One-call loss-repair experiments: build, provision, stream, repair, score.
 
-:func:`run_repair_experiment` is the front door used by the CLI (``repro
-repair``) and ``benchmarks/bench_repair_tradeoff.py``: it builds the
-loss-aware variant of a scheme, applies the requested repair mode, simulates
-under a fault injector, and returns the full tradeoff point — repair metrics
-of the lossy run *and* the loss-free paper metrics it should be compared
-against, so the delay/buffer price of repair is explicit.
+:func:`repair_experiment` is the front door used by the experiment facade
+(``repro.run`` with ``kind="repair"``), the CLI (``repro repair``), and
+``benchmarks/bench_repair_tradeoff.py``: it builds the loss-aware variant of
+a scheme, applies the requested repair mode, simulates under a fault
+injector, and returns the full tradeoff point — repair metrics of the lossy
+run *and* the loss-free paper metrics it should be compared against, so the
+delay/buffer price of repair is explicit.  :func:`run_repair_experiment` is
+the deprecated pre-facade name.
 
 Loss runs require the holdings-aware protocol variants (the static schedule
 tables would violate causality once a sender misses a packet), so only the
@@ -36,6 +38,7 @@ __all__ = [
     "RepairRunResult",
     "make_lossy_protocol",
     "default_grace",
+    "repair_experiment",
     "run_repair_experiment",
 ]
 
@@ -121,7 +124,7 @@ def _paper_baseline(scheme: str, num_nodes: int, degree: int, num_packets: int) 
     return collect_metrics(trace, num_packets=num_packets)
 
 
-def run_repair_experiment(
+def repair_experiment(
     scheme: str,
     num_nodes: int,
     degree: int = 3,
@@ -269,3 +272,18 @@ def run_repair_experiment(
         repairs=0,
         description=f"unrepaired {protocol.describe()}",
     )
+
+
+def run_repair_experiment(*args, **kwargs) -> RepairRunResult:
+    """Deprecated alias of :func:`repair_experiment`.
+
+    Prefer ``repro.run(ExperimentSpec(kind="repair", ...))`` (the unified
+    facade) or :func:`repair_experiment` directly.
+    """
+    from repro.experiments import deprecated_entry_point
+
+    deprecated_entry_point(
+        "run_repair_experiment",
+        'repro.run(ExperimentSpec(kind="repair", ...)) or repair_experiment',
+    )
+    return repair_experiment(*args, **kwargs)

@@ -35,7 +35,9 @@ from repro.trees.live import (
     ChurningMultiTreeProtocol,
     NodeHiccups,
     ScheduledChurn,
+    churn_experiment,
     churn_hiccup_report,
+    random_churn_schedule,
     run_churn_experiment,
 )
 from repro.trees.forest import SOURCE_ID, MultiTreeForest
@@ -71,7 +73,9 @@ __all__ = [
     "DynamicForest",
     "NodeHiccups",
     "ScheduledChurn",
+    "churn_experiment",
     "churn_hiccup_report",
+    "random_churn_schedule",
     "run_churn_experiment",
     "GroupPartition",
     "MultiTreeForest",

@@ -40,6 +40,8 @@ __all__ = [
     "NodeHiccups",
     "ChurnHiccupReport",
     "churn_hiccup_report",
+    "churn_experiment",
+    "random_churn_schedule",
     "run_churn_experiment",
 ]
 
@@ -294,7 +296,33 @@ def _first_complete_window(
     return None
 
 
-def run_churn_experiment(
+def random_churn_schedule(
+    num_nodes: int, events: int, *, seed: int = 0
+) -> list[ScheduledChurn]:
+    """A reproducible random churn trace: ~50/50 adds and deletes.
+
+    Event slots are drawn uniformly from ``[5, 5 + 4 * events)`` so churn
+    lands mid-stream; deletions pick a uniformly random live victim and never
+    shrink the population below 3.  The same ``(num_nodes, events, seed)``
+    triple always yields the same trace.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    live = set(range(1, num_nodes + 1))
+    churn: list[ScheduledChurn] = []
+    for _ in range(events):
+        slot = int(rng.integers(5, 5 + 4 * events))
+        if rng.random() < 0.5 and len(live) > 2:
+            victim = int(rng.choice(sorted(live)))
+            live.discard(victim)
+            churn.append(ScheduledChurn(slot, ChurnEvent("delete"), victim=victim))
+        else:
+            churn.append(ScheduledChurn(slot, ChurnEvent("add")))
+    return churn
+
+
+def churn_experiment(
     num_nodes: int,
     degree: int,
     churn: Sequence[ScheduledChurn],
@@ -331,3 +359,18 @@ def run_churn_experiment(
         protocol, trace, horizon_packet=num_packets, tracer=tracer
     )
     return protocol, report
+
+
+def run_churn_experiment(*args, **kwargs):
+    """Deprecated alias of :func:`churn_experiment`.
+
+    Prefer ``repro.run(ExperimentSpec(kind="churn", ...))`` (the unified
+    facade) or :func:`churn_experiment` directly.
+    """
+    from repro.experiments import deprecated_entry_point
+
+    deprecated_entry_point(
+        "run_churn_experiment",
+        'repro.run(ExperimentSpec(kind="churn", ...)) or churn_experiment',
+    )
+    return churn_experiment(*args, **kwargs)

@@ -1,38 +1,28 @@
-"""Process-parallel parameter sweeps.
+"""Process-parallel parameter sweeps (legacy surface).
 
 Large sweeps (Figure 4 at fine granularity, Table 1 matrices) decompose
-perfectly across processes — each (N, d) cell is independent.  This module
-provides a small map-style runner over ``concurrent.futures`` following the
-message-passing decomposition style of the HPC guides: workers receive plain
-picklable task tuples and return plain results; no shared state.
+perfectly across processes — each (N, d) cell is independent.  The actual
+runner now lives in :mod:`repro.exec.executor`
+(:class:`~repro.exec.executor.SweepExecutor`), which adds per-worker payload
+shipping and graceful serial degradation; this module keeps the original
+:func:`parallel_sweep` signature as a deprecated wrapper over it, plus the
+module-level cell evaluators the Figure 4 path uses (module scope so they
+pickle under ``spawn`` as well as ``fork``).
 
-Instrumentation crosses the process boundary the same way: each task runs
+Instrumentation crosses the process boundary as before: each task runs
 against a fresh :class:`~repro.obs.MetricsRegistry` installed as the
 thread-local :func:`~repro.obs.active_registry`, its picklable snapshot rides
 back with the result, and the parent merges every snapshot into the registry
-the caller passed to :func:`parallel_sweep` — so worker counters (cells
-evaluated, delay histograms) aggregate exactly as if the sweep had run
-in-process.
-
-The evaluation functions live at module scope so they pickle under the
-``spawn`` start method as well as ``fork``.
+the caller passed — so worker counters (cells evaluated, delay histograms)
+aggregate exactly as if the sweep had run in-process.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from functools import partial
-
-from repro.core.errors import ReproError
-from repro.obs.registry import MetricsRegistry, active_registry, use_registry
+from repro.obs.registry import MetricsRegistry, active_registry
+from repro.exec.executor import ExecutorPolicy, SweepExecutor, default_workers
 
 __all__ = ["parallel_sweep", "multi_tree_cell", "cascade_cell", "default_workers"]
-
-
-def default_workers() -> int:
-    """A conservative worker count (leave one core for the parent)."""
-    return max(1, (os.cpu_count() or 2) - 1)
 
 
 def multi_tree_cell(task: tuple[int, int]) -> tuple[int, int, int]:
@@ -59,14 +49,6 @@ def cascade_cell(task: tuple[int]) -> tuple[int, int, float]:
     return n, worst, expected_average_delay(n)
 
 
-def _snapshotting_task(worker, task):
-    """Run one task against a fresh registry; return (result, snapshot)."""
-    registry = MetricsRegistry()
-    with use_registry(registry):
-        result = worker(task)
-    return result, registry.snapshot()
-
-
 def parallel_sweep(
     worker,
     tasks,
@@ -75,35 +57,19 @@ def parallel_sweep(
     chunksize: int = 8,
     registry: MetricsRegistry | None = None,
 ):
-    """Evaluate ``worker`` over ``tasks`` across processes, order-preserving.
+    """Deprecated wrapper over :class:`~repro.exec.executor.SweepExecutor`.
 
-    Args:
-        worker: a module-level function taking one task tuple.
-        tasks: iterable of picklable task tuples.
-        max_workers: process count (default: cores - 1).  ``1`` short-circuits
-            to an in-process loop (useful under coverage or debuggers).
-        chunksize: tasks per IPC batch.
-        registry: when given, every task runs against an isolated registry
-            (workers record via :func:`~repro.obs.active_registry`) and the
-            per-task snapshots are merged into this one — the process-safe
-            metrics path.  ``None`` skips all snapshotting.
+    Evaluates ``worker`` over ``tasks`` across processes, order-preserving,
+    with the original semantics (``max_workers=1`` or tiny grids run
+    in-process; worker registry snapshots merge into ``registry``).  Prefer
+    constructing a :class:`~repro.exec.executor.SweepExecutor` directly, or
+    ``repro.run(ExperimentSpec(kind="sweep", ...))`` for replay sweeps.
     """
-    tasks = list(tasks)
-    if not tasks:
-        return []
-    if max_workers is not None and max_workers < 1:
-        raise ReproError(f"max_workers must be >= 1, got {max_workers}")
-    workers = max_workers or default_workers()
-    run = worker if registry is None else partial(_snapshotting_task, worker)
-    if workers == 1 or len(tasks) <= 2:
-        raw = [run(task) for task in tasks]
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            raw = list(pool.map(run, tasks, chunksize=chunksize))
-    if registry is None:
-        return raw
-    results = []
-    for result, snapshot in raw:
-        registry.merge(snapshot)
-        results.append(result)
-    return results
+    from repro.experiments import deprecated_entry_point
+
+    deprecated_entry_point(
+        "parallel_sweep",
+        'repro.exec.SweepExecutor.map or repro.run(ExperimentSpec(kind="sweep", ...))',
+    )
+    policy = ExecutorPolicy(max_workers=max_workers, chunksize=chunksize)
+    return SweepExecutor(policy, registry=registry).map(worker, tasks)

@@ -22,6 +22,8 @@ SUBPACKAGES = [
     "repro.theory",
     "repro.repair",
     "repro.obs",
+    "repro.exec",
+    "repro.experiments",
     "repro.workloads",
     "repro.reporting",
 ]
@@ -42,13 +44,15 @@ class TestExports:
         assert len(names) == len(set(names)), f"duplicates in {module_name}.__all__"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_star_import_is_clean(self):
         namespace: dict = {}
         exec("from repro import *", namespace)  # noqa: S102 - deliberate
         assert "MultiTreeProtocol" in namespace
         assert "simulate" in namespace
+        assert "ExperimentSpec" in namespace
+        assert "run" in namespace
 
 
 class TestErrorHierarchy:

@@ -234,3 +234,49 @@ class TestRepairHook:
     def test_non_callable_hook_rejected(self):
         with pytest.raises(ValueError):
             SimConfig(num_slots=1, repair_hook=42)
+
+class TestHookArityValidation:
+    """Hooks are called positionally; signature mismatches fail at config
+    time with a message naming the expected shape — including callables
+    whose *positional* count matches but that demand keyword-only args the
+    engine never passes."""
+
+    def test_drop_rule_wrong_positional_count(self):
+        with pytest.raises(ReproError, match="drop_rule"):
+            SimConfig(num_slots=1, drop_rule=lambda tx, extra: False)
+
+    def test_repair_hook_wrong_positional_count(self):
+        with pytest.raises(ReproError, match="repair_hook"):
+            SimConfig(num_slots=1, repair_hook=lambda slot, arrived: [])
+
+    def test_drop_rule_required_keyword_only_rejected(self):
+        def rule(tx, *, threshold):
+            return False
+
+        with pytest.raises(ReproError, match="keyword-only"):
+            SimConfig(num_slots=1, drop_rule=rule)
+
+    def test_repair_hook_required_keyword_only_rejected(self):
+        def hook(slot, arrived, dropped, *, budget):
+            return []
+
+        with pytest.raises(ReproError, match="keyword-only"):
+            SimConfig(num_slots=1, repair_hook=hook)
+
+    def test_defaulted_keyword_only_accepted(self):
+        def rule(tx, *, threshold=0.5):
+            return False
+
+        def hook(slot, arrived, dropped, *, budget=3):
+            return []
+
+        config = SimConfig(num_slots=1, drop_rule=rule, repair_hook=hook)
+        assert config.drop_rule is rule and config.repair_hook is hook
+
+    def test_starargs_hooks_accepted(self):
+        config = SimConfig(
+            num_slots=1,
+            drop_rule=lambda *a: False,
+            repair_hook=lambda *a, **kw: [],
+        )
+        assert config.drop_rule is not None

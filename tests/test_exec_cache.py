@@ -1,0 +1,135 @@
+"""Content-addressed schedule cache: LRU, disk layer, corruption safety."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.exec.cache as cache_mod
+from repro.exec.cache import CACHE_VERSION, ScheduleCache, ScheduleKey, default_cache
+from repro.exec.compiler import build_protocol, compile_protocol
+from repro.obs import MetricsRegistry
+from repro.obs.registry import use_registry
+
+
+def _key(num_slots=21, **overrides) -> ScheduleKey:
+    fields = {
+        "scheme": "multi-tree",
+        "construction": "structured",
+        "num_nodes": 7,
+        "degree": 2,
+        "num_slots": num_slots,
+    }
+    fields.update(overrides)
+    return ScheduleKey(**fields)
+
+
+def _builder(num_slots=21, calls=None):
+    def build():
+        if calls is not None:
+            calls.append(1)
+        return compile_protocol(build_protocol("multi-tree", 7, 2), num_slots)
+
+    return build
+
+
+class TestMemoryLayer:
+    def test_second_lookup_hits_memory(self):
+        cache = ScheduleCache()
+        calls: list[int] = []
+        provenance: dict = {}
+        first = cache.get_or_compile(_key(), _builder(calls=calls), provenance)
+        assert provenance["cache"] == "miss"
+        second = cache.get_or_compile(_key(), _builder(calls=calls), provenance)
+        assert provenance["cache"] == "memory"
+        assert second is first
+        assert calls == [1]
+
+    def test_lru_eviction_order(self):
+        cache = ScheduleCache(capacity=2)
+        k1, k2, k3 = _key(21), _key(24), _key(27)
+        cache.put(k1, "s1")
+        cache.put(k2, "s2")
+        cache.get(k1)  # refresh k1; k2 becomes least recent
+        cache.put(k3, "s3")
+        assert cache.get(k1) == "s1"
+        assert cache.get(k2) is None
+        assert cache.get(k3) == "s3"
+        assert len(cache) == 2
+
+    def test_hit_and_miss_counters(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = ScheduleCache()
+            cache.get_or_compile(_key(), _builder())
+            cache.get_or_compile(_key(), _builder())
+        assert registry.counter("schedule_cache.miss").value == 1
+        assert registry.counter("schedule_cache.hit", layer="memory").value == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(capacity=0)
+
+
+class TestDiskLayer:
+    def test_disk_roundtrip_across_cache_instances(self, tmp_path):
+        writer = ScheduleCache(disk_dir=tmp_path)
+        schedule = writer.get_or_compile(_key(), _builder())
+        reader = ScheduleCache(disk_dir=tmp_path)
+        loaded, layer = reader.get_with_layer(_key())
+        assert layer == "disk"
+        assert loaded == schedule
+
+    def test_disk_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert ScheduleCache().disk_dir is None
+
+    def test_env_var_enables_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ScheduleCache()
+        assert cache.disk_dir == tmp_path
+
+    def test_corrupted_entry_recompiles_not_crashes(self, tmp_path):
+        writer = ScheduleCache(disk_dir=tmp_path)
+        writer.get_or_compile(_key(), _builder())
+        token_path = tmp_path / f"{_key().token()}.pkl"
+        assert token_path.exists()
+        token_path.write_bytes(b"not a pickle at all")
+        reader = ScheduleCache(disk_dir=tmp_path)
+        provenance: dict = {}
+        schedule = reader.get_or_compile(_key(), _builder(), provenance)
+        assert provenance["cache"] == "miss"
+        assert schedule.num_slots == 21
+        # The corrupt file was replaced by a fresh, loadable entry.
+        with open(token_path, "rb") as fh:
+            envelope = pickle.load(fh)
+        assert envelope["version"] == CACHE_VERSION
+
+    def test_version_skew_treated_as_miss(self, tmp_path):
+        writer = ScheduleCache(disk_dir=tmp_path)
+        writer.get_or_compile(_key(), _builder())
+        token_path = tmp_path / f"{_key().token()}.pkl"
+        envelope = pickle.loads(token_path.read_bytes())
+        envelope["version"] = CACHE_VERSION + 1
+        token_path.write_bytes(pickle.dumps(envelope))
+        loaded, layer = ScheduleCache(disk_dir=tmp_path).get_with_layer(_key())
+        assert loaded is None and layer is None
+
+    def test_no_stray_tmp_files(self, tmp_path):
+        cache = ScheduleCache(disk_dir=tmp_path)
+        cache.get_or_compile(_key(), _builder())
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestTokens:
+    def test_token_embeds_cache_version(self, monkeypatch):
+        before = _key().token()
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION", CACHE_VERSION + 1)
+        assert _key().token() != before
+
+    def test_token_is_stable(self):
+        assert _key().token() == _key().token()
+
+    def test_default_cache_is_a_singleton(self):
+        assert default_cache() is default_cache()

@@ -1,0 +1,158 @@
+"""Compiled schedules replay identically to object-based scheduling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.engine import SimConfig, simulate
+from repro.core.errors import ReproError
+from repro.exec.cache import ScheduleCache, ScheduleKey
+from repro.exec.compiler import (
+    COMPILABLE_SCHEMES,
+    build_protocol,
+    compile_protocol,
+    compile_schedule,
+)
+from repro.exec.replay import replay_arrivals
+
+CONFIGS = [
+    ("multi-tree", 7, 2),
+    ("multi-tree", 15, 3),
+    ("multi-tree", 31, 2),
+    ("hypercube", 7, 2),
+    ("hypercube", 15, 3),
+    ("hypercube", 31, 2),
+]
+
+
+def _horizon(scheme, n, d, packets=12):
+    return build_protocol(scheme, n, d).slots_for_packets(packets)
+
+
+class TestCompileEquivalence:
+    @pytest.mark.parametrize("scheme,n,d", CONFIGS)
+    def test_slot_for_slot_identical_to_object_path(self, scheme, n, d):
+        num_slots = _horizon(scheme, n, d)
+        reference = simulate(build_protocol(scheme, n, d), num_slots)
+        compiled = compile_protocol(build_protocol(scheme, n, d), num_slots)
+        by_slot: dict[int, list] = {s: [] for s in range(num_slots)}
+        for tx in reference.transmissions:
+            by_slot[tx.slot].append((tx.sender, tx.receiver, tx.packet))
+        for slot in range(num_slots):
+            batch = [(tx.sender, tx.receiver, tx.packet) for tx in compiled.batch(slot)]
+            assert batch == by_slot[slot], f"slot {slot} differs"
+
+    @pytest.mark.parametrize("scheme,n,d", CONFIGS)
+    def test_engine_fast_path_matches_object_path(self, scheme, n, d):
+        num_slots = _horizon(scheme, n, d)
+        reference = simulate(build_protocol(scheme, n, d), num_slots)
+        compiled = compile_protocol(build_protocol(scheme, n, d), num_slots)
+        replayed = simulate(
+            build_protocol(scheme, n, d), num_slots, compiled_schedule=compiled
+        )
+        assert replayed.all_arrivals() == reference.all_arrivals()
+        assert [
+            (t.slot, t.sender, t.receiver, t.packet) for t in replayed.transmissions
+        ] == [
+            (t.slot, t.sender, t.receiver, t.packet) for t in reference.transmissions
+        ]
+
+    @pytest.mark.parametrize("scheme,n,d", CONFIGS)
+    def test_engine_free_replay_matches_object_path(self, scheme, n, d):
+        num_slots = _horizon(scheme, n, d)
+        reference = simulate(build_protocol(scheme, n, d), num_slots)
+        compiled = compile_protocol(build_protocol(scheme, n, d), num_slots)
+        assert replay_arrivals(compiled) == reference.all_arrivals()
+
+    def test_large_population_replay(self):
+        # N=1023 d=2: the bench configuration; skip the validator for speed.
+        num_slots = _horizon("multi-tree", 1023, 2, packets=4)
+        reference = simulate(
+            build_protocol("multi-tree", 1023, 2), num_slots,
+            validate=False, record_transmissions=False,
+        )
+        compiled = compile_protocol(build_protocol("multi-tree", 1023, 2), num_slots)
+        assert replay_arrivals(compiled) == reference.all_arrivals()
+
+    def test_pickle_roundtrip_preserves_equality(self):
+        compiled = compile_schedule(
+            "multi-tree", 31, 2, num_packets=8, cache=ScheduleCache()
+        )
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert clone == compiled
+        assert replay_arrivals(clone) == replay_arrivals(compiled)
+
+
+class TestCompileScheduleFrontDoor:
+    def test_num_packets_derives_horizon(self):
+        protocol = build_protocol("multi-tree", 15, 3)
+        compiled = compile_schedule(
+            "multi-tree", 15, 3, num_packets=10, cache=ScheduleCache()
+        )
+        assert compiled.num_slots == protocol.slots_for_packets(10)
+
+    def test_exactly_one_horizon_argument(self):
+        with pytest.raises(ReproError):
+            compile_schedule("multi-tree", 15, 3, cache=ScheduleCache())
+        with pytest.raises(ReproError):
+            compile_schedule(
+                "multi-tree", 15, 3, num_slots=10, num_packets=10,
+                cache=ScheduleCache(),
+            )
+
+    def test_gossip_is_not_compilable(self):
+        assert "gossip" not in COMPILABLE_SCHEMES
+        with pytest.raises(ReproError):
+            compile_schedule("gossip", 15, 3, num_slots=10, cache=ScheduleCache())
+
+
+class TestKeyIdentity:
+    def test_tokens_unique_across_configurations(self):
+        keys = [
+            ScheduleKey("multi-tree", "structured", 15, 3, 45),
+            ScheduleKey("multi-tree", "greedy", 15, 3, 45),
+            ScheduleKey("multi-tree", "structured", 15, 2, 45),
+            ScheduleKey("multi-tree", "structured", 31, 3, 45),
+            ScheduleKey("multi-tree", "structured", 15, 3, 46),
+            ScheduleKey("hypercube", "cascade", 15, 3, 45),
+            ScheduleKey("multi-tree", "structured", 15, 3, 45, mode="live_prebuffered"),
+            ScheduleKey("multi-tree", "structured", 15, 3, 45, latency=2),
+        ]
+        tokens = [k.token() for k in keys]
+        assert len(set(tokens)) == len(tokens)
+
+    def test_constructions_do_not_collide_in_cache(self):
+        cache = ScheduleCache()
+        structured = compile_schedule(
+            "multi-tree", 13, 3, num_packets=8, construction="structured", cache=cache
+        )
+        greedy = compile_schedule(
+            "multi-tree", 13, 3, num_packets=8, construction="greedy", cache=cache
+        )
+        assert structured.key != greedy.key
+        assert len(cache) == 2
+
+
+class TestEngineFastPathGuards:
+    def test_short_compiled_schedule_rejected(self):
+        compiled = compile_protocol(build_protocol("multi-tree", 7, 2), 5)
+        with pytest.raises(ValueError):
+            SimConfig(num_slots=10, compiled_schedule=compiled)
+
+    def test_mismatched_population_rejected(self):
+        compiled = compile_protocol(build_protocol("multi-tree", 7, 2), 10)
+        with pytest.raises(ReproError):
+            simulate(build_protocol("multi-tree", 15, 2), 10, compiled_schedule=compiled)
+
+    def test_longer_compiled_schedule_allowed(self):
+        # A schedule compiled past the simulated horizon replays its prefix.
+        num_slots = _horizon("multi-tree", 7, 2)
+        compiled = compile_protocol(build_protocol("multi-tree", 7, 2), num_slots)
+        reference = simulate(build_protocol("multi-tree", 7, 2), num_slots - 3)
+        replayed = simulate(
+            build_protocol("multi-tree", 7, 2), num_slots - 3,
+            compiled_schedule=compiled,
+        )
+        assert replayed.all_arrivals() == reference.all_arrivals()

@@ -1,0 +1,148 @@
+"""Sweep executor: determinism across serial/parallel, fallback, policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.exec.cache import ScheduleCache
+from repro.exec.compiler import compile_schedule
+from repro.exec.executor import (
+    ExecutorPolicy,
+    SweepExecutor,
+    replay_sweep_task,
+    worker_payload,
+)
+from repro.obs import MetricsRegistry
+
+
+def _schedule(n=31, d=2, packets=10):
+    return compile_schedule("multi-tree", n, d, num_packets=packets, cache=ScheduleCache())
+
+
+def _grid(packets=10):
+    return [(seed, rate, packets) for rate in (0.0, 0.05) for seed in range(4)]
+
+
+def double_task(task):
+    (x,) = task
+    return x * 2
+
+
+def payload_echo_task(task):
+    return (task, worker_payload())
+
+
+class TestPolicy:
+    def test_invalid_workers(self):
+        with pytest.raises(ReproError):
+            ExecutorPolicy(max_workers=0)
+
+    def test_invalid_chunksize(self):
+        with pytest.raises(ReproError):
+            ExecutorPolicy(chunksize=0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ReproError):
+            ExecutorPolicy(mode="sometimes")
+
+    def test_resolved_workers_positive(self):
+        assert ExecutorPolicy().resolved_workers() >= 1
+        assert ExecutorPolicy(max_workers=7).resolved_workers() == 7
+
+
+class TestSerialParallelEquality:
+    def test_rows_identical_for_fixed_grid(self):
+        schedule = _schedule()
+        serial = SweepExecutor(ExecutorPolicy(mode="serial")).map(
+            replay_sweep_task, _grid(), payload=schedule
+        )
+        parallel = SweepExecutor(
+            ExecutorPolicy(mode="parallel", max_workers=2, chunksize=2)
+        ).map(replay_sweep_task, _grid(), payload=schedule)
+        assert serial == parallel
+        assert [r["seed"] for r in serial] == [s for _ in (0.0, 0.05) for s in range(4)]
+
+    def test_registry_snapshots_identical(self):
+        schedule = _schedule()
+        serial_reg, parallel_reg = MetricsRegistry(), MetricsRegistry()
+        a = SweepExecutor(ExecutorPolicy(mode="serial"), registry=serial_reg).map(
+            replay_sweep_task, _grid(), payload=schedule
+        )
+        b = SweepExecutor(
+            ExecutorPolicy(mode="parallel", max_workers=2), registry=parallel_reg
+        ).map(replay_sweep_task, _grid(), payload=schedule)
+        assert a == b
+        assert serial_reg.snapshot() == parallel_reg.snapshot()
+        points = sum(
+            row["value"]
+            for row in serial_reg.snapshot()["counters"]
+            if row["name"] == "sweep.points"
+        )
+        assert points == len(_grid())
+
+
+class TestExecutionPaths:
+    def test_empty_grid(self):
+        executor = SweepExecutor()
+        assert executor.map(double_task, []) == []
+        assert executor.last_run["mode"] == "empty"
+
+    def test_auto_short_circuits_tiny_grids(self):
+        executor = SweepExecutor(ExecutorPolicy(max_workers=4))
+        assert executor.map(double_task, [(1,), (2,)]) == [2, 4]
+        assert executor.last_run["mode"] == "serial"
+
+    def test_payload_reaches_serial_workers(self):
+        results = SweepExecutor(ExecutorPolicy(mode="serial")).map(
+            payload_echo_task, [(1,), (2,)], payload="the-payload"
+        )
+        assert results == [((1,), "the-payload"), ((2,), "the-payload")]
+        assert worker_payload() is None  # restored after the run
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(
+            ExecutorPolicy(mode="parallel", max_workers=2), registry=registry
+        )
+        unpicklable = lambda: None  # noqa: E731 - deliberately unpicklable
+        results = executor.map(
+            payload_echo_task, [(i,) for i in range(5)], payload=unpicklable
+        )
+        assert [task for task, payload in results] == [(i,) for i in range(5)]
+        assert all(payload is unpicklable for _, payload in results)
+        assert executor.last_run["mode"] == "serial"
+        assert executor.last_run["fallback"] is True
+
+    def test_parallel_mode_records_workers(self):
+        executor = SweepExecutor(ExecutorPolicy(mode="parallel", max_workers=2))
+        results = executor.map(double_task, [(i,) for i in range(6)])
+        assert results == [0, 2, 4, 6, 8, 10]
+        assert executor.last_run == {
+            "mode": "parallel", "workers": 2, "fallback": False, "tasks": 6,
+        }
+
+
+class TestReplaySweepTask:
+    def test_requires_payload(self):
+        with pytest.raises(ReproError):
+            replay_sweep_task((0, 0.0, 5))
+
+    def test_lossfree_point_matches_paper_metrics(self):
+        from repro.core.engine import simulate
+        from repro.core.metrics import collect_metrics
+        from repro.exec.compiler import build_protocol
+        from repro.exec.executor import _init_worker
+
+        schedule = _schedule(n=15, d=3, packets=8)
+        _init_worker(schedule)
+        try:
+            row = replay_sweep_task((0, 0.0, 8))
+        finally:
+            _init_worker(None)
+        protocol = build_protocol("multi-tree", 15, 3)
+        trace = simulate(protocol, protocol.slots_for_packets(8))
+        paper = collect_metrics(trace, num_packets=8)
+        assert row["residual"] == 0
+        assert row["max_delay"] == paper.max_startup_delay
+        assert row["max_buffer"] == paper.max_buffer

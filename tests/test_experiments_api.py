@@ -1,0 +1,191 @@
+"""The unified experiment facade: spec validation, dispatch, provenance,
+equality with the legacy entry points, and their deprecation."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.engine import simulate as engine_simulate
+from repro.core.errors import ReproError
+from repro.core.metrics import collect_metrics
+from repro.exec.executor import ExecutorPolicy
+from repro.experiments import EXPERIMENT_KINDS, ExperimentSpec, run
+
+
+class TestSpecValidation:
+    def test_defaults_are_a_valid_stream_spec(self):
+        spec = ExperimentSpec()
+        assert spec.kind == "stream"
+        assert spec.kind in EXPERIMENT_KINDS
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec(kind="teleport")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec(scheme="torrent")
+
+    def test_drop_rate_range(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec(drop_rate=1.5)
+
+    def test_grid_axes_coerced_to_tuples(self):
+        spec = ExperimentSpec(kind="sweep", seeds=range(3), drop_rates=[0.0, 0.1])
+        assert spec.seeds == (0, 1, 2)
+        assert spec.drop_rates == (0.0, 0.1)
+        assert spec.grid() == [(s, r, spec.num_packets) for r in (0.0, 0.1) for s in (0, 1, 2)]
+
+    def test_with_copies(self):
+        spec = ExperimentSpec(num_nodes=15)
+        other = spec.with_(num_nodes=31)
+        assert other.num_nodes == 31 and spec.num_nodes == 15
+
+    def test_run_rejects_non_spec(self):
+        with pytest.raises(ReproError):
+            run({"kind": "stream"})
+
+
+class TestStreamKind:
+    def test_matches_direct_engine_run(self):
+        spec = ExperimentSpec(scheme="multi-tree", num_nodes=15, degree=3, num_packets=12)
+        result = run(spec)
+        protocol = repro.MultiTreeProtocol(15, 3)
+        trace = engine_simulate(protocol, protocol.slots_for_packets(12))
+        assert result.row == collect_metrics(trace, num_packets=12).row()
+        assert result.trace.all_arrivals() == trace.all_arrivals()
+        assert result.provenance["compiled"] is True
+
+    def test_compiled_off_matches_compiled_on(self):
+        spec = ExperimentSpec(scheme="hypercube", num_nodes=15, num_packets=10)
+        compiled = run(spec)
+        plain = run(spec.with_(compiled=False))
+        assert compiled.row == plain.row
+        assert plain.provenance["compiled"] is False
+
+    def test_second_run_hits_schedule_cache(self):
+        spec = ExperimentSpec(scheme="multi-tree", num_nodes=21, degree=2, num_packets=9)
+        run(spec)
+        again = run(spec)
+        assert again.provenance["cache"] == "memory"
+
+    def test_lossy_stream_needs_loss_aware_scheme(self):
+        with pytest.raises(ReproError):
+            run(ExperimentSpec(scheme="chain", num_nodes=8, drop_rate=0.1))
+
+    def test_timing_recorded(self):
+        result = run(ExperimentSpec(num_nodes=7, degree=2, num_packets=4))
+        assert result.timing_s > 0
+
+
+class TestRepairKind:
+    def test_matches_legacy_entry_point(self):
+        from repro.repair.session import repair_experiment
+
+        result = run(ExperimentSpec(
+            kind="repair", scheme="multi-tree", num_nodes=7, degree=3,
+            num_packets=12, repair_mode="retransmit", epsilon=0.2,
+            drop_rate=0.05, seed=3,
+        ))
+        point = repair_experiment(
+            "multi-tree", 7, 3, num_packets=12, mode="retransmit",
+            epsilon=0.2, loss_rate=0.05, seed=3,
+        )
+        assert result.row == point.row()
+        assert result.artifacts["point"].num_slots == point.num_slots
+
+
+class TestChurnKind:
+    def test_matches_legacy_entry_point(self):
+        from repro.trees.live import churn_experiment, random_churn_schedule
+
+        result = run(ExperimentSpec(
+            kind="churn", num_nodes=15, degree=3, num_packets=20,
+            churn_events=4, seed=7,
+        ))
+        _, report = churn_experiment(
+            15, 3, random_churn_schedule(15, 4, seed=7), num_packets=20
+        )
+        assert result.row["total_hiccups"] == report.total_hiccups
+        assert result.metrics is report or result.metrics.total_hiccups == report.total_hiccups
+
+    def test_schedule_is_reproducible(self):
+        from repro.trees.live import random_churn_schedule
+
+        assert random_churn_schedule(15, 5, seed=3) == random_churn_schedule(15, 5, seed=3)
+        assert random_churn_schedule(15, 5, seed=3) != random_churn_schedule(15, 5, seed=4)
+
+
+class TestSweepKind:
+    def test_serial_and_parallel_agree(self):
+        base = ExperimentSpec(
+            kind="sweep", scheme="multi-tree", num_nodes=15, degree=3,
+            num_packets=10, seeds=range(4), drop_rates=(0.0, 0.05),
+        )
+        serial = run(base.with_(executor=ExecutorPolicy(mode="serial")))
+        parallel = run(base.with_(executor=ExecutorPolicy(mode="parallel", max_workers=2)))
+        assert serial.rows == parallel.rows
+        assert serial.provenance["executor"]["mode"] == "serial"
+        assert parallel.provenance["executor"]["mode"] in ("parallel", "serial")
+
+    def test_lossfree_sweep_matches_stream_metrics(self):
+        stream = run(ExperimentSpec(scheme="multi-tree", num_nodes=15, num_packets=10))
+        sweep = run(ExperimentSpec(
+            kind="sweep", scheme="multi-tree", num_nodes=15, num_packets=10,
+            seeds=(0,), drop_rates=(0.0,),
+        ))
+        row = sweep.rows[0]
+        assert row["residual"] == 0
+        assert row["max_delay"] == stream.row["max_delay"]
+        assert row["max_buffer"] == stream.row["max_buffer"]
+
+    def test_sweep_rejects_randomized_schemes(self):
+        with pytest.raises(ReproError):
+            run(ExperimentSpec(kind="sweep", scheme="gossip", seeds=(0, 1)))
+
+
+class TestDeprecatedEntryPoints:
+    def test_top_level_simulate_warns(self):
+        protocol = repro.MultiTreeProtocol(7, 2)
+        with pytest.warns(DeprecationWarning, match="repro.simulate"):
+            trace = repro.simulate(protocol, 10)
+        assert trace.all_arrivals()
+
+    def test_run_repair_experiment_warns(self):
+        with pytest.warns(DeprecationWarning, match="run_repair_experiment"):
+            repro.run_repair_experiment(
+                "multi-tree", 7, 2, num_packets=6, mode="none", loss_rate=0.0
+            )
+
+    def test_run_churn_experiment_warns(self):
+        from repro.trees.live import run_churn_experiment
+
+        with pytest.warns(DeprecationWarning, match="run_churn_experiment"):
+            run_churn_experiment(7, 2, [], num_packets=6)
+
+    def test_parallel_sweep_warns(self):
+        from repro.workloads.parallel import multi_tree_cell, parallel_sweep
+
+        with pytest.warns(DeprecationWarning, match="parallel_sweep"):
+            rows = parallel_sweep(multi_tree_cell, [(20, 2)], max_workers=1)
+        assert rows[0][:2] == (20, 2)
+
+    def test_engine_simulate_does_not_warn(self):
+        import warnings
+
+        protocol = repro.MultiTreeProtocol(7, 2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine_simulate(protocol, 10)
+
+
+class TestPublicSurface:
+    @pytest.mark.parametrize(
+        "name",
+        ["ExperimentSpec", "ExperimentResult", "run", "compile_schedule",
+         "CompiledSchedule", "ScheduleCache", "SweepExecutor", "ExecutorPolicy"],
+    )
+    def test_facade_names_exported(self, name):
+        assert name in repro.__all__
+        assert getattr(repro, name) is not None
