@@ -1,0 +1,111 @@
+"""Fleet-scale acceptance: 1000 sessions over 8 configs, amortized compiles.
+
+The fleet service's claim is that a large multi-session scenario costs about
+as much as running each configuration once: the shared content-addressed
+schedule cache turns 1000 session admissions into 8 compiles plus 1000
+engine-free replays.  This bench runs one 1000-session fleet over 8 distinct
+``(scheme, N, d)`` configurations and compares its wall-clock against 8
+isolated single-kind runs covering the same sessions with private caches —
+the fleet must stay under 2x the isolated total (it does the same replay
+work plus admission control) and its schedule-cache hit rate must be at
+least 0.99 (8 misses in 1000 lookups = 0.992).
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.exec.executor import ExecutorPolicy
+from repro.obs import Timer
+from repro.service import CapacityModel, FleetRunner, FleetSpec, SessionSpec
+
+NUM_SESSIONS = 1000
+NUM_PACKETS = 8
+MAX_RATIO = 2.0
+MIN_HIT_RATE = 0.99
+
+CONFIGS = (
+    SessionSpec(scheme="multi-tree", num_nodes=31, degree=2, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="multi-tree", num_nodes=31, degree=3, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="multi-tree", num_nodes=63, degree=2, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="multi-tree", num_nodes=63, degree=3, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="hypercube", num_nodes=32, degree=3, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="hypercube", num_nodes=64, degree=3, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="single-tree", num_nodes=31, degree=3, num_packets=NUM_PACKETS),
+    SessionSpec(scheme="chain", num_nodes=16, degree=1, num_packets=NUM_PACKETS),
+)
+
+CAPACITY = CapacityModel(source_fanout=1e9, backbone=1e9)
+SERIAL = ExecutorPolicy(mode="serial")
+
+
+def test_fleet_scale_amortizes_compiles():
+    fleet = FleetSpec(
+        sessions=CONFIGS,
+        num_sessions=NUM_SESSIONS,
+        capacity=CAPACITY,
+        arrival_rate=8.0,
+        seed=42,
+    )
+    with Timer() as fleet_timer:
+        result = FleetRunner(policy=SERIAL).run(fleet)
+    fleet_report = result.report
+
+    per_config = NUM_SESSIONS // len(CONFIGS)
+    isolated_total = 0.0
+    isolated_admitted = 0
+    for i, kind in enumerate(CONFIGS):
+        single = FleetSpec(
+            sessions=(kind,),
+            num_sessions=per_config,
+            capacity=CAPACITY,
+            arrival_rate=8.0,
+            seed=100 + i,
+        )
+        with Timer() as timer:
+            isolated = FleetRunner(policy=SERIAL).run(single)
+        isolated_total += timer.elapsed
+        isolated_admitted += isolated.report.admitted + isolated.report.degraded
+
+    ratio = fleet_timer.elapsed / isolated_total
+
+    assert fleet_report.num_sessions == NUM_SESSIONS
+    assert fleet_report.rejected == 0, "capacity was sized to admit everything"
+    assert isolated_admitted == NUM_SESSIONS
+    assert fleet_report.cache_misses == len(CONFIGS)
+    assert fleet_report.cache_hit_rate >= MIN_HIT_RATE, (
+        f"hit rate {fleet_report.cache_hit_rate:.4f} below {MIN_HIT_RATE}"
+    )
+    assert ratio < MAX_RATIO, (
+        f"fleet took {ratio:.2f}x the isolated runs (ceiling {MAX_RATIO}x)"
+    )
+
+    lines = [
+        f"fleet scale ({NUM_SESSIONS} sessions, {len(CONFIGS)} configs, "
+        f"P={NUM_PACKETS}, serial executor):",
+        "",
+        f"  one fleet run:               {fleet_timer.elapsed:7.3f}s "
+        f"({fleet_report.cache_misses} compiles, "
+        f"hit rate {fleet_report.cache_hit_rate:.3f})",
+        f"  8 isolated per-config runs:  {isolated_total:7.3f}s "
+        f"({len(CONFIGS)} compiles, private caches)",
+        f"  ratio: {ratio:.2f}x (acceptance ceiling {MAX_RATIO:.0f}x)",
+        "",
+        f"  fleet SLOs: startup_p50={fleet_report.startup_p50} "
+        f"startup_p99={fleet_report.startup_p99} "
+        f"delay_p99={fleet_report.delay_p99} "
+        f"buffer_p99={fleet_report.buffer_p99} "
+        f"goodput={fleet_report.goodput_mean:.3f}",
+    ]
+    report(
+        "fleet_scale",
+        "\n".join(lines),
+        elapsed=fleet_timer.elapsed + isolated_total,
+        phases={
+            "fleet_s": round(fleet_timer.elapsed, 6),
+            "isolated_s": round(isolated_total, 6),
+            "ratio": round(ratio, 4),
+            "cache_hit_rate": round(fleet_report.cache_hit_rate, 4),
+            "sessions": NUM_SESSIONS,
+        },
+    )

@@ -23,8 +23,12 @@ The package implements, from scratch, everything the paper describes:
   process-parallel sweep executor;
 * :mod:`repro.experiments` — the unified experiment facade
   (:func:`run` over :class:`ExperimentSpec`);
-* :mod:`repro.workloads` / :mod:`repro.reporting` — sweep generators and
-  plain-text rendering for the benchmark harness.
+* :mod:`repro.service` — the fleet service layer: multi-session scenarios
+  (:class:`FleetSpec`), admission control against capacity budgets
+  (:class:`~repro.service.SessionManager`), sharded execution
+  (:class:`FleetRunner`), and fleet SLO reports (:class:`FleetSLOReport`);
+* :mod:`repro.workloads` / :mod:`repro.reporting` — sweep, churn, and
+  session-arrival generators plus plain-text rendering for the harness.
 
 Quickstart — one experiment, one call::
 
@@ -40,6 +44,12 @@ Sweeps fan a ``seeds × drop_rates`` grid over compiled-schedule replay::
         kind="sweep", scheme="multi-tree", num_nodes=255,
         seeds=range(8), drop_rates=(0.0, 0.01)))
     print(len(result.rows), result.provenance["executor"])
+
+Fleets run thousands of admission-controlled sessions over shared capacity::
+
+    result = repro.run(repro.ExperimentSpec(kind="fleet", fleet=repro.FleetSpec(
+        sessions=(repro.SessionSpec(num_nodes=31),), num_sessions=1000)))
+    print(result.metrics.row())       # the fleet SLO report
 
 The low-level pieces (protocols + :func:`repro.core.engine.simulate`) remain
 public for custom experiments; the legacy one-off entry points
@@ -86,10 +96,18 @@ from repro.repair import (
     repair_experiment,
     run_repair_experiment,
 )
+from repro.service import (
+    CapacityModel,
+    FleetRunner,
+    FleetSLOReport,
+    FleetSpec,
+    SessionManager,
+    SessionSpec,
+)
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def simulate(*args, **kwargs):
@@ -110,6 +128,7 @@ def simulate(*args, **kwargs):
 
 
 __all__ = [
+    "CapacityModel",
     "ChainProtocol",
     "ClusteredStreamingProtocol",
     "CompiledSchedule",
@@ -118,6 +137,9 @@ __all__ = [
     "ExecutorPolicy",
     "ExperimentResult",
     "ExperimentSpec",
+    "FleetRunner",
+    "FleetSLOReport",
+    "FleetSpec",
     "GroupedHypercubeProtocol",
     "HypercubeCascadeProtocol",
     "HypercubeProtocol",
@@ -132,6 +154,8 @@ __all__ = [
     "RetransmissionCoordinator",
     "ScheduleCache",
     "SchemeMetrics",
+    "SessionManager",
+    "SessionSpec",
     "SimTrace",
     "SingleTreeProtocol",
     "SlackPolicy",

@@ -9,7 +9,13 @@ Commands:
 * ``sweep``    — replay a compiled schedule over a seeds × drop-rates grid;
 * ``churn``    — stream through a random churn trace and report hiccups;
 * ``repair``   — sweep loss rate × slack × scheme over the repair subsystem;
-* ``stats``    — fully instrumented run: metrics, event counts, phase timings.
+* ``stats``    — fully instrumented run: metrics, event counts, phase timings;
+* ``fleet``    — multi-session service scenario: admission control against
+  capacity budgets, sharded execution, fleet SLO report (``--dry-run``
+  prints the resolved scenario without executing it).
+
+``repro --version`` prints the package version (from installed metadata when
+available, else the source tree's ``repro.__version__``).
 
 The experiment commands (``simulate``, ``sweep``, ``churn``, ``repair``,
 ``stats``) are thin argument translators over the unified facade —
@@ -38,6 +44,18 @@ from repro.reporting.export import (
 from repro.reporting.tables import format_rows, format_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _package_version() -> str:
+    """Installed distribution version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
 
 
 def _add_instrumentation_flags(parser: argparse.ArgumentParser) -> None:
@@ -108,6 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of 'On the Tradeoff Between Playback Delay "
         "and Buffer Space in Streaming' (IPPS 2009)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -225,6 +246,60 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument(
         "--json", metavar="PATH",
         help="also write the metrics/profile/event-count snapshot as JSON",
+    )
+
+    fleet = sub.add_parser(
+        "fleet", help="multi-session service scenario with admission + SLOs"
+    )
+    fleet.add_argument(
+        "--sessions", type=int, default=200, metavar="COUNT",
+        help="total sessions arriving over the scenario",
+    )
+    fleet.add_argument(
+        "--config", action="append", default=None, metavar="SCHEME:N:D[:P[:DROP]]",
+        help="add a session kind (repeatable); e.g. multi-tree:31:3:16:0.01. "
+        "Default: a mixed 4-kind fleet",
+    )
+    fleet.add_argument(
+        "--arrival", choices=["poisson", "uniform"], default="poisson",
+        help="session arrival process",
+    )
+    fleet.add_argument(
+        "--arrival-rate", type=float, default=4.0, metavar="RATE",
+        help="arrival intensity in sessions per slot",
+    )
+    fleet.add_argument(
+        "--policy", choices=["reject", "queue", "degrade"], default="queue",
+        help="admission policy when capacity runs out",
+    )
+    fleet.add_argument(
+        "--fanout-budget", type=float, default=64.0, metavar="UNITS",
+        help="aggregate concurrent source fan-out budget",
+    )
+    fleet.add_argument(
+        "--backbone-budget", type=float, default=8192.0, metavar="UNITS",
+        help="aggregate concurrent receiver budget",
+    )
+    fleet.add_argument(
+        "--churn-rate", type=float, default=0.0, metavar="FRACTION",
+        help="fraction of sessions departing before stream end",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process count (default: cores - 1)",
+    )
+    fleet.add_argument(
+        "--mode", choices=["auto", "serial", "parallel"], default="auto",
+        help="executor mode",
+    )
+    fleet.add_argument(
+        "--json", metavar="PATH", help="write the fleet SLO report here"
+    )
+    fleet.add_argument(
+        "--dry-run", action="store_true",
+        help="print the resolved scenario (sessions, kinds, arrivals) and exit "
+        "without executing anything",
     )
 
     verify = sub.add_parser(
@@ -465,6 +540,94 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+_DEFAULT_FLEET_CONFIGS = [
+    "multi-tree:31:3:16",
+    "multi-tree:63:3:16",
+    "hypercube:32:3:16",
+    "single-tree:31:3:16:0.01",
+]
+
+
+def _parse_session_config(text: str):
+    """``SCHEME:N:D[:PACKETS[:DROP]]`` -> :class:`~repro.service.SessionSpec`."""
+    from repro.service import SessionSpec
+
+    parts = text.split(":")
+    if not 3 <= len(parts) <= 5:
+        raise SystemExit(
+            f"bad --config {text!r}: expected SCHEME:N:D[:PACKETS[:DROP]]"
+        )
+    try:
+        return SessionSpec(
+            scheme=parts[0],
+            num_nodes=int(parts[1]),
+            degree=int(parts[2]),
+            num_packets=int(parts[3]) if len(parts) > 3 else 16,
+            drop_rate=float(parts[4]) if len(parts) > 4 else 0.0,
+        )
+    except (ValueError, ReproError) as exc:
+        raise SystemExit(f"bad --config {text!r}: {exc}") from exc
+
+
+def _cmd_fleet(args) -> int:
+    from repro.exec.executor import ExecutorPolicy
+    from repro.reporting.export import write_fleet_report_json
+    from repro.service import CapacityModel, FleetSpec
+
+    configs = args.config or _DEFAULT_FLEET_CONFIGS
+    try:
+        fleet = FleetSpec(
+            sessions=tuple(_parse_session_config(c) for c in configs),
+            num_sessions=args.sessions,
+            arrival=args.arrival,
+            arrival_rate=args.arrival_rate,
+            capacity=CapacityModel(
+                source_fanout=args.fanout_budget, backbone=args.backbone_budget
+            ),
+            policy=args.policy,
+            churn_rate=args.churn_rate,
+            seed=args.seed,
+        )
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.dry_run:
+        print(fleet.describe())
+        rows = [
+            {
+                "session": s.session_id,
+                "kind": s.spec.label,
+                "arrival_slot": s.arrival_slot,
+                "seed": s.seed,
+                "churns": "" if s.leave_fraction is None
+                else f"@{s.leave_fraction:.2f}",
+            }
+            for s in fleet.resolve()
+        ]
+        print(format_rows(rows, title="resolved sessions:"))
+        return 0
+    spec = ExperimentSpec(
+        kind="fleet",
+        fleet=fleet,
+        executor=ExecutorPolicy(max_workers=args.workers, mode=args.mode),
+    )
+    try:
+        result = run(spec)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    report = result.artifacts["report"]
+    print(format_rows([report.row()], title=result.provenance["description"]))
+    executor = result.provenance["executor"]
+    print(
+        f"executor: {executor['mode']} ({executor['workers']} workers, "
+        f"{executor['tasks']} sessions); schedule cache: "
+        f"{report.cache_hits} hits / {report.cache_misses} misses "
+        f"(hit rate {report.cache_hit_rate:.3f}); {result.timing_s:.2f}s"
+    )
+    if args.json:
+        print(f"fleet report -> {write_fleet_report_json(report, args.json)}")
+    return 0
+
+
 def _cmd_verify(args) -> int:
     from collections import Counter
 
@@ -504,6 +667,7 @@ _COMMANDS = {
     "churn": _cmd_churn,
     "repair": _cmd_repair,
     "stats": _cmd_stats,
+    "fleet": _cmd_fleet,
     "verify": _cmd_verify,
 }
 

@@ -13,7 +13,10 @@ layers:
   entry is treated as a miss and recompiled, never raised.
 
 The disk layer is off by default so test runs stay hermetic; enable it with
-``ScheduleCache(disk=True)`` or by exporting ``REPRO_CACHE_DIR``.
+``ScheduleCache(disk=True)`` or by exporting ``REPRO_CACHE_DIR``.  Its size
+is bounded: ``max_disk_bytes`` (or ``$REPRO_CACHE_MAX_BYTES``) caps the
+directory, evicting least-recently-used entries (mtime order; hits refresh
+recency) and counting each eviction as ``schedule_cache.evict``.
 
 Hit/miss traffic is counted on the :func:`~repro.obs.active_registry`
 (``schedule_cache.hit{layer=memory|disk}`` / ``schedule_cache.miss``) so
@@ -39,6 +42,7 @@ __all__ = ["CACHE_VERSION", "ScheduleKey", "ScheduleCache", "default_cache"]
 CACHE_VERSION = 1
 
 _ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +94,9 @@ class ScheduleCache:
             ``$REPRO_CACHE_DIR`` is set, so plain library use never writes
             outside the process.
         disk_dir: on-disk location override (implies ``disk=True``).
+        max_disk_bytes: disk-layer byte budget; oldest (LRU by mtime)
+            entries are evicted after each store to stay under it.  Defaults
+            to ``$REPRO_CACHE_MAX_BYTES`` when set, else unbounded.
     """
 
     def __init__(
@@ -98,6 +105,7 @@ class ScheduleCache:
         capacity: int = 32,
         disk: bool | None = None,
         disk_dir: str | Path | None = None,
+        max_disk_bytes: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
@@ -109,6 +117,21 @@ class ScheduleCache:
         self._disk_dir = (
             Path(disk_dir) if disk_dir is not None else _default_disk_dir()
         ) if disk else None
+        if max_disk_bytes is None:
+            env_budget = os.environ.get(_ENV_MAX_BYTES)
+            if env_budget:
+                try:
+                    max_disk_bytes = int(env_budget)
+                except ValueError:
+                    raise ValueError(
+                        f"${_ENV_MAX_BYTES} must be an integer byte count, "
+                        f"got {env_budget!r}"
+                    ) from None
+        if max_disk_bytes is not None and max_disk_bytes < 1:
+            raise ValueError(
+                f"max_disk_bytes must be >= 1, got {max_disk_bytes}"
+            )
+        self.max_disk_bytes = max_disk_bytes
         self._memory: OrderedDict[str, object] = OrderedDict()
 
     # ------------------------------------------------------------------ layers
@@ -135,6 +158,11 @@ class ScheduleCache:
                 or envelope.get("key") != key
             ):
                 raise ValueError("cache envelope mismatch")
+            try:
+                # Refresh recency so byte-budget eviction is truly LRU.
+                os.utime(path)
+            except OSError:  # pragma: no cover - best effort
+                pass
             return envelope["schedule"]
         except FileNotFoundError:
             return None
@@ -167,6 +195,35 @@ class ScheduleCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:  # pragma: no cover - disk layer is best effort
+            return
+        self._disk_evict(keep=token)
+
+    def _disk_evict(self, *, keep: str | None = None) -> None:
+        """Delete LRU entries until the disk layer fits ``max_disk_bytes``.
+
+        The entry named by ``keep`` (the one just stored) survives even when
+        it alone exceeds the budget — storing must never evict the schedule
+        the caller is about to use.
+        """
+        if self._disk_dir is None or self.max_disk_bytes is None:
+            return
+        try:
+            entries = []
+            total = 0
+            for path in self._disk_dir.glob("*.pkl"):
+                stat = path.stat()
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            entries.sort()  # oldest first
+            for _, size, path in entries:
+                if total <= self.max_disk_bytes:
+                    break
+                if keep is not None and path.stem == keep:
+                    continue
+                path.unlink(missing_ok=True)
+                total -= size
+                active_registry().counter("schedule_cache.evict").inc()
+        except OSError:  # pragma: no cover - best effort
             pass
 
     # --------------------------------------------------------------------- api

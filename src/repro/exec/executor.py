@@ -11,8 +11,9 @@
   so a grid is deterministic regardless of worker count;
 * any pool-level failure (broken workers, unpicklable payloads, fork limits)
   **degrades gracefully to the serial path** — the sweep completes either
-  way, and the fallback is visible as ``executor.fallbacks`` on the active
-  registry.
+  way, and the fallback is visible as ``executor.fallbacks`` plus an
+  ``executor.fallback_errors{error=<ExceptionType>}`` counter on the active
+  registry (the formatted exception also lands in ``last_run``).
 """
 
 from __future__ import annotations
@@ -157,11 +158,20 @@ class SweepExecutor:
             try:
                 raw = self._run_parallel(run, tasks, payload, workers)
                 mode = "parallel"
-            except Exception:
+            except Exception as exc:
                 # Pool infrastructure failed (broken worker, unpicklable
-                # payload, no fork available): finish the sweep serially.
-                active_registry().counter("executor.fallbacks").inc()
+                # payload, no fork available): finish the sweep serially,
+                # and log what broke the pool through the registry so the
+                # degradation is diagnosable, not silent.
+                registry = (
+                    self.registry if self.registry is not None else active_registry()
+                )
+                registry.counter("executor.fallbacks").inc()
+                registry.counter(
+                    "executor.fallback_errors", error=type(exc).__name__
+                ).inc()
                 fallback = True
+                fallback_error = f"{type(exc).__name__}: {exc}"
                 raw = self._run_serial(run, tasks, payload)
                 mode = "serial"
         self.last_run = {
@@ -170,6 +180,8 @@ class SweepExecutor:
             "fallback": fallback,
             "tasks": len(tasks),
         }
+        if fallback:
+            self.last_run["fallback_error"] = fallback_error
         if self.registry is None:
             return raw
         results = []

@@ -48,7 +48,7 @@ __all__ = [
     "deprecated_entry_point",
 ]
 
-EXPERIMENT_KINDS = ("stream", "repair", "churn", "sweep")
+EXPERIMENT_KINDS = ("stream", "repair", "churn", "sweep", "fleet")
 
 _SCHEMES = (
     "multi-tree",
@@ -76,8 +76,10 @@ class ExperimentSpec:
 
     Attributes:
         kind: ``stream`` (one simulated run), ``repair`` (loss-repair
-            tradeoff point), ``churn`` (stream through scheduled churn), or
-            ``sweep`` (a ``seeds x drop_rates`` grid over one configuration).
+            tradeoff point), ``churn`` (stream through scheduled churn),
+            ``sweep`` (a ``seeds x drop_rates`` grid over one configuration),
+            or ``fleet`` (a multi-session service scenario with admission
+            control and SLO tracking; see :mod:`repro.service`).
         scheme: streaming scheme.
         num_nodes / degree / construction / mode / latency: configuration of
             the scheme (construction/mode/latency apply to multi-tree).
@@ -90,6 +92,8 @@ class ExperimentSpec:
         lazy_churn: use the lazy repair variant.
         seeds / drop_rates: sweep grid axes (kind ``sweep``); empty tuples
             fall back to ``(seed,)`` / ``(drop_rate,)``.
+        fleet: a :class:`~repro.service.FleetSpec` scenario (kind ``fleet``);
+            None builds a single-kind fleet from the scalar scheme fields.
         compiled: replay a compiled schedule when the scheme allows it.
         cache: consult the content-addressed schedule cache.
         executor: :class:`~repro.exec.executor.ExecutorPolicy` for sweeps.
@@ -123,6 +127,8 @@ class ExperimentSpec:
     # --- sweep grid
     seeds: tuple[int, ...] = ()
     drop_rates: tuple[float, ...] = ()
+    # --- fleet scenario
+    fleet: object | None = None
     # --- execution policy
     compiled: bool = True
     cache: bool = True
@@ -347,6 +353,58 @@ def _run_churn(spec: ExperimentSpec, instr) -> tuple:
     return (row,), report, None, {"protocol": protocol, "report": report}, provenance
 
 
+def _run_fleet(spec: ExperimentSpec, instr) -> tuple:
+    from repro.service import FleetRunner, FleetSpec, SessionSpec
+
+    provenance = _base_provenance(spec)
+    fleet = spec.fleet
+    if fleet is None:
+        # Single-kind fleet built from the spec's scalar configuration.
+        fleet = FleetSpec(
+            sessions=(
+                SessionSpec(
+                    scheme=spec.scheme,
+                    num_nodes=spec.num_nodes,
+                    degree=spec.degree,
+                    construction=spec.construction,
+                    mode=spec.mode,
+                    latency=spec.latency,
+                    num_packets=spec.num_packets,
+                    drop_rate=spec.drop_rate,
+                ),
+            ),
+            seed=spec.seed,
+        )
+    elif not isinstance(fleet, FleetSpec):
+        raise ReproError(
+            f"spec.fleet must be a repro.service.FleetSpec, "
+            f"got {type(fleet).__name__}"
+        )
+    runner = FleetRunner(
+        policy=spec.executor,
+        registry=instr.registry if instr is not None else None,
+        tracer=instr.tracer if instr is not None else None,
+    )
+    result = runner.run(fleet)
+    report = result.report
+    provenance["description"] = fleet.describe()
+    provenance["compiled"] = True
+    provenance["cache"] = {
+        "hits": report.cache_hits,
+        "misses": report.cache_misses,
+        "hit_rate": report.cache_hit_rate,
+    }
+    provenance["executor"] = result.executor_info
+    rows = tuple(slo.row() for slo in report.sessions)
+    artifacts = {
+        "report": report,
+        "decisions": result.decisions,
+        "fleet": fleet,
+        "sessions": result.sessions,
+    }
+    return rows, report, None, artifacts, provenance
+
+
 def _run_sweep(spec: ExperimentSpec, instr) -> tuple:
     provenance = _base_provenance(spec)
     if spec.scheme not in COMPILABLE_SCHEMES:
@@ -374,6 +432,7 @@ _KIND_RUNNERS = {
     "repair": _run_repair,
     "churn": _run_churn,
     "sweep": _run_sweep,
+    "fleet": _run_fleet,
 }
 
 

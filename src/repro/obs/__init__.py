@@ -29,6 +29,10 @@ from repro.obs.events import (
     REPAIR_SCHEDULED,
     RUN_END,
     RUN_START,
+    SESSION_ADMITTED,
+    SESSION_DEGRADED,
+    SESSION_QUEUED,
+    SESSION_REJECTED,
     SLOT_START,
     TX_DELIVERED,
     TX_DROPPED,
@@ -78,6 +82,10 @@ __all__ = [
     "RUN_END",
     "RUN_START",
     "RingBufferSink",
+    "SESSION_ADMITTED",
+    "SESSION_DEGRADED",
+    "SESSION_QUEUED",
+    "SESSION_REJECTED",
     "SLOT_START",
     "TX_DELIVERED",
     "TX_DROPPED",

@@ -35,6 +35,10 @@ __all__ = [
     "PARITY_RECOVERED",
     "PLAYBACK_STALL",
     "CHURN_APPLIED",
+    "SESSION_ADMITTED",
+    "SESSION_QUEUED",
+    "SESSION_REJECTED",
+    "SESSION_DEGRADED",
     "EVENT_SCHEMA",
     "Event",
     "EventSink",
@@ -59,6 +63,10 @@ GAP_DETECTED = "gap_detected"
 PARITY_RECOVERED = "parity_recovered"
 PLAYBACK_STALL = "playback_stall"
 CHURN_APPLIED = "churn_applied"
+SESSION_ADMITTED = "session_admitted"
+SESSION_QUEUED = "session_queued"
+SESSION_REJECTED = "session_rejected"
+SESSION_DEGRADED = "session_degraded"
 
 #: Event name -> (emitter, field names).  The authoritative schema; documented
 #: as a table in ``docs/OBSERVABILITY.md``.
@@ -75,6 +83,10 @@ EVENT_SCHEMA: dict[str, tuple[str, tuple[str, ...]]] = {
     PARITY_RECOVERED: ("repair", ("node", "packet",)),
     PLAYBACK_STALL: ("playback", ("node", "packet")),
     CHURN_APPLIED: ("churn", ("kind", "node")),
+    SESSION_ADMITTED: ("service", ("session", "wait")),
+    SESSION_QUEUED: ("service", ("session",)),
+    SESSION_REJECTED: ("service", ("session", "reason")),
+    SESSION_DEGRADED: ("service", ("session", "degree")),
 }
 
 

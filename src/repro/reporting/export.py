@@ -26,6 +26,9 @@ __all__ = [
     "metrics_to_dict",
     "instrumentation_to_dict",
     "write_metrics_json",
+    "fleet_report_to_dict",
+    "write_fleet_report_json",
+    "read_fleet_report_json",
 ]
 
 _FORMAT_VERSION = 1
@@ -202,6 +205,42 @@ def write_metrics_json(instrumentation, path: str | Path) -> Path:
     path = Path(path)
     path.write_text(json.dumps(instrumentation_to_dict(instrumentation), indent=1))
     return path
+
+
+def fleet_report_to_dict(report) -> dict:
+    """Versioned JSON envelope of a :class:`~repro.service.FleetSLOReport`."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "fleet_slo_report",
+        "report": report.to_dict(),
+    }
+
+
+def write_fleet_report_json(report, path: str | Path) -> Path:
+    """Write a fleet SLO report to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(fleet_report_to_dict(report), indent=1))
+    return path
+
+
+def read_fleet_report_json(path: str | Path):
+    """Load a report written by :func:`write_fleet_report_json`.
+
+    Returns a :class:`~repro.service.FleetSLOReport` equal to the one
+    written (the full round-trip, per-session detail included).
+    """
+    from repro.service.slo import FleetSLOReport
+
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported report format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    if payload.get("kind") != "fleet_slo_report":
+        raise ReproError(f"not a fleet SLO report: kind={payload.get('kind')!r}")
+    return FleetSLOReport.from_dict(payload["report"])
 
 
 def metrics_to_dict(metrics: SchemeMetrics) -> dict:

@@ -1,0 +1,59 @@
+"""repro.service — the fleet service layer: many sessions, one infrastructure.
+
+The paper (and every subsystem below this one) models a *single* streaming
+session: one source, one receiver population, one schedule.  The service
+layer is where the ROADMAP's production framing starts — thousands of
+concurrent sessions sharing source fan-out and backbone capacity:
+
+* :mod:`repro.service.spec` — the scenario model (:class:`SessionSpec` kinds,
+  :class:`FleetSpec` mixes, :class:`CapacityModel` budgets, deterministic
+  :meth:`FleetSpec.resolve` expansion);
+* :mod:`repro.service.admission` — :class:`SessionManager` with
+  reject/queue/degrade policies against the capacity model;
+* :mod:`repro.service.runner` — :class:`FleetRunner`, sharding sessions
+  across the ``exec`` process pool while amortizing schedule compilation
+  through the shared :class:`~repro.exec.cache.ScheduleCache`;
+* :mod:`repro.service.slo` — per-session and fleet SLOs
+  (:class:`SessionSLO`, :class:`FleetSLOReport` with exact pooled
+  percentiles).
+
+Entry points: ``repro.run(ExperimentSpec(kind="fleet", fleet=...))`` or the
+``repro fleet`` CLI subcommand.
+"""
+
+from repro.service.admission import AdmissionDecision, SessionManager
+from repro.service.runner import FleetRunner, FleetRunResult, fleet_session_task
+from repro.service.slo import (
+    FleetSLOReport,
+    SessionSLO,
+    aggregate_fleet,
+    pooled_percentile,
+    score_session,
+)
+from repro.service.spec import (
+    ADMISSION_POLICIES,
+    ARRIVAL_PROCESSES,
+    CapacityModel,
+    FleetSpec,
+    ResolvedSession,
+    SessionSpec,
+)
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "ARRIVAL_PROCESSES",
+    "AdmissionDecision",
+    "CapacityModel",
+    "FleetRunResult",
+    "FleetRunner",
+    "FleetSLOReport",
+    "FleetSpec",
+    "ResolvedSession",
+    "SessionManager",
+    "SessionSLO",
+    "SessionSpec",
+    "aggregate_fleet",
+    "fleet_session_task",
+    "pooled_percentile",
+    "score_session",
+]

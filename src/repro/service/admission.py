@@ -1,0 +1,292 @@
+"""Admission control: which sessions run, when, and at what degree.
+
+The :class:`SessionManager` walks a fleet's arrival sequence in slot order and
+tracks the shared-infrastructure usage of all concurrently active sessions
+against the :class:`~repro.service.spec.CapacityModel` — source fan-out units
+and backbone receiver units, both scaled by each session's repair slack
+factor.  A session that fits starts at its arrival slot; one that does not is
+handled by the fleet's policy:
+
+* ``reject`` — turned away immediately (counts into the reject-rate SLO);
+* ``queue``  — parked FIFO and admitted at the first departure that frees
+  enough capacity, unless the wait would exceed ``max_queue_slots``
+  (the wait is charged to the session's startup-delay SLO);
+* ``degrade`` — retried at successively smaller degrees down to
+  ``min_degree`` (a smaller ``d`` costs less fan-out; the paper's Figure 4
+  shows small degrees also have the *better* delay, so a degrade is a
+  cheap admission, not a quality cliff).
+
+Every decision increments ``fleet.sessions.{admitted,rejected,queued,
+degraded}`` on the active metrics registry, emits a ``session_*`` trace event
+when a tracer is attached, and is returned as an immutable
+:class:`AdmissionDecision` for the SLO report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.obs.events import (
+    SESSION_ADMITTED,
+    SESSION_DEGRADED,
+    SESSION_QUEUED,
+    SESSION_REJECTED,
+)
+from repro.obs.registry import active_registry
+from repro.service.spec import CapacityModel, ResolvedSession
+
+__all__ = ["AdmissionDecision", "SessionManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """Outcome of admission control for one session.
+
+    Attributes:
+        session_id: the session decided on.
+        status: ``admitted``, ``rejected``, or ``degraded`` (degraded
+            sessions are admitted at ``degree < requested``).
+        arrival_slot: when the session asked to start.
+        start_slot: when it actually starts (arrival slot for rejects).
+        wait_slots: admission queue wait (``start - arrival``).
+        degree: effective degree the session runs at.
+        duration: slots the session holds capacity for (0 for rejects).
+        reason: why a reject happened (``capacity`` or ``queue_timeout``).
+    """
+
+    session_id: int
+    status: str
+    arrival_slot: int
+    start_slot: int
+    wait_slots: int
+    degree: int
+    duration: int
+    reason: str = ""
+
+    @property
+    def admitted(self) -> bool:
+        return self.status in ("admitted", "degraded")
+
+
+class _Active:
+    """Mutable ledger of concurrently active sessions (a min-heap on end slot)."""
+
+    __slots__ = ("ends", "fanout", "backbone", "peak_fanout", "peak_backbone")
+
+    def __init__(self) -> None:
+        self.ends: list[tuple[int, float, float]] = []
+        self.fanout = 0.0
+        self.backbone = 0.0
+        self.peak_fanout = 0.0
+        self.peak_backbone = 0.0
+
+    def admit(self, end_slot: int, fanout: float, backbone: float) -> None:
+        heapq.heappush(self.ends, (end_slot, fanout, backbone))
+        self.fanout += fanout
+        self.backbone += backbone
+        self.peak_fanout = max(self.peak_fanout, self.fanout)
+        self.peak_backbone = max(self.peak_backbone, self.backbone)
+
+    def release_until(self, slot: int) -> None:
+        """Free every session whose end slot is ``<= slot``."""
+        while self.ends and self.ends[0][0] <= slot:
+            _, fanout, backbone = heapq.heappop(self.ends)
+            self.fanout -= fanout
+            self.backbone -= backbone
+
+    def next_departure(self) -> int | None:
+        return self.ends[0][0] if self.ends else None
+
+
+class SessionManager:
+    """Admit a fleet's sessions against a capacity model.
+
+    Args:
+        capacity: the shared budgets.
+        policy: ``reject`` / ``queue`` / ``degrade``.
+        max_queue_slots: queue-policy wait bound.
+        min_degree: degrade-policy floor.
+        tracer: optional :class:`~repro.obs.EventTracer` for ``session_*``
+            events (admission decisions are slot-stamped).
+    """
+
+    def __init__(
+        self,
+        capacity: CapacityModel,
+        *,
+        policy: str = "queue",
+        max_queue_slots: int = 64,
+        min_degree: int = 2,
+        tracer=None,
+    ) -> None:
+        if policy not in ("reject", "queue", "degrade"):
+            raise ReproError(f"unknown admission policy {policy!r}")
+        self.capacity = capacity
+        self.policy = policy
+        self.max_queue_slots = max_queue_slots
+        self.min_degree = min_degree
+        self.tracer = tracer
+        #: Peak concurrent usage observed during the last :meth:`admit_all`.
+        self.peak_fanout = 0.0
+        self.peak_backbone = 0.0
+
+    # ------------------------------------------------------------------ hooks
+    def _count(self, status: str) -> None:
+        active_registry().counter("fleet.sessions", status=status).inc()
+
+    def _emit(self, name: str, slot: int, **fields) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(name, slot, **fields)
+
+    # -------------------------------------------------------------------- api
+    def admit_all(
+        self,
+        arrivals: Sequence[ResolvedSession],
+        duration_of: Callable[[ResolvedSession, int], int],
+    ) -> list[AdmissionDecision]:
+        """Decide every session of an arrival-ordered fleet.
+
+        Args:
+            arrivals: resolved sessions sorted by ``arrival_slot``.
+            duration_of: ``(session, degree) -> slots`` the session will hold
+                capacity — the compiled horizon of its configuration (the
+                runner resolves it through the schedule cache, so degraded
+                degrees get their true horizon too).
+        """
+        active = _Active()
+        queue: deque[ResolvedSession] = deque()
+        decisions: dict[int, AdmissionDecision] = {}
+
+        def try_admit(session: ResolvedSession, slot: int) -> AdmissionDecision | None:
+            """Admit at ``slot`` if it fits (degrading if the policy allows)."""
+            spec = session.spec
+            degrees = [spec.degree]
+            if self.policy == "degrade":
+                degrees += list(range(spec.degree - 1, self.min_degree - 1, -1))
+            for degree in degrees:
+                fanout = spec.fanout_cost(degree)
+                backbone = spec.backbone_cost()
+                if not self.capacity.fits(active.fanout, active.backbone, fanout, backbone):
+                    continue
+                duration = duration_of(session, degree)
+                active.admit(slot + duration, fanout, backbone)
+                degraded = degree != spec.degree
+                status = "degraded" if degraded else "admitted"
+                self._count(status)
+                wait = slot - session.arrival_slot
+                if degraded:
+                    self._emit(
+                        SESSION_DEGRADED, slot,
+                        session=session.session_id, degree=degree,
+                    )
+                self._emit(
+                    SESSION_ADMITTED, slot,
+                    session=session.session_id, wait=wait,
+                )
+                return AdmissionDecision(
+                    session_id=session.session_id,
+                    status=status,
+                    arrival_slot=session.arrival_slot,
+                    start_slot=slot,
+                    wait_slots=wait,
+                    degree=degree,
+                    duration=duration,
+                )
+            return None
+
+        def reject(session: ResolvedSession, slot: int, reason: str) -> AdmissionDecision:
+            self._count("rejected")
+            self._emit(
+                SESSION_REJECTED, slot,
+                session=session.session_id, reason=reason,
+            )
+            return AdmissionDecision(
+                session_id=session.session_id,
+                status="rejected",
+                arrival_slot=session.arrival_slot,
+                start_slot=session.arrival_slot,
+                wait_slots=0,
+                degree=session.spec.degree,
+                duration=0,
+                reason=reason,
+            )
+
+        def drain_queue(now: int) -> None:
+            """Admit queued sessions (FIFO) as departures free capacity.
+
+            Advances a virtual clock through departures up to ``now``; a
+            queued head whose wait would exceed the bound is rejected, and a
+            head that still does not fit blocks the queue (FIFO fairness —
+            no overtaking).
+            """
+            while queue:
+                head = queue[0]
+                slot = max(head.arrival_slot, active.next_departure() or head.arrival_slot)
+                # Find the earliest departure slot <= now at which head fits.
+                admitted = None
+                while True:
+                    active.release_until(slot)
+                    if slot - head.arrival_slot > self.max_queue_slots:
+                        break
+                    admitted = try_admit(head, slot)
+                    if admitted is not None:
+                        break
+                    nxt = active.next_departure()
+                    if nxt is None or nxt > now:
+                        break
+                    slot = nxt
+                if admitted is not None:
+                    decisions[head.session_id] = admitted
+                    queue.popleft()
+                    continue
+                if slot - head.arrival_slot > self.max_queue_slots:
+                    decisions[head.session_id] = reject(head, slot, "queue_timeout")
+                    queue.popleft()
+                    continue
+                break  # head still waiting inside its bound; keep FIFO order
+
+        last_slot = 0
+        for session in arrivals:
+            slot = session.arrival_slot
+            if slot < last_slot:
+                raise ReproError("arrivals must be sorted by arrival_slot")
+            last_slot = slot
+            active.release_until(slot)
+            drain_queue(slot)
+            if queue:
+                # FIFO: a newcomer may not overtake a waiting session.
+                if self.policy == "queue":
+                    self._count("queued")
+                    self._emit(SESSION_QUEUED, slot, session=session.session_id)
+                    queue.append(session)
+                else:
+                    decisions[session.session_id] = reject(session, slot, "capacity")
+                continue
+            decision = try_admit(session, slot)
+            if decision is not None:
+                decisions[session.session_id] = decision
+                continue
+            if self.policy == "queue":
+                self._count("queued")
+                self._emit(SESSION_QUEUED, slot, session=session.session_id)
+                queue.append(session)
+            else:
+                decisions[session.session_id] = reject(session, slot, "capacity")
+
+        # All arrivals seen: let the remaining queue drain on departures alone.
+        drain_queue(2**62)
+        while queue:  # anything left could never fit even in an empty fleet
+            head = queue.popleft()
+            decisions[head.session_id] = reject(
+                head, head.arrival_slot + self.max_queue_slots, "queue_timeout"
+            )
+        self.peak_fanout = active.peak_fanout
+        self.peak_backbone = active.peak_backbone
+        registry = active_registry()
+        registry.gauge("fleet.peak_fanout").set(active.peak_fanout)
+        registry.gauge("fleet.peak_backbone").set(active.peak_backbone)
+        return [decisions[s.session_id] for s in arrivals]

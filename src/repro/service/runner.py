@@ -1,0 +1,222 @@
+"""Fleet execution: run every admitted session, sharded across processes.
+
+:class:`FleetRunner` turns a :class:`~repro.service.spec.FleetSpec` into a
+:class:`~repro.service.slo.FleetSLOReport` in four steps:
+
+1. **resolve** the scenario into concrete sessions (arrival slots, kinds,
+   seeds, churn draws);
+2. **admit** them through :class:`~repro.service.admission.SessionManager`,
+   compiling each admitted configuration's schedule through the shared
+   content-addressed :class:`~repro.exec.cache.ScheduleCache` to learn its
+   true horizon — identical ``(scheme, N, d, ...)`` configs compile once per
+   fleet, not once per session (the amortization the acceptance benchmark
+   measures);
+3. **execute** admitted sessions with the :class:`~repro.exec.SweepExecutor`
+   process pool — the token-indexed schedule dict ships once per worker as
+   the pool payload, each session replays engine-free under its own loss
+   mask, and per-worker metric snapshots merge back into the caller's
+   registry;
+4. **aggregate** per-session SLOs and admission decisions into the fleet
+   report (exact pooled percentiles, reject rate, cache hit-rate).
+
+Everything is deterministic in ``FleetSpec.seed`` regardless of worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.cache import ScheduleCache
+from repro.exec.compiler import compile_schedule
+from repro.exec.executor import ExecutorPolicy, SweepExecutor, worker_payload
+from repro.exec.replay import bernoulli_mask, replay_arrivals
+from repro.obs.registry import MetricsRegistry, active_registry, use_registry
+from repro.service.admission import AdmissionDecision, SessionManager
+from repro.service.slo import FleetSLOReport, SessionSLO, aggregate_fleet, score_session
+from repro.service.spec import FleetSpec, ResolvedSession, SessionSpec
+
+__all__ = ["FleetRunner", "FleetRunResult", "fleet_session_task"]
+
+
+def fleet_session_task(task) -> SessionSLO:
+    """Executor worker: replay one admitted session and score its SLO.
+
+    Task tuple: ``(session_id, label, status, token, seed, drop_rate,
+    num_packets, wait_slots, horizon)``.  The token-indexed schedule dict
+    arrives via :func:`~repro.exec.executor.worker_payload`; the loss mask is
+    deterministic in the session seed, so results do not depend on which
+    worker (or how many) ran the session.
+    """
+    (
+        session_id, label, status, token, seed,
+        drop_rate, num_packets, wait_slots, horizon,
+    ) = task
+    schedule = worker_payload()[token]
+    mask = bernoulli_mask(schedule, drop_rate, seed)
+    arrivals = replay_arrivals(schedule, num_slots=horizon, drop_mask=mask)
+    slo = score_session(
+        arrivals,
+        session_id=session_id,
+        label=label,
+        num_packets=num_packets,
+        num_slots=horizon,
+        wait_slots=wait_slots,
+        status=status,
+    )
+    registry = active_registry()
+    registry.counter("fleet.sessions_replayed", label=label).inc()
+    registry.histogram("fleet.startup_delay").observe(slo.startup_delay)
+    registry.histogram("fleet.rebuffer_ratio").observe(slo.rebuffer_ratio)
+    return slo
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRunResult:
+    """Everything a fleet run produced.
+
+    Attributes:
+        report: the aggregated :class:`~repro.service.slo.FleetSLOReport`.
+        decisions: per-session admission outcomes, in arrival order.
+        sessions: the resolved scenario the run executed.
+        executor_info: how the execution fanned out
+            (:attr:`SweepExecutor.last_run`).
+    """
+
+    report: FleetSLOReport
+    decisions: tuple[AdmissionDecision, ...]
+    sessions: tuple[ResolvedSession, ...]
+    executor_info: dict
+
+
+class FleetRunner:
+    """Execute fleet scenarios against a shared schedule cache.
+
+    Args:
+        cache: schedule cache shared across the fleet (a private in-process
+            cache by default; pass one with a disk layer to amortize across
+            runs too).
+        policy: executor fan-out policy (worker count / serial / parallel).
+        registry: metrics registry the run reports into (the active registry
+            by default); admission counters, cache traffic, and merged worker
+            snapshots all land here.
+        tracer: optional :class:`~repro.obs.EventTracer` receiving
+            ``session_*`` admission events.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ScheduleCache | None = None,
+        policy: ExecutorPolicy | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer=None,
+    ) -> None:
+        self.cache = cache if cache is not None else ScheduleCache(capacity=64)
+        self.policy = policy if policy is not None else ExecutorPolicy()
+        self.registry = registry
+        self.tracer = tracer
+        #: Cache traffic of the last :meth:`run` (one lookup per admission).
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ build
+    def _compile(self, spec: SessionSpec, degree: int, schedules: dict):
+        """Compile one configuration through the shared cache.
+
+        Returns ``(token, schedule)`` and tallies the hit/miss — exactly one
+        cache lookup per admitted session, so the fleet hit-rate directly
+        measures compile amortization.
+        """
+        provenance: dict = {}
+        schedule = compile_schedule(
+            spec.scheme,
+            spec.num_nodes,
+            degree,
+            num_packets=spec.num_packets,
+            construction=spec.construction,
+            mode=spec.mode,
+            latency=spec.latency,
+            cache=self.cache,
+            provenance=provenance,
+        )
+        if provenance["cache"] == "miss":
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
+        token = provenance["cache_token"]
+        schedules[token] = schedule
+        return token, schedule
+
+    # -------------------------------------------------------------------- api
+    def run(self, fleet: FleetSpec) -> FleetRunResult:
+        """Resolve, admit, execute, and score one fleet scenario."""
+        registry = self.registry if self.registry is not None else active_registry()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        schedules: dict[str, object] = {}
+        tokens: dict[int, str] = {}
+        sessions = fleet.resolve()
+
+        def duration_of(session: ResolvedSession, degree: int) -> int:
+            token, schedule = self._compile(session.spec, degree, schedules)
+            tokens[session.session_id] = token
+            horizon = schedule.num_slots
+            if session.leave_fraction is not None:
+                # Churned viewer: capacity (and the SLO window) only cover
+                # the watched prefix.
+                horizon = max(1, int(session.leave_fraction * horizon))
+            return horizon
+
+        manager = SessionManager(
+            fleet.capacity,
+            policy=fleet.policy,
+            max_queue_slots=fleet.max_queue_slots,
+            min_degree=fleet.min_degree,
+            tracer=self.tracer,
+        )
+        with use_registry(registry):
+            decisions = manager.admit_all(sessions, duration_of)
+
+            tasks = []
+            by_id = {s.session_id: s for s in sessions}
+            for decision in decisions:
+                if not decision.admitted:
+                    continue
+                session = by_id[decision.session_id]
+                token = tokens[decision.session_id]
+                full = schedules[token].num_slots
+                horizon = decision.duration
+                num_packets = session.spec.num_packets
+                if horizon < full:
+                    # Score only the packets the watched prefix can carry.
+                    num_packets = max(1, int(num_packets * horizon / full))
+                tasks.append(
+                    (
+                        decision.session_id,
+                        session.spec.label,
+                        decision.status,
+                        token,
+                        session.seed,
+                        session.spec.drop_rate,
+                        num_packets,
+                        decision.wait_slots,
+                        horizon,
+                    )
+                )
+
+            executor = SweepExecutor(self.policy, registry=registry)
+            slos = executor.map(fleet_session_task, tasks, payload=schedules)
+
+            report = aggregate_fleet(
+                decisions,
+                slos,
+                cache_hits=self.cache_hits,
+                cache_misses=self.cache_misses,
+            )
+            registry.gauge("fleet.cache_hit_rate").set(report.cache_hit_rate)
+        return FleetRunResult(
+            report=report,
+            decisions=tuple(decisions),
+            sessions=sessions,
+            executor_info=dict(executor.last_run),
+        )

@@ -1,0 +1,307 @@
+"""Per-session and fleet-level SLOs: what the users of the fleet experience.
+
+The paper scores a single run by worst/average playback delay and buffer
+peak; a service tracks the same quantities as *distributions over sessions*
+plus the smoothness metrics the throughput-smoothness literature argues users
+actually feel (rebuffer/skip behavior), and the admission metrics the
+capacity literature adds (reject rate, queue wait):
+
+* :func:`score_session` turns one session's replayed arrival traces into a
+  :class:`SessionSLO` — startup delay (including any admission queue wait),
+  rebuffer ratio, per-node playback-delay and buffer percentiles, goodput —
+  carrying compact ``(value, count)`` distributions so fleet-level
+  percentiles pool *exactly* across sessions;
+* :class:`FleetSLOReport` aggregates sessions + admission decisions into the
+  fleet report (p50/p95/p99 over the pooled per-node populations, reject
+  rate, schedule-cache amortization) and round-trips through
+  ``reporting/export.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from dataclasses import asdict, dataclass
+
+from repro.core.errors import ReproError
+from repro.core.metrics import summarize_lossy_playback
+
+__all__ = [
+    "pooled_percentile",
+    "SessionSLO",
+    "FleetSLOReport",
+    "score_session",
+    "aggregate_fleet",
+]
+
+
+def pooled_percentile(counts: Mapping[int, int], q: float) -> int:
+    """Nearest-rank percentile of a ``value -> count`` distribution.
+
+    Exact over the pooled population (no per-session approximation); ``q``
+    is in ``[0, 100]``.
+    """
+    if not 0 <= q <= 100:
+        raise ReproError(f"percentile must be in [0, 100], got {q}")
+    total = sum(counts.values())
+    if total == 0:
+        raise ReproError("empty distribution has no percentiles")
+    rank = max(1, -(-int(q * total) // 100))  # ceil(q/100 * total), min 1
+    seen = 0
+    for value in sorted(counts):
+        seen += counts[value]
+        if seen >= rank:
+            return value
+    return max(counts)  # pragma: no cover - rank <= total by construction
+
+
+@dataclass(frozen=True, slots=True)
+class SessionSLO:
+    """What one session's viewers experienced.
+
+    Attributes:
+        session_id: fleet session index.
+        label: the session kind's display label.
+        status: admission status (``admitted`` / ``degraded``).
+        wait_slots: admission queue wait (part of startup delay).
+        startup_delay: worst per-node playback delay plus the queue wait.
+        rebuffer_ratio: share of measured ``(node, packet)`` pairs that
+            missed playback (skipped or stalled) — the smoothness SLO.
+        delay_p50 / delay_p95 / delay_p99: per-node playback-delay
+            percentiles inside the session.
+        buffer_p50 / buffer_p99: per-node peak-buffer percentiles.
+        goodput: available pairs per node per slot.
+        num_nodes / num_packets: session population and measured prefix.
+        delay_counts / buffer_counts: compact ``(value, count)`` histograms
+            of the per-node delay/buffer populations (for exact fleet-level
+            pooling).
+    """
+
+    session_id: int
+    label: str
+    status: str
+    wait_slots: int
+    startup_delay: int
+    rebuffer_ratio: float
+    delay_p50: int
+    delay_p95: int
+    delay_p99: int
+    buffer_p50: int
+    buffer_p99: int
+    goodput: float
+    num_nodes: int
+    num_packets: int
+    delay_counts: tuple[tuple[int, int], ...]
+    buffer_counts: tuple[tuple[int, int], ...]
+
+    def row(self) -> dict:
+        """Flat dict for table/JSON rendering (drops the histograms)."""
+        return {
+            "session": self.session_id,
+            "label": self.label,
+            "status": self.status,
+            "wait": self.wait_slots,
+            "startup": self.startup_delay,
+            "rebuffer": round(self.rebuffer_ratio, 5),
+            "delay_p50": self.delay_p50,
+            "delay_p99": self.delay_p99,
+            "buffer_p99": self.buffer_p99,
+            "goodput": round(self.goodput, 4),
+        }
+
+
+def score_session(
+    arrivals_by_node: Mapping[int, Mapping[int, int]],
+    *,
+    session_id: int,
+    label: str,
+    num_packets: int,
+    num_slots: int,
+    wait_slots: int = 0,
+    status: str = "admitted",
+) -> SessionSLO:
+    """Score one session's replayed arrival traces into its SLO.
+
+    Args:
+        arrivals_by_node: node -> (packet -> arrival slot), from
+            :func:`repro.exec.replay.replay_arrivals`.
+        num_packets: measured stream prefix (post churn truncation).
+        num_slots: slots the session ran (goodput denominator).
+        wait_slots: admission queue wait, charged to startup delay.
+        status: admission status carried into the report.
+    """
+    if not arrivals_by_node:
+        raise ReproError("session has no receiver traces to score")
+    if num_slots < 1:
+        raise ReproError(f"num_slots must be >= 1, got {num_slots}")
+    delay_counts: Counter[int] = Counter()
+    buffer_counts: Counter[int] = Counter()
+    missing = 0
+    available = 0
+    for arrivals in arrivals_by_node.values():
+        summary = summarize_lossy_playback(arrivals, num_packets)
+        delay_counts[summary.startup_delay] += 1
+        buffer_counts[summary.buffer_peak] += 1
+        missing += len(summary.missing)
+        available += summary.available
+    num_nodes = len(arrivals_by_node)
+    return SessionSLO(
+        session_id=session_id,
+        label=label,
+        status=status,
+        wait_slots=wait_slots,
+        startup_delay=max(delay_counts) + wait_slots,
+        rebuffer_ratio=missing / (num_nodes * num_packets),
+        delay_p50=pooled_percentile(delay_counts, 50),
+        delay_p95=pooled_percentile(delay_counts, 95),
+        delay_p99=pooled_percentile(delay_counts, 99),
+        buffer_p50=pooled_percentile(buffer_counts, 50),
+        buffer_p99=pooled_percentile(buffer_counts, 99),
+        goodput=available / (num_nodes * num_slots),
+        num_nodes=num_nodes,
+        num_packets=num_packets,
+        delay_counts=tuple(sorted(delay_counts.items())),
+        buffer_counts=tuple(sorted(buffer_counts.items())),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSLOReport:
+    """The fleet-level SLO report — the service's scorecard.
+
+    Percentile fields pool the per-node populations of every admitted
+    session exactly (via the sessions' compact histograms), so a 1000-session
+    fleet's ``delay_p99`` is the true 99th percentile over all viewers, not
+    an average of per-session percentiles.
+
+    Attributes:
+        num_sessions / admitted / degraded / queued / rejected: admission
+            tallies (``queued`` counts sessions that waited, whatever their
+            final outcome).
+        reject_rate: rejected over offered sessions.
+        startup_p50 / startup_p95 / startup_p99 / startup_max: session
+            startup delay distribution (queue wait included).
+        rebuffer_mean / rebuffer_max: smoothness SLO over sessions.
+        delay_p50 / delay_p95 / delay_p99: pooled per-node playback delay.
+        buffer_p50 / buffer_p99: pooled per-node peak buffer occupancy.
+        goodput_mean: mean session goodput.
+        cache_hits / cache_misses / cache_hit_rate: schedule-compile
+            amortization across the fleet.
+        sessions: every admitted session's :class:`SessionSLO`.
+    """
+
+    num_sessions: int
+    admitted: int
+    degraded: int
+    queued: int
+    rejected: int
+    reject_rate: float
+    startup_p50: int
+    startup_p95: int
+    startup_p99: int
+    startup_max: int
+    rebuffer_mean: float
+    rebuffer_max: float
+    delay_p50: int
+    delay_p95: int
+    delay_p99: int
+    buffer_p50: int
+    buffer_p99: int
+    goodput_mean: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    sessions: tuple[SessionSLO, ...]
+
+    def row(self) -> dict:
+        """Flat fleet summary (drops the per-session detail)."""
+        return {
+            "sessions": self.num_sessions,
+            "admitted": self.admitted,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "reject_rate": round(self.reject_rate, 4),
+            "startup_p50": self.startup_p50,
+            "startup_p99": self.startup_p99,
+            "rebuffer": round(self.rebuffer_mean, 5),
+            "delay_p50": self.delay_p50,
+            "delay_p95": self.delay_p95,
+            "delay_p99": self.delay_p99,
+            "buffer_p99": self.buffer_p99,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+        }
+
+    # -------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-serializable snapshot (inverse of :meth:`from_dict`)."""
+        payload = asdict(self)
+        payload["sessions"] = [asdict(s) for s in self.sessions]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FleetSLOReport":
+        """Rebuild a report from :meth:`to_dict` output (JSON round-trip)."""
+        payload = dict(payload)
+        sessions = []
+        for row in payload.pop("sessions", []):
+            row = dict(row)
+            row["delay_counts"] = tuple(tuple(p) for p in row["delay_counts"])
+            row["buffer_counts"] = tuple(tuple(p) for p in row["buffer_counts"])
+            sessions.append(SessionSLO(**row))
+        return cls(sessions=tuple(sessions), **payload)
+
+
+def aggregate_fleet(
+    decisions: Sequence,
+    session_slos: Sequence[SessionSLO],
+    *,
+    cache_hits: int = 0,
+    cache_misses: int = 0,
+) -> FleetSLOReport:
+    """Fold admission decisions and per-session SLOs into the fleet report."""
+    if not decisions:
+        raise ReproError("fleet produced no admission decisions")
+    admitted = sum(1 for d in decisions if d.status == "admitted")
+    degraded = sum(1 for d in decisions if d.status == "degraded")
+    rejected = sum(1 for d in decisions if d.status == "rejected")
+    queued = sum(1 for d in decisions if d.admitted and d.wait_slots > 0)
+    startup_counts: Counter[int] = Counter()
+    delay_counts: Counter[int] = Counter()
+    buffer_counts: Counter[int] = Counter()
+    rebuffers = []
+    goodputs = []
+    for slo in session_slos:
+        startup_counts[slo.startup_delay] += 1
+        for value, count in slo.delay_counts:
+            delay_counts[value] += count
+        for value, count in slo.buffer_counts:
+            buffer_counts[value] += count
+        rebuffers.append(slo.rebuffer_ratio)
+        goodputs.append(slo.goodput)
+    if not session_slos:
+        raise ReproError("every session was rejected; no SLOs to aggregate")
+    lookups = cache_hits + cache_misses
+    return FleetSLOReport(
+        num_sessions=len(decisions),
+        admitted=admitted,
+        degraded=degraded,
+        queued=queued,
+        rejected=rejected,
+        reject_rate=rejected / len(decisions),
+        startup_p50=pooled_percentile(startup_counts, 50),
+        startup_p95=pooled_percentile(startup_counts, 95),
+        startup_p99=pooled_percentile(startup_counts, 99),
+        startup_max=max(startup_counts),
+        rebuffer_mean=sum(rebuffers) / len(rebuffers),
+        rebuffer_max=max(rebuffers),
+        delay_p50=pooled_percentile(delay_counts, 50),
+        delay_p95=pooled_percentile(delay_counts, 95),
+        delay_p99=pooled_percentile(delay_counts, 99),
+        buffer_p50=pooled_percentile(buffer_counts, 50),
+        buffer_p99=pooled_percentile(buffer_counts, 99),
+        goodput_mean=sum(goodputs) / len(goodputs),
+        cache_hits=cache_hits,
+        cache_misses=cache_misses,
+        cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+        sessions=tuple(session_slos),
+    )

@@ -1,5 +1,10 @@
 """Workload and sweep generators for the benchmark harness."""
 
+from repro.workloads.arrivals import (
+    poisson_arrival_slots,
+    trace_arrival_slots,
+    uniform_arrival_slots,
+)
 from repro.workloads.churn import (
     ChurnEvent,
     alternating_trace,
@@ -46,6 +51,9 @@ __all__ = [
     "log_spaced_populations",
     "multi_tree_cell",
     "parallel_sweep",
+    "poisson_arrival_slots",
     "random_trace",
     "special_hypercube_populations",
+    "trace_arrival_slots",
+    "uniform_arrival_slots",
 ]

@@ -1,0 +1,75 @@
+"""Session arrival processes for the fleet service layer.
+
+The paper models one source streaming to one receiver population; a
+production service runs thousands of such sessions, arriving and departing
+over time.  These generators produce the arrival slot sequences the fleet
+scenario model (:mod:`repro.service.spec`) consumes:
+
+* :func:`poisson_arrival_slots` — memoryless session arrivals at a target
+  rate (the standard open-loop teletraffic model, and what the multi-stream
+  admission literature assumes);
+* :func:`uniform_arrival_slots` — arrivals spread evenly over a window
+  (a scheduled-event model: everyone tunes in for the match);
+* :func:`trace_arrival_slots` — replay an explicit measured arrival trace,
+  cycling it to cover ``num_sessions``.
+
+All generators are deterministic in their seed and return sorted
+non-negative integer slots, one per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "poisson_arrival_slots",
+    "uniform_arrival_slots",
+    "trace_arrival_slots",
+]
+
+
+def poisson_arrival_slots(num_sessions: int, rate: float, *, seed: int = 0) -> list[int]:
+    """Arrival slots of a Poisson process with ``rate`` sessions per slot.
+
+    Interarrival gaps are exponential with mean ``1/rate``; arrival times are
+    their running sum floored to integer slots, so bursts (several sessions
+    in one slot) occur naturally at high rates.
+    """
+    if num_sessions < 1:
+        raise ReproError(f"num_sessions must be >= 1, got {num_sessions}")
+    if rate <= 0:
+        raise ReproError(f"arrival rate must be > 0, got {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate, size=num_sessions)
+    return [int(t) for t in np.cumsum(gaps)]
+
+
+def uniform_arrival_slots(num_sessions: int, horizon: int, *, seed: int = 0) -> list[int]:
+    """``num_sessions`` arrival slots drawn uniformly over ``[0, horizon)``."""
+    if num_sessions < 1:
+        raise ReproError(f"num_sessions must be >= 1, got {num_sessions}")
+    if horizon < 1:
+        raise ReproError(f"arrival horizon must be >= 1, got {horizon}")
+    rng = np.random.default_rng(seed)
+    return sorted(int(s) for s in rng.integers(0, horizon, size=num_sessions))
+
+
+def trace_arrival_slots(num_sessions: int, trace: tuple[int, ...] | list[int]) -> list[int]:
+    """Replay an explicit arrival trace, cycling it to ``num_sessions`` entries.
+
+    When the trace is shorter than the fleet, it repeats shifted past its own
+    span (a second "day" of the same measured pattern).
+    """
+    if num_sessions < 1:
+        raise ReproError(f"num_sessions must be >= 1, got {num_sessions}")
+    slots = [int(s) for s in trace]
+    if not slots:
+        raise ReproError("arrival trace is empty")
+    if any(s < 0 for s in slots):
+        raise ReproError("arrival trace contains negative slots")
+    slots.sort()
+    span = slots[-1] + 1
+    out = [slots[i % len(slots)] + span * (i // len(slots)) for i in range(num_sessions)]
+    return out

@@ -233,3 +233,63 @@ class TestSimulateLossFlags:
             ["simulate", "--scheme", "multi-tree", "-n", "10", "-p", "6", "--seed", "9"]
         ) == 0
         assert "max_delay" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == "repro 1.2.0"
+
+
+class TestFleetCommand:
+    SMALL = [
+        "fleet", "--sessions", "20", "--mode", "serial",
+        "--config", "multi-tree:15:3:6", "--config", "chain:8:1:6",
+    ]
+
+    def test_dry_run_prints_resolved_scenario(self, capsys):
+        assert main([*self.SMALL, "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "resolved sessions:" in out
+        assert "multi-tree/N15/d3" in out
+        assert out.count("\n") > 20  # one row per session
+
+    def test_dry_run_executes_nothing(self, capsys):
+        assert main([*self.SMALL, "--dry-run"]) == 0
+        assert "cache" not in capsys.readouterr().out
+
+    def test_small_run_reports_slos(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out
+        assert "startup_p99" in out
+        assert "executor: serial" in out
+        assert "18 hits / 2 misses" in out
+
+    def test_json_export_round_trips(self, tmp_path, capsys):
+        from repro.reporting.export import read_fleet_report_json
+
+        path = tmp_path / "fleet.json"
+        assert main([*self.SMALL, "--json", str(path)]) == 0
+        report = read_fleet_report_json(path)
+        assert report.num_sessions == 20
+        assert report.cache_hit_rate == pytest.approx(18 / 20)
+
+    def test_default_mixed_fleet(self, capsys):
+        assert main(["fleet", "--sessions", "8", "--mode", "serial", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "multi-tree/N31/d3" in out
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--config", "multi-tree:31"])
+        with pytest.raises(SystemExit):
+            main(["fleet", "--config", "multi-tree:lots:3"])
+
+    def test_churn_marked_in_dry_run(self, capsys):
+        assert main(
+            [*self.SMALL, "--churn-rate", "0.9", "--seed", "3", "--dry-run"]
+        ) == 0
+        assert "@0." in capsys.readouterr().out

@@ -66,3 +66,11 @@ def test_global_cdn_mixed():
     assert "Stream profile" in out
     assert "Frankfurt" in out and "Johannesburg" in out
     assert "wall-clock" in out
+
+
+def test_fleet_peak_hour():
+    out = run_example("fleet_peak_hour.py")
+    assert "Admission over the peak hour" in out
+    assert "degraded 8" in out
+    assert "cache hit rate" in out
+    assert "Worst session" in out

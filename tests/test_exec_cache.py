@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -120,6 +121,65 @@ class TestDiskLayer:
         cache = ScheduleCache(disk_dir=tmp_path)
         cache.get_or_compile(_key(), _builder())
         assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestDiskEviction:
+    def _entry_size(self, tmp_path):
+        probe = ScheduleCache(disk_dir=tmp_path)
+        probe.get_or_compile(_key(21), _builder(21))
+        size = (tmp_path / f"{_key(21).token()}.pkl").stat().st_size
+        for path in tmp_path.glob("*.pkl"):
+            path.unlink()
+        return size
+
+    def test_byte_budget_evicts_oldest(self, tmp_path):
+        size = self._entry_size(tmp_path)
+        registry = MetricsRegistry()
+        cache = ScheduleCache(disk_dir=tmp_path, max_disk_bytes=int(size * 2.5))
+        with use_registry(registry):
+            cache.get_or_compile(_key(21), _builder(21))
+            os.utime(tmp_path / f"{_key(21).token()}.pkl", (1, 1))
+            cache.get_or_compile(_key(24), _builder(24))
+            os.utime(tmp_path / f"{_key(24).token()}.pkl", (2, 2))
+            cache.get_or_compile(_key(27), _builder(27))
+        names = {path.stem for path in tmp_path.glob("*.pkl")}
+        assert _key(27).token() in names  # just stored, always kept
+        assert _key(21).token() not in names  # oldest, evicted
+        evictions = [
+            row for row in registry.rows()
+            if row["name"] == "schedule_cache.evict"
+        ]
+        assert evictions and evictions[0]["value"] >= 1
+
+    def test_just_stored_entry_survives_tiny_budget(self, tmp_path):
+        cache = ScheduleCache(disk_dir=tmp_path, max_disk_bytes=1)
+        cache.get_or_compile(_key(21), _builder(21))
+        assert (tmp_path / f"{_key(21).token()}.pkl").exists()
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        ScheduleCache(disk_dir=tmp_path).get_or_compile(_key(21), _builder(21))
+        path = tmp_path / f"{_key(21).token()}.pkl"
+        os.utime(path, (1, 1))
+        _, layer = ScheduleCache(disk_dir=tmp_path).get_with_layer(_key(21))
+        assert layer == "disk"
+        assert path.stat().st_mtime > 1  # hit bumped the LRU clock
+
+    def test_env_var_sets_budget(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        assert ScheduleCache().max_disk_bytes == 4096
+
+    def test_bad_env_budget_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "lots")
+        with pytest.raises(ValueError):
+            ScheduleCache()
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScheduleCache(max_disk_bytes=0)
+
+    def test_unbounded_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert ScheduleCache().max_disk_bytes is None
 
 
 class TestTokens:

@@ -114,6 +114,33 @@ class TestExecutionPaths:
         assert executor.last_run["mode"] == "serial"
         assert executor.last_run["fallback"] is True
 
+    def test_fallback_logs_error_through_registry(self):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(
+            ExecutorPolicy(mode="parallel", max_workers=2), registry=registry
+        )
+        executor.map(
+            payload_echo_task, [(i,) for i in range(5)], payload=lambda: None
+        )
+        error = executor.last_run["fallback_error"]
+        assert ": " in error  # "<ExceptionType>: <message>"
+        rows = registry.rows()
+        assert any(
+            row["name"] == "executor.fallbacks" and row["value"] == 1
+            for row in rows
+        )
+        assert any(
+            row["name"] == "executor.fallback_errors"
+            and row["labels"].startswith("error=")
+            and row["value"] == 1
+            for row in rows
+        )
+
+    def test_clean_run_has_no_fallback_error(self):
+        executor = SweepExecutor(ExecutorPolicy(mode="serial"))
+        executor.map(double_task, [(1,), (2,)])
+        assert "fallback_error" not in executor.last_run
+
     def test_parallel_mode_records_workers(self):
         executor = SweepExecutor(ExecutorPolicy(mode="parallel", max_workers=2))
         results = executor.map(double_task, [(i,) for i in range(6)])

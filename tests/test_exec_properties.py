@@ -1,0 +1,69 @@
+"""Property-based equivalence: compiled replay == engine playback, any config.
+
+The fixed cases in ``test_exec_compiler.py`` pin a handful of known
+configurations; these properties randomize ``(scheme, N, d)`` over every
+compilable scheme and assert the two execution paths agree slot-for-slot —
+the invariant the whole ``exec`` layer (and the fleet service on top of it)
+rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.exec.compiler import COMPILABLE_SCHEMES, build_protocol, compile_protocol
+from repro.exec.replay import bernoulli_mask, replay_arrivals
+
+CONFIG = st.tuples(
+    st.sampled_from(COMPILABLE_SCHEMES),
+    st.integers(min_value=3, max_value=34),   # N
+    st.integers(min_value=2, max_value=4),    # d
+)
+
+
+def _compile_and_reference(scheme, n, d, packets=6):
+    protocol = build_protocol(scheme, n, d)
+    num_slots = protocol.slots_for_packets(packets)
+    compiled = compile_protocol(build_protocol(scheme, n, d), num_slots)
+    reference = simulate(build_protocol(scheme, n, d), num_slots)
+    return compiled, reference, num_slots
+
+
+class TestCompiledReplayEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(CONFIG)
+    def test_transmissions_identical_slot_for_slot(self, config):
+        scheme, n, d = config
+        compiled, reference, num_slots = _compile_and_reference(scheme, n, d)
+        by_slot: dict[int, list] = {s: [] for s in range(num_slots)}
+        for tx in reference.transmissions:
+            by_slot[tx.slot].append((tx.sender, tx.receiver, tx.packet))
+        for slot in range(num_slots):
+            batch = [
+                (tx.sender, tx.receiver, tx.packet) for tx in compiled.batch(slot)
+            ]
+            assert batch == by_slot[slot], (scheme, n, d, slot)
+
+    @settings(max_examples=30, deadline=None)
+    @given(CONFIG)
+    def test_engine_free_replay_matches_engine_arrivals(self, config):
+        scheme, n, d = config
+        compiled, reference, _ = _compile_and_reference(scheme, n, d)
+        assert replay_arrivals(compiled) == reference.all_arrivals(), (scheme, n, d)
+
+    @settings(max_examples=20, deadline=None)
+    @given(CONFIG, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_lossy_replay_never_beats_lossfree_arrivals(self, config, seed):
+        # Under the zero-slack loss model a dropped transmission only prunes:
+        # every surviving (node, packet) pair arrives exactly when the
+        # loss-free schedule delivered it, never earlier.
+        scheme, n, d = config
+        compiled, reference, _ = _compile_and_reference(scheme, n, d)
+        mask = bernoulli_mask(compiled, 0.2, seed)
+        lossy = replay_arrivals(compiled, drop_mask=mask)
+        clean = reference.all_arrivals()
+        for node, trace in lossy.items():
+            for packet, slot in trace.items():
+                assert slot == clean[node][packet], (scheme, n, d, node, packet)

@@ -33,7 +33,7 @@ class TestSchema:
 
     def test_schema_entries_shape(self):
         for name, (emitter, fields) in EVENT_SCHEMA.items():
-            assert emitter in {"engine", "repair", "playback", "churn"}, name
+            assert emitter in {"engine", "repair", "playback", "churn", "service"}, name
             assert all(isinstance(f, str) for f in fields), name
 
 

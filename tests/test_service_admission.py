@@ -1,0 +1,175 @@
+"""Admission control: reject/queue/degrade policies against capacity budgets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.obs import EventTracer, MetricsRegistry, RingBufferSink
+from repro.obs.registry import use_registry
+from repro.service.admission import SessionManager
+from repro.service.spec import CapacityModel, ResolvedSession, SessionSpec
+
+
+def _sessions(arrival_slots, spec=None):
+    spec = spec if spec is not None else SessionSpec(num_nodes=10, degree=3)
+    return [
+        ResolvedSession(session_id=i, spec=spec, arrival_slot=slot, seed=i)
+        for i, slot in enumerate(arrival_slots)
+    ]
+
+
+def _duration(slots=10):
+    def duration_of(session, degree):
+        return slots
+
+    return duration_of
+
+
+class TestRejectPolicy:
+    def test_overload_rejects_excess(self):
+        # fanout budget 6 fits two d=3 sessions; the third (same slot) is out.
+        manager = SessionManager(
+            CapacityModel(source_fanout=6.0, backbone=1000.0), policy="reject"
+        )
+        decisions = manager.admit_all(_sessions([0, 0, 0]), _duration())
+        assert [d.status for d in decisions] == ["admitted", "admitted", "rejected"]
+        assert decisions[2].reason == "capacity"
+
+    def test_departures_free_capacity(self):
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0), policy="reject"
+        )
+        # Session 0 holds [0, 10); arrival at 10 fits again, arrival at 5 not.
+        decisions = manager.admit_all(_sessions([0, 5, 10]), _duration(10))
+        assert [d.status for d in decisions] == ["admitted", "rejected", "admitted"]
+
+    def test_backbone_budget_binds_independently(self):
+        manager = SessionManager(
+            CapacityModel(source_fanout=100.0, backbone=15.0), policy="reject"
+        )
+        decisions = manager.admit_all(_sessions([0, 0]), _duration())
+        assert [d.status for d in decisions] == ["admitted", "rejected"]
+
+
+class TestQueuePolicy:
+    def test_queued_session_starts_at_departure(self):
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=64,
+        )
+        decisions = manager.admit_all(_sessions([0, 2]), _duration(10))
+        assert decisions[0].start_slot == 0
+        assert decisions[1].status == "admitted"
+        assert decisions[1].start_slot == 10
+        assert decisions[1].wait_slots == 8
+
+    def test_wait_bound_times_out(self):
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=4,
+        )
+        decisions = manager.admit_all(_sessions([0, 2]), _duration(10))
+        assert decisions[1].status == "rejected"
+        assert decisions[1].reason == "queue_timeout"
+
+    def test_fifo_no_overtaking(self):
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=64,
+        )
+        decisions = manager.admit_all(_sessions([0, 1, 2]), _duration(10))
+        starts = [d.start_slot for d in decisions]
+        assert starts == [0, 10, 20]
+        assert [d.wait_slots for d in decisions] == [0, 9, 18]
+
+
+class TestDegradePolicy:
+    def test_degrades_to_fitting_degree(self):
+        spec = SessionSpec(num_nodes=10, degree=4)
+        manager = SessionManager(
+            CapacityModel(source_fanout=6.0, backbone=1000.0),
+            policy="degrade", min_degree=2,
+        )
+        decisions = manager.admit_all(_sessions([0, 0], spec), _duration())
+        assert decisions[0].status == "admitted"
+        assert decisions[0].degree == 4
+        assert decisions[1].status == "degraded"
+        assert decisions[1].degree == 2  # only 2 fanout units were left
+
+    def test_rejects_below_min_degree(self):
+        spec = SessionSpec(num_nodes=10, degree=4)
+        manager = SessionManager(
+            CapacityModel(source_fanout=5.0, backbone=1000.0),
+            policy="degrade", min_degree=3,
+        )
+        decisions = manager.admit_all(_sessions([0, 0], spec), _duration())
+        assert decisions[1].status == "rejected"
+
+    def test_duration_resolved_at_degraded_degree(self):
+        spec = SessionSpec(num_nodes=10, degree=4)
+        seen = []
+
+        def duration_of(session, degree):
+            seen.append(degree)
+            return 5 + degree
+
+        manager = SessionManager(
+            CapacityModel(source_fanout=6.0, backbone=1000.0),
+            policy="degrade", min_degree=2,
+        )
+        decisions = manager.admit_all(_sessions([0, 0], spec), duration_of)
+        assert seen == [4, 2]
+        assert decisions[1].duration == 7
+
+
+class TestObservability:
+    def test_counters_and_peaks(self):
+        registry = MetricsRegistry()
+        manager = SessionManager(
+            CapacityModel(source_fanout=6.0, backbone=1000.0), policy="reject"
+        )
+        with use_registry(registry):
+            manager.admit_all(_sessions([0, 0, 0]), _duration())
+        counters = {
+            (row["name"], row["labels"]): row["value"]
+            for row in registry.rows()
+            if row["kind"] == "counter"
+        }
+        assert counters[("fleet.sessions", "status=admitted")] == 2
+        assert counters[("fleet.sessions", "status=rejected")] == 1
+        gauges = {
+            row["name"]: row["value"]
+            for row in registry.rows()
+            if row["kind"] == "gauge"
+        }
+        assert gauges["fleet.peak_fanout"] == 6.0
+        assert gauges["fleet.peak_backbone"] == 20.0
+        assert manager.peak_fanout == 6.0
+        assert manager.peak_backbone == 20.0
+
+    def test_events_emitted(self):
+        sink = RingBufferSink()
+        tracer = EventTracer(sink)
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=64, tracer=tracer,
+        )
+        manager.admit_all(_sessions([0, 1]), _duration(10))
+        names = [e.name for e in sink.events]
+        assert names.count("session_admitted") == 2
+        assert names.count("session_queued") == 1
+
+    def test_unsorted_arrivals_rejected(self):
+        manager = SessionManager(CapacityModel())
+        spec = SessionSpec(num_nodes=10)
+        sessions = [
+            ResolvedSession(session_id=0, spec=spec, arrival_slot=5, seed=0),
+            ResolvedSession(session_id=1, spec=spec, arrival_slot=2, seed=1),
+        ]
+        with pytest.raises(ReproError):
+            manager.admit_all(sessions, _duration())
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            SessionManager(CapacityModel(), policy="drop")

@@ -1,0 +1,151 @@
+"""Fleet runner: sharded execution, cache amortization, facade + export."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.errors import ReproError
+from repro.exec.executor import ExecutorPolicy
+from repro.experiments import ExperimentSpec, run
+from repro.reporting.export import read_fleet_report_json, write_fleet_report_json
+from repro.service import (
+    CapacityModel,
+    FleetRunner,
+    FleetSLOReport,
+    FleetSpec,
+    SessionSpec,
+)
+
+SERIAL = ExecutorPolicy(mode="serial")
+
+
+def _small_fleet(**overrides) -> FleetSpec:
+    defaults = dict(
+        sessions=(
+            SessionSpec(num_nodes=15, degree=3, num_packets=6, weight=2.0),
+            SessionSpec(scheme="chain", num_nodes=8, num_packets=6),
+        ),
+        num_sessions=30,
+        capacity=CapacityModel(source_fanout=1e6, backbone=1e6),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return FleetSpec(**defaults)
+
+
+class TestFleetRunner:
+    def test_serial_run_shape(self):
+        runner = FleetRunner(policy=SERIAL)
+        result = runner.run(_small_fleet())
+        report = result.report
+        assert report.num_sessions == 30
+        assert report.rejected == 0
+        assert len(report.sessions) == report.admitted + report.degraded == 30
+        assert len(result.decisions) == 30
+        assert len(result.sessions) == 30
+        assert result.executor_info["mode"] == "serial"
+        ids = [slo.session_id for slo in report.sessions]
+        assert ids == sorted(ids)
+
+    def test_parallel_matches_serial_exactly(self):
+        fleet = _small_fleet()
+        serial = FleetRunner(policy=SERIAL).run(fleet).report
+        parallel = FleetRunner(
+            policy=ExecutorPolicy(max_workers=2, mode="parallel")
+        ).run(fleet).report
+        assert parallel == serial
+
+    def test_one_cache_lookup_per_admitted_session(self):
+        runner = FleetRunner(policy=SERIAL)
+        report = runner.run(_small_fleet()).report
+        # Two distinct configurations in the mix -> two compiles, the other
+        # 28 admissions hit the shared cache.
+        assert report.cache_misses == 2
+        assert report.cache_hits == 28
+        assert report.cache_hit_rate == pytest.approx(28 / 30)
+
+    def test_shared_cache_amortizes_across_runs(self):
+        runner = FleetRunner(policy=SERIAL)
+        fleet = _small_fleet()
+        runner.run(fleet)
+        second = runner.run(fleet).report
+        assert second.cache_misses == 0
+        assert second.cache_hit_rate == 1.0
+
+    def test_churned_sessions_score_truncated_prefix(self):
+        fleet = _small_fleet(churn_rate=0.8, num_sessions=40)
+        result = FleetRunner(policy=SERIAL).run(fleet)
+        by_id = {slo.session_id: slo for slo in result.report.sessions}
+        leavers = [s for s in result.sessions if s.leave_fraction is not None]
+        assert leavers
+        truncated = [by_id[s.session_id] for s in leavers if s.session_id in by_id]
+        assert any(slo.num_packets < 6 for slo in truncated)
+        assert all(slo.num_packets >= 1 for slo in truncated)
+        stayers = [
+            by_id[s.session_id]
+            for s in result.sessions
+            if s.leave_fraction is None and s.session_id in by_id
+        ]
+        assert all(slo.num_packets == 6 for slo in stayers)
+
+    def test_capacity_pressure_rejects(self):
+        fleet = _small_fleet(
+            sessions=(SessionSpec(num_nodes=15, degree=3, num_packets=6),),
+            capacity=CapacityModel(source_fanout=3.0, backbone=1e6),
+            policy="reject",
+            arrival="trace",
+            arrival_slots=(0, 0, 0),
+            num_sessions=3,
+        )
+        report = FleetRunner(policy=SERIAL).run(fleet).report
+        assert report.admitted == 1
+        assert report.rejected == 2
+        assert report.reject_rate == pytest.approx(2 / 3)
+
+
+class TestFacade:
+    def test_kind_fleet_runs_fleet_spec(self):
+        result = run(
+            ExperimentSpec(kind="fleet", fleet=_small_fleet(), executor=SERIAL)
+        )
+        assert isinstance(result.metrics, FleetSLOReport)
+        assert len(result.rows) == 30
+        assert result.provenance["cache"]["misses"] == 2
+        assert result.provenance["executor"]["mode"] == "serial"
+        assert result.artifacts["report"] is result.metrics
+
+    def test_default_fleet_built_from_scalars(self):
+        result = run(
+            ExperimentSpec(
+                kind="fleet", scheme="chain", num_nodes=8, num_packets=4,
+                executor=SERIAL,
+            )
+        )
+        assert result.metrics.num_sessions == 100
+        assert all(slo.label.startswith("chain") for slo in result.metrics.sessions)
+
+    def test_rejects_wrong_fleet_type(self):
+        with pytest.raises(ReproError):
+            run(ExperimentSpec(kind="fleet", fleet={"num_sessions": 5}))
+
+    def test_top_level_exports(self):
+        for name in (
+            "FleetSpec", "SessionSpec", "FleetRunner", "FleetSLOReport",
+            "SessionManager", "CapacityModel",
+        ):
+            assert hasattr(repro, name)
+
+
+class TestExportRoundTrip:
+    def test_report_round_trips_through_json_file(self, tmp_path):
+        report = FleetRunner(policy=SERIAL).run(_small_fleet()).report
+        path = tmp_path / "fleet.json"
+        write_fleet_report_json(report, path)
+        assert read_fleet_report_json(path) == report
+
+    def test_read_rejects_wrong_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format_version": 1, "kind": "nope", "report": {}}')
+        with pytest.raises(ReproError):
+            read_fleet_report_json(path)

@@ -1,0 +1,160 @@
+"""SLO scoring: pooled percentiles, session scoring, fleet aggregation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.service.admission import AdmissionDecision
+from repro.service.slo import (
+    FleetSLOReport,
+    aggregate_fleet,
+    pooled_percentile,
+    score_session,
+)
+
+
+def _decision(session_id, status, *, wait=0):
+    return AdmissionDecision(
+        session_id=session_id,
+        status=status,
+        arrival_slot=0,
+        start_slot=wait,
+        wait_slots=wait,
+        degree=3,
+        duration=0 if status == "rejected" else 10,
+        reason="capacity" if status == "rejected" else "",
+    )
+
+
+class TestPooledPercentile:
+    def test_nearest_rank_on_split_population(self):
+        counts = {1: 50, 10: 50}
+        assert pooled_percentile(counts, 50) == 1
+        assert pooled_percentile(counts, 51) == 10
+        assert pooled_percentile(counts, 100) == 10
+
+    def test_degenerate_distribution(self):
+        assert pooled_percentile({5: 1}, 0) == 5
+        assert pooled_percentile({5: 1}, 100) == 5
+
+    def test_bad_inputs(self):
+        with pytest.raises(ReproError):
+            pooled_percentile({1: 1}, -1)
+        with pytest.raises(ReproError):
+            pooled_percentile({1: 1}, 101)
+        with pytest.raises(ReproError):
+            pooled_percentile({}, 50)
+
+
+class TestScoreSession:
+    def test_hand_computed_two_nodes(self):
+        # Node 1 receives both packets on time; node 2 loses packet 1.
+        arrivals = {1: {0: 1, 1: 2}, 2: {0: 3}}
+        slo = score_session(
+            arrivals, session_id=7, label="k", num_packets=2, num_slots=10
+        )
+        assert slo.startup_delay == 4          # node 2: slot 3 - packet 0 + 1
+        assert slo.rebuffer_ratio == 0.25      # 1 missing of 4 pairs
+        assert slo.delay_p50 == 2
+        assert slo.delay_p99 == 4
+        assert slo.buffer_p99 == 1
+        assert slo.goodput == pytest.approx(3 / 20)
+        assert slo.delay_counts == ((2, 1), (4, 1))
+        assert slo.num_nodes == 2
+
+    def test_wait_charges_startup_only(self):
+        arrivals = {1: {0: 1, 1: 2}}
+        slo = score_session(
+            arrivals, session_id=0, label="k", num_packets=2, num_slots=10,
+            wait_slots=5, status="degraded",
+        )
+        assert slo.startup_delay == 2 + 5
+        assert slo.status == "degraded"
+        # The per-node delay distribution is wait-free.
+        assert slo.delay_counts == ((2, 1),)
+
+    def test_empty_trace_node_counts_as_full_loss(self):
+        arrivals = {1: {0: 0, 1: 1}, 2: {}}
+        slo = score_session(
+            arrivals, session_id=0, label="k", num_packets=2, num_slots=4
+        )
+        assert slo.rebuffer_ratio == 0.5  # node 2 missed both packets
+        assert 0 in dict(slo.delay_counts)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ReproError):
+            score_session({}, session_id=0, label="k", num_packets=2, num_slots=4)
+        with pytest.raises(ReproError):
+            score_session(
+                {1: {0: 0}}, session_id=0, label="k", num_packets=1, num_slots=0
+            )
+
+    def test_row_is_flat(self):
+        slo = score_session(
+            {1: {0: 0}}, session_id=3, label="k", num_packets=1, num_slots=2
+        )
+        row = slo.row()
+        assert row["session"] == 3
+        assert "delay_counts" not in row
+
+
+class TestAggregateFleet:
+    def _slo(self, session_id, *, delay=2, wait=0):
+        return score_session(
+            {1: {0: delay - 1}},
+            session_id=session_id,
+            label="k",
+            num_packets=1,
+            num_slots=10,
+            wait_slots=wait,
+        )
+
+    def test_admission_tallies(self):
+        decisions = [
+            _decision(0, "admitted"),
+            _decision(1, "admitted", wait=4),
+            _decision(2, "degraded"),
+            _decision(3, "rejected"),
+        ]
+        slos = [self._slo(0), self._slo(1, wait=4), self._slo(2)]
+        report = aggregate_fleet(decisions, slos, cache_hits=2, cache_misses=1)
+        assert report.num_sessions == 4
+        assert report.admitted == 2
+        assert report.degraded == 1
+        assert report.queued == 1
+        assert report.rejected == 1
+        assert report.reject_rate == 0.25
+        assert report.cache_hit_rate == pytest.approx(2 / 3)
+
+    def test_percentiles_pool_across_sessions(self):
+        # 50 nodes at delay 2 in one session, 1 node at delay 9 in another:
+        # the pooled p99 must see the tail node, a mean-of-percentiles won't.
+        fast = score_session(
+            {n: {0: 1} for n in range(50)},
+            session_id=0, label="k", num_packets=1, num_slots=10,
+        )
+        slow = score_session(
+            {0: {0: 8}}, session_id=1, label="k", num_packets=1, num_slots=10
+        )
+        decisions = [_decision(0, "admitted"), _decision(1, "admitted")]
+        report = aggregate_fleet(decisions, [fast, slow])
+        assert report.delay_p50 == 2
+        assert report.delay_p99 == 9
+        assert report.startup_max == 9
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ReproError):
+            aggregate_fleet([], [])
+
+    def test_all_rejected_raises(self):
+        with pytest.raises(ReproError):
+            aggregate_fleet([_decision(0, "rejected")], [])
+
+    def test_dict_round_trip_through_json(self):
+        decisions = [_decision(0, "admitted"), _decision(1, "rejected")]
+        report = aggregate_fleet(decisions, [self._slo(0)], cache_hits=1)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert FleetSLOReport.from_dict(payload) == report
