@@ -23,6 +23,11 @@ The package implements, from scratch, everything the paper describes:
   process-parallel sweep executor;
 * :mod:`repro.experiments` — the unified experiment facade
   (:func:`run` over :class:`ExperimentSpec`);
+* :mod:`repro.check` — the static verification layer: a schedule model
+  checker certifying compiled artifacts against the paper's invariants and
+  theorem bounds without running the engine (``repro check``,
+  ``compile_schedule(verify=True)``), plus the project's determinism lint
+  (``repro lint``, rules REP001-REP004);
 * :mod:`repro.service` — the fleet service layer: multi-session scenarios
   (:class:`FleetSpec`), admission control against capacity budgets
   (:class:`~repro.service.SessionManager`), sharded execution
@@ -59,6 +64,14 @@ facade — see ``docs/API.md`` for the migration table.
 """
 
 from repro.baselines import ChainProtocol, SingleTreeProtocol
+from repro.check import (
+    CheckReport,
+    Violation,
+    check_config,
+    check_schedule,
+    lint_paths,
+    smoke_grid,
+)
 from repro.cluster import ClusteredStreamingProtocol, analyze_clustered, build_supertree
 from repro.core import (
     PlaybackBuffer,
@@ -107,7 +120,7 @@ from repro.service import (
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def simulate(*args, **kwargs):
@@ -130,6 +143,7 @@ def simulate(*args, **kwargs):
 __all__ = [
     "CapacityModel",
     "ChainProtocol",
+    "CheckReport",
     "ClusteredStreamingProtocol",
     "CompiledSchedule",
     "DynamicForest",
@@ -164,19 +178,24 @@ __all__ = [
     "StreamingProtocol",
     "SweepExecutor",
     "Transmission",
+    "Violation",
     "__version__",
     "analyze",
     "analyze_cascade",
     "analyze_clustered",
     "build_supertree",
     "cascade_plan",
+    "check_config",
+    "check_schedule",
     "collect_metrics",
     "compile_schedule",
     "earliest_safe_start",
+    "lint_paths",
     "optimal_degree",
     "repair_experiment",
     "run",
     "run_repair_experiment",
     "simulate",
+    "smoke_grid",
     "table1",
 ]

@@ -1,0 +1,58 @@
+"""Static verification layer: schedule model checking and project lint.
+
+Two pillars, both engine-free:
+
+* :mod:`repro.check.schedule` / :mod:`repro.check.invariants` — certify a
+  :class:`~repro.exec.compiler.CompiledSchedule` against the paper's
+  communication model (per-slot capacities, causal forwarding, exactly-once
+  coverage) and the theorem bounds (Thm 2's ``h*d`` delay/buffer for the
+  multi-tree scheme, the hypercube's 2-packet buffer, Prop 2's delay bound)
+  without running a single simulated slot.  Exposed as ``repro check`` and
+  as ``compile_schedule(..., verify=True)`` (verify-on-miss: a fresh compile
+  must pass before it may enter the schedule cache).
+* :mod:`repro.check.lint` — an AST lint (stdlib :mod:`ast` only) enforcing
+  the project's determinism and error-handling discipline: seeded RNG only
+  (REP001), wall-clock reads confined to ``repro/obs/`` (REP002), no bare
+  ``assert`` in library code (REP003), no iteration over unordered set
+  expressions where order feeds transmission emission (REP004).  Exposed as
+  ``repro lint``.
+
+``docs/CHECKS.md`` catalogues every invariant and lint rule with its paper
+reference and rationale.
+"""
+
+from repro.check.invariants import RULES, ScheduleFacts, Violation
+from repro.check.lint import (
+    LINT_RULES,
+    LintViolation,
+    format_violations,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.check.schedule import (
+    DEFAULT_GRID_DEGREES,
+    DEFAULT_GRID_NODES,
+    CheckReport,
+    check_config,
+    check_schedule,
+    smoke_grid,
+)
+
+__all__ = [
+    "DEFAULT_GRID_DEGREES",
+    "DEFAULT_GRID_NODES",
+    "CheckReport",
+    "LINT_RULES",
+    "LintViolation",
+    "RULES",
+    "ScheduleFacts",
+    "Violation",
+    "check_config",
+    "check_schedule",
+    "format_violations",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "smoke_grid",
+]

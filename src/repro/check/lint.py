@@ -1,0 +1,370 @@
+"""Project lint pass (``repro lint``): the determinism & error discipline rules.
+
+A reproduction lives or dies on determinism — the same spec must yield the
+same schedule, byte for byte, on every machine — and on failing loudly
+through :class:`~repro.core.errors.ReproError` rather than stripped-out
+``assert`` statements.  This module enforces both statically, with nothing
+but :mod:`ast`:
+
+* **REP001 unseeded-rng** — ``np.random.default_rng()`` without a seed, or
+  any module-level ``random.*`` / legacy ``np.random.*`` call (process-global
+  RNG state).  Library code must thread an explicit seed.
+* **REP002 wall-clock** — reads of ``time.time`` / ``time.perf_counter`` /
+  ``time.monotonic`` / ``datetime.now`` outside ``repro/obs/``: timing is an
+  observability concern and lives behind :mod:`repro.obs.profile`.
+* **REP003 bare-assert** — ``assert`` in library code; ``python -O`` strips
+  asserts, so invariants must raise :class:`~repro.core.errors.ReproError`.
+* **REP004 unordered-iteration** — ``for`` loops over a set display, a
+  ``set()``/``frozenset()`` call, a set comprehension, or a set-operator
+  expression inside ``trees/``, ``hypercube/``, or ``exec/``, where iteration
+  order can feed transmission emission.  Wrap the iterable in ``sorted()``.
+
+Scope is path-based: rules apply to files inside a ``repro`` package tree
+and skip ``tests``/``benchmarks``/``examples``/``scripts`` directories.  A
+file opts out of specific rules with a pragma comment anywhere in the file
+(``REPxxx`` standing for a real rule id)::
+
+    # repro-lint: disable=REPxxx
+
+``lint_paths`` returns the findings; the CLI renders them as text or JSON.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "LINT_RULES",
+    "LintViolation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "format_violations",
+]
+
+#: rule id -> one-line description (docs/CHECKS.md holds the full catalogue).
+LINT_RULES: dict[str, str] = {
+    "REP001": "unseeded RNG: np.random.default_rng() without a seed or "
+    "module-level random.* / np.random.* call",
+    "REP002": "wall-clock read (time.time/perf_counter/monotonic, "
+    "datetime.now) outside repro/obs/",
+    "REP003": "bare assert in library code; raise ReproError instead",
+    "REP004": "iteration over an unordered set expression where order can "
+    "feed transmission emission (trees/, hypercube/, exec/)",
+}
+
+_PRAGMA = re.compile(
+    r"#[ \t]*repro-lint:[ \t]*disable=([A-Za-z0-9_,\t ]+)", re.IGNORECASE
+)
+
+#: Directory names whose files are exempt from every rule.
+_EXEMPT_DIRS = frozenset({"tests", "benchmarks", "examples", "scripts"})
+
+#: Directories where REP004 (emission-order determinism) applies.
+_ORDER_CRITICAL_DIRS = frozenset({"trees", "hypercube", "exec"})
+
+#: Wall-clock attribute names on the ``time`` module.
+_TIME_ATTRS = frozenset({"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"})
+
+#: random.* calls that are fine: seeded/derived generator construction.
+_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+
+@dataclass(frozen=True, slots=True)
+class LintViolation:
+    """One lint finding, anchored to a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _disabled_rules(source: str) -> frozenset[str]:
+    disabled: set[str] = set()
+    for match in _PRAGMA.finditer(source):
+        for token in match.group(1).split(","):
+            token = token.strip().upper()
+            if token == "ALL":
+                disabled.update(LINT_RULES)
+            elif token:
+                disabled.add(token)
+    return frozenset(disabled)
+
+
+def _scope_of(path: Path) -> tuple[bool, bool, bool]:
+    """``(library, obs_exempt, order_critical)`` classification of a file."""
+    parts = path.parts
+    if any(part in _EXEMPT_DIRS for part in parts):
+        return False, False, False
+    obs_exempt = "obs" in parts
+    order_critical = any(part in _ORDER_CRITICAL_DIRS for part in parts)
+    return True, obs_exempt, order_critical
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """True when ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    """Single-pass rule evaluation over one module's AST."""
+
+    def __init__(self, path: str, *, obs_exempt: bool, order_critical: bool) -> None:
+        self.path = path
+        self.obs_exempt = obs_exempt
+        self.order_critical = order_critical
+        self.violations: list[LintViolation] = []
+        self._random_module_names: set[str] = set()
+        self._numpy_names: set[str] = set()
+
+    def _note(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            LintViolation(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------- imports
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self._random_module_names.add(local)
+            elif alias.name in ("numpy", "numpy.random"):
+                self._numpy_names.add(local)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time" and not self.obs_exempt:
+            for alias in node.names:
+                if alias.name in _TIME_ATTRS:
+                    self._note(
+                        "REP002", node,
+                        f"importing time.{alias.name}; wall-clock reads belong "
+                        "in repro/obs/",
+                    )
+        self.generic_visit(node)
+
+    # --------------------------------------------------------------- calls
+    def _numpy_random_target(self, func: ast.expr) -> str | None:
+        """``'default_rng'``/attr name for ``np.random.<attr>`` calls."""
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        # np.random.<attr> — numpy imported as a module alias.
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self._numpy_names
+        ):
+            return func.attr
+        # <nr>.<attr> where `import numpy.random as nr`.
+        if isinstance(value, ast.Name) and value.id in self._numpy_names:
+            return func.attr if func.attr == "default_rng" else None
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # REP001: module-level random.* (stdlib global RNG state).
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._random_module_names
+            and func.attr not in _RANDOM_OK
+        ):
+            self._note(
+                "REP001", node,
+                f"module-level random.{func.attr}() uses process-global RNG "
+                "state; seed an explicit random.Random(seed)",
+            )
+        # REP001: numpy RNG.
+        np_attr = self._numpy_random_target(func)
+        if np_attr == "default_rng":
+            seeded = bool(node.args) and not (
+                isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+            )
+            if not seeded:
+                seeded = any(
+                    kw.arg == "seed"
+                    and not (isinstance(kw.value, ast.Constant) and kw.value.value is None)
+                    for kw in node.keywords
+                )
+            if not seeded:
+                self._note(
+                    "REP001", node,
+                    "np.random.default_rng() without a seed is "
+                    "non-reproducible; pass one explicitly",
+                )
+        elif np_attr is not None:
+            self._note(
+                "REP001", node,
+                f"legacy np.random.{np_attr}() uses the global numpy RNG; "
+                "use np.random.default_rng(seed)",
+            )
+        # REP002: time.<wallclock>() via the module attribute.
+        if not self.obs_exempt and isinstance(func, ast.Attribute):
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+                and func.attr in _TIME_ATTRS
+            ):
+                self._note(
+                    "REP002", node,
+                    f"time.{func.attr}() outside repro/obs/; use "
+                    "repro.obs.profile (Timer/PhaseProfiler)",
+                )
+            elif func.attr in ("now", "utcnow", "today") and isinstance(
+                func.value, (ast.Name, ast.Attribute)
+            ):
+                base = func.value
+                name = base.id if isinstance(base, ast.Name) else base.attr
+                if name == "datetime" or name == "date":
+                    self._note(
+                        "REP002", node,
+                        f"datetime wall-clock read ({name}.{func.attr}()) "
+                        "outside repro/obs/",
+                    )
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- statements
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._note(
+            "REP003", node,
+            "bare assert is stripped under python -O; raise ReproError "
+            "(or a subclass) with a message",
+        )
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_loop_order(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:  # pragma: no cover
+        self._check_loop_order(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_loop_order(node.iter)
+        self.generic_visit(node)
+
+    def _check_loop_order(self, iterable: ast.expr) -> None:
+        if self.order_critical and _is_set_expression(iterable):
+            self._note(
+                "REP004", iterable,
+                "iterating an unordered set expression in emission-order "
+                "critical code; wrap it in sorted()",
+            )
+
+
+def lint_source(
+    source: str,
+    path: str | Path,
+    *,
+    scope_path: Path | None = None,
+) -> list[LintViolation]:
+    """Lint one module's source text.
+
+    Args:
+        source: the module source.
+        path: reported in findings.
+        scope_path: path used for rule scoping (defaults to ``path``).
+    """
+    where = Path(scope_path if scope_path is not None else path)
+    library, obs_exempt, order_critical = _scope_of(where)
+    if not library:
+        return []
+    disabled = _disabled_rules(source)
+    if disabled >= frozenset(LINT_RULES):
+        return []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule="REP000",
+                path=str(path),
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    visitor = _Visitor(
+        str(path), obs_exempt=obs_exempt, order_critical=order_critical
+    )
+    visitor.visit(tree)
+    return [v for v in visitor.violations if v.rule not in disabled]
+
+
+def lint_file(path: str | Path) -> list[LintViolation]:
+    """Lint one file from disk."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), p)
+
+
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Sequence[str | Path]) -> list[LintViolation]:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Findings come back sorted by ``(path, line, col, rule)`` so output is
+    deterministic across filesystems.
+    """
+    violations: list[LintViolation] = []
+    for file in _iter_python_files(paths):
+        violations.extend(lint_file(file))
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))
+
+
+def format_violations(
+    violations: Iterable[LintViolation], *, format: str = "text"
+) -> str:
+    """Render findings as ``text`` (one per line) or ``json``."""
+    items = list(violations)
+    if format == "json":
+        return json.dumps([v.to_dict() for v in items], indent=2)
+    if format != "text":
+        raise ValueError(f"unknown format {format!r}; choose text or json")
+    if not items:
+        return "OK: no lint violations"
+    lines = [str(v) for v in items]
+    lines.append(f"{len(items)} violation{'s' if len(items) != 1 else ''} found")
+    return "\n".join(lines)

@@ -12,7 +12,12 @@ Commands:
 * ``stats``    — fully instrumented run: metrics, event counts, phase timings;
 * ``fleet``    — multi-session service scenario: admission control against
   capacity budgets, sharded execution, fleet SLO report (``--dry-run``
-  prints the resolved scenario without executing it).
+  prints the resolved scenario without executing it);
+* ``check``    — statically model-check a compiled schedule against the
+  paper's invariants and theorem bounds without running the engine
+  (``--grid`` certifies every compilable scheme over the CI smoke grid);
+* ``lint``     — the project's determinism/error-discipline lint pass
+  (REP001-REP004, see ``docs/CHECKS.md``).
 
 ``repro --version`` prints the package version (from installed metadata when
 available, else the source tree's ``repro.__version__``).
@@ -302,6 +307,50 @@ def build_parser() -> argparse.ArgumentParser:
         "without executing anything",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="statically model-check a compiled schedule against the paper's "
+        "invariants (no engine run)",
+    )
+    check.add_argument(
+        "--scheme",
+        choices=["multi-tree", "hypercube", "grouped-hypercube", "chain", "single-tree"],
+        default="multi-tree",
+    )
+    check.add_argument("-n", "--nodes", type=int, default=127)
+    check.add_argument("-d", "--degree", type=int, default=3)
+    check.add_argument("-p", "--packets", type=int, default=16)
+    check.add_argument(
+        "--construction", choices=["structured", "greedy"], default="structured",
+        help="multi-tree forest construction",
+    )
+    check.add_argument(
+        "--mode", choices=["prerecorded", "live_prebuffered"], default="prerecorded",
+        help="multi-tree stream mode",
+    )
+    check.add_argument(
+        "--grid", action="store_true",
+        help="ignore --scheme/-n/-d and certify every compilable scheme over "
+        "the CI smoke grid (N in {15, 127, 1023}, d in {2, 3})",
+    )
+    check.add_argument(
+        "--max-per-rule", type=int, default=25, metavar="COUNT",
+        help="findings printed per rule (totals stay exact)",
+    )
+    check.add_argument("--json", metavar="PATH", help="write the report(s) as JSON")
+
+    lint = sub.add_parser(
+        "lint", help="run the project lint pass (REP001-REP004) over paths"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="output format",
+    )
+
     verify = sub.add_parser(
         "verify", help="audit an exported trace JSON against the model"
     )
@@ -347,7 +396,7 @@ def _cmd_figure4(args) -> int:
     executor = SweepExecutor(ExecutorPolicy(max_workers=args.parallel))
     results = executor.map(multi_tree_cell, tasks)
     by_degree: dict[int, list[int]] = {d: [] for d in degrees}
-    for n, d, delay in results:
+    for _n, d, delay in results:
         by_degree[d].append(delay)
     series = {f"degree {d}": by_degree[d] for d in degrees}
     print(series_table("N", populations, series))
@@ -628,6 +677,47 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import json
+
+    from repro.check import check_config, smoke_grid
+
+    try:
+        if args.grid:
+            reports = smoke_grid()
+        else:
+            reports = [
+                check_config(
+                    args.scheme, args.nodes, args.degree,
+                    num_packets=args.packets, construction=args.construction,
+                    mode=args.mode, max_per_rule=args.max_per_rule,
+                )
+            ]
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    for report in reports:
+        print(report.summary())
+        for violation in report.violations:
+            print(f"  - {violation}")
+    total = sum(r.num_violations for r in reports)
+    if args.grid:
+        print(f"grid: {len(reports)} schedules checked, {total} violations")
+    if args.json:
+        payload = [r.to_dict() for r in reports]
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload if args.grid else payload[0], fh, indent=2)
+        print(f"check JSON -> {args.json}")
+    return 0 if total == 0 else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.check import format_violations, lint_paths
+
+    violations = lint_paths(args.paths)
+    print(format_violations(violations, format=args.format))
+    return 0 if not violations else 1
+
+
 def _cmd_verify(args) -> int:
     from collections import Counter
 
@@ -668,6 +758,8 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "stats": _cmd_stats,
     "fleet": _cmd_fleet,
+    "check": _cmd_check,
+    "lint": _cmd_lint,
     "verify": _cmd_verify,
 }
 

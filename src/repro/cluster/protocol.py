@@ -311,7 +311,7 @@ class ClusteredStreamingProtocol(StreamingProtocol):
     def describe(self) -> str:
         sizes = ",".join(
             f"{layout.num_receivers}{'h' if scheme == 'hypercube' else 't'}"
-            for layout, scheme in zip(self.layouts, self.cluster_schemes)
+            for layout, scheme in zip(self.layouts, self.cluster_schemes, strict=True)
         )
         return (
             f"clustered(K={self.num_clusters}, D={self.supertree.source_degree}, "

@@ -30,9 +30,12 @@ import os
 import pickle
 import tempfile
 from collections import OrderedDict
+from collections.abc import Callable
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
+from repro.core.errors import ReproError
 from repro.obs.registry import active_registry
 
 __all__ = ["CACHE_VERSION", "ScheduleKey", "ScheduleCache", "default_cache"]
@@ -141,10 +144,11 @@ class ScheduleCache:
         return self._disk_dir
 
     def _path_for(self, token: str) -> Path:
-        assert self._disk_dir is not None
+        if self._disk_dir is None:
+            raise ReproError("disk cache layer is disabled; no path for token")
         return self._disk_dir / f"{token}.pkl"
 
-    def _disk_load(self, key: ScheduleKey, token: str):
+    def _disk_load(self, key: ScheduleKey, token: str) -> Any:
         """Corruption-safe disk read: any failure is a miss, never an error."""
         if self._disk_dir is None:
             return None
@@ -174,7 +178,7 @@ class ScheduleCache:
                 pass
             return None
 
-    def _disk_store(self, key: ScheduleKey, token: str, schedule) -> None:
+    def _disk_store(self, key: ScheduleKey, token: str, schedule: Any) -> None:
         if self._disk_dir is None:
             return
         envelope = {
@@ -227,12 +231,12 @@ class ScheduleCache:
             pass
 
     # --------------------------------------------------------------------- api
-    def get(self, key: ScheduleKey):
+    def get(self, key: ScheduleKey) -> Any:
         """Cached schedule for ``key`` or None (checks memory, then disk)."""
         schedule, _ = self.get_with_layer(key)
         return schedule
 
-    def get_with_layer(self, key: ScheduleKey):
+    def get_with_layer(self, key: ScheduleKey) -> tuple[Any, str | None]:
         """``(schedule, layer)`` where layer is ``memory``/``disk``/None."""
         token = key.token()
         if token in self._memory:
@@ -246,12 +250,17 @@ class ScheduleCache:
             return schedule, "disk"
         return None, None
 
-    def put(self, key: ScheduleKey, schedule) -> None:
+    def put(self, key: ScheduleKey, schedule: Any) -> None:
         token = key.token()
         self._remember(token, schedule)
         self._disk_store(key, token, schedule)
 
-    def get_or_compile(self, key: ScheduleKey, builder, provenance: dict | None = None):
+    def get_or_compile(
+        self,
+        key: ScheduleKey,
+        builder: Callable[[], Any],
+        provenance: dict[str, Any] | None = None,
+    ) -> Any:
         """Return the cached schedule or build, store, and return a fresh one.
 
         Args:
@@ -271,7 +280,7 @@ class ScheduleCache:
             provenance["cache_token"] = key.token()
         return schedule
 
-    def _remember(self, token: str, schedule) -> None:
+    def _remember(self, token: str, schedule: Any) -> None:
         self._memory[token] = schedule
         self._memory.move_to_end(token)
         while len(self._memory) > self.capacity:

@@ -24,10 +24,15 @@ from __future__ import annotations
 
 import heapq
 from array import array
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any, cast
 
-from repro.core.errors import ReproError
+from repro.core.errors import ReproError, ScheduleError
 from repro.core.packet import Transmission
 from repro.exec.cache import ScheduleCache, ScheduleKey, default_cache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import StreamingProtocol
 
 __all__ = [
     "COMPILABLE_SCHEMES",
@@ -124,12 +129,12 @@ class CompiledSchedule:
             and self.trees == other.trees
         )
 
-    def __getstate__(self):
+    def __getstate__(self) -> dict[str, Any]:
         # The materialized Transmission batches are a per-process cache;
         # never pickle them (workers rebuild lazily on first use).
         return {name: getattr(self, name) for name in self.__slots__ if name != "_batches"}
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: dict[str, Any]) -> None:
         for name, value in state.items():
             setattr(self, name, value)
         self._batches = None
@@ -175,7 +180,7 @@ class CompiledSchedule:
             self._batches = self._materialize()
         return list(self._batches[slot])
 
-    def iter_transmissions(self):
+    def iter_transmissions(self) -> Iterator[Transmission]:
         """All transmissions in slot order (materializing lazily)."""
         if self._batches is None:
             self._batches = self._materialize()
@@ -213,7 +218,9 @@ class _CompileView:
         return frozenset(p for p, a in trace.items() if a < slot)
 
 
-def compile_protocol(protocol, num_slots: int, *, key: ScheduleKey | None = None) -> CompiledSchedule:
+def compile_protocol(
+    protocol: StreamingProtocol, num_slots: int, *, key: ScheduleKey | None = None
+) -> CompiledSchedule:
     """Lower ``protocol``'s first ``num_slots`` slots into a :class:`CompiledSchedule`.
 
     Runs the protocol's own scheduling loop against a loss-free holdings model
@@ -287,7 +294,7 @@ def build_protocol(
     construction: str = "structured",
     mode: str = "prerecorded",
     latency: int = 1,
-):
+) -> StreamingProtocol:
     """Instantiate the protocol object a :class:`ScheduleKey` describes."""
     if scheme == "multi-tree":
         from repro.trees import MultiTreeProtocol
@@ -357,6 +364,7 @@ def compile_schedule(
     latency: int = 1,
     cache: ScheduleCache | None = None,
     provenance: dict | None = None,
+    verify: bool = False,
 ) -> CompiledSchedule:
     """Compile (or fetch from cache) the schedule for one configuration.
 
@@ -364,18 +372,27 @@ def compile_schedule(
     ``num_packets`` derives the horizon from the scheme's
     ``slots_for_packets`` bound.  ``provenance``, when passed, receives the
     cache outcome (``memory``/``disk``/``miss``) and the content token.
+
+    ``verify=True`` enables verify-on-miss: a freshly compiled schedule is
+    statically model-checked (:func:`repro.check.check_schedule`) and a
+    :class:`~repro.core.errors.ScheduleError` is raised **before** the
+    artifact may enter the cache if any invariant is violated.  Cache hits
+    skip re-verification — they were certified when first stored.
     """
     if (num_slots is None) == (num_packets is None):
         raise ReproError("pass exactly one of num_slots / num_packets")
-    protocol = None
+    protocol: StreamingProtocol | None = None
     if num_slots is None:
+        if num_packets is None:  # unreachable: guarded by the check above
+            raise ReproError("pass exactly one of num_slots / num_packets")
         protocol = build_protocol(
             scheme, num_nodes, degree,
             construction=construction, mode=mode, latency=latency,
         )
         num_slots = protocol.slots_for_packets(num_packets)
+    horizon: int = num_slots
     key = _normalized_key(
-        scheme, num_nodes, degree, num_slots, construction, mode, latency
+        scheme, num_nodes, degree, horizon, construction, mode, latency
     )
     cache = cache if cache is not None else default_cache()
 
@@ -384,6 +401,20 @@ def compile_schedule(
             scheme, num_nodes, degree,
             construction=construction, mode=mode, latency=latency,
         )
-        return compile_protocol(built, num_slots, key=key)
+        schedule = compile_protocol(built, horizon, key=key)
+        if verify:
+            # Import lazily: repro.check depends on this module.
+            from repro.check.schedule import check_schedule
 
-    return cache.get_or_compile(key, _build, provenance)
+            report = check_schedule(
+                schedule, protocol=built, num_packets=num_packets
+            )
+            if not report.ok:
+                findings = "\n  ".join(str(v) for v in report.violations[:10])
+                raise ScheduleError(
+                    f"compiled schedule failed static verification — "
+                    f"{report.summary()}\n  {findings}"
+                )
+        return schedule
+
+    return cast(CompiledSchedule, cache.get_or_compile(key, _build, provenance))

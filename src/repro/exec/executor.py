@@ -19,9 +19,11 @@
 from __future__ import annotations
 
 import os
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
+from typing import Any
 
 from repro.core.errors import ReproError
 from repro.obs.registry import MetricsRegistry, active_registry, use_registry
@@ -71,20 +73,20 @@ class ExecutorPolicy:
 
 
 # Per-process payload installed by the pool initializer (or the serial path).
-_PAYLOAD = None
+_PAYLOAD: Any = None
 
 
-def _init_worker(payload) -> None:
+def _init_worker(payload: Any) -> None:
     global _PAYLOAD
     _PAYLOAD = payload
 
 
-def worker_payload():
+def worker_payload() -> Any:
     """The payload shipped to this worker (None outside an executor run)."""
     return _PAYLOAD
 
 
-def _snapshotting_task(worker, task):
+def _snapshotting_task(worker: Callable[[Any], Any], task: Any) -> tuple[Any, dict]:
     """Run one task against a fresh registry; return (result, snapshot)."""
     registry = MetricsRegistry()
     with use_registry(registry):
@@ -113,7 +115,9 @@ class SweepExecutor:
         self.last_run: dict[str, object] = {}
 
     # ------------------------------------------------------------------ paths
-    def _run_serial(self, run, tasks, payload):
+    def _run_serial(
+        self, run: Callable[[Any], Any], tasks: Sequence[Any], payload: Any
+    ) -> list[Any]:
         global _PAYLOAD
         previous = _PAYLOAD
         _PAYLOAD = payload
@@ -122,14 +126,22 @@ class SweepExecutor:
         finally:
             _PAYLOAD = previous
 
-    def _run_parallel(self, run, tasks, payload, workers: int):
+    def _run_parallel(
+        self, run: Callable[[Any], Any], tasks: Sequence[Any], payload: Any, workers: int
+    ) -> list[Any]:
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker, initargs=(payload,)
         ) as pool:
             return list(pool.map(run, tasks, chunksize=self.policy.chunksize))
 
     # -------------------------------------------------------------------- api
-    def map(self, worker, tasks, *, payload=None) -> list:
+    def map(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        *,
+        payload: Any = None,
+    ) -> list[Any]:
         """Evaluate ``worker`` over ``tasks``; results keep task order.
 
         Args:
@@ -184,14 +196,14 @@ class SweepExecutor:
             self.last_run["fallback_error"] = fallback_error
         if self.registry is None:
             return raw
-        results = []
+        results: list[Any] = []
         for result, snapshot in raw:
             self.registry.merge(snapshot)
             results.append(result)
         return results
 
 
-def replay_sweep_task(task):
+def replay_sweep_task(task: tuple[int, float, int]) -> dict[str, Any]:
     """Sweep worker: replay the payload schedule at one ``(seed, drop_rate)``.
 
     Task tuple: ``(seed, drop_rate, num_packets)``.  The compiled schedule
@@ -207,6 +219,6 @@ def replay_sweep_task(task):
     metrics = replay_point(
         schedule, num_packets=num_packets, seed=seed, drop_rate=drop_rate
     )
-    row = {"seed": seed, "drop_rate": drop_rate}
+    row: dict[str, Any] = {"seed": seed, "drop_rate": drop_rate}
     row.update(metrics.row())
     return row

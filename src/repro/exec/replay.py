@@ -48,7 +48,7 @@ def replay_arrivals(
     schedule: CompiledSchedule,
     *,
     num_slots: int | None = None,
-    drop_mask=None,
+    drop_mask: np.ndarray | None = None,
 ) -> dict[int, dict[int, int]]:
     """Replay the compiled timetable; return node -> (packet -> arrival slot).
 

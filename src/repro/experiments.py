@@ -23,7 +23,6 @@ entry points remain as thin deprecated wrappers.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import dataclass, field, replace
 
@@ -38,7 +37,7 @@ from repro.exec.compiler import (
     compile_schedule,
 )
 from repro.exec.executor import ExecutorPolicy, SweepExecutor, replay_sweep_task
-from repro.obs import Instrumentation
+from repro.obs import Instrumentation, Timer
 
 __all__ = [
     "EXPERIMENT_KINDS",
@@ -96,6 +95,8 @@ class ExperimentSpec:
             None builds a single-kind fleet from the scalar scheme fields.
         compiled: replay a compiled schedule when the scheme allows it.
         cache: consult the content-addressed schedule cache.
+        verify: statically model-check freshly compiled schedules
+            (:mod:`repro.check`) before they may enter the cache.
         executor: :class:`~repro.exec.executor.ExecutorPolicy` for sweeps.
         validate: engine validation override (None = engine default).
         record_transmissions: keep the full transmission log.
@@ -132,6 +133,7 @@ class ExperimentSpec:
     # --- execution policy
     compiled: bool = True
     cache: bool = True
+    verify: bool = False
     executor: ExecutorPolicy = field(default_factory=ExecutorPolicy)
     validate: bool | None = None
     record_transmissions: bool = True
@@ -250,7 +252,7 @@ def _compiled_for(spec: ExperimentSpec, num_slots: int, provenance: dict):
             spec.scheme, spec.num_nodes, spec.degree,
             num_slots=num_slots, construction=spec.construction,
             mode=spec.mode, latency=spec.latency,
-            cache=default_cache(), provenance=provenance,
+            cache=default_cache(), provenance=provenance, verify=spec.verify,
         )
     else:
         protocol = build_protocol(
@@ -259,6 +261,15 @@ def _compiled_for(spec: ExperimentSpec, num_slots: int, provenance: dict):
         )
         schedule = compile_protocol(protocol, num_slots)
         provenance["cache"] = "bypassed"
+        if spec.verify:
+            from repro.check.schedule import check_schedule
+
+            report = check_schedule(schedule, protocol=protocol)
+            if not report.ok:
+                raise ReproError(
+                    "compiled schedule failed static verification — "
+                    + report.summary()
+                )
     provenance["compiled"] = True
     return schedule
 
@@ -453,9 +464,9 @@ def run(
         raise ReproError(f"run() takes an ExperimentSpec, got {type(spec).__name__}")
     owns_instr = instrumentation is None
     instr = _instrumentation_for(spec) if owns_instr else instrumentation
-    start = time.perf_counter()
-    rows, metrics, trace, artifacts, provenance = _KIND_RUNNERS[spec.kind](spec, instr)
-    timing = time.perf_counter() - start
+    with Timer() as timer:
+        rows, metrics, trace, artifacts, provenance = _KIND_RUNNERS[spec.kind](spec, instr)
+    timing = timer.elapsed
     if owns_instr and instr is not None:
         instr.close()
     return ExperimentResult(

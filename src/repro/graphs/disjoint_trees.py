@@ -79,7 +79,8 @@ def spanning_tree_with_interior(graph: nx.Graph, root, candidate: set) -> nx.Gra
             continue
         anchor = next(u for u in graph.neighbors(v) if u in closure)
         tree.add_edge(anchor, v)
-    assert nx.is_tree(tree), "construction must yield a tree"
+    if not nx.is_tree(tree):
+        raise ConstructionError("interior-set closure did not yield a tree")
     return tree
 
 

@@ -130,7 +130,7 @@ class CascadeMembership:
         seen: set[int] = set()
         if len(self.cube_dims) != len(self.assignments):
             raise ConstructionError("cube bookkeeping out of sync")
-        for k, cube in zip(self.cube_dims, self.assignments):
+        for k, cube in zip(self.cube_dims, self.assignments, strict=True):
             size = (1 << k) - 1
             if len(cube) != size:
                 raise ConstructionError(

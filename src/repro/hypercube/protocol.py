@@ -186,7 +186,11 @@ class HypercubeProtocol(HypercubeCascadeProtocol):
     def __init__(self, num_nodes: int, *, loss_aware: bool = False) -> None:
         self.k = dimension_for_population(num_nodes)
         super().__init__(num_nodes, loss_aware=loss_aware)
-        assert len(self.plan) == 1, "special N must yield a single cube"
+        if len(self.plan) != 1:
+            raise ConstructionError(
+                f"special N = 2^k - 1 must yield a single cube, got "
+                f"{len(self.plan)} for N={num_nodes}"
+            )
 
     def describe(self) -> str:
         return f"hypercube(N={self._num_nodes}, k={self.k})"

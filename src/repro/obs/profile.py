@@ -159,8 +159,8 @@ def format_profile_table(profiler: PhaseProfiler, *, title: str = "per-phase tim
     cells = [[str(r[h]) for h in headers] for r in rows]
     widths = [max(len(h), *(len(row[i]) for row in cells)) for i, h in enumerate(headers)]
     lines = [title]
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)

@@ -49,7 +49,7 @@ def ascii_plot(
     canvas = [[" "] * width for _ in range(height)]
     for idx, name in enumerate(names):
         glyph = _GLYPHS[idx % len(_GLYPHS)]
-        for x, y in zip(xs, series[name]):
+        for x, y in zip(xs, series[name], strict=False):
             col = round((x - x_min) / x_span * (width - 1))
             row = height - 1 - round((y - y_min) / y_span * (height - 1))
             canvas[row][col] = glyph

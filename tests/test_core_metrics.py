@@ -89,6 +89,6 @@ class TestEventQueries:
     def test_communication_pairs(self, small_trace):
         _, trace = small_trace
         pairs = communication_pairs(trace.transmissions)
-        for slot, slot_pairs in pairs.items():
+        for _slot, slot_pairs in pairs.items():
             for pair in slot_pairs:
                 assert len(pair) == 2

@@ -115,7 +115,7 @@ class TestHypercubeAnalysisHelpers:
     def test_average_delay_check_rows(self):
         rows = average_delay_check(50, step=7)
         assert rows[0][0] == 1
-        for n, avg, bound in rows:
+        for _n, avg, bound in rows:
             assert avg <= bound
 
     def test_special_populations(self):

@@ -88,7 +88,7 @@ class TestCubeExchange:
                     partners[tr.sender].add(tr.receiver)
                     partners[tr.receiver].add(tr.sender)
                 partners[1 << (t % k)].add(0)
-            for v, peers in partners.items():
+            for _v, peers in partners.items():
                 assert len(peers) <= k
 
     def test_port_export_lag_k(self):

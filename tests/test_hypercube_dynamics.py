@@ -113,7 +113,7 @@ class TestFillFromTail:
         membership.leave(3)
         membership.join()
         membership.leave(7)
-        for k, cube in zip(membership.cube_dims, membership.assignments):
+        for k, cube in zip(membership.cube_dims, membership.assignments, strict=True):
             assert len(cube) == (1 << k) - 1
 
     def test_delay_drifts_but_compact_restores(self):

@@ -40,7 +40,7 @@ class TestThinClock:
         )
         outer_of = [protocol.outer_slot(j) for j in range(100)]
         # Strictly increasing, never lands on a repair slot, and inverts.
-        assert all(b > a for a, b in zip(outer_of, outer_of[1:]))
+        assert all(b > a for a, b in zip(outer_of, outer_of[1:], strict=False))
         for j, t in enumerate(outer_of):
             assert not protocol.is_repair_slot(t)
             assert protocol.inner_slot(t) == j

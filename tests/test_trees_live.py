@@ -128,7 +128,7 @@ class TestChurnHiccups:
         churn = []
         live = set(range(1, n + 1))
         next_id = n + 1
-        for i in range(6):
+        for _ in range(6):
             slot = int(rng.integers(3, 30))
             if rng.random() < 0.5 and len(live) > 2:
                 victim = int(rng.choice(sorted(live)))

@@ -66,7 +66,7 @@ class TestWorstCaseFast:
         assert set(series) == {"degree 2", "degree 3"}
         for name, values in series.items():
             d = int(name.split()[-1])
-            for n, value in zip(populations, values):
+            for n, value in zip(populations, values, strict=True):
                 assert value == worst_case_delay(MultiTreeForest.construct(n, d))
 
     def test_dtype_and_bounds(self):

@@ -28,7 +28,7 @@ class TestSweeps:
         pops = figure4_populations(2000, step=50, start=10)
         assert pops[0] == 10
         assert pops[-1] == 1960
-        assert all(b - a == 50 for a, b in zip(pops, pops[1:]))
+        assert all(b - a == 50 for a, b in zip(pops, pops[1:], strict=False))
 
     def test_degree_sweep_matches_figure(self):
         assert degree_sweep() == [2, 3, 4, 5]
