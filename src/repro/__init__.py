@@ -32,6 +32,11 @@ The package implements, from scratch, everything the paper describes:
   (:class:`FleetSpec`), admission control against capacity budgets
   (:class:`~repro.service.SessionManager`), sharded execution
   (:class:`FleetRunner`), and fleet SLO reports (:class:`FleetSLOReport`);
+* :mod:`repro.abr` — the adaptive-bitrate scenario subsystem: time-varying
+  link-capacity traces (and the engine's ``capacity_hook`` attachment), a
+  bitrate ladder with a buffer-aware bandwidth estimator, per-session QoE
+  metrics, and the QoE-tiered delay/buffer tradeoff sweep
+  (``repro abr``, :class:`ExperimentSpec(kind="abr") <ExperimentSpec>`);
 * :mod:`repro.workloads` / :mod:`repro.reporting` — sweep, churn, and
   session-arrival generators plus plain-text rendering for the harness.
 
@@ -63,6 +68,15 @@ the top-level ``repro.simulate`` re-export) are deprecated in favor of the
 facade — see ``docs/API.md`` for the migration table.
 """
 
+from repro.abr import (
+    AbrSessionSpec,
+    AbrTradeoffReport,
+    BandwidthEstimator,
+    BitrateLadder,
+    CapacityTrace,
+    QoEMetrics,
+    abr_tradeoff,
+)
 from repro.baselines import ChainProtocol, SingleTreeProtocol
 from repro.check import (
     CheckReport,
@@ -120,7 +134,7 @@ from repro.service import (
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def simulate(*args, **kwargs):
@@ -141,7 +155,12 @@ def simulate(*args, **kwargs):
 
 
 __all__ = [
+    "AbrSessionSpec",
+    "AbrTradeoffReport",
+    "BandwidthEstimator",
+    "BitrateLadder",
     "CapacityModel",
+    "CapacityTrace",
     "ChainProtocol",
     "CheckReport",
     "ClusteredStreamingProtocol",
@@ -164,6 +183,7 @@ __all__ = [
     "ParityScheme",
     "PhaseProfiler",
     "PlaybackBuffer",
+    "QoEMetrics",
     "RepairRunResult",
     "RetransmissionCoordinator",
     "ScheduleCache",
@@ -180,6 +200,7 @@ __all__ = [
     "Transmission",
     "Violation",
     "__version__",
+    "abr_tradeoff",
     "analyze",
     "analyze_cascade",
     "analyze_clustered",

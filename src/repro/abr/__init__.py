@@ -1,0 +1,83 @@
+"""ABR scenario subsystem: time-varying capacity, bitrate ladders, QoE tiers.
+
+The paper's model fixes every link at unit capacity; this subsystem studies
+what its delay/buffer tradeoff means when bandwidth varies — the regime of
+the throughput-smoothness literature (Joshi, Kochman & Wornell; see
+PAPERS.md).  Four layers:
+
+* :mod:`repro.abr.traces` — per-link time-varying capacity as
+  :class:`CapacityTrace` objects: synthetic generators (constant, step,
+  sinusoid, Gilbert-Elliott on/off), a loader for external trace files, and
+  the named :data:`TRACE_PROFILES` registry the CLI/fleet layers draw from;
+* :mod:`repro.abr.ladder` — the bitrate ladder and the buffer-aware
+  bandwidth estimator that chooses rungs per chunk;
+* :mod:`repro.abr.session` — the slot-synchronous adaptive-bitrate session
+  model (download vs playback race, prebuffer startup, panic downshift);
+* :mod:`repro.abr.qoe` — QoE accounting (rebuffer time/events, played
+  bitrate, bitrate-change smoothness) and the tier bucketing the tradeoff
+  curves report per;
+* :mod:`repro.abr.capacity` — the engine attachment: build a
+  ``capacity_hook`` (the bandwidth analogue of ``repair_hook``) that
+  throttles per-link transmissions of a :class:`~repro.core.engine.SimConfig`
+  run to a trace;
+* :mod:`repro.abr.sweep` — the delay/buffer tradeoff sweep over trace
+  profiles × prebuffer targets, bucketed by QoE tier (``repro abr``,
+  ``ExperimentSpec(kind="abr")``, ``bench_abr_tradeoff.py``).
+"""
+
+from repro.abr.capacity import trace_capacity_hook
+from repro.abr.ladder import (
+    DEFAULT_LADDER,
+    BandwidthEstimator,
+    BitrateLadder,
+    EstimatorConfig,
+)
+from repro.abr.qoe import QOE_TIERS, QoEMetrics, classify_tier, collect_qoe, qoe_from_slot_log
+from repro.abr.session import AbrSessionResult, AbrSessionSpec, ChunkRecord, run_session
+from repro.abr.sweep import (
+    DEFAULT_PROFILES,
+    DEFAULT_STARTUP_GRID,
+    AbrPoint,
+    AbrTradeoffReport,
+    abr_tradeoff,
+)
+from repro.abr.traces import (
+    TRACE_PROFILES,
+    CapacityTrace,
+    build_profile,
+    constant_trace,
+    load_capacity_trace,
+    on_off_trace,
+    sinusoid_trace,
+    step_trace,
+)
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "DEFAULT_PROFILES",
+    "DEFAULT_STARTUP_GRID",
+    "QOE_TIERS",
+    "TRACE_PROFILES",
+    "AbrPoint",
+    "AbrSessionResult",
+    "AbrSessionSpec",
+    "AbrTradeoffReport",
+    "BandwidthEstimator",
+    "BitrateLadder",
+    "CapacityTrace",
+    "ChunkRecord",
+    "EstimatorConfig",
+    "QoEMetrics",
+    "abr_tradeoff",
+    "build_profile",
+    "classify_tier",
+    "collect_qoe",
+    "constant_trace",
+    "load_capacity_trace",
+    "on_off_trace",
+    "qoe_from_slot_log",
+    "run_session",
+    "sinusoid_trace",
+    "step_trace",
+    "trace_capacity_hook",
+]

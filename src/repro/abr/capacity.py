@@ -1,0 +1,71 @@
+"""Engine attachment: throttle a simulation run to a bandwidth trace.
+
+:func:`trace_capacity_hook` turns a :class:`~repro.abr.traces.CapacityTrace`
+into the engine's ``capacity_hook`` (the bandwidth analogue of
+``repair_hook``, see :class:`~repro.core.engine.SimConfig`): each slot it
+computes how many of the slot's transmissions the link budget admits and
+returns the rest for the engine to cut.  Cuts preserve batch order — the
+first transmissions the protocol scheduled are the ones that fit — so runs
+stay deterministic, and the engine records every cut in
+``SimTrace.throttled`` / the ``tx_throttled`` event.
+
+Two sharing modes:
+
+* **shared** (default) — one trace bounds the whole slot batch, modelling a
+  common bottleneck (the source uplink);
+* **per-sender** — the trace budget applies to each sender independently,
+  modelling per-link capacity in the paper's sense (every edge normally
+  carries one packet per slot; here that one becomes ``capacity_at(slot)``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.abr.traces import CapacityTrace
+from repro.core.engine import CapacityHook
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+
+__all__ = ["trace_capacity_hook"]
+
+
+def trace_capacity_hook(
+    trace: CapacityTrace,
+    *,
+    per_sender: bool = False,
+    units_per_tx: float = 1.0,
+) -> CapacityHook:
+    """Build an engine ``capacity_hook`` enforcing ``trace``.
+
+    Args:
+        trace: the per-slot capacity series (cycled past its span).
+        per_sender: apply the budget to each sender independently instead of
+            the whole batch (per-link capacity vs a shared bottleneck).
+        units_per_tx: capacity units one transmission consumes; with the
+            default 1.0 a capacity of ``c`` admits ``floor(c)`` transmissions
+            per slot (per sender, when ``per_sender``).
+    """
+    if units_per_tx <= 0:
+        raise ReproError(f"units_per_tx must be > 0, got {units_per_tx}")
+
+    def hook(slot: int, batch: list[Transmission]) -> list[Transmission] | None:
+        budget = trace.capacity_at(slot)
+        cuts: list[Transmission] = []
+        if per_sender:
+            spent: defaultdict[int, float] = defaultdict(float)
+            for tx in batch:
+                if spent[tx.sender] + units_per_tx <= budget + 1e-9:
+                    spent[tx.sender] += units_per_tx
+                else:
+                    cuts.append(tx)
+        else:
+            spent_total = 0.0
+            for tx in batch:
+                if spent_total + units_per_tx <= budget + 1e-9:
+                    spent_total += units_per_tx
+                else:
+                    cuts.append(tx)
+        return cuts or None
+
+    return hook

@@ -1,0 +1,180 @@
+"""Bitrate ladder and buffer-aware bandwidth estimation.
+
+An ABR client encodes the stream at several *rungs* (bitrates, in capacity
+units per slot) and picks one per chunk.  :class:`BitrateLadder` holds the
+rung set; :class:`BandwidthEstimator` turns observed per-chunk throughput
+samples into a conservative rate estimate, blending
+
+* an EWMA whose smoothing factor tightens when the playout buffer is low
+  (react fast when there is little slack, smooth when there is plenty),
+* a sliding-window minimum floor (never trust a single lucky sample), and
+* a buffer-risk discount that shades the estimate toward the floor as the
+  buffer drains.
+
+This is the buffer-aware estimator idiom of SNIPPETS.md §1, restated in the
+slot-synchronous units of the paper's model so the session layer
+(:mod:`repro.abr.session`) stays deterministic and unit-consistent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "DEFAULT_LADDER",
+    "BandwidthEstimator",
+    "BitrateLadder",
+    "EstimatorConfig",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BitrateLadder:
+    """An ascending set of encodable bitrates (capacity units per slot)."""
+
+    rungs: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        rungs = tuple(float(r) for r in self.rungs)
+        object.__setattr__(self, "rungs", rungs)
+        if not rungs:
+            raise ReproError("bitrate ladder has no rungs")
+        for i, rate in enumerate(rungs):
+            if rate <= 0:
+                raise ReproError(
+                    f"bitrate ladder rung {i} must be > 0, got {rate}"
+                )
+        if list(rungs) != sorted(rungs) or len(set(rungs)) != len(rungs):
+            raise ReproError(
+                f"bitrate ladder rungs must be strictly ascending, got {rungs}"
+            )
+
+    @property
+    def lowest(self) -> float:
+        return self.rungs[0]
+
+    @property
+    def highest(self) -> float:
+        return self.rungs[-1]
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    def index_of(self, rate: float) -> int:
+        """The rung index of an exact ladder rate."""
+        try:
+            return self.rungs.index(float(rate))
+        except ValueError:
+            raise ReproError(f"{rate} is not a rung of {self.rungs}") from None
+
+    def rung_for(self, estimate: float, *, safety: float = 0.9) -> float:
+        """Highest rung sustainable at ``safety * estimate``, else the lowest.
+
+        The safety factor is the usual headroom against estimator optimism;
+        if even the lowest rung exceeds the discounted estimate the client
+        still has to fetch *something*, so the lowest rung is the floor.
+        """
+        if not 0 < safety <= 1:
+            raise ReproError(f"safety factor must be in (0, 1], got {safety}")
+        budget = safety * estimate
+        chosen = self.rungs[0]
+        for rate in self.rungs:
+            if rate <= budget:
+                chosen = rate
+        return chosen
+
+
+#: The canonical 4-rung ladder used by the sweeps: doubling rates from the
+#: unit bitrate of the paper's fixed-capacity model up to 8x.
+DEFAULT_LADDER = BitrateLadder(rungs=(1.0, 2.0, 4.0, 8.0))
+
+
+@dataclass(frozen=True, slots=True)
+class EstimatorConfig:
+    """Tuning knobs for :class:`BandwidthEstimator`.
+
+    Attributes:
+        alpha_high: EWMA weight on the newest sample when the buffer is
+            healthy (small: smooth).
+        alpha_low: EWMA weight when the buffer is below ``risk_buffer_slots``
+            (large: reactive).
+        window: sliding-window length (samples) for the minimum floor.
+        risk_buffer_slots: buffer level (slots of playable media) under which
+            the estimate is shaded toward the window minimum.
+    """
+
+    alpha_high: float = 0.15
+    alpha_low: float = 0.6
+    window: int = 5
+    risk_buffer_slots: int = 8
+
+    def __post_init__(self) -> None:
+        for label, a in (("alpha_high", self.alpha_high), ("alpha_low", self.alpha_low)):
+            if not 0 < a <= 1:
+                raise ReproError(f"{label} must be in (0, 1], got {a}")
+        if self.window < 1:
+            raise ReproError(f"estimator window must be >= 1, got {self.window}")
+        if self.risk_buffer_slots < 0:
+            raise ReproError(
+                f"risk_buffer_slots must be >= 0, got {self.risk_buffer_slots}"
+            )
+
+
+@dataclass(slots=True)
+class BandwidthEstimator:
+    """Buffer-aware throughput estimator (EWMA + window-min floor + risk shade)."""
+
+    config: EstimatorConfig = field(default_factory=EstimatorConfig)
+    _ewma: float | None = field(default=None, init=False)
+    _window: deque[float] = field(default_factory=deque, init=False)
+
+    def observe(self, throughput: float) -> None:
+        """Record one per-chunk throughput sample (capacity units per slot).
+
+        The EWMA update uses the *reactive* weight only at the next
+        :meth:`estimate` call, where the buffer level is known; here we keep
+        the sample and fold it with the healthy-buffer weight as a default.
+        """
+        if throughput < 0:
+            raise ReproError(f"throughput sample must be >= 0, got {throughput}")
+        sample = float(throughput)
+        self._window.append(sample)
+        while len(self._window) > self.config.window:
+            self._window.popleft()
+        if self._ewma is None:
+            self._ewma = sample
+        else:
+            a = self.config.alpha_high
+            self._ewma = a * sample + (1.0 - a) * self._ewma
+
+    def estimate(self, buffer_slots: int) -> float:
+        """Conservative rate estimate given the current buffer level.
+
+        With no samples yet, returns 0.0 — the session layer maps that to the
+        lowest rung, the standard cold-start choice.
+        """
+        if buffer_slots < 0:
+            raise ReproError(f"buffer_slots must be >= 0, got {buffer_slots}")
+        if self._ewma is None or not self._window:
+            return 0.0
+        floor = min(self._window)
+        ewma = self._ewma
+        if self.config.risk_buffer_slots <= 0:
+            return ewma
+        # Risk factor in [0, 1]: 0 at an empty buffer (trust only the window
+        # minimum), 1 at or above the risk threshold (trust the EWMA).
+        risk = min(1.0, buffer_slots / self.config.risk_buffer_slots)
+        if buffer_slots < self.config.risk_buffer_slots:
+            # Low buffer: also let the newest sample dominate the EWMA so a
+            # sudden drop is reflected immediately.
+            a = self.config.alpha_low
+            ewma = a * self._window[-1] + (1.0 - a) * ewma
+        return floor + risk * (ewma - floor) if ewma > floor else ewma
+
+    def reset(self) -> None:
+        """Forget all samples (fresh session)."""
+        self._ewma = None
+        self._window.clear()

@@ -1,0 +1,316 @@
+"""Slot-synchronous adaptive-bitrate session model.
+
+One ABR client streams a video of ``num_chunks`` chunks over a link whose
+per-slot capacity follows a :class:`~repro.abr.traces.CapacityTrace`.  Each
+chunk plays for ``chunk_slots`` slots and, encoded at ladder rung ``r``,
+costs ``r * chunk_slots`` capacity units to download — so at rung ``r`` equal
+to the link rate the download exactly races real time, the regime where the
+paper's delay/buffer tradeoff lives.
+
+Every slot runs two phases in a fixed order (mirroring the engine's
+schedule/deliver split):
+
+1. **playback** — before the client has buffered ``startup_chunks`` complete
+   chunks the slot counts as *startup*; afterwards the player consumes one
+   slot of buffered media (*play*) or, if the buffer is empty, stalls
+   (*rebuffer*);
+2. **download** — the slot's capacity budget flows into the chunk in flight;
+   chunks completed in this phase become playable *next* slot (engine
+   parity: a transmission arriving in slot ``t`` is usable at ``t+1``).
+
+Rung choice is the buffer-aware estimate of :mod:`repro.abr.ladder`, with one
+override — the **panic rule**: once playback has started and the runway
+(buffered playable slots) falls to ``chunk_slots``, the client fetches the
+lowest rung, abandoning any higher-rung chunk in flight.  The rule makes the
+zero-rebuffer guarantee structural: if every slot's capacity covers the
+lowest rung ``l``, a panic fetch costs ``l * chunk_slots`` units, completes
+within ``chunk_slots`` download phases, and lands exactly when the buffer
+would otherwise run dry — so such traces can never rebuffer (property-tested
+in ``tests/test_abr_qoe.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.abr.ladder import DEFAULT_LADDER, BandwidthEstimator, BitrateLadder, EstimatorConfig
+from repro.abr.traces import CapacityTrace
+from repro.core.errors import ReproError
+from repro.obs.registry import active_registry
+
+__all__ = [
+    "AbrSessionResult",
+    "AbrSessionSpec",
+    "ChunkRecord",
+    "run_session",
+]
+
+#: Slot-log states (the QoE partition alphabet).
+SLOT_STARTUP = "startup"
+SLOT_PLAY = "play"
+SLOT_REBUFFER = "rebuffer"
+
+
+@dataclass(frozen=True, slots=True)
+class AbrSessionSpec:
+    """Parameters of one ABR session.
+
+    Attributes:
+        num_chunks: video length in chunks.
+        chunk_slots: playback duration of one chunk, in slots.
+        startup_chunks: complete chunks buffered before playback starts
+            (the prebuffer target — the session's *delay* knob, clamped to
+            ``num_chunks`` for short videos).
+        ladder: the bitrate ladder rungs are chosen from.
+        estimator: bandwidth-estimator tuning.
+        safety: headroom factor passed to
+            :meth:`~repro.abr.ladder.BitrateLadder.rung_for`.
+        max_buffer_chunks: stop prefetching new chunks while this many
+            complete chunks sit unplayed (``None`` = fetch the whole video
+            ahead); the panic rule ignores the cap, and the cap never sits
+            below the startup target (prebuffering must be able to finish).
+        max_slots: hard ceiling on session length (guards against a trace
+            that starves the session indefinitely); ``None`` derives a
+            generous default from the video length.
+    """
+
+    num_chunks: int
+    chunk_slots: int = 4
+    startup_chunks: int = 2
+    ladder: BitrateLadder = DEFAULT_LADDER
+    estimator: EstimatorConfig = field(default_factory=EstimatorConfig)
+    safety: float = 0.9
+    max_buffer_chunks: int | None = 8
+    max_slots: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise ReproError(f"num_chunks must be >= 1, got {self.num_chunks}")
+        if self.chunk_slots < 1:
+            raise ReproError(f"chunk_slots must be >= 1, got {self.chunk_slots}")
+        if self.startup_chunks < 1:
+            raise ReproError(
+                f"startup_chunks must be >= 1, got {self.startup_chunks}"
+            )
+        if not 0 < self.safety <= 1:
+            raise ReproError(f"safety must be in (0, 1], got {self.safety}")
+        if self.max_buffer_chunks is not None and self.max_buffer_chunks < 1:
+            raise ReproError(
+                f"max_buffer_chunks must be >= 1 or None, got {self.max_buffer_chunks}"
+            )
+        if self.max_slots is not None and self.max_slots < 1:
+            raise ReproError(f"max_slots must be >= 1 or None, got {self.max_slots}")
+
+    @property
+    def startup_target(self) -> int:
+        """Prebuffer target clamped to the video length."""
+        return min(self.startup_chunks, self.num_chunks)
+
+    @property
+    def slot_ceiling(self) -> int:
+        """Effective value of ``max_slots``."""
+        if self.max_slots is not None:
+            return self.max_slots
+        # Worst tolerated case: every chunk at the highest rung over a link
+        # averaging far below it, plus generous slack.
+        span = self.num_chunks * self.chunk_slots
+        return 1000 * span + 1000
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkRecord:
+    """One downloaded chunk: which rung, and when the download ran."""
+
+    index: int
+    rate: float
+    start_slot: int
+    finish_slot: int
+
+    @property
+    def download_slots(self) -> int:
+        return self.finish_slot - self.start_slot + 1
+
+
+@dataclass(frozen=True, slots=True)
+class AbrSessionResult:
+    """Everything a finished session recorded.
+
+    ``slot_log`` and ``slot_rates`` are parallel, one entry per slot:
+    the slot's state (``startup``/``play``/``rebuffer``) and the bitrate
+    played in it (0.0 for non-play slots).  QoE accounting
+    (:func:`repro.abr.qoe.collect_qoe`) derives everything from these plus
+    ``chunks`` — so an independent replay can re-check it slot for slot.
+    """
+
+    spec: AbrSessionSpec
+    trace_name: str
+    slot_log: tuple[str, ...]
+    slot_rates: tuple[float, ...]
+    chunks: tuple[ChunkRecord, ...]
+    startup_slots: int
+    max_buffer_slots: int
+    abandoned_chunks: int
+
+    def __post_init__(self) -> None:
+        if len(self.slot_log) != len(self.slot_rates):
+            raise ReproError(
+                f"slot_log and slot_rates lengths differ "
+                f"({len(self.slot_log)} vs {len(self.slot_rates)})"
+            )
+
+    @property
+    def session_slots(self) -> int:
+        return len(self.slot_log)
+
+
+@dataclass(slots=True)
+class _InFlight:
+    """The chunk currently downloading."""
+
+    index: int
+    rate: float
+    needed: float
+    got: float
+    start_slot: int
+
+
+def run_session(spec: AbrSessionSpec, trace: CapacityTrace) -> AbrSessionResult:
+    """Run one ABR session to completion (all chunks played).
+
+    Deterministic in ``(spec, trace)``; a session that fails to finish within
+    ``spec.slot_ceiling`` slots raises :class:`~repro.core.errors.ReproError`.
+    """
+    estimator = BandwidthEstimator(config=spec.estimator)
+    ready: deque[float] = deque()  # rates of downloaded, unplayed chunks
+    records: list[ChunkRecord] = []
+    slot_log: list[str] = []
+    slot_rates: list[float] = []
+
+    in_flight: _InFlight | None = None
+    next_chunk = 0
+    playing_rate = 0.0
+    playing_remaining = 0
+    played_chunks = 0
+    started = False
+    startup_slots = 0
+    max_buffer = 0
+    abandoned = 0
+    lowest = spec.ladder.lowest
+    # A cap below the startup target would deadlock prebuffering: playback
+    # never starts, so the cap (which only yields to panic *after* start)
+    # never lifts.  Raise it to the target.
+    buffer_cap = (
+        None
+        if spec.max_buffer_chunks is None
+        else max(spec.max_buffer_chunks, spec.startup_target)
+    )
+
+    slot = 0
+    while played_chunks < spec.num_chunks:
+        if slot >= spec.slot_ceiling:
+            raise ReproError(
+                f"ABR session on trace {trace.name!r} exceeded "
+                f"{spec.slot_ceiling} slots ({played_chunks}/{spec.num_chunks} "
+                "chunks played); the trace starves even the lowest rung"
+            )
+
+        # ---- playback phase -------------------------------------------
+        if not started and len(ready) >= spec.startup_target:
+            started = True
+        if not started:
+            slot_log.append(SLOT_STARTUP)
+            slot_rates.append(0.0)
+            startup_slots += 1
+        else:
+            if playing_remaining == 0 and ready:
+                playing_rate = ready.popleft()
+                playing_remaining = spec.chunk_slots
+            if playing_remaining > 0:
+                slot_log.append(SLOT_PLAY)
+                slot_rates.append(playing_rate)
+                playing_remaining -= 1
+                if playing_remaining == 0:
+                    played_chunks += 1
+            else:
+                slot_log.append(SLOT_REBUFFER)
+                slot_rates.append(0.0)
+
+        if played_chunks >= spec.num_chunks:
+            slot += 1
+            break
+
+        # ---- download phase -------------------------------------------
+        runway = playing_remaining + len(ready) * spec.chunk_slots
+        panic = started and runway <= spec.chunk_slots
+        if panic and in_flight is not None and in_flight.rate > lowest:
+            # Abandon the optimistic fetch; restart the same chunk at the
+            # floor so it can land before the buffer drains.
+            abandoned += 1
+            in_flight = _InFlight(
+                index=in_flight.index,
+                rate=lowest,
+                needed=lowest * spec.chunk_slots,
+                got=0.0,
+                start_slot=slot,
+            )
+        budget = trace.capacity_at(slot)
+        while budget > 1e-12:
+            if in_flight is None:
+                if next_chunk >= spec.num_chunks:
+                    break
+                if not panic and buffer_cap is not None and len(ready) >= buffer_cap:
+                    break
+                if panic:
+                    rate = lowest
+                else:
+                    rate = spec.ladder.rung_for(
+                        estimator.estimate(runway), safety=spec.safety
+                    )
+                in_flight = _InFlight(
+                    index=next_chunk,
+                    rate=rate,
+                    needed=rate * spec.chunk_slots,
+                    got=0.0,
+                    start_slot=slot,
+                )
+                next_chunk += 1
+            take = min(budget, in_flight.needed - in_flight.got)
+            in_flight.got += take
+            budget -= take
+            if in_flight.got >= in_flight.needed - 1e-9:
+                duration = slot - in_flight.start_slot + 1
+                estimator.observe(in_flight.needed / duration)
+                records.append(
+                    ChunkRecord(
+                        index=in_flight.index,
+                        rate=in_flight.rate,
+                        start_slot=in_flight.start_slot,
+                        finish_slot=slot,
+                    )
+                )
+                ready.append(in_flight.rate)
+                in_flight = None
+                runway = playing_remaining + len(ready) * spec.chunk_slots
+                panic = started and runway <= spec.chunk_slots
+
+        buffer_now = playing_remaining + len(ready) * spec.chunk_slots
+        if buffer_now > max_buffer:
+            max_buffer = buffer_now
+        slot += 1
+
+    registry = active_registry()
+    registry.counter("abr.sessions", profile=trace.name).inc()
+    registry.counter("abr.chunks", profile=trace.name).inc(len(records))
+    registry.histogram("abr.session_slots", profile=trace.name).observe(float(slot))
+
+    return AbrSessionResult(
+        spec=spec,
+        trace_name=trace.name,
+        slot_log=tuple(slot_log),
+        slot_rates=tuple(slot_rates),
+        chunks=tuple(records),
+        startup_slots=startup_slots,
+        max_buffer_slots=max_buffer,
+        abandoned_chunks=abandoned,
+    )

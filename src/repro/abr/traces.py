@@ -1,0 +1,309 @@
+"""Time-varying link capacity: the bandwidth traces ABR sessions run against.
+
+The paper's communication model gives every link a fixed capacity of one
+packet per slot.  A :class:`CapacityTrace` generalizes that to a per-slot
+capacity series (in *capacity units per slot* — the rate needed to stream the
+unit bitrate rung in real time is 1.0).  Traces cycle past their own span, so
+a short measured or synthetic profile drives arbitrarily long sessions.
+
+Synthetic generators cover the standard shapes of the ABR literature:
+
+* :func:`constant_trace` — the paper's fixed-capacity regime;
+* :func:`step_trace` — square-wave congestion (periodic high/low);
+* :func:`sinusoid_trace` — smooth diurnal-style variation;
+* :func:`on_off_trace` — a seeded two-state Gilbert-Elliott channel (good
+  rate / bad rate with geometric dwell times), the bursty-outage model of
+  the streaming-codes literature (Badr, Lui & Khisti).
+
+:func:`load_capacity_trace` ingests external trace files (one value per
+line, or a JSON array / ``{"name", "capacities"}`` object), validating every
+sample and reporting the offending line on failure.
+
+:data:`TRACE_PROFILES` names the canonical profiles the CLI, fleet layer and
+benchmarks share; :func:`build_profile` instantiates one deterministically
+from ``(num_slots, seed, scale)``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import ReproError
+
+__all__ = [
+    "CapacityTrace",
+    "TRACE_PROFILES",
+    "build_profile",
+    "constant_trace",
+    "load_capacity_trace",
+    "on_off_trace",
+    "sinusoid_trace",
+    "step_trace",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityTrace:
+    """A per-slot link capacity series, cycled past its own span.
+
+    Attributes:
+        name: display name (profile key or file stem).
+        capacities: capacity units deliverable in each slot; finite,
+            non-negative, with at least one strictly positive sample (an
+            all-zero link would stall every consumer forever).
+    """
+
+    name: str
+    capacities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        caps = tuple(float(c) for c in self.capacities)
+        object.__setattr__(self, "capacities", caps)
+        if not caps:
+            raise ReproError(f"capacity trace {self.name!r} is empty")
+        for i, value in enumerate(caps):
+            if not math.isfinite(value):
+                raise ReproError(
+                    f"capacity trace {self.name!r}: sample {i} is not finite "
+                    f"({value!r})"
+                )
+            if value < 0:
+                raise ReproError(
+                    f"capacity trace {self.name!r}: sample {i} is negative "
+                    f"({value!r})"
+                )
+        if max(caps) <= 0:
+            raise ReproError(
+                f"capacity trace {self.name!r} is identically zero; a dead "
+                "link can never make progress"
+            )
+
+    def __len__(self) -> int:
+        return len(self.capacities)
+
+    def capacity_at(self, slot: int) -> float:
+        """Capacity available in ``slot`` (the trace tiles past its span)."""
+        if slot < 0:
+            raise ReproError(f"slot must be non-negative, got {slot}")
+        return self.capacities[slot % len(self.capacities)]
+
+    @property
+    def min_capacity(self) -> float:
+        return min(self.capacities)
+
+    @property
+    def mean_capacity(self) -> float:
+        return sum(self.capacities) / len(self.capacities)
+
+    def scaled(self, factor: float) -> "CapacityTrace":
+        """The same shape at ``factor`` times the rate."""
+        if factor <= 0:
+            raise ReproError(f"scale factor must be > 0, got {factor}")
+        return CapacityTrace(
+            name=self.name,
+            capacities=tuple(c * factor for c in self.capacities),
+        )
+
+
+# ------------------------------------------------------------- generators
+def constant_trace(rate: float, num_slots: int, *, name: str = "steady") -> CapacityTrace:
+    """Fixed capacity ``rate`` for ``num_slots`` slots (the paper's regime)."""
+    _check_span(num_slots)
+    return CapacityTrace(name=name, capacities=(float(rate),) * num_slots)
+
+
+def step_trace(
+    high: float,
+    low: float,
+    period: int,
+    num_slots: int,
+    *,
+    duty: float = 0.5,
+    name: str = "step",
+) -> CapacityTrace:
+    """Square wave: ``high`` for ``duty`` of each ``period``, then ``low``."""
+    _check_span(num_slots)
+    if period < 2:
+        raise ReproError(f"step period must be >= 2, got {period}")
+    if not 0 < duty < 1:
+        raise ReproError(f"duty cycle must be in (0, 1), got {duty}")
+    high_slots = max(1, round(duty * period))
+    caps = tuple(
+        float(high) if (t % period) < high_slots else float(low)
+        for t in range(num_slots)
+    )
+    return CapacityTrace(name=name, capacities=caps)
+
+
+def sinusoid_trace(
+    mean: float,
+    amplitude: float,
+    period: int,
+    num_slots: int,
+    *,
+    name: str = "sinusoid",
+) -> CapacityTrace:
+    """Smooth periodic variation ``mean + amplitude * sin``, clamped at zero."""
+    _check_span(num_slots)
+    if period < 2:
+        raise ReproError(f"sinusoid period must be >= 2, got {period}")
+    caps = tuple(
+        max(0.0, mean + amplitude * math.sin(2.0 * math.pi * t / period))
+        for t in range(num_slots)
+    )
+    return CapacityTrace(name=name, capacities=caps)
+
+
+def on_off_trace(
+    on_rate: float,
+    off_rate: float,
+    p_fail: float,
+    p_recover: float,
+    num_slots: int,
+    *,
+    seed: int = 0,
+    name: str = "onoff",
+) -> CapacityTrace:
+    """Seeded Gilbert-Elliott two-state channel: good rate / bad rate.
+
+    Each slot the channel is in the *on* state (capacity ``on_rate``) or the
+    *off* state (``off_rate``); it falls over with probability ``p_fail`` and
+    recovers with probability ``p_recover``, giving geometric dwell times —
+    the bursty-outage model the burst-erasure streaming-code literature
+    assumes.  Deterministic in ``seed``.
+    """
+    _check_span(num_slots)
+    for label, p in (("p_fail", p_fail), ("p_recover", p_recover)):
+        if not 0 <= p <= 1:
+            raise ReproError(f"{label} must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    draws = rng.random(num_slots)
+    caps = []
+    on = True
+    for t in range(num_slots):
+        caps.append(float(on_rate) if on else float(off_rate))
+        if on:
+            on = draws[t] >= p_fail
+        else:
+            on = draws[t] < p_recover
+    return CapacityTrace(name=name, capacities=tuple(caps))
+
+
+# ----------------------------------------------------------------- loader
+def load_capacity_trace(path: str | Path, *, name: str | None = None) -> CapacityTrace:
+    """Load an external capacity trace file.
+
+    Two formats are accepted:
+
+    * **text** — one capacity value per line; blank lines and ``#`` comments
+      are skipped (the mahimahi/simulator-trace idiom);
+    * **JSON** — an array of numbers, or an object with ``capacities`` (and
+      optionally ``name``).
+
+    Malformed samples raise :class:`~repro.core.errors.ReproError` naming
+    the offending line/index.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"cannot read capacity trace {p}: {exc}") from exc
+    trace_name = name if name is not None else p.stem
+    stripped = text.lstrip()
+    if stripped.startswith("[") or stripped.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"capacity trace {p} is not valid JSON: {exc}") from exc
+        if isinstance(payload, dict):
+            if "capacities" not in payload:
+                raise ReproError(
+                    f"capacity trace {p}: JSON object lacks a 'capacities' key"
+                )
+            values = payload["capacities"]
+            trace_name = name if name is not None else str(
+                payload.get("name", trace_name)
+            )
+        else:
+            values = payload
+        return _trace_from_values(values, trace_name, str(p))
+    values = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        body = line.split("#", 1)[0].strip()
+        if not body:
+            continue
+        try:
+            values.append(float(body))
+        except ValueError:
+            raise ReproError(
+                f"capacity trace {p}: line {lineno} is not a number ({body!r})"
+            ) from None
+    return _trace_from_values(values, trace_name, str(p))
+
+
+def _trace_from_values(values: Iterable[object], name: str, origin: str) -> CapacityTrace:
+    caps: list[float] = []
+    for i, value in enumerate(values):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ReproError(
+                f"capacity trace {origin}: sample {i} is not a number "
+                f"({value!r})"
+            )
+        caps.append(float(value))
+    if not caps:
+        raise ReproError(f"capacity trace {origin} contains no samples")
+    return CapacityTrace(name=name, capacities=tuple(caps))
+
+
+def _check_span(num_slots: int) -> None:
+    if num_slots < 1:
+        raise ReproError(f"trace span must be >= 1 slot, got {num_slots}")
+
+
+# --------------------------------------------------------------- profiles
+def _steady(num_slots: int, seed: int, scale: float) -> CapacityTrace:
+    return constant_trace(8.0 * scale, num_slots, name="steady")
+
+
+def _step(num_slots: int, seed: int, scale: float) -> CapacityTrace:
+    return step_trace(8.0 * scale, 2.0 * scale, 16, num_slots, name="step")
+
+
+def _sinusoid(num_slots: int, seed: int, scale: float) -> CapacityTrace:
+    return sinusoid_trace(5.0 * scale, 4.0 * scale, 24, num_slots, name="sinusoid")
+
+
+def _onoff(num_slots: int, seed: int, scale: float) -> CapacityTrace:
+    return on_off_trace(
+        8.0 * scale, 0.5 * scale, 0.15, 0.3, num_slots, seed=seed, name="onoff"
+    )
+
+
+#: Canonical named profiles shared by ``repro abr``, the fleet layer and the
+#: benchmarks.  Each builder is deterministic in ``(num_slots, seed, scale)``.
+TRACE_PROFILES: dict[str, Callable[[int, int, float], CapacityTrace]] = {
+    "steady": _steady,
+    "step": _step,
+    "sinusoid": _sinusoid,
+    "onoff": _onoff,
+}
+
+
+def build_profile(
+    name: str, num_slots: int, *, seed: int = 0, scale: float = 1.0
+) -> CapacityTrace:
+    """Instantiate a named profile from :data:`TRACE_PROFILES`."""
+    if name not in TRACE_PROFILES:
+        raise ReproError(
+            f"unknown trace profile {name!r}; choose from "
+            f"{tuple(sorted(TRACE_PROFILES))}"
+        )
+    if scale <= 0:
+        raise ReproError(f"profile scale must be > 0, got {scale}")
+    return TRACE_PROFILES[name](num_slots, seed, scale)

@@ -13,6 +13,9 @@ Commands:
 * ``fleet``    — multi-session service scenario: admission control against
   capacity budgets, sharded execution, fleet SLO report (``--dry-run``
   prints the resolved scenario without executing it);
+* ``abr``      — delay/buffer tradeoff sweep under time-varying link
+  capacity: one ABR session per trace profile × prebuffer target, curves
+  bucketed by QoE tier (see ``docs/ABR.md``);
 * ``check``    — statically model-check a compiled schedule against the
   paper's invariants and theorem bounds without running the engine
   (``--grid`` certifies every compilable scheme over the CI smoke grid);
@@ -305,6 +308,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="print the resolved scenario (sessions, kinds, arrivals) and exit "
         "without executing anything",
+    )
+
+    abr = sub.add_parser(
+        "abr",
+        help="delay/buffer tradeoff sweep under time-varying capacity, "
+        "bucketed by QoE tier",
+    )
+    abr.add_argument(
+        "--profiles", nargs="+", default=None, metavar="NAME",
+        help="capacity trace profiles to sweep (default: steady step "
+        "sinusoid onoff; see repro.abr.TRACE_PROFILES)",
+    )
+    abr.add_argument(
+        "--startup", type=int, nargs="+", default=None, metavar="CHUNKS",
+        help="prebuffer targets in chunks — the delay knob (default: 1 2 4 8)",
+    )
+    abr.add_argument(
+        "--chunks", type=int, default=32, metavar="COUNT",
+        help="video length in chunks",
+    )
+    abr.add_argument(
+        "--chunk-slots", type=int, default=4, metavar="SLOTS",
+        help="playback duration of one chunk in slots",
+    )
+    abr.add_argument("--seed", type=int, default=0)
+    abr.add_argument(
+        "--json", metavar="PATH", help="write the ABR tradeoff report here"
     )
 
     check = sub.add_parser(
@@ -677,6 +707,44 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_abr(args) -> int:
+    from repro.abr import TRACE_PROFILES
+    from repro.reporting.export import write_abr_report_json
+
+    if args.profiles:
+        unknown = [p for p in args.profiles if p not in TRACE_PROFILES]
+        if unknown:
+            raise SystemExit(
+                f"unknown trace profile(s) {unknown}; choose from "
+                f"{sorted(TRACE_PROFILES)}"
+            )
+    spec = ExperimentSpec(
+        kind="abr",
+        seed=args.seed,
+        abr_profiles=tuple(args.profiles) if args.profiles else (),
+        abr_startups=tuple(args.startup) if args.startup else (),
+        abr_chunks=args.chunks,
+        abr_chunk_slots=args.chunk_slots,
+    )
+    try:
+        result = run(spec)
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    report = result.artifacts["report"]
+    print(format_rows(list(result.rows), title=result.provenance["description"]))
+    counts = report.tier_counts()
+    print("tiers: " + ", ".join(f"{tier}={counts[tier]}" for tier in counts))
+    curves = report.curves()
+    for tier, by_profile in curves.items():
+        for profile, points in sorted(by_profile.items()):
+            path = " ".join(f"({d},{b})" for d, b in points)
+            print(f"  {tier}/{profile}: {path}")
+    print(f"{len(result.rows)} points in {result.timing_s:.2f}s (seed {args.seed})")
+    if args.json:
+        print(f"abr report -> {write_abr_report_json(report, args.json)}")
+    return 0
+
+
 def _cmd_check(args) -> int:
     import json
 
@@ -758,6 +826,7 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "stats": _cmd_stats,
     "fleet": _cmd_fleet,
+    "abr": _cmd_abr,
     "check": _cmd_check,
     "lint": _cmd_lint,
     "verify": _cmd_verify,

@@ -25,12 +25,13 @@ from repro.core.validation import SlotValidator
 from repro.obs import events as ev
 from repro.obs.instrumentation import Instrumentation
 
-__all__ = ["SimConfig", "SimTrace", "SlottedEngine", "simulate"]
+__all__ = ["CapacityHook", "SimConfig", "SimTrace", "SlottedEngine", "simulate"]
 
 DropRule = Callable[[Transmission], bool]
 RepairHook = Callable[
     [int, list[Transmission], list[Transmission]], "Iterable[Transmission] | None"
 ]
+CapacityHook = Callable[[int, list[Transmission]], "Iterable[Transmission] | None"]
 
 
 def _check_hook_arity(hook: Callable, name: str, arity: int, expected: str) -> None:
@@ -98,6 +99,23 @@ class SimConfig:
             the receiver already holds — are silently skipped, so repairs
             always yield to the schedule.  This is the attachment point for
             the loss-repair subsystem (:mod:`repro.repair`).
+        capacity_hook: optional bandwidth limiter
+            ``(slot, batch) -> Iterable[Transmission] | None`` called after
+            the slot's batch is assembled (schedule + merged repairs,
+            validated when ``validate`` is on).  Any transmissions it returns
+            are *throttled*: removed from the batch before sending — the link
+            had no capacity for them, so unlike ``drop_rule`` losses the
+            sender's capacity is not spent, nothing is delivered, and the
+            cut is not visible to ``repair_hook`` as a drop.  Throttled
+            transmissions are recorded in :attr:`SimTrace.throttled`.  The
+            hook must return transmissions from the batch it was given;
+            anything else raises :class:`ReproError`.  Like ``drop_rule``,
+            sustained cuts need a holdings-aware protocol (e.g.
+            :func:`repro.repair.session.make_lossy_protocol`): an oblivious
+            schedule will forward packets whose upstream send was throttled
+            and fail validation with a causality violation.  This is the
+            attachment point for the ABR subsystem's time-varying link
+            capacities (:func:`repro.abr.trace_capacity_hook`).
         instrumentation: optional :class:`~repro.obs.Instrumentation` bundle.
             When set, the engine emits structured events (``slot_start``,
             ``tx_sent``, ``tx_dropped``, ``tx_delivered``,
@@ -120,6 +138,7 @@ class SimConfig:
     record_transmissions: bool = True
     drop_rule: DropRule | None = None
     repair_hook: RepairHook | None = None
+    capacity_hook: CapacityHook | None = None
     instrumentation: Instrumentation | None = None
     compiled_schedule: object | None = None
 
@@ -136,6 +155,13 @@ class SimConfig:
             _check_hook_arity(
                 self.repair_hook, "repair_hook", 3,
                 "(slot, arrived, dropped) -> Iterable[Transmission] | None",
+            )
+        if self.capacity_hook is not None:
+            if not callable(self.capacity_hook):
+                raise ValueError("capacity_hook must be callable or None")
+            _check_hook_arity(
+                self.capacity_hook, "capacity_hook", 2,
+                "(slot, batch) -> Iterable[Transmission] | None",
             )
         if self.compiled_schedule is not None:
             compiled = self.compiled_schedule
@@ -163,6 +189,9 @@ class SimTrace:
         dropped: transmissions removed by ``drop_rule`` (send spent, no delivery).
         injected: repair transmissions injected via ``repair_hook`` that were
             actually sent (a subset may still appear in ``dropped``).
+        throttled: transmissions cut by ``capacity_hook`` before sending (the
+            link had no capacity; distinct from ``dropped``, where the send
+            happened and the delivery was lost).
     """
 
     num_slots: int
@@ -171,6 +200,7 @@ class SimTrace:
     transmissions: list[Transmission] = field(default_factory=list)
     dropped: list[Transmission] = field(default_factory=list)
     injected: list[Transmission] = field(default_factory=list)
+    throttled: list[Transmission] = field(default_factory=list)
 
     def arrivals(self, node: int) -> Mapping[int, int]:
         """Packet -> arrival slot for one node."""
@@ -282,8 +312,10 @@ class SlottedEngine:
         log: list[Transmission] = []
         dropped: list[Transmission] = []
         injected: list[Transmission] = []
+        throttled: list[Transmission] = []
         drop_rule = config.drop_rule
         repair_hook = config.repair_hook
+        capacity_hook = config.capacity_hook
         # Min-heap of (arrival_slot, seq, Transmission) for latency > 1 links.
         in_flight: list[tuple[int, int, Transmission]] = []
         seq = 0
@@ -327,6 +359,29 @@ class SlottedEngine:
                         source_available=protocol.packet_available_slot,
                         is_source=lambda n: n in source_ids,
                     )
+            if capacity_hook is not None:
+                with phase("capacity_hook"):
+                    cuts = capacity_hook(slot, batch)
+                if cuts:
+                    cut_list = list(cuts)
+                    batch_ids = {id(tx) for tx in batch}
+                    for tx in cut_list:
+                        if id(tx) not in batch_ids:
+                            raise ReproError(
+                                "capacity_hook returned a transmission not in "
+                                f"this slot's batch: {tx!r} (slot {slot})"
+                            )
+                    cut_ids = {id(tx) for tx in cut_list}
+                    kept: list[Transmission] = []
+                    for tx in batch:
+                        if id(tx) in cut_ids:
+                            throttled.append(tx)
+                            if emit is not None:
+                                emit(ev.TX_THROTTLED, slot, sender=tx.sender,
+                                     receiver=tx.receiver, packet=tx.packet)
+                        else:
+                            kept.append(tx)
+                    batch = kept
 
             dropped_this_slot: list[Transmission] = []
             with phase("deliver"):
@@ -384,7 +439,8 @@ class SlottedEngine:
 
         if emit is not None:
             emit(ev.RUN_END, config.num_slots, sent=sent_total, dropped=len(dropped),
-                 delivered=delivered_new, injected=len(injected))
+                 delivered=delivered_new, injected=len(injected),
+                 throttled=len(throttled))
         if registry is not None:
             label = type(protocol).__name__
             registry.counter("engine.runs", protocol=label).inc()
@@ -393,6 +449,7 @@ class SlottedEngine:
             registry.counter("engine.tx.dropped", protocol=label).inc(len(dropped))
             registry.counter("engine.tx.delivered", protocol=label).inc(delivered_new)
             registry.counter("engine.repairs.injected", protocol=label).inc(len(injected))
+            registry.counter("engine.tx.throttled", protocol=label).inc(len(throttled))
         return SimTrace(
             num_slots=config.num_slots,
             nodes=receivers,
@@ -400,6 +457,7 @@ class SlottedEngine:
             transmissions=log,
             dropped=dropped,
             injected=injected,
+            throttled=throttled,
         )
 
     def _merge_repairs(
@@ -457,6 +515,7 @@ def simulate(
     record_transmissions: bool = True,
     drop_rule: DropRule | None = None,
     repair_hook: RepairHook | None = None,
+    capacity_hook: CapacityHook | None = None,
     instrumentation: Instrumentation | None = None,
     compiled_schedule: object | None = None,
 ) -> SimTrace:
@@ -468,6 +527,7 @@ def simulate(
         record_transmissions=record_transmissions,
         drop_rule=drop_rule,
         repair_hook=repair_hook,
+        capacity_hook=capacity_hook,
         instrumentation=instrumentation,
         compiled_schedule=compiled_schedule,
     )

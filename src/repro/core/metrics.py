@@ -30,7 +30,20 @@ __all__ = [
     "summarize_lossy_playback",
     "RepairMetrics",
     "collect_repair_metrics",
+    "QoEMetrics",
+    "collect_qoe",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy re-export: the ABR subsystem's QoE metrics belong in the metrics
+    # namespace, but importing repro.abr here eagerly would cycle (abr's
+    # capacity hook imports the engine, which this module imports too).
+    if name in ("QoEMetrics", "collect_qoe"):
+        from repro.abr import qoe
+
+        return getattr(qoe, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True, slots=True)

@@ -47,7 +47,7 @@ __all__ = [
     "deprecated_entry_point",
 ]
 
-EXPERIMENT_KINDS = ("stream", "repair", "churn", "sweep", "fleet")
+EXPERIMENT_KINDS = ("stream", "repair", "churn", "sweep", "fleet", "abr")
 
 _SCHEMES = (
     "multi-tree",
@@ -77,8 +77,10 @@ class ExperimentSpec:
         kind: ``stream`` (one simulated run), ``repair`` (loss-repair
             tradeoff point), ``churn`` (stream through scheduled churn),
             ``sweep`` (a ``seeds x drop_rates`` grid over one configuration),
-            or ``fleet`` (a multi-session service scenario with admission
-            control and SLO tracking; see :mod:`repro.service`).
+            ``fleet`` (a multi-session service scenario with admission
+            control and SLO tracking; see :mod:`repro.service`), or ``abr``
+            (the delay/buffer tradeoff sweep over time-varying capacity
+            profiles, bucketed by QoE tier; see :mod:`repro.abr`).
         scheme: streaming scheme.
         num_nodes / degree / construction / mode / latency: configuration of
             the scheme (construction/mode/latency apply to multi-tree).
@@ -93,6 +95,11 @@ class ExperimentSpec:
             fall back to ``(seed,)`` / ``(drop_rate,)``.
         fleet: a :class:`~repro.service.FleetSpec` scenario (kind ``fleet``);
             None builds a single-kind fleet from the scalar scheme fields.
+        abr_profiles / abr_startups / abr_chunks / abr_chunk_slots: the ABR
+            sweep grid (kind ``abr``): capacity-trace profile names
+            (:data:`repro.abr.TRACE_PROFILES`), prebuffer targets in chunks,
+            and the video shape; empty tuples fall back to the subsystem
+            defaults.
         compiled: replay a compiled schedule when the scheme allows it.
         cache: consult the content-addressed schedule cache.
         verify: statically model-check freshly compiled schedules
@@ -130,6 +137,11 @@ class ExperimentSpec:
     drop_rates: tuple[float, ...] = ()
     # --- fleet scenario
     fleet: object | None = None
+    # --- abr sweep grid
+    abr_profiles: tuple[str, ...] = ()
+    abr_startups: tuple[int, ...] = ()
+    abr_chunks: int = 32
+    abr_chunk_slots: int = 4
     # --- execution policy
     compiled: bool = True
     cache: bool = True
@@ -156,9 +168,17 @@ class ExperimentSpec:
             raise ReproError(f"num_packets must be >= 1, got {self.num_packets}")
         if not 0 <= self.drop_rate <= 1:
             raise ReproError(f"drop_rate must be in [0, 1], got {self.drop_rate}")
+        if self.abr_chunks < 1:
+            raise ReproError(f"abr_chunks must be >= 1, got {self.abr_chunks}")
+        if self.abr_chunk_slots < 1:
+            raise ReproError(
+                f"abr_chunk_slots must be >= 1, got {self.abr_chunk_slots}"
+            )
         # Accept lists for the grid axes; store hashable tuples.
         object.__setattr__(self, "seeds", tuple(self.seeds))
         object.__setattr__(self, "drop_rates", tuple(self.drop_rates))
+        object.__setattr__(self, "abr_profiles", tuple(self.abr_profiles))
+        object.__setattr__(self, "abr_startups", tuple(self.abr_startups))
 
     # ----------------------------------------------------------------- helpers
     def with_(self, **changes) -> "ExperimentSpec":
@@ -438,12 +458,42 @@ def _run_sweep(spec: ExperimentSpec, instr) -> tuple:
     return tuple(rows), None, None, {"schedule": schedule}, provenance
 
 
+def _run_abr(spec: ExperimentSpec, instr) -> tuple:
+    from repro.abr import DEFAULT_PROFILES, DEFAULT_STARTUP_GRID, abr_tradeoff
+    from repro.obs.registry import use_registry
+
+    provenance = _base_provenance(spec)
+    profiles = spec.abr_profiles or DEFAULT_PROFILES
+    startups = spec.abr_startups or DEFAULT_STARTUP_GRID
+
+    def sweep():
+        return abr_tradeoff(
+            profiles, startups,
+            num_chunks=spec.abr_chunks,
+            chunk_slots=spec.abr_chunk_slots,
+            seed=spec.seed,
+        )
+
+    if instr is not None:
+        with use_registry(instr.registry):
+            report = sweep()
+    else:
+        report = sweep()
+    provenance["description"] = (
+        f"abr tradeoff: {len(profiles)} profiles x {len(startups)} prebuffer "
+        f"targets, {spec.abr_chunks} chunks x {spec.abr_chunk_slots} slots"
+    )
+    provenance["tier_counts"] = report.tier_counts()
+    return tuple(report.rows()), report, None, {"report": report}, provenance
+
+
 _KIND_RUNNERS = {
     "stream": _run_stream,
     "repair": _run_repair,
     "churn": _run_churn,
     "sweep": _run_sweep,
     "fleet": _run_fleet,
+    "abr": _run_abr,
 }
 
 

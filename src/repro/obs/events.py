@@ -29,6 +29,7 @@ __all__ = [
     "TX_SENT",
     "TX_DROPPED",
     "TX_DELIVERED",
+    "TX_THROTTLED",
     "REPAIR_INJECTED",
     "REPAIR_SCHEDULED",
     "GAP_DETECTED",
@@ -57,6 +58,7 @@ SLOT_START = "slot_start"
 TX_SENT = "tx_sent"
 TX_DROPPED = "tx_dropped"
 TX_DELIVERED = "tx_delivered"
+TX_THROTTLED = "tx_throttled"
 REPAIR_INJECTED = "repair_injected"
 REPAIR_SCHEDULED = "repair_scheduled"
 GAP_DETECTED = "gap_detected"
@@ -72,11 +74,12 @@ SESSION_DEGRADED = "session_degraded"
 #: as a table in ``docs/OBSERVABILITY.md``.
 EVENT_SCHEMA: dict[str, tuple[str, tuple[str, ...]]] = {
     RUN_START: ("engine", ("num_slots",)),
-    RUN_END: ("engine", ("sent", "dropped", "delivered", "injected")),
+    RUN_END: ("engine", ("sent", "dropped", "delivered", "injected", "throttled")),
     SLOT_START: ("engine", ()),
     TX_SENT: ("engine", ("sender", "receiver", "packet", "latency")),
     TX_DROPPED: ("engine", ("sender", "receiver", "packet")),
     TX_DELIVERED: ("engine", ("sender", "receiver", "packet", "new")),
+    TX_THROTTLED: ("engine", ("sender", "receiver", "packet")),
     REPAIR_INJECTED: ("engine", ("sender", "receiver", "packet")),
     REPAIR_SCHEDULED: ("repair", ("sender", "receiver", "packet", "attempt")),
     GAP_DETECTED: ("repair", ("node", "packet", "origin")),

@@ -29,9 +29,48 @@ __all__ = [
     "fleet_report_to_dict",
     "write_fleet_report_json",
     "read_fleet_report_json",
+    "abr_report_to_dict",
+    "write_abr_report_json",
+    "read_abr_report_json",
 ]
 
 _FORMAT_VERSION = 1
+
+
+def _repro_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def _check_envelope(payload: dict, *, expected_kind: str, what: str) -> None:
+    """Validate the versioned envelope of a report payload.
+
+    Rejects a ``format_version`` mismatch, a ``kind`` mismatch, and a
+    ``repro_version`` whose *major* differs from this package's (minor/patch
+    drift is compatible by policy; majors are not).  Reports written before
+    ``repro_version`` existed are accepted as legacy.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported report format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    kind = payload.get("kind")
+    if kind != expected_kind:
+        raise ReproError(f"not a {what}: kind={kind!r} (expected {expected_kind!r})")
+    written_by = payload.get("repro_version")
+    if written_by is not None:
+        ours = _repro_version()
+        written_major = str(written_by).split(".", 1)[0]
+        our_major = ours.split(".", 1)[0]
+        if written_major != our_major:
+            raise ReproError(
+                f"report was written by repro {written_by}, which is a "
+                f"different major version than this package ({ours}); "
+                "re-export it with a matching major"
+            )
 
 
 def trace_to_dict(
@@ -212,6 +251,7 @@ def fleet_report_to_dict(report) -> dict:
     return {
         "format_version": _FORMAT_VERSION,
         "kind": "fleet_slo_report",
+        "repro_version": _repro_version(),
         "report": report.to_dict(),
     }
 
@@ -232,15 +272,40 @@ def read_fleet_report_json(path: str | Path):
     from repro.service.slo import FleetSLOReport
 
     payload = json.loads(Path(path).read_text())
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported report format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
-        )
-    if payload.get("kind") != "fleet_slo_report":
-        raise ReproError(f"not a fleet SLO report: kind={payload.get('kind')!r}")
+    _check_envelope(payload, expected_kind="fleet_slo_report", what="fleet SLO report")
     return FleetSLOReport.from_dict(payload["report"])
+
+
+def abr_report_to_dict(report) -> dict:
+    """Versioned JSON envelope of an :class:`~repro.abr.AbrTradeoffReport`."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "kind": "abr_tradeoff_report",
+        "repro_version": _repro_version(),
+        "report": report.to_dict(),
+    }
+
+
+def write_abr_report_json(report, path: str | Path) -> Path:
+    """Write an ABR delay/buffer tradeoff report to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(abr_report_to_dict(report), indent=1))
+    return path
+
+
+def read_abr_report_json(path: str | Path):
+    """Load a report written by :func:`write_abr_report_json`.
+
+    Returns an :class:`~repro.abr.AbrTradeoffReport` equal to the one written
+    (full round trip, per-point QoE included).
+    """
+    from repro.abr.sweep import AbrTradeoffReport
+
+    payload = json.loads(Path(path).read_text())
+    _check_envelope(
+        payload, expected_kind="abr_tradeoff_report", what="ABR tradeoff report"
+    )
+    return AbrTradeoffReport.from_dict(payload["report"])
 
 
 def metrics_to_dict(metrics: SchemeMetrics) -> dict:

@@ -42,14 +42,19 @@ def fleet_session_task(task) -> SessionSLO:
     """Executor worker: replay one admitted session and score its SLO.
 
     Task tuple: ``(session_id, label, status, token, seed, drop_rate,
-    num_packets, wait_slots, horizon)``.  The token-indexed schedule dict
-    arrives via :func:`~repro.exec.executor.worker_payload`; the loss mask is
-    deterministic in the session seed, so results do not depend on which
-    worker (or how many) ran the session.
+    num_packets, wait_slots, horizon, abr_profile)``.  The token-indexed
+    schedule dict arrives via :func:`~repro.exec.executor.worker_payload`;
+    the loss mask is deterministic in the session seed, so results do not
+    depend on which worker (or how many) ran the session.
+
+    When ``abr_profile`` is set, the worker additionally plays the session
+    through a deterministic ABR playback loop (one chunk per measured
+    packet) against the named bandwidth profile, seeded by the session seed,
+    and attaches the resulting QoE metrics to the SLO.
     """
     (
         session_id, label, status, token, seed,
-        drop_rate, num_packets, wait_slots, horizon,
+        drop_rate, num_packets, wait_slots, horizon, abr_profile,
     ) = task
     schedule = worker_payload()[token]
     mask = bernoulli_mask(schedule, drop_rate, seed)
@@ -64,6 +69,20 @@ def fleet_session_task(task) -> SessionSLO:
         status=status,
     )
     registry = active_registry()
+    if abr_profile is not None:
+        from dataclasses import replace
+
+        from repro.abr import AbrSessionSpec, build_profile, collect_qoe, run_session
+
+        abr_spec = AbrSessionSpec(num_chunks=num_packets)
+        trace = build_profile(
+            abr_profile,
+            max(64, num_packets * abr_spec.chunk_slots),
+            seed=seed,
+        )
+        qoe = collect_qoe(run_session(abr_spec, trace))
+        slo = replace(slo, qoe=qoe.to_dict())
+        registry.counter("fleet.abr_sessions", tier=qoe.tier).inc()
     registry.counter("fleet.sessions_replayed", label=label).inc()
     registry.histogram("fleet.startup_delay").observe(slo.startup_delay)
     registry.histogram("fleet.rebuffer_ratio").observe(slo.rebuffer_ratio)
@@ -201,6 +220,7 @@ class FleetRunner:
                         num_packets,
                         decision.wait_slots,
                         horizon,
+                        session.spec.abr_profile,
                     )
                 )
 

@@ -75,6 +75,9 @@ class SessionSLO:
         delay_counts / buffer_counts: compact ``(value, count)`` histograms
             of the per-node delay/buffer populations (for exact fleet-level
             pooling).
+        qoe: for ABR session kinds, the playback session's
+            :class:`~repro.abr.qoe.QoEMetrics` as a dict (``None`` for
+            non-ABR sessions).
     """
 
     session_id: int
@@ -93,10 +96,11 @@ class SessionSLO:
     num_packets: int
     delay_counts: tuple[tuple[int, int], ...]
     buffer_counts: tuple[tuple[int, int], ...]
+    qoe: dict | None = None
 
     def row(self) -> dict:
         """Flat dict for table/JSON rendering (drops the histograms)."""
-        return {
+        out = {
             "session": self.session_id,
             "label": self.label,
             "status": self.status,
@@ -108,6 +112,9 @@ class SessionSLO:
             "buffer_p99": self.buffer_p99,
             "goodput": round(self.goodput, 4),
         }
+        if self.qoe is not None:
+            out["qoe_tier"] = self.qoe["tier"]
+        return out
 
 
 def score_session(
@@ -188,6 +195,8 @@ class FleetSLOReport:
         cache_hits / cache_misses / cache_hit_rate: schedule-compile
             amortization across the fleet.
         sessions: every admitted session's :class:`SessionSLO`.
+        qoe_tiers: ``(tier, count)`` tallies over the ABR sessions in the
+            fleet (empty when no session kind carries an ``abr_profile``).
     """
 
     num_sessions: int
@@ -212,6 +221,7 @@ class FleetSLOReport:
     cache_misses: int
     cache_hit_rate: float
     sessions: tuple[SessionSLO, ...]
+    qoe_tiers: tuple[tuple[str, int], ...] = ()
 
     def row(self) -> dict:
         """Flat fleet summary (drops the per-session detail)."""
@@ -229,6 +239,7 @@ class FleetSLOReport:
             "delay_p99": self.delay_p99,
             "buffer_p99": self.buffer_p99,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
+            **{f"qoe_{tier}": count for tier, count in self.qoe_tiers},
         }
 
     # -------------------------------------------------------- serialization
@@ -248,7 +259,10 @@ class FleetSLOReport:
             row["delay_counts"] = tuple(tuple(p) for p in row["delay_counts"])
             row["buffer_counts"] = tuple(tuple(p) for p in row["buffer_counts"])
             sessions.append(SessionSLO(**row))
-        return cls(sessions=tuple(sessions), **payload)
+        qoe_tiers = tuple(
+            (str(tier), int(count)) for tier, count in payload.pop("qoe_tiers", ())
+        )
+        return cls(sessions=tuple(sessions), qoe_tiers=qoe_tiers, **payload)
 
 
 def aggregate_fleet(
@@ -280,6 +294,9 @@ def aggregate_fleet(
         goodputs.append(slo.goodput)
     if not session_slos:
         raise ReproError("every session was rejected; no SLOs to aggregate")
+    tier_counts = Counter(
+        slo.qoe["tier"] for slo in session_slos if slo.qoe is not None
+    )
     lookups = cache_hits + cache_misses
     return FleetSLOReport(
         num_sessions=len(decisions),
@@ -304,4 +321,5 @@ def aggregate_fleet(
         cache_misses=cache_misses,
         cache_hit_rate=cache_hits / lookups if lookups else 0.0,
         sessions=tuple(session_slos),
+        qoe_tiers=tuple(sorted(tier_counts.items())),
     )

@@ -60,7 +60,12 @@ class SessionSpec:
             at rate ``1 - ε`` (see :class:`~repro.repair.slack.SlackPolicy`);
             admission charges the ``1/(1-ε)`` throughput overhead.
         weight: relative share of fleet traffic this kind receives.
-        label: display name (defaults to ``scheme/N{n}/d{d}``).
+        label: display name (defaults to ``scheme/N{n}/d{d}``, plus an
+            ``abr-<profile>`` suffix for ABR session kinds).
+        abr_profile: when set, sessions of this kind additionally run a
+            deterministic adaptive-bitrate playback session against the named
+            :data:`~repro.abr.traces.TRACE_PROFILES` bandwidth profile, and
+            their SLOs carry the resulting QoE metrics.
     """
 
     scheme: str = "multi-tree"
@@ -74,6 +79,7 @@ class SessionSpec:
     repair_epsilon: float | None = None
     weight: float = 1.0
     label: str = ""
+    abr_profile: str | None = None
 
     def __post_init__(self) -> None:
         if self.scheme not in COMPILABLE_SCHEMES:
@@ -94,10 +100,21 @@ class SessionSpec:
             # Delegate the ε range check (and its error message) to the
             # repair subsystem's own policy.
             SlackPolicy(epsilon=self.repair_epsilon)
+        if self.abr_profile is not None:
+            # Lazy import: service must stay importable without pulling the
+            # whole abr subsystem in at module load.
+            from repro.abr.traces import TRACE_PROFILES
+
+            if self.abr_profile not in TRACE_PROFILES:
+                raise ReproError(
+                    f"unknown ABR trace profile {self.abr_profile!r}; "
+                    f"choose from {tuple(sorted(TRACE_PROFILES))}"
+                )
         if not self.label:
-            object.__setattr__(
-                self, "label", f"{self.scheme}/N{self.num_nodes}/d{self.degree}"
-            )
+            label = f"{self.scheme}/N{self.num_nodes}/d{self.degree}"
+            if self.abr_profile is not None:
+                label += f"/abr-{self.abr_profile}"
+            object.__setattr__(self, "label", label)
 
     # ----------------------------------------------------------------- costs
     @property

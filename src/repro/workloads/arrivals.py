@@ -61,15 +61,29 @@ def trace_arrival_slots(num_sessions: int, trace: tuple[int, ...] | list[int]) -
 
     When the trace is shorter than the fleet, it repeats shifted past its own
     span (a second "day" of the same measured pattern).
+
+    The trace must be a valid arrival sequence already: non-negative and
+    non-decreasing.  An out-of-order trace is rejected (not silently sorted)
+    — a measured trace that goes backwards in time is corrupt, and sorting
+    would hide which entry is wrong.
     """
     if num_sessions < 1:
         raise ReproError(f"num_sessions must be >= 1, got {num_sessions}")
     slots = [int(s) for s in trace]
     if not slots:
         raise ReproError("arrival trace is empty")
-    if any(s < 0 for s in slots):
-        raise ReproError("arrival trace contains negative slots")
-    slots.sort()
+    for i, s in enumerate(slots):
+        if s < 0:
+            raise ReproError(
+                f"arrival trace entry {i} is negative ({s}); "
+                "arrival slots must be >= 0"
+            )
+        if i > 0 and s < slots[i - 1]:
+            raise ReproError(
+                f"arrival trace entry {i} ({s}) is earlier than entry "
+                f"{i - 1} ({slots[i - 1]}); arrival traces must be "
+                "non-decreasing"
+            )
     span = slots[-1] + 1
     out = [slots[i % len(slots)] + span * (i // len(slots)) for i in range(num_sessions)]
     return out

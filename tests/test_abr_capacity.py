@@ -1,0 +1,158 @@
+"""Engine capacity_hook tests: throttling semantics, events, and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abr.capacity import trace_capacity_hook
+from repro.abr.traces import constant_trace, step_trace
+from repro.core.engine import SimConfig, simulate
+from repro.core.errors import ReproError
+from repro.core.packet import Transmission
+from repro.core.protocol import StreamingProtocol
+from repro.obs import Instrumentation, events as ev
+
+
+class FanoutProtocol(StreamingProtocol):
+    """Source 0 sends packet ``slot`` to every receiver, every slot."""
+
+    def __init__(self, num_receivers: int = 3):
+        self.num_receivers = num_receivers
+
+    @property
+    def node_ids(self):
+        return tuple(range(1, self.num_receivers + 1))
+
+    @property
+    def source_ids(self):
+        return frozenset((0,))
+
+    def send_capacity(self, node):
+        return self.num_receivers if node == 0 else 1
+
+    def transmissions(self, slot, view):
+        return [
+            Transmission(slot=slot, sender=0, receiver=r, packet=slot)
+            for r in self.node_ids
+        ]
+
+
+class TestTraceCapacityHook:
+    def test_generous_budget_is_identity(self):
+        plain = simulate(FanoutProtocol(), 6)
+        hooked = simulate(
+            FanoutProtocol(), 6,
+            capacity_hook=trace_capacity_hook(constant_trace(100.0, 8)),
+        )
+        assert not hooked.throttled
+        for node in (1, 2, 3):
+            assert hooked.arrivals(node) == plain.arrivals(node)
+
+    def test_tight_budget_cuts_batch_order_tail(self):
+        # Capacity 2 against a 3-wide fanout: the last transmission of every
+        # slot's batch is the one throttled.
+        trace = simulate(
+            FanoutProtocol(3), 5,
+            capacity_hook=trace_capacity_hook(constant_trace(2.0, 4)),
+        )
+        assert len(trace.throttled) == 5
+        assert all(tx.receiver == 3 for tx in trace.throttled)
+        assert trace.arrivals(3) == {}  # receiver 3 starved
+        assert len(trace.arrivals(1)) == 5  # first two admitted untouched
+
+    def test_time_varying_budget(self):
+        # high=3 admits all, low=1 admits one: cuts only in low slots.
+        hook = trace_capacity_hook(step_trace(3.0, 1.0, 4, 8, duty=0.5))
+        trace = simulate(FanoutProtocol(3), 8, capacity_hook=hook)
+        cut_slots = sorted({tx.slot for tx in trace.throttled})
+        assert cut_slots == [2, 3, 6, 7]
+        assert len(trace.throttled) == 4 * 2  # two cuts per low slot
+
+    def test_per_sender_mode(self):
+        hook = trace_capacity_hook(constant_trace(1.0, 4), per_sender=True)
+        trace = simulate(FanoutProtocol(3), 4, capacity_hook=hook)
+        # One admitted transmission per sender per slot.
+        assert len(trace.throttled) == 4 * 2
+
+    def test_units_per_tx(self):
+        hook = trace_capacity_hook(constant_trace(2.0, 4), units_per_tx=2.0)
+        trace = simulate(FanoutProtocol(3), 3, capacity_hook=hook)
+        assert len(trace.throttled) == 3 * 2  # budget admits exactly one
+        with pytest.raises(ReproError):
+            trace_capacity_hook(constant_trace(1.0, 4), units_per_tx=0.0)
+
+    def test_throttled_events_emitted(self):
+        instr = Instrumentation.collecting(profile=False)
+        simulate(
+            FanoutProtocol(3), 4,
+            capacity_hook=trace_capacity_hook(constant_trace(2.0, 4)),
+            instrumentation=instr,
+        )
+        assert instr.tracer.counts[ev.TX_THROTTLED] == 4
+        throttled = sum(
+            row["value"]
+            for row in instr.registry.snapshot()["counters"]
+            if row["name"] == "engine.tx.throttled"
+        )
+        assert throttled == 4
+
+
+class TestCapacityHookValidation:
+    def test_wrong_arity_rejected_at_config_time(self):
+        with pytest.raises(ReproError, match="capacity_hook"):
+            SimConfig(num_slots=4, capacity_hook=lambda slot: None)
+
+    def test_foreign_transmission_rejected(self):
+        def rogue(slot, batch):
+            return [Transmission(slot=slot, sender=8, receiver=9, packet=0)]
+
+        with pytest.raises(ReproError, match="not in this slot's batch"):
+            simulate(FanoutProtocol(2), 3, capacity_hook=rogue)
+
+    def test_throttled_is_not_dropped(self):
+        # Throttle semantics: cuts happen pre-send, after validation.  They
+        # land in trace.throttled, never in trace.dropped — so loss-repair
+        # machinery (which watches drops) does not react to congestion.
+        hook = trace_capacity_hook(constant_trace(2.0, 4))
+        trace = simulate(FanoutProtocol(3), 4, capacity_hook=hook)
+        assert len(trace.throttled) == 4
+        assert trace.dropped == []
+
+    def test_validation_runs_before_throttle(self):
+        # An ill-formed batch fails validation even if the capacity hook
+        # would have cut the offending transmissions anyway.
+        class OverFanout(FanoutProtocol):
+            def send_capacity(self, node):
+                return 1 if node == 0 else 1
+
+        hook = trace_capacity_hook(constant_trace(1.0, 4))
+        with pytest.raises(ReproError):
+            simulate(OverFanout(3), 4, capacity_hook=hook)
+
+
+class TestLossAwareComposition:
+    def test_throttling_a_real_scheme_needs_holdings_awareness(self):
+        # Same contract as drop_rule: an oblivious schedule forwards packets
+        # whose upstream send was throttled and fails causality validation;
+        # the loss-aware variant prunes naturally and stays valid.
+        from repro.abr import build_profile
+        from repro.core.errors import CausalityViolation
+        from repro.repair.session import make_lossy_protocol
+        from repro.trees import MultiTreeProtocol
+
+        trace = build_profile("step", 64, seed=1)
+
+        plain = MultiTreeProtocol(15, 3)
+        with pytest.raises(CausalityViolation):
+            simulate(plain, plain.slots_for_packets(8),
+                     capacity_hook=trace_capacity_hook(trace))
+
+        aware = make_lossy_protocol("multi-tree", 15, 3)
+        num_slots = aware.slots_for_packets(8)
+        run = simulate(aware, num_slots,
+                       capacity_hook=trace_capacity_hook(trace))
+        assert run.throttled and run.dropped == []
+        again = simulate(aware, num_slots,
+                         capacity_hook=trace_capacity_hook(trace))
+        assert len(again.throttled) == len(run.throttled)
+        assert len(again.transmissions) == len(run.transmissions)

@@ -1,0 +1,150 @@
+"""Tests for capacity traces: generators, validation, file loading, profiles."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.abr.traces import (
+    TRACE_PROFILES,
+    CapacityTrace,
+    build_profile,
+    constant_trace,
+    load_capacity_trace,
+    on_off_trace,
+    sinusoid_trace,
+    step_trace,
+)
+from repro.core.errors import ReproError
+
+
+class TestCapacityTrace:
+    def test_cycles_past_span(self):
+        trace = CapacityTrace(name="t", capacities=(1.0, 2.0, 3.0))
+        assert trace.capacity_at(0) == 1.0
+        assert trace.capacity_at(4) == 2.0
+        assert trace.capacity_at(300) == 1.0
+
+    def test_min_mean(self):
+        trace = CapacityTrace(name="t", capacities=(1.0, 3.0))
+        assert trace.min_capacity == 1.0
+        assert trace.mean_capacity == 2.0
+
+    def test_scaled(self):
+        trace = CapacityTrace(name="t", capacities=(1.0, 2.0)).scaled(2.5)
+        assert trace.capacities == (2.5, 5.0)
+        with pytest.raises(ReproError):
+            trace.scaled(0)
+
+    def test_rejects_empty_negative_nonfinite_allzero(self):
+        with pytest.raises(ReproError, match="empty"):
+            CapacityTrace(name="t", capacities=())
+        with pytest.raises(ReproError, match="sample 1 is negative"):
+            CapacityTrace(name="t", capacities=(1.0, -2.0))
+        with pytest.raises(ReproError, match="sample 0 is not finite"):
+            CapacityTrace(name="t", capacities=(float("nan"), 1.0))
+        with pytest.raises(ReproError, match="identically zero"):
+            CapacityTrace(name="t", capacities=(0.0, 0.0))
+
+    def test_negative_slot_rejected(self):
+        trace = constant_trace(1.0, 4)
+        with pytest.raises(ReproError):
+            trace.capacity_at(-1)
+
+
+class TestGenerators:
+    def test_constant(self):
+        trace = constant_trace(3.0, 5)
+        assert trace.capacities == (3.0,) * 5
+
+    def test_step_duty_cycle(self):
+        trace = step_trace(4.0, 1.0, 4, 8, duty=0.5)
+        assert trace.capacities == (4.0, 4.0, 1.0, 1.0) * 2
+
+    def test_sinusoid_clamped_nonnegative(self):
+        trace = sinusoid_trace(1.0, 5.0, 8, 32)
+        assert min(trace.capacities) == 0.0
+        assert max(trace.capacities) > 1.0
+
+    def test_on_off_deterministic_in_seed(self):
+        a = on_off_trace(8.0, 0.5, 0.2, 0.4, 64, seed=7)
+        b = on_off_trace(8.0, 0.5, 0.2, 0.4, 64, seed=7)
+        c = on_off_trace(8.0, 0.5, 0.2, 0.4, 64, seed=8)
+        assert a.capacities == b.capacities
+        assert a.capacities != c.capacities
+        assert set(a.capacities) <= {8.0, 0.5}
+
+    def test_on_off_probability_validation(self):
+        with pytest.raises(ReproError, match="p_fail"):
+            on_off_trace(1.0, 0.0, 1.5, 0.5, 8)
+
+    def test_bad_spans_and_periods(self):
+        with pytest.raises(ReproError):
+            constant_trace(1.0, 0)
+        with pytest.raises(ReproError):
+            step_trace(2.0, 1.0, 1, 8)
+        with pytest.raises(ReproError):
+            sinusoid_trace(1.0, 0.5, 1, 8)
+
+
+class TestLoader:
+    def test_text_format_with_comments(self, tmp_path):
+        p = tmp_path / "link.trace"
+        p.write_text("# mahimahi-style\n2.0\n\n3.5  # burst\n1.0\n")
+        trace = load_capacity_trace(p)
+        assert trace.name == "link"
+        assert trace.capacities == (2.0, 3.5, 1.0)
+
+    def test_text_format_bad_line_named(self, tmp_path):
+        p = tmp_path / "bad.trace"
+        p.write_text("1.0\nnope\n")
+        with pytest.raises(ReproError, match="line 2 is not a number"):
+            load_capacity_trace(p)
+
+    def test_json_array(self, tmp_path):
+        p = tmp_path / "t.json"
+        p.write_text(json.dumps([1, 2.5, 3]))
+        assert load_capacity_trace(p).capacities == (1.0, 2.5, 3.0)
+
+    def test_json_object_with_name(self, tmp_path):
+        p = tmp_path / "t.json"
+        p.write_text(json.dumps({"name": "cellular", "capacities": [4, 2]}))
+        trace = load_capacity_trace(p)
+        assert trace.name == "cellular"
+        assert trace.capacities == (4.0, 2.0)
+
+    def test_json_object_missing_key(self, tmp_path):
+        p = tmp_path / "t.json"
+        p.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(ReproError, match="capacities"):
+            load_capacity_trace(p)
+
+    def test_json_bad_sample_named(self, tmp_path):
+        p = tmp_path / "t.json"
+        p.write_text(json.dumps([1.0, "x"]))
+        with pytest.raises(ReproError, match="sample 1 is not a number"):
+            load_capacity_trace(p)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="cannot read"):
+            load_capacity_trace(tmp_path / "absent.trace")
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", sorted(TRACE_PROFILES))
+    def test_profiles_build_and_are_deterministic(self, name):
+        a = build_profile(name, 64, seed=3)
+        b = build_profile(name, 64, seed=3)
+        assert a.name == name
+        assert a.capacities == b.capacities
+        assert len(a) == 64
+
+    def test_unknown_profile(self):
+        with pytest.raises(ReproError, match="unknown trace profile"):
+            build_profile("lte", 32)
+
+    def test_scale(self):
+        assert build_profile("steady", 8, scale=0.5).capacities == (4.0,) * 8
+        with pytest.raises(ReproError):
+            build_profile("steady", 8, scale=0)

@@ -240,7 +240,7 @@ class TestVersionFlag:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert capsys.readouterr().out.strip() == "repro 1.3.0"
+        assert capsys.readouterr().out.strip() == "repro 1.4.0"
 
 
 class TestFleetCommand:
@@ -293,3 +293,40 @@ class TestFleetCommand:
             [*self.SMALL, "--churn-rate", "0.9", "--seed", "3", "--dry-run"]
         ) == 0
         assert "@0." in capsys.readouterr().out
+
+
+class TestAbrCommand:
+    SMALL = ["abr", "--profiles", "steady", "onoff", "--startup", "1", "2",
+             "--chunks", "8", "--chunk-slots", "2"]
+
+    def test_prints_rows_tiers_and_curves(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "delay_slots" in out and "buffer_slots" in out
+        assert "tiers:" in out
+        assert "standard/" in out  # at least one per-tier curve line
+        assert "4 points" in out
+
+    def test_json_export_round_trips(self, tmp_path, capsys):
+        from repro.reporting.export import read_abr_report_json
+
+        path = tmp_path / "abr.json"
+        assert main([*self.SMALL, "--json", str(path)]) == 0
+        report = read_abr_report_json(path)
+        assert report.profiles == ("steady", "onoff")
+        assert report.startup_grid == (1, 2)
+        assert len(report.points) == 4
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["abr", "--profiles", "lte"])
+
+    def test_default_sweep_covers_three_tiers(self, capsys):
+        # The acceptance scenario: the default grid populates >= 3 profiles
+        # and all three QoE tiers.
+        assert main(["abr"]) == 0
+        out = capsys.readouterr().out
+        tiers_line = next(l for l in out.splitlines() if l.startswith("tiers:"))
+        for tier in ("premium=", "standard=", "degraded="):
+            assert tier in tiers_line
+        assert "=0" not in tiers_line  # every tier populated

@@ -145,6 +145,43 @@ class TestSweepKind:
             run(ExperimentSpec(kind="sweep", scheme="gossip", seeds=(0, 1)))
 
 
+class TestAbrKind:
+    def test_abr_is_a_kind(self):
+        assert "abr" in EXPERIMENT_KINDS
+
+    def test_default_sweep_runs_and_is_deterministic(self):
+        spec = ExperimentSpec(kind="abr", abr_chunks=8, abr_chunk_slots=2)
+        a = run(spec)
+        b = run(spec)
+        assert a.rows == b.rows
+        report = a.metrics
+        assert len(report.points) == len(report.profiles) * len(report.startup_grid)
+        assert a.provenance["tier_counts"] == report.tier_counts()
+        assert sum(report.tier_counts().values()) == len(report.points)
+
+    def test_matches_direct_sweep_call(self):
+        from repro.abr import abr_tradeoff
+
+        result = run(ExperimentSpec(
+            kind="abr", abr_profiles=("steady", "step"), abr_startups=(1, 4),
+            abr_chunks=8, abr_chunk_slots=2, seed=2,
+        ))
+        direct = abr_tradeoff(("steady", "step"), (1, 4), num_chunks=8,
+                              chunk_slots=2, seed=2)
+        assert result.metrics == direct
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ExperimentSpec(kind="abr", abr_chunks=0)
+        with pytest.raises(ReproError):
+            ExperimentSpec(kind="abr", abr_chunk_slots=0)
+
+    def test_artifact_carries_report(self):
+        result = run(ExperimentSpec(kind="abr", abr_profiles=("steady",),
+                                    abr_startups=(1,), abr_chunks=4))
+        assert result.artifacts["report"] is result.metrics
+
+
 class TestDeprecatedEntryPoints:
     def test_top_level_simulate_warns(self):
         protocol = repro.MultiTreeProtocol(7, 2)

@@ -110,6 +110,94 @@ class TestInstrumentationExport:
         assert set(payload) >= {"metrics", "profile", "event_counts"}
 
 
+class TestVersionedEnvelopes:
+    """The repro_version envelope field and its major-mismatch rejection."""
+
+    def _abr_report(self):
+        from repro.abr import abr_tradeoff
+
+        return abr_tradeoff(("steady", "onoff"), (1, 2), num_chunks=6,
+                            chunk_slots=2, seed=1)
+
+    def test_abr_report_round_trip(self, tmp_path):
+        from repro.reporting.export import (
+            read_abr_report_json,
+            write_abr_report_json,
+        )
+
+        report = self._abr_report()
+        path = write_abr_report_json(report, tmp_path / "abr.json")
+        assert read_abr_report_json(path) == report
+
+    def test_envelope_carries_version_and_kind(self, tmp_path):
+        import repro
+        from repro.reporting.export import abr_report_to_dict, fleet_report_to_dict
+        from repro.service.runner import FleetRunner
+        from repro.service.spec import FleetSpec, SessionSpec
+
+        abr_payload = abr_report_to_dict(self._abr_report())
+        assert abr_payload["kind"] == "abr_tradeoff_report"
+        assert abr_payload["repro_version"] == repro.__version__
+
+        fleet = FleetSpec(sessions=(SessionSpec(num_nodes=7, num_packets=4),),
+                          num_sessions=3)
+        result = FleetRunner().run(fleet)
+        fleet_payload = fleet_report_to_dict(result.report)
+        assert fleet_payload["kind"] == "fleet_slo_report"
+        assert fleet_payload["repro_version"] == repro.__version__
+
+    def test_major_version_mismatch_rejected(self, tmp_path):
+        from repro.reporting.export import (
+            read_abr_report_json,
+            write_abr_report_json,
+        )
+
+        path = write_abr_report_json(self._abr_report(), tmp_path / "abr.json")
+        payload = json.loads(path.read_text())
+        payload["repro_version"] = "99.0.0"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="different major version"):
+            read_abr_report_json(path)
+
+    def test_minor_version_drift_accepted(self, tmp_path):
+        import repro
+        from repro.reporting.export import (
+            read_abr_report_json,
+            write_abr_report_json,
+        )
+
+        report = self._abr_report()
+        path = write_abr_report_json(report, tmp_path / "abr.json")
+        payload = json.loads(path.read_text())
+        major = repro.__version__.split(".", 1)[0]
+        payload["repro_version"] = f"{major}.999.0"
+        path.write_text(json.dumps(payload))
+        assert read_abr_report_json(path) == report
+
+    def test_legacy_report_without_version_accepted(self, tmp_path):
+        from repro.reporting.export import (
+            read_abr_report_json,
+            write_abr_report_json,
+        )
+
+        report = self._abr_report()
+        path = write_abr_report_json(report, tmp_path / "abr.json")
+        payload = json.loads(path.read_text())
+        del payload["repro_version"]
+        path.write_text(json.dumps(payload))
+        assert read_abr_report_json(path) == report
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        from repro.reporting.export import (
+            read_fleet_report_json,
+            write_abr_report_json,
+        )
+
+        path = write_abr_report_json(self._abr_report(), tmp_path / "abr.json")
+        with pytest.raises(ReproError, match="not a fleet SLO report"):
+            read_fleet_report_json(path)
+
+
 class TestTraceFromDict:
     def test_round_trip_rebuild(self, trace, tmp_path):
         from repro.core.trace_checks import audit_trace

@@ -104,6 +104,48 @@ class TestFleetRunner:
         assert report.reject_rate == pytest.approx(2 / 3)
 
 
+class TestAbrSessions:
+    def _abr_fleet(self, **overrides) -> FleetSpec:
+        return _small_fleet(
+            sessions=(
+                SessionSpec(num_nodes=15, num_packets=6, abr_profile="onoff"),
+                SessionSpec(scheme="chain", num_nodes=8, num_packets=6),
+            ),
+            num_sessions=16,
+            **overrides,
+        )
+
+    def test_abr_sessions_carry_qoe(self):
+        report = FleetRunner(policy=SERIAL).run(self._abr_fleet()).report
+        abr = [s for s in report.sessions if s.qoe is not None]
+        plain = [s for s in report.sessions if s.qoe is None]
+        assert abr and plain
+        assert all(s.label.endswith("abr-onoff") for s in abr)
+        assert all(s.qoe["tier"] in ("premium", "standard", "degraded") for s in abr)
+        assert dict(report.qoe_tiers) and sum(dict(report.qoe_tiers).values()) == len(abr)
+        assert "qoe_tier" in abr[0].row()
+
+    def test_parallel_matches_serial_with_abr(self):
+        fleet = self._abr_fleet()
+        serial = FleetRunner(policy=SERIAL).run(fleet).report
+        parallel = FleetRunner(
+            policy=ExecutorPolicy(max_workers=2, mode="parallel")
+        ).run(fleet).report
+        assert parallel == serial
+
+    def test_abr_report_round_trips(self, tmp_path):
+        report = FleetRunner(policy=SERIAL).run(self._abr_fleet()).report
+        path = tmp_path / "fleet.json"
+        write_fleet_report_json(report, path)
+        loaded = read_fleet_report_json(path)
+        assert loaded == report
+        assert loaded.qoe_tiers == report.qoe_tiers
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError, match="unknown ABR trace profile"):
+            SessionSpec(abr_profile="lte")
+
+
 class TestFacade:
     def test_kind_fleet_runs_fleet_spec(self):
         result = run(

@@ -6,7 +6,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.errors import ConstructionError
+from repro.core.errors import ConstructionError, ReproError
+from repro.workloads.arrivals import trace_arrival_slots
 from repro.workloads.churn import (
     ChurnEvent,
     alternating_trace,
@@ -57,6 +58,28 @@ class TestSweeps:
             complete_tree_populations(1)
         with pytest.raises(ConstructionError):
             log_spaced_populations(10, 5)
+
+
+class TestArrivalTraceValidation:
+    def test_valid_trace_replays(self):
+        assert trace_arrival_slots(3, (0, 2, 5)) == [0, 2, 5]
+
+    def test_repeated_slots_allowed(self):
+        # Non-decreasing, not strictly increasing: bursts are legal.
+        assert trace_arrival_slots(3, (1, 1, 4)) == [1, 1, 4]
+
+    def test_negative_slot_names_offending_index(self):
+        with pytest.raises(ReproError, match=r"entry 2 is negative \(-3\)"):
+            trace_arrival_slots(5, (0, 1, -3, 4))
+
+    def test_out_of_order_trace_names_offending_index(self):
+        with pytest.raises(ReproError, match=r"entry 2 \(1\) is earlier than entry 1 \(4\)"):
+            trace_arrival_slots(5, (0, 4, 1))
+
+    def test_out_of_order_trace_not_silently_sorted(self):
+        # The old behavior sorted; the contract now rejects instead.
+        with pytest.raises(ReproError, match="non-decreasing"):
+            trace_arrival_slots(2, (9, 3))
 
 
 class TestChurnTraces:
