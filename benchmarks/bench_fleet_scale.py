@@ -9,6 +9,17 @@ isolated single-kind runs covering the same sessions with private caches —
 the fleet must stay under 2x the isolated total (it does the same replay
 work plus admission control) and its schedule-cache hit rate must be at
 least 0.99 (8 misses in 1000 lookups = 0.992).
+
+Two further acceptance tests cover the telemetry layer (docs/TELEMETRY.md):
+
+* **sketch aggregation at 10k sessions** — ``aggregation="sketch"`` streams
+  every SLO into mergeable quantile sketches (no per-session list is ever
+  materialized: ``report.sessions == ()``), and the sketch percentiles must
+  agree with exact pooled aggregation within the documented
+  ``relative_error`` bound;
+* **run-until-converged** — with ``run_until_converged=True`` the runner
+  executes sessions in batches and must stop well before the full scenario
+  once the p99 startup-delay CI is tight.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from conftest import report
 
 from repro.exec.executor import ExecutorPolicy
 from repro.obs import Timer
+from repro.obs.convergence import ConvergenceCriterion
 from repro.service import CapacityModel, FleetRunner, FleetSpec, SessionSpec
 
 NUM_SESSIONS = 1000
@@ -107,5 +119,135 @@ def test_fleet_scale_amortizes_compiles():
             "ratio": round(ratio, 4),
             "cache_hit_rate": round(fleet_report.cache_hit_rate, 4),
             "sessions": NUM_SESSIONS,
+        },
+    )
+
+
+SKETCH_SESSIONS = 10_000
+SKETCH_ERROR = 0.01
+
+
+def test_sketch_aggregation_matches_exact_at_10k_sessions():
+    """10k sessions stream through sketches; percentiles match exact."""
+
+    def fleet_spec(aggregation: str) -> FleetSpec:
+        return FleetSpec(
+            sessions=CONFIGS,
+            num_sessions=SKETCH_SESSIONS,
+            capacity=CAPACITY,
+            arrival_rate=16.0,
+            seed=7,
+            aggregation=aggregation,
+            sketch_error=SKETCH_ERROR,
+        )
+
+    with Timer() as exact_timer:
+        exact = FleetRunner(policy=SERIAL).run(fleet_spec("exact")).report
+    with Timer() as sketch_timer:
+        sketch = FleetRunner(policy=SERIAL).run(fleet_spec("sketch")).report
+
+    # Bounded memory: sketch mode never materializes per-session SLOs.
+    assert sketch.sessions == ()
+    assert len(exact.sessions) == SKETCH_SESSIONS
+    # Admission bookkeeping is aggregation-independent.
+    assert sketch.num_sessions == exact.num_sessions == SKETCH_SESSIONS
+    assert sketch.admitted == exact.admitted
+    assert sketch.rejected == exact.rejected
+
+    fields = ("startup_p50", "startup_p99", "delay_p50", "delay_p95",
+              "delay_p99", "buffer_p99")
+    drifts = {}
+    for name in fields:
+        exact_value = getattr(exact, name)
+        sketch_value = getattr(sketch, name)
+        # Documented bound: |sketch - exact| <= alpha * exact, plus 1 slot
+        # for the report's integer rounding.
+        tolerance = SKETCH_ERROR * exact_value + 1.0
+        drift = abs(sketch_value - exact_value)
+        assert drift <= tolerance, (
+            f"{name}: sketch {sketch_value} vs exact {exact_value} "
+            f"(drift {drift}, bound {tolerance:.2f})"
+        )
+        drifts[name] = drift
+
+    lines = [
+        f"sketch aggregation at {SKETCH_SESSIONS} sessions "
+        f"(alpha={SKETCH_ERROR}, serial executor):",
+        "",
+        f"  exact pooled percentiles:  {exact_timer.elapsed:7.3f}s "
+        f"({len(exact.sessions)} SLOs materialized)",
+        f"  sketch streaming:          {sketch_timer.elapsed:7.3f}s "
+        "(0 SLOs materialized)",
+        "",
+        "  field        exact  sketch  drift (bound = alpha*exact + 1)",
+    ]
+    for name in fields:
+        lines.append(
+            f"  {name:<12} {getattr(exact, name):>5} "
+            f"{getattr(sketch, name):>6}  {drifts[name]:.0f}"
+        )
+    report(
+        "fleet_sketch_10k",
+        "\n".join(lines),
+        elapsed=sketch_timer.elapsed,
+        phases={
+            "exact_s": round(exact_timer.elapsed, 6),
+            "sketch_s": round(sketch_timer.elapsed, 6),
+            "sessions": SKETCH_SESSIONS,
+            "sketch_error": SKETCH_ERROR,
+        },
+    )
+
+
+def test_run_until_converged_stops_early():
+    """Convergence mode executes a fraction of the scenario and stops."""
+    criterion = ConvergenceCriterion(
+        quantile=99.0, rel_half_width=0.05, min_count=512, check_every=256
+    )
+    fleet = FleetSpec(
+        sessions=CONFIGS,
+        num_sessions=SKETCH_SESSIONS,
+        capacity=CAPACITY,
+        arrival_rate=16.0,
+        seed=7,
+        aggregation="sketch",
+        sketch_error=SKETCH_ERROR,
+        run_until_converged=True,
+        convergence=criterion,
+    )
+    with Timer() as timer:
+        result = FleetRunner(policy=SERIAL).run(fleet)
+
+    state = result.convergence
+    executed = result.executor_info["tasks"]
+    assert state is not None and state.converged, (
+        f"did not converge after {executed} sessions: {state}"
+    )
+    assert executed < SKETCH_SESSIONS // 2, (
+        f"expected early stop, but executed {executed}/{SKETCH_SESSIONS}"
+    )
+    # The report covers exactly the executed arrival prefix.
+    assert result.report.num_sessions == len(result.decisions)
+    assert result.report.num_sessions >= executed
+
+    lines = [
+        f"run-until-converged (p99 startup delay, rel half-width "
+        f"{criterion.rel_half_width}, batches of {criterion.check_every}):",
+        "",
+        f"  executed {executed} of {SKETCH_SESSIONS} sessions in "
+        f"{result.executor_info['batches']} batches ({timer.elapsed:.3f}s)",
+        f"  p99 estimate {state.estimate:.0f} in "
+        f"[{state.ci_lower:.0f}, {state.ci_upper:.0f}] "
+        f"(half-width {state.half_width:.2f} <= "
+        f"target {state.target_half_width:.2f})",
+    ]
+    report(
+        "fleet_converged_early_stop",
+        "\n".join(lines),
+        elapsed=timer.elapsed,
+        phases={
+            "executed": executed,
+            "total": SKETCH_SESSIONS,
+            "batches": result.executor_info["batches"],
         },
     )

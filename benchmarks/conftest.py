@@ -14,6 +14,12 @@ alongside the text reproduction.  Benches that do not time themselves still
 get a JSON row: the harness times each test's call phase with
 :class:`repro.obs.Timer` and backfills ``wall_clock_s`` (scope ``"test"``)
 for every report the test registered.
+
+Every timing additionally appends one line to
+``results/bench_history.jsonl`` (:func:`repro.reporting.append_bench_history`)
+with the previously recorded wall time as the baseline — a run slower than
+1.5x its predecessor is flagged ``regression: true`` in the history, and
+``repro report`` renders the ledger.
 """
 
 from __future__ import annotations
@@ -24,10 +30,25 @@ from pathlib import Path
 import pytest
 
 from repro.obs import Timer
+from repro.reporting.ledger import append_bench_history
 
 _RESULTS_DIR = Path(__file__).parent / "results"
+_HISTORY_PATH = _RESULTS_DIR / "bench_history.jsonl"
 _REGISTRY: list[tuple[str, str]] = []
 _PENDING_TIMING: list[str] = []
+
+
+def _previous_wall(name: str) -> float | None:
+    """The last recorded wall time for ``name`` (the regression baseline)."""
+    path = _RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        return None
+    try:
+        payload = json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+    wall = payload.get("wall_clock_s")
+    return float(wall) if isinstance(wall, (int, float)) else None
 
 
 def report(
@@ -49,12 +70,17 @@ def report(
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if elapsed is not None or phases is not None:
+        baseline = _previous_wall(name)
         payload: dict = {"name": name, "timing_scope": "bench"}
         if elapsed is not None:
             payload["wall_clock_s"] = round(elapsed, 6)
         if phases is not None:
             payload["phases"] = phases
         (_RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1) + "\n")
+        if elapsed is not None:
+            append_bench_history(
+                _HISTORY_PATH, name, round(elapsed, 6), baseline_s=baseline
+            )
     else:
         _PENDING_TIMING.append(name)
 
@@ -67,12 +93,16 @@ def pytest_runtest_call(item):
         yield
     _RESULTS_DIR.mkdir(exist_ok=True)
     for name in _PENDING_TIMING:
+        baseline = _previous_wall(name)
         payload = {
             "name": name,
             "timing_scope": "test",
             "wall_clock_s": round(timer.elapsed, 6),
         }
         (_RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=1) + "\n")
+        append_bench_history(
+            _HISTORY_PATH, name, round(timer.elapsed, 6), baseline_s=baseline
+        )
     _PENDING_TIMING.clear()
 
 

@@ -15,9 +15,11 @@ The package implements, from scratch, everything the paper describes:
 * :mod:`repro.theory` — every closed-form bound, plus degree optimization;
 * :mod:`repro.repair` — the loss-repair subsystem (slack provisioning,
   NACK retransmission, XOR parity) the paper's loss-free model leaves out;
-* :mod:`repro.obs` — the instrumentation layer: metrics registry, structured
-  event tracing, and per-phase profiling hooks (all opt-in, zero overhead
-  when off);
+* :mod:`repro.obs` — the instrumentation layer: metrics registry (with
+  mergeable bounded-memory quantile sketches), structured event tracing
+  (with deterministic sampling), per-phase profiling hooks, tumbling-window
+  time series, online SLO-convergence detection, and pipeline span tracing
+  (all opt-in, zero overhead when off);
 * :mod:`repro.exec` — the compiled-schedule execution layer: schedule
   compiler, content-addressed cache, engine-free replay, and the
   process-parallel sweep executor;
@@ -31,14 +33,18 @@ The package implements, from scratch, everything the paper describes:
 * :mod:`repro.service` — the fleet service layer: multi-session scenarios
   (:class:`FleetSpec`), admission control against capacity budgets
   (:class:`~repro.service.SessionManager`), sharded execution
-  (:class:`FleetRunner`), and fleet SLO reports (:class:`FleetSLOReport`);
+  (:class:`FleetRunner`), fleet SLO reports (:class:`FleetSLOReport` —
+  exact or sketch-aggregated, optionally run-until-converged), and the
+  :class:`FleetTelemetry` time-series/span bundle (``docs/TELEMETRY.md``);
 * :mod:`repro.abr` — the adaptive-bitrate scenario subsystem: time-varying
   link-capacity traces (and the engine's ``capacity_hook`` attachment), a
   bitrate ladder with a buffer-aware bandwidth estimator, per-session QoE
   metrics, and the QoE-tiered delay/buffer tradeoff sweep
   (``repro abr``, :class:`ExperimentSpec(kind="abr") <ExperimentSpec>`);
 * :mod:`repro.workloads` / :mod:`repro.reporting` — sweep, churn, and
-  session-arrival generators plus plain-text rendering for the harness.
+  session-arrival generators plus plain-text rendering, Chrome-trace span
+  export, and the append-only JSONL run ledger (:class:`RunLedger`,
+  ``repro runs`` / ``repro report``).
 
 Quickstart — one experiment, one call::
 
@@ -113,7 +119,17 @@ from repro.hypercube import (
     analyze_cascade,
     cascade_plan,
 )
-from repro.obs import EventTracer, Instrumentation, MetricsRegistry, PhaseProfiler
+from repro.obs import (
+    ConvergenceCriterion,
+    ConvergenceDetector,
+    EventTracer,
+    Instrumentation,
+    MetricsRegistry,
+    PhaseProfiler,
+    QuantileSketch,
+    SpanTracer,
+    TimeSeries,
+)
 from repro.repair import (
     ParityScheme,
     RepairRunResult,
@@ -123,18 +139,21 @@ from repro.repair import (
     repair_experiment,
     run_repair_experiment,
 )
+from repro.reporting import RunLedger
 from repro.service import (
     CapacityModel,
+    FleetAggregator,
     FleetRunner,
     FleetSLOReport,
     FleetSpec,
+    FleetTelemetry,
     SessionManager,
     SessionSpec,
 )
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 
 def simulate(*args, **kwargs):
@@ -165,14 +184,18 @@ __all__ = [
     "CheckReport",
     "ClusteredStreamingProtocol",
     "CompiledSchedule",
+    "ConvergenceCriterion",
+    "ConvergenceDetector",
     "DynamicForest",
     "EventTracer",
     "ExecutorPolicy",
     "ExperimentResult",
     "ExperimentSpec",
+    "FleetAggregator",
     "FleetRunner",
     "FleetSLOReport",
     "FleetSpec",
+    "FleetTelemetry",
     "GroupedHypercubeProtocol",
     "HypercubeCascadeProtocol",
     "HypercubeProtocol",
@@ -184,8 +207,10 @@ __all__ = [
     "PhaseProfiler",
     "PlaybackBuffer",
     "QoEMetrics",
+    "QuantileSketch",
     "RepairRunResult",
     "RetransmissionCoordinator",
+    "RunLedger",
     "ScheduleCache",
     "SchemeMetrics",
     "SessionManager",
@@ -195,8 +220,10 @@ __all__ = [
     "SlackPolicy",
     "SlackProvisioner",
     "SlottedEngine",
+    "SpanTracer",
     "StreamingProtocol",
     "SweepExecutor",
+    "TimeSeries",
     "Transmission",
     "Violation",
     "__version__",

@@ -16,9 +16,10 @@ but :mod:`ast`:
   asserts, so invariants must raise :class:`~repro.core.errors.ReproError`.
 * **REP004 unordered-iteration** — ``for`` loops over a set display, a
   ``set()``/``frozenset()`` call, a set comprehension, or a set-operator
-  expression inside ``trees/``, ``hypercube/``, ``exec/``, or ``abr/``,
-  where iteration order can feed transmission emission (or, for ``abr/``,
-  chunk-fetch order).  Wrap the iterable in ``sorted()``.
+  expression inside ``trees/``, ``hypercube/``, ``exec/``, ``abr/``, or
+  ``obs/``, where iteration order can feed transmission emission (for
+  ``abr/``, chunk-fetch order; for ``obs/``, merge/serialization order of
+  telemetry snapshots).  Wrap the iterable in ``sorted()``.
 
 Scope is path-based: rules apply to files inside a ``repro`` package tree
 and skip ``tests``/``benchmarks``/``examples``/``scripts`` directories.  A
@@ -56,7 +57,8 @@ LINT_RULES: dict[str, str] = {
     "datetime.now) outside repro/obs/",
     "REP003": "bare assert in library code; raise ReproError instead",
     "REP004": "iteration over an unordered set expression where order can "
-    "feed transmission emission (trees/, hypercube/, exec/, abr/)",
+    "feed transmission emission or snapshot serialization (trees/, "
+    "hypercube/, exec/, abr/, obs/)",
 }
 
 _PRAGMA = re.compile(
@@ -67,7 +69,7 @@ _PRAGMA = re.compile(
 _EXEMPT_DIRS = frozenset({"tests", "benchmarks", "examples", "scripts"})
 
 #: Directories where REP004 (emission-order determinism) applies.
-_ORDER_CRITICAL_DIRS = frozenset({"abr", "trees", "hypercube", "exec"})
+_ORDER_CRITICAL_DIRS = frozenset({"abr", "trees", "hypercube", "exec", "obs"})
 
 #: Wall-clock attribute names on the ``time`` module.
 _TIME_ATTRS = frozenset({"time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"})

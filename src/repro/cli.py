@@ -12,7 +12,9 @@ Commands:
 * ``stats``    — fully instrumented run: metrics, event counts, phase timings;
 * ``fleet``    — multi-session service scenario: admission control against
   capacity budgets, sharded execution, fleet SLO report (``--dry-run``
-  prints the resolved scenario without executing it);
+  prints the resolved scenario without executing it; ``--aggregation
+  sketch`` / ``--until-converged`` / ``--telemetry`` / ``--chrome-trace``
+  engage the fleet-scale telemetry layer, see ``docs/TELEMETRY.md``);
 * ``abr``      — delay/buffer tradeoff sweep under time-varying link
   capacity: one ABR session per trace profile × prebuffer target, curves
   bucketed by QoE tier (see ``docs/ABR.md``);
@@ -20,7 +22,12 @@ Commands:
   paper's invariants and theorem bounds without running the engine
   (``--grid`` certifies every compilable scheme over the CI smoke grid);
 * ``lint``     — the project's determinism/error-discipline lint pass
-  (REP001-REP004, see ``docs/CHECKS.md``).
+  (REP001-REP004, see ``docs/CHECKS.md``);
+* ``runs``     — list experiment runs recorded in the JSONL run ledger
+  (``repro.run`` appends one line per run when ``$REPRO_LEDGER`` or
+  ``--ledger`` names a file);
+* ``report``   — summarize the run ledger and the benchmark timing history
+  (``results/bench_history.jsonl``), flagging bench regressions.
 
 ``repro --version`` prints the package version (from installed metadata when
 available, else the source tree's ``repro.__version__``).
@@ -302,6 +309,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor mode",
     )
     fleet.add_argument(
+        "--aggregation", choices=["exact", "sketch"], default="exact",
+        help="SLO aggregation: exact pooled percentiles, or mergeable "
+        "quantile sketches with bounded memory (no per-session rows)",
+    )
+    fleet.add_argument(
+        "--sketch-error", type=float, default=0.01, metavar="ALPHA",
+        help="relative error bound of sketch aggregation (default 0.01)",
+    )
+    fleet.add_argument(
+        "--until-converged", action="store_true",
+        help="execute sessions in batches and stop early once the p99 "
+        "startup-delay estimate's confidence interval is tight "
+        "(see docs/TELEMETRY.md)",
+    )
+    fleet.add_argument(
+        "--telemetry", action="store_true",
+        help="record tumbling-window time series + pipeline spans and print "
+        "the per-window rows after the report",
+    )
+    fleet.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="write the run's pipeline spans as a Chrome trace JSON "
+        "(implies --telemetry)",
+    )
+    fleet.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="append a run record to this JSONL ledger "
+        "(default: $REPRO_LEDGER when set)",
+    )
+    fleet.add_argument(
         "--json", metavar="PATH", help="write the fleet SLO report here"
     )
     fleet.add_argument(
@@ -379,6 +416,37 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="output format",
+    )
+
+    runs = sub.add_parser(
+        "runs", help="list recorded experiment runs from the JSONL run ledger"
+    )
+    runs.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="ledger to read (default: $REPRO_LEDGER, else results/ledger.jsonl)",
+    )
+    runs.add_argument(
+        "--last", type=int, default=20, metavar="COUNT",
+        help="show only the most recent COUNT runs (0 = all)",
+    )
+    runs.add_argument(
+        "--json", action="store_true",
+        help="print the raw records as JSON instead of a table",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="summarize the run ledger and the benchmark timing history",
+    )
+    report.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="run ledger to read (default: $REPRO_LEDGER, else "
+        "results/ledger.jsonl)",
+    )
+    report.add_argument(
+        "--bench-history", metavar="PATH",
+        default="benchmarks/results/bench_history.jsonl",
+        help="benchmark history ledger to read",
     )
 
     verify = sub.add_parser(
@@ -666,6 +734,9 @@ def _cmd_fleet(args) -> int:
             policy=args.policy,
             churn_rate=args.churn_rate,
             seed=args.seed,
+            aggregation=args.aggregation,
+            sketch_error=args.sketch_error,
+            run_until_converged=args.until_converged,
         )
     except ReproError as exc:
         raise SystemExit(str(exc)) from exc
@@ -689,11 +760,54 @@ def _cmd_fleet(args) -> int:
         fleet=fleet,
         executor=ExecutorPolicy(max_workers=args.workers, mode=args.mode),
     )
-    try:
-        result = run(spec)
-    except ReproError as exc:
-        raise SystemExit(str(exc)) from exc
-    report = result.artifacts["report"]
+    telemetry = None
+    if args.telemetry or args.chrome_trace:
+        # Telemetry drives the runner directly so the bundle is ours to
+        # render; the run is still recorded to the ledger like any other.
+        from types import SimpleNamespace
+
+        from repro.obs import Timer
+        from repro.reporting.ledger import RunLedger, default_ledger, run_record
+        from repro.service import FleetRunner, FleetTelemetry
+
+        telemetry = FleetTelemetry()
+        runner = FleetRunner(policy=spec.executor, telemetry=telemetry)
+        try:
+            with Timer() as timer:
+                fleet_result = runner.run(fleet)
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+        report = fleet_result.report
+        provenance = {
+            "kind": "fleet",
+            "scheme": spec.scheme,
+            "description": fleet.describe(),
+            "compiled": True,
+            "cache": {
+                "hits": report.cache_hits,
+                "misses": report.cache_misses,
+                "hit_rate": report.cache_hit_rate,
+            },
+            "executor": fleet_result.executor_info,
+        }
+        if fleet_result.convergence is not None:
+            provenance["convergence"] = fleet_result.convergence.row()
+        result = SimpleNamespace(
+            rows=tuple(slo.row() for slo in report.sessions),
+            timing_s=timer.elapsed,
+            provenance=provenance,
+        )
+        ledger = RunLedger(args.ledger) if args.ledger else default_ledger()
+        if ledger is not None:
+            ledger.append(run_record(spec, result))
+        convergence = fleet_result.convergence
+    else:
+        try:
+            result = run(spec, ledger=args.ledger)
+        except ReproError as exc:
+            raise SystemExit(str(exc)) from exc
+        report = result.artifacts["report"]
+        convergence = result.artifacts.get("convergence")
     print(format_rows([report.row()], title=result.provenance["description"]))
     executor = result.provenance["executor"]
     print(
@@ -702,8 +816,127 @@ def _cmd_fleet(args) -> int:
         f"{report.cache_hits} hits / {report.cache_misses} misses "
         f"(hit rate {report.cache_hit_rate:.3f}); {result.timing_s:.2f}s"
     )
+    if convergence is not None:
+        print(format_rows([convergence.row()], title="convergence:"))
+    if telemetry is not None:
+        rows = telemetry.rows()
+        if rows:
+            # Counter/gauge/sketch rows carry different stats; pad to one
+            # column set so they render as a single table.
+            columns = ["window", "start_slot", "series", "kind", "value",
+                       "rate", "count", "p50", "p99", "max"]
+            padded = [{c: row.get(c, "") for c in columns} for row in rows]
+            print()
+            print(format_rows(padded, title="telemetry (per arrival window):"))
+        if args.chrome_trace and telemetry.spans is not None:
+            from repro.reporting.export import write_chrome_trace_json
+
+            path = write_chrome_trace_json(telemetry.spans, args.chrome_trace)
+            print(f"chrome trace ({len(telemetry.spans)} spans) -> {path}")
     if args.json:
         print(f"fleet report -> {write_fleet_report_json(report, args.json)}")
+    return 0
+
+
+def _ledger_path(args) -> str:
+    """``--ledger`` flag, else ``$REPRO_LEDGER``, else the results default."""
+    import os
+
+    from repro.reporting.ledger import LEDGER_ENV_VAR
+
+    if args.ledger:
+        return args.ledger
+    env = os.environ.get(LEDGER_ENV_VAR, "").strip()
+    return env or "results/ledger.jsonl"
+
+
+def _cmd_runs(args) -> int:
+    import json
+    import time
+
+    from repro.reporting.ledger import RunLedger
+
+    path = _ledger_path(args)
+    records = [r for r in RunLedger(path) if r.get("record") == "run"]
+    if args.last:
+        records = records[len(records) - args.last:]
+    if args.json:
+        print(json.dumps(records, indent=1))
+        return 0
+    if not records:
+        print(f"no runs recorded in {path}")
+        return 0
+    rows = []
+    for record in records:
+        spec = record.get("spec", {})
+        when = record.get("time_s")
+        rows.append(
+            {
+                "when": time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(when))
+                if isinstance(when, (int, float)) else "?",
+                "kind": spec.get("kind", "?"),
+                "scheme": spec.get("scheme", "?"),
+                "n": spec.get("num_nodes", ""),
+                "rows": record.get("rows", ""),
+                "timing_s": round(record["timing_s"], 3)
+                if isinstance(record.get("timing_s"), (int, float)) else "",
+                "version": record.get("repro_version", ""),
+            }
+        )
+    print(format_rows(rows, title=f"{len(records)} run(s) from {path}:"))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from collections import Counter
+
+    from repro.reporting.ledger import RunLedger, bench_history_records
+
+    path = _ledger_path(args)
+    records = [r for r in RunLedger(path) if r.get("record") == "run"]
+    if records:
+        kinds = Counter(r.get("spec", {}).get("kind", "?") for r in records)
+        total_s = sum(
+            r["timing_s"] for r in records
+            if isinstance(r.get("timing_s"), (int, float))
+        )
+        print(f"run ledger {path}: {len(records)} run(s), "
+              f"{total_s:.2f}s recorded wall time")
+        print("  by kind: " + ", ".join(
+            f"{kind}={count}" for kind, count in sorted(kinds.items())
+        ))
+    else:
+        print(f"run ledger {path}: empty")
+    history = bench_history_records(args.bench_history)
+    if not history:
+        print(f"bench history {args.bench_history}: empty")
+        return 0
+    latest: dict[str, dict] = {}
+    for record in history:
+        latest[record.get("name", "?")] = record
+    rows = []
+    for name in sorted(latest):
+        record = latest[name]
+        rows.append(
+            {
+                "benchmark": name,
+                "wall_s": record.get("wall_clock_s", ""),
+                "baseline_s": record.get("baseline_s", ""),
+                "speedup": round(record["speedup"], 3)
+                if isinstance(record.get("speedup"), (int, float)) else "",
+                "regression": "YES" if record.get("regression") else "",
+            }
+        )
+    print()
+    print(format_rows(
+        rows,
+        title=f"bench history {args.bench_history}: "
+        f"{len(history)} entries, latest per benchmark:",
+    ))
+    regressions = [r for r in rows if r["regression"]]
+    if regressions:
+        print(f"{len(regressions)} benchmark(s) regressed past the "
+              "1.5x threshold")
     return 0
 
 
@@ -829,6 +1062,8 @@ _COMMANDS = {
     "abr": _cmd_abr,
     "check": _cmd_check,
     "lint": _cmd_lint,
+    "runs": _cmd_runs,
+    "report": _cmd_report,
     "verify": _cmd_verify,
 }
 

@@ -6,12 +6,24 @@
   worker through the pool initializer instead of once per task;
 * every task runs against an isolated :class:`~repro.obs.MetricsRegistry`
   whose snapshot rides back with the result and is merged into the caller's
-  registry — metrics aggregate exactly as in a serial run;
+  registry — metrics aggregate exactly as in a serial run.  Each snapshot is
+  tagged with its **shard id** (the task index) and wall-clock ``elapsed_s``,
+  exposed after the run as :attr:`SweepExecutor.last_shards`;
 * task order is preserved and per-task seeds travel inside the task tuples,
   so a grid is deterministic regardless of worker count;
+* results can be **streamed**: ``map(..., on_result=fn, collect=False)``
+  invokes ``fn(index, result)`` as each task completes *in task order* and
+  never materializes the result list — the fleet runner folds 10k+ session
+  SLOs into quantile sketches this way with bounded memory;
+* a :class:`~repro.obs.spans.SpanTracer` handed to the executor ships its
+  span context to workers through the initializer; spans recorded with
+  :func:`~repro.obs.spans.worker_span` ride back on the snapshots and are
+  adopted into the parent trace;
 * any pool-level failure (broken workers, unpicklable payloads, fork limits)
   **degrades gracefully to the serial path** — the sweep completes either
-  way, and the fallback is visible as ``executor.fallbacks`` plus an
+  way (tasks already processed before the pool broke are not re-delivered
+  to ``on_result`` or re-merged), and the fallback is visible as
+  ``executor.fallbacks`` plus an
   ``executor.fallback_errors{error=<ExceptionType>}`` counter on the active
   registry (the formatted exception also lands in ``last_run``).
 """
@@ -26,7 +38,9 @@ from functools import partial
 from typing import Any
 
 from repro.core.errors import ReproError
+from repro.obs.profile import Timer
 from repro.obs.registry import MetricsRegistry, active_registry, use_registry
+from repro.obs.spans import SpanTracer, drain_worker_spans, install_span_context
 
 __all__ = [
     "ExecutorPolicy",
@@ -76,9 +90,10 @@ class ExecutorPolicy:
 _PAYLOAD: Any = None
 
 
-def _init_worker(payload: Any) -> None:
+def _init_worker(payload: Any, span_context: dict | None = None) -> None:
     global _PAYLOAD
     _PAYLOAD = payload
+    install_span_context(span_context)
 
 
 def worker_payload() -> Any:
@@ -86,12 +101,28 @@ def worker_payload() -> Any:
     return _PAYLOAD
 
 
-def _snapshotting_task(worker: Callable[[Any], Any], task: Any) -> tuple[Any, dict]:
-    """Run one task against a fresh registry; return (result, snapshot)."""
+def _snapshotting_task(
+    worker: Callable[[Any], Any], item: tuple[int, Any]
+) -> tuple[Any, dict]:
+    """Run one indexed task against a fresh registry.
+
+    Returns ``(result, snapshot)`` where the snapshot is tagged with the
+    shard id (the task index), the task's wall-clock ``elapsed_s``, and any
+    spans recorded via :func:`~repro.obs.spans.worker_span` during the task.
+    ``MetricsRegistry.merge`` ignores the extra keys, so the tag rides along
+    for free.
+    """
+    shard, task = item
     registry = MetricsRegistry()
-    with use_registry(registry):
+    with Timer() as timer, use_registry(registry):
         result = worker(task)
-    return result, registry.snapshot()
+    snapshot = registry.snapshot()
+    snapshot["shard"] = shard
+    snapshot["elapsed_s"] = timer.elapsed
+    spans = drain_worker_spans()
+    if spans:
+        snapshot["spans"] = spans
+    return result, snapshot
 
 
 class SweepExecutor:
@@ -101,6 +132,8 @@ class SweepExecutor:
         policy: fan-out policy (worker count, chunk size, mode).
         registry: when given, worker metric snapshots are merged into it;
             None skips all snapshotting.
+        spans: when given, the tracer's span context is shipped to workers
+            and spans they record are adopted into this trace.
     """
 
     def __init__(
@@ -108,31 +141,58 @@ class SweepExecutor:
         policy: ExecutorPolicy | None = None,
         *,
         registry: MetricsRegistry | None = None,
+        spans: SpanTracer | None = None,
     ) -> None:
         self.policy = policy if policy is not None else ExecutorPolicy()
         self.registry = registry
+        self.spans = spans
         #: Filled by :meth:`map`: how the last sweep actually executed.
         self.last_run: dict[str, object] = {}
+        #: Filled by :meth:`map` when snapshotting: one row per shard
+        #: (``{"shard": index, "elapsed_s": wall seconds}``) in merge order.
+        self.last_shards: list[dict[str, object]] = []
 
     # ------------------------------------------------------------------ paths
     def _run_serial(
-        self, run: Callable[[Any], Any], tasks: Sequence[Any], payload: Any
-    ) -> list[Any]:
+        self,
+        run: Callable[[Any], Any],
+        items: Sequence[Any],
+        payload: Any,
+        process: Callable[[int, Any], None],
+        start: int = 0,
+    ) -> None:
         global _PAYLOAD
         previous = _PAYLOAD
         _PAYLOAD = payload
+        if self.spans is not None:
+            install_span_context(self.spans.context())
         try:
-            return [run(task) for task in tasks]
+            for index, item in enumerate(items):
+                raw = run(item)
+                if index >= start:
+                    process(index, raw)
         finally:
+            if self.spans is not None:
+                install_span_context(None)
             _PAYLOAD = previous
 
     def _run_parallel(
-        self, run: Callable[[Any], Any], tasks: Sequence[Any], payload: Any, workers: int
-    ) -> list[Any]:
+        self,
+        run: Callable[[Any], Any],
+        items: Sequence[Any],
+        payload: Any,
+        workers: int,
+        process: Callable[[int, Any], None],
+    ) -> None:
+        span_context = self.spans.context() if self.spans is not None else None
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(payload,)
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(payload, span_context),
         ) as pool:
-            return list(pool.map(run, tasks, chunksize=self.policy.chunksize))
+            stream = pool.map(run, items, chunksize=self.policy.chunksize)
+            for index, raw in enumerate(stream):
+                process(index, raw)
 
     # -------------------------------------------------------------------- api
     def map(
@@ -141,6 +201,8 @@ class SweepExecutor:
         tasks: Iterable[Any],
         *,
         payload: Any = None,
+        on_result: Callable[[int, Any], None] | None = None,
+        collect: bool = True,
     ) -> list[Any]:
         """Evaluate ``worker`` over ``tasks``; results keep task order.
 
@@ -150,8 +212,15 @@ class SweepExecutor:
             tasks: iterable of picklable task tuples.
             payload: optional picklable object made available to every task
                 via :func:`worker_payload` — shipped once per worker.
+            on_result: streaming callback invoked as ``on_result(index,
+                result)`` for each task, in task order, as results arrive —
+                snapshots are merged *before* the callback sees the result.
+            collect: when False, results are not retained and :meth:`map`
+                returns ``[]`` — combine with ``on_result`` for
+                bounded-memory aggregation over huge grids.
         """
         tasks = list(tasks)
+        self.last_shards = []
         if not tasks:
             self.last_run = {"mode": "empty", "workers": 0, "fallback": False}
             return []
@@ -161,20 +230,49 @@ class SweepExecutor:
             policy.mode == "serial"
             or (policy.mode == "auto" and (workers == 1 or len(tasks) <= 2))
         )
-        run = worker if self.registry is None else partial(_snapshotting_task, worker)
+        merge_registry = self.registry
+        if merge_registry is not None:
+            run: Callable[[Any], Any] = partial(_snapshotting_task, worker)
+            items: Sequence[Any] = list(enumerate(tasks))
+        else:
+            run = worker
+            items = tasks
+        results: list[Any] = []
+        state = {"done": 0}
+
+        def process(index: int, raw: Any) -> None:
+            if merge_registry is not None:
+                result, snapshot = raw
+                merge_registry.merge(snapshot)
+                if self.spans is not None and snapshot.get("spans"):
+                    self.spans.adopt(snapshot["spans"])
+                self.last_shards.append({
+                    "shard": snapshot.get("shard", index),
+                    "elapsed_s": snapshot.get("elapsed_s", 0.0),
+                })
+            else:
+                result = raw
+            if on_result is not None:
+                on_result(index, result)
+            if collect:
+                results.append(result)
+            state["done"] += 1
+
         fallback = False
         if serial:
-            raw = self._run_serial(run, tasks, payload)
+            self._run_serial(run, items, payload, process)
             mode = "serial"
         else:
             try:
-                raw = self._run_parallel(run, tasks, payload, workers)
+                self._run_parallel(run, items, payload, workers, process)
                 mode = "parallel"
             except Exception as exc:
                 # Pool infrastructure failed (broken worker, unpicklable
                 # payload, no fork available): finish the sweep serially,
                 # and log what broke the pool through the registry so the
-                # degradation is diagnosable, not silent.
+                # degradation is diagnosable, not silent.  Tasks processed
+                # before the break are re-run (tasks are pure) but NOT
+                # re-processed — no duplicate merges or callbacks.
                 registry = (
                     self.registry if self.registry is not None else active_registry()
                 )
@@ -184,7 +282,7 @@ class SweepExecutor:
                 ).inc()
                 fallback = True
                 fallback_error = f"{type(exc).__name__}: {exc}"
-                raw = self._run_serial(run, tasks, payload)
+                self._run_serial(run, items, payload, process, start=state["done"])
                 mode = "serial"
         self.last_run = {
             "mode": mode,
@@ -194,12 +292,6 @@ class SweepExecutor:
         }
         if fallback:
             self.last_run["fallback_error"] = fallback_error
-        if self.registry is None:
-            return raw
-        results: list[Any] = []
-        for result, snapshot in raw:
-            self.registry.merge(snapshot)
-            results.append(result)
         return results
 
 

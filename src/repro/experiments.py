@@ -432,7 +432,13 @@ def _run_fleet(spec: ExperimentSpec, instr) -> tuple:
         "decisions": result.decisions,
         "fleet": fleet,
         "sessions": result.sessions,
+        "shard_timings": result.shard_timings,
     }
+    if result.telemetry is not None:
+        artifacts["telemetry"] = result.telemetry
+    if result.convergence is not None:
+        artifacts["convergence"] = result.convergence
+        provenance["convergence"] = result.convergence.row()
     return rows, report, None, artifacts, provenance
 
 
@@ -501,6 +507,7 @@ def run(
     spec: ExperimentSpec,
     *,
     instrumentation: Instrumentation | None = None,
+    ledger=None,
 ) -> ExperimentResult:
     """Run one experiment described by ``spec``.
 
@@ -509,6 +516,11 @@ def run(
         instrumentation: explicit bundle overriding the spec's
             ``profile``/``trace_events`` policy (the facade then neither
             creates nor closes it).
+        ledger: where to record the run — a
+            :class:`~repro.reporting.ledger.RunLedger`, a path, or None to
+            use the ledger named by ``$REPRO_LEDGER`` (no recording when
+            that is unset).  Every recorded run becomes one append-only
+            JSONL line readable via ``repro runs`` / ``repro report``.
     """
     if not isinstance(spec, ExperimentSpec):
         raise ReproError(f"run() takes an ExperimentSpec, got {type(spec).__name__}")
@@ -519,7 +531,7 @@ def run(
     timing = timer.elapsed
     if owns_instr and instr is not None:
         instr.close()
-    return ExperimentResult(
+    result = ExperimentResult(
         spec=spec,
         rows=rows,
         metrics=metrics,
@@ -529,3 +541,12 @@ def run(
         provenance=provenance,
         instrumentation=instr,
     )
+    from repro.reporting.ledger import RunLedger, default_ledger, run_record
+
+    if ledger is None:
+        ledger = default_ledger()
+    elif not isinstance(ledger, RunLedger):
+        ledger = RunLedger(ledger)
+    if ledger is not None:
+        ledger.append(run_record(spec, result))
+    return result

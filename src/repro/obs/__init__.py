@@ -11,7 +11,19 @@ Three zero-dependency pieces, usable separately or bundled:
 * :mod:`repro.obs.profile` — per-phase wall-clock timers
   (``perf_counter``-based scopes) aggregated per run and per sweep.
 
-:class:`Instrumentation` bundles the trio; pass it through
+The fleet-telemetry extensions (see ``docs/TELEMETRY.md``) build on top:
+
+* :mod:`repro.obs.sketch` — mergeable bounded-memory quantile sketch with
+  a documented relative-error bound (streaming fleet percentiles);
+* :mod:`repro.obs.timeseries` — tumbling-window counter/gauge/sketch
+  series keyed by arrival slot;
+* :mod:`repro.obs.convergence` — online SLO-convergence detection
+  (order-statistics CI half-width on a tracked quantile);
+* :mod:`repro.obs.spans` — trace/span/parent-id span tracing across the
+  compile -> cache -> replay -> aggregate pipeline, Chrome-trace
+  exportable.
+
+:class:`Instrumentation` bundles the original trio; pass it through
 ``repro.run(spec, instrumentation=...)`` (any experiment family),
 ``SimConfig.instrumentation`` (engine), ``repair_experiment`` (repair),
 ``churn_experiment`` (churn), or the CLI's ``--profile`` /
@@ -46,6 +58,11 @@ from repro.obs.events import (
     read_events_jsonl,
     replay_arrivals,
 )
+from repro.obs.convergence import (
+    ConvergenceCriterion,
+    ConvergenceDetector,
+    ConvergenceState,
+)
 from repro.obs.instrumentation import Instrumentation
 from repro.obs.profile import PhaseProfiler, PhaseStats, Timer, format_profile_table
 from repro.obs.registry import (
@@ -54,15 +71,36 @@ from repro.obs.registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Sketch,
     active_registry,
     global_registry,
     use_registry,
 )
+from repro.obs.sketch import (
+    DEFAULT_EXACT_LIMIT,
+    DEFAULT_RELATIVE_ERROR,
+    QuantileSketch,
+)
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    Span,
+    SpanTracer,
+    drain_worker_spans,
+    install_span_context,
+    wall_time_s,
+    worker_span,
+)
+from repro.obs.timeseries import TimeSeries, WindowStats
 
 __all__ = [
     "CHURN_APPLIED",
+    "ConvergenceCriterion",
+    "ConvergenceDetector",
+    "ConvergenceState",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_EXACT_LIMIT",
+    "DEFAULT_RELATIVE_ERROR",
     "EVENT_SCHEMA",
     "Event",
     "EventSink",
@@ -77,6 +115,7 @@ __all__ = [
     "PLAYBACK_STALL",
     "PhaseProfiler",
     "PhaseStats",
+    "QuantileSketch",
     "REPAIR_INJECTED",
     "REPAIR_SCHEDULED",
     "RUN_END",
@@ -87,15 +126,25 @@ __all__ = [
     "SESSION_QUEUED",
     "SESSION_REJECTED",
     "SLOT_START",
+    "SPAN_SCHEMA",
+    "Sketch",
+    "Span",
+    "SpanTracer",
     "TX_DELIVERED",
     "TX_DROPPED",
     "TX_SENT",
+    "TimeSeries",
     "Timer",
+    "WindowStats",
     "active_registry",
     "count_events",
+    "drain_worker_spans",
     "format_profile_table",
     "global_registry",
+    "install_span_context",
     "read_events_jsonl",
     "replay_arrivals",
     "use_registry",
+    "wall_time_s",
+    "worker_span",
 ]

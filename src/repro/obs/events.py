@@ -17,10 +17,12 @@ checked against :func:`repro.core.metrics.collect_repair_metrics` outputs.
 from __future__ import annotations
 
 import json
+import random
 from collections import Counter as TallyCounter
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Any, Iterable
 
 __all__ = [
     "SLOT_START",
@@ -170,17 +172,39 @@ class JsonlSink(EventSink):
 
 
 class EventTracer:
-    """Builds events and fans them out to sinks; tallies counts per name."""
+    """Builds events and fans them out to sinks; tallies counts per name.
 
-    def __init__(self, *sinks: EventSink) -> None:
+    ``sample_rate`` < 1 keeps per-name **counts exact** but forwards only a
+    deterministic, seeded Bernoulli sample of events to the sinks — the
+    knob that cuts ring/JSONL sink overhead on hot paths (measured in
+    ``docs/OBSERVABILITY.md``).  Sampled-out events are tallied under
+    ``sampled_out``.  The same ``(sample_rate, seed)`` over the same emit
+    sequence always keeps the same events.
+    """
+
+    def __init__(
+        self,
+        *sinks: EventSink,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < sample_rate <= 1:
+            raise ValueError(
+                f"sample_rate must be in (0, 1], got {sample_rate}"
+            )
         self.sinks: list[EventSink] = list(sinks)
         self.counts: TallyCounter[str] = TallyCounter()
+        self.sample_rate = sample_rate
+        self._rng = random.Random(seed) if sample_rate < 1.0 else None
 
     def add_sink(self, sink: EventSink) -> None:
         self.sinks.append(sink)
 
-    def emit(self, name: str, slot: int, **fields) -> None:
+    def emit(self, name: str, slot: int, **fields: Any) -> None:
         self.counts[name] += 1
+        if self._rng is not None and self._rng.random() >= self.sample_rate:
+            self.counts["sampled_out"] += 1
+            return
         event = Event(name=name, slot=slot, fields=fields)
         for sink in self.sinks:
             sink.emit(event)
@@ -192,14 +216,14 @@ class EventTracer:
     def __enter__(self) -> EventTracer:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
 # ----------------------------------------------------------------- replay
 def read_events_jsonl(path: str | Path) -> list[Event]:
     """Load a JSONL event stream written by :class:`JsonlSink`."""
-    events = []
+    events: list[Event] = []
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
@@ -208,12 +232,12 @@ def read_events_jsonl(path: str | Path) -> list[Event]:
     return events
 
 
-def count_events(events) -> TallyCounter[str]:
+def count_events(events: Iterable[Event]) -> TallyCounter[str]:
     """Per-name tallies of an event stream (matches ``EventTracer.counts``)."""
     return TallyCounter(e.name for e in events)
 
 
-def replay_arrivals(events) -> dict[int, dict[int, int]]:
+def replay_arrivals(events: Iterable[Event]) -> dict[int, dict[int, int]]:
     """Rebuild per-node arrival maps from ``tx_delivered`` events.
 
     Only first arrivals (``new=True``) count, mirroring the engine's

@@ -40,6 +40,8 @@ class Instrumentation:
         events_path: str | Path | None = None,
         ring_capacity: int | None = 4096,
         profile: bool = True,
+        sample_rate: float = 1.0,
+        sample_seed: int = 0,
     ) -> "Instrumentation":
         """A fully wired bundle: registry, tracer (JSONL and/or ring), profiler.
 
@@ -49,15 +51,21 @@ class Instrumentation:
             ring_capacity: keep this many recent events in memory (``None`` =
                 no ring sink).
             profile: attach a :class:`PhaseProfiler`.
+            sample_rate: forward only this (deterministic, seeded) fraction
+                of events to the sinks; per-name counts stay exact.
+            sample_seed: seed of the sampling RNG.
         """
-        sinks = []
+        sinks: list[JsonlSink | RingBufferSink] = []
         if events_path is not None:
             sinks.append(JsonlSink(events_path))
         if ring_capacity is not None:
             sinks.append(RingBufferSink(ring_capacity))
         return cls(
             registry=MetricsRegistry(),
-            tracer=EventTracer(*sinks) if sinks else None,
+            tracer=(
+                EventTracer(*sinks, sample_rate=sample_rate, seed=sample_seed)
+                if sinks else None
+            ),
             profiler=PhaseProfiler() if profile else None,
         )
 

@@ -58,7 +58,7 @@ class _PhaseScope:
         self._start = perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._stats.record(perf_counter() - self._start)
 
 
@@ -115,7 +115,7 @@ class PhaseProfiler:
     def rows(self) -> list[dict[str, object]]:
         """Flat per-phase rows for table rendering, slowest total first."""
         total = self.total_time or 1.0
-        rows = []
+        rows: list[dict[str, object]] = []
         for name, s in sorted(self.stats.items(), key=lambda kv: -kv[1].total):
             rows.append({
                 "phase": name,
@@ -146,7 +146,7 @@ class Timer:
         self.start = perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.elapsed = perf_counter() - self.start
 
 

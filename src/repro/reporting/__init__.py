@@ -1,6 +1,33 @@
-"""Plain-text reporting helpers used by the benchmark harness."""
+"""Plain-text reporting helpers and run-history persistence.
 
+* :mod:`repro.reporting.tables` / :mod:`repro.reporting.series` — ASCII
+  tables and plots used by the benchmark harness;
+* :mod:`repro.reporting.export` — JSON/CSV trace, report, and Chrome-trace
+  span export;
+* :mod:`repro.reporting.ledger` — the append-only JSONL run ledger behind
+  ``repro runs`` / ``repro report`` and ``results/bench_history.jsonl``.
+"""
+
+from repro.reporting.ledger import (
+    LEDGER_ENV_VAR,
+    RunLedger,
+    append_bench_history,
+    bench_history_records,
+    default_ledger,
+    run_record,
+)
 from repro.reporting.series import ascii_plot, series_table
 from repro.reporting.tables import format_rows, format_table
 
-__all__ = ["ascii_plot", "format_rows", "format_table", "series_table"]
+__all__ = [
+    "LEDGER_ENV_VAR",
+    "RunLedger",
+    "append_bench_history",
+    "ascii_plot",
+    "bench_history_records",
+    "default_ledger",
+    "format_rows",
+    "format_table",
+    "run_record",
+    "series_table",
+]

@@ -32,6 +32,8 @@ __all__ = [
     "abr_report_to_dict",
     "write_abr_report_json",
     "read_abr_report_json",
+    "spans_to_chrome_trace",
+    "write_chrome_trace_json",
 ]
 
 _FORMAT_VERSION = 1
@@ -306,6 +308,45 @@ def read_abr_report_json(path: str | Path):
         payload, expected_kind="abr_tradeoff_report", what="ABR tradeoff report"
     )
     return AbrTradeoffReport.from_dict(payload["report"])
+
+
+def spans_to_chrome_trace(spans) -> dict:
+    """Convert recorded spans to the Chrome trace-event JSON format.
+
+    ``spans`` is a :class:`~repro.obs.spans.SpanTracer` or an iterable of
+    :class:`~repro.obs.spans.Span`.  Each span becomes a complete
+    (``"ph": "X"``) event with microsecond ``ts``/``dur``, so the file loads
+    directly in ``chrome://tracing`` / Perfetto.  Span attributes ride in
+    ``args`` alongside the span/parent ids.
+    """
+    finished = getattr(spans, "finished", spans)
+    events = []
+    for span in finished:
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.dur_s * 1e6,
+                "pid": span.pid,
+                "tid": span.pid,
+                "id": span.trace_id,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace_json(spans, path: str | Path) -> Path:
+    """Write spans as a Chrome trace to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(spans_to_chrome_trace(spans), indent=1))
+    return path
 
 
 def metrics_to_dict(metrics: SchemeMetrics) -> dict:

@@ -15,15 +15,28 @@ concurrent sessions sharing source fan-out and backbone capacity:
   through the shared :class:`~repro.exec.cache.ScheduleCache`;
 * :mod:`repro.service.slo` — per-session and fleet SLOs
   (:class:`SessionSLO`, :class:`FleetSLOReport` with exact pooled
-  percentiles).
+  percentiles, and the streaming :class:`FleetAggregator` whose sketch mode
+  bounds memory at fleet scale).
+
+Fleet-scale telemetry (``docs/TELEMETRY.md``): :class:`FleetTelemetry`
+records tumbling-window time series and pipeline spans for a run;
+``FleetSpec(aggregation="sketch")`` streams aggregation through quantile
+sketches; ``FleetSpec(run_until_converged=True)`` stops once the p99 SLO
+estimate's confidence interval is tight (open-loop steady-state mode).
 
 Entry points: ``repro.run(ExperimentSpec(kind="fleet", fleet=...))`` or the
 ``repro fleet`` CLI subcommand.
 """
 
 from repro.service.admission import AdmissionDecision, SessionManager
-from repro.service.runner import FleetRunner, FleetRunResult, fleet_session_task
+from repro.service.runner import (
+    FleetRunner,
+    FleetRunResult,
+    FleetTelemetry,
+    fleet_session_task,
+)
 from repro.service.slo import (
+    FleetAggregator,
     FleetSLOReport,
     SessionSLO,
     aggregate_fleet,
@@ -44,10 +57,12 @@ __all__ = [
     "ARRIVAL_PROCESSES",
     "AdmissionDecision",
     "CapacityModel",
+    "FleetAggregator",
     "FleetRunResult",
     "FleetRunner",
     "FleetSLOReport",
     "FleetSpec",
+    "FleetTelemetry",
     "ResolvedSession",
     "SessionManager",
     "SessionSLO",

@@ -19,23 +19,42 @@
 4. **aggregate** per-session SLOs and admission decisions into the fleet
    report (exact pooled percentiles, reject rate, cache hit-rate).
 
+Aggregation is **streaming**: each session SLO folds into a
+:class:`~repro.service.slo.FleetAggregator` through the executor's
+``on_result`` callback the moment its shard completes — with
+``FleetSpec.aggregation="sketch"`` nothing per-session is ever
+materialized, which is what lets ``bench_fleet_scale.py`` run 10k+
+sessions in bounded memory.  ``FleetSpec.run_until_converged`` executes
+admitted sessions in batches and stops early once the tracked SLO
+quantile's confidence interval is narrow enough
+(:mod:`repro.obs.convergence`) — the open-loop steady-state mode.  A
+:class:`FleetTelemetry` bundle adds tumbling-window time series keyed by
+arrival slot and pipeline spans (compile/admit/execute/aggregate plus
+per-session worker spans) exportable as a Chrome trace.
+
 Everything is deterministic in ``FleetSpec.seed`` regardless of worker count.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Any, ContextManager
 
 from repro.exec.cache import ScheduleCache
 from repro.exec.compiler import compile_schedule
 from repro.exec.executor import ExecutorPolicy, SweepExecutor, worker_payload
 from repro.exec.replay import bernoulli_mask, replay_arrivals
+from repro.obs.convergence import ConvergenceDetector, ConvergenceState
 from repro.obs.registry import MetricsRegistry, active_registry, use_registry
+from repro.obs.sketch import DEFAULT_RELATIVE_ERROR
+from repro.obs.spans import SpanTracer, worker_span
+from repro.obs.timeseries import TimeSeries
 from repro.service.admission import AdmissionDecision, SessionManager
-from repro.service.slo import FleetSLOReport, SessionSLO, aggregate_fleet, score_session
+from repro.service.slo import FleetAggregator, FleetSLOReport, SessionSLO, score_session
 from repro.service.spec import FleetSpec, ResolvedSession, SessionSpec
 
-__all__ = ["FleetRunner", "FleetRunResult", "fleet_session_task"]
+__all__ = ["FleetRunner", "FleetRunResult", "FleetTelemetry", "fleet_session_task"]
 
 
 def fleet_session_task(task) -> SessionSLO:
@@ -56,18 +75,19 @@ def fleet_session_task(task) -> SessionSLO:
         session_id, label, status, token, seed,
         drop_rate, num_packets, wait_slots, horizon, abr_profile,
     ) = task
-    schedule = worker_payload()[token]
-    mask = bernoulli_mask(schedule, drop_rate, seed)
-    arrivals = replay_arrivals(schedule, num_slots=horizon, drop_mask=mask)
-    slo = score_session(
-        arrivals,
-        session_id=session_id,
-        label=label,
-        num_packets=num_packets,
-        num_slots=horizon,
-        wait_slots=wait_slots,
-        status=status,
-    )
+    with worker_span("session.replay", session=session_id, label=label):
+        schedule = worker_payload()[token]
+        mask = bernoulli_mask(schedule, drop_rate, seed)
+        arrivals = replay_arrivals(schedule, num_slots=horizon, drop_mask=mask)
+        slo = score_session(
+            arrivals,
+            session_id=session_id,
+            label=label,
+            num_packets=num_packets,
+            num_slots=horizon,
+            wait_slots=wait_slots,
+            status=status,
+        )
     registry = active_registry()
     if abr_profile is not None:
         from dataclasses import replace
@@ -89,6 +109,54 @@ def fleet_session_task(task) -> SessionSLO:
     return slo
 
 
+class FleetTelemetry:
+    """Optional fleet-run telemetry bundle: time series + pipeline spans.
+
+    Args:
+        window: tumbling-window width (arrival slots) of the time series.
+        relative_error: per-window sketch error bound.
+        trace: record pipeline spans (compile/admit/execute/aggregate and
+            per-session worker spans) under one trace id.
+    """
+
+    __slots__ = ("series", "spans")
+
+    def __init__(
+        self,
+        *,
+        window: int = 8,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        trace: bool = True,
+    ) -> None:
+        self.series = TimeSeries(window, relative_error=relative_error)
+        self.spans: SpanTracer | None = SpanTracer() if trace else None
+
+    def record_decision(self, decision: AdmissionDecision, arrival_slot: int) -> None:
+        """Window the admission outcome at the session's arrival slot."""
+        self.series.count(f"fleet.{decision.status}", arrival_slot)
+        if decision.admitted and decision.wait_slots > 0:
+            self.series.observe("fleet.queue_wait", arrival_slot, decision.wait_slots)
+
+    def record_session(self, slo: SessionSLO, arrival_slot: int) -> None:
+        """Window one completed session's SLO at its arrival slot."""
+        self.series.count("fleet.sessions_completed", arrival_slot)
+        self.series.observe("fleet.startup_delay", arrival_slot, slo.startup_delay)
+        self.series.observe("fleet.rebuffer_ratio", arrival_slot, slo.rebuffer_ratio)
+        self.series.gauge("fleet.goodput", arrival_slot, slo.goodput)
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Flat (window, series) rows for table rendering."""
+        return self.series.rows()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dump: the full time series plus any finished spans."""
+        payload: dict[str, Any] = {"series": self.series.to_dict()}
+        if self.spans is not None:
+            payload["trace_id"] = self.spans.trace_id
+            payload["spans"] = self.spans.to_dicts()
+        return payload
+
+
 @dataclass(frozen=True, slots=True)
 class FleetRunResult:
     """Everything a fleet run produced.
@@ -98,13 +166,25 @@ class FleetRunResult:
         decisions: per-session admission outcomes, in arrival order.
         sessions: the resolved scenario the run executed.
         executor_info: how the execution fanned out
-            (:attr:`SweepExecutor.last_run`).
+            (:attr:`SweepExecutor.last_run`; convergence-mode runs add the
+            ``batches`` executed and overwrite ``tasks`` with the sessions
+            actually run).
+        shard_timings: per-shard wall-clock rows ``{"shard": task index,
+            "elapsed_s": seconds}`` in completion order (shard ids are
+            fleet-global even across convergence batches).
+        telemetry: the :class:`FleetTelemetry` bundle the run recorded into
+            (``None`` when telemetry was off).
+        convergence: the final detector state for
+            ``run_until_converged`` runs (``None`` otherwise).
     """
 
     report: FleetSLOReport
     decisions: tuple[AdmissionDecision, ...]
     sessions: tuple[ResolvedSession, ...]
     executor_info: dict
+    shard_timings: tuple[dict, ...] = ()
+    telemetry: FleetTelemetry | None = None
+    convergence: ConvergenceState | None = None
 
 
 class FleetRunner:
@@ -120,6 +200,9 @@ class FleetRunner:
             snapshots all land here.
         tracer: optional :class:`~repro.obs.EventTracer` receiving
             ``session_*`` admission events.
+        telemetry: optional :class:`FleetTelemetry` bundle; when given, the
+            run records windowed time series and pipeline spans into it and
+            attaches it to the :class:`FleetRunResult`.
     """
 
     def __init__(
@@ -129,14 +212,22 @@ class FleetRunner:
         policy: ExecutorPolicy | None = None,
         registry: MetricsRegistry | None = None,
         tracer=None,
+        telemetry: FleetTelemetry | None = None,
     ) -> None:
         self.cache = cache if cache is not None else ScheduleCache(capacity=64)
         self.policy = policy if policy is not None else ExecutorPolicy()
         self.registry = registry
         self.tracer = tracer
+        self.telemetry = telemetry
         #: Cache traffic of the last :meth:`run` (one lookup per admission).
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def _span(self, name: str, **attrs: Any) -> ContextManager:
+        """A pipeline span scope when telemetry traces, else a no-op."""
+        if self.telemetry is not None and self.telemetry.spans is not None:
+            return self.telemetry.spans.span(name, **attrs)
+        return nullcontext()
 
     # ------------------------------------------------------------------ build
     def _compile(self, spec: SessionSpec, degree: int, schedules: dict):
@@ -168,13 +259,26 @@ class FleetRunner:
 
     # -------------------------------------------------------------------- api
     def run(self, fleet: FleetSpec) -> FleetRunResult:
-        """Resolve, admit, execute, and score one fleet scenario."""
+        """Resolve, admit, execute, and score one fleet scenario.
+
+        Sessions stream into a :class:`~repro.service.slo.FleetAggregator`
+        as their shards complete; nothing per-session is retained when
+        ``fleet.aggregation == "sketch"``.  With
+        ``fleet.run_until_converged`` sessions execute in batches of
+        ``fleet.convergence.check_every`` and the run stops once the
+        tracked quantile's CI half-width criterion is met — decisions (and
+        the report's admission tallies) then cover exactly the arrival
+        prefix that was executed, which is well-defined because admission
+        of session *i* depends only on earlier arrivals.
+        """
         registry = self.registry if self.registry is not None else active_registry()
+        telemetry = self.telemetry
         self.cache_hits = 0
         self.cache_misses = 0
         schedules: dict[str, object] = {}
         tokens: dict[int, str] = {}
-        sessions = fleet.resolve()
+        with self._span("fleet.resolve"):
+            sessions = fleet.resolve()
 
         def duration_of(session: ResolvedSession, degree: int) -> int:
             token, schedule = self._compile(session.spec, degree, schedules)
@@ -194,9 +298,11 @@ class FleetRunner:
             tracer=self.tracer,
         )
         with use_registry(registry):
-            decisions = manager.admit_all(sessions, duration_of)
+            with self._span("fleet.admit", sessions=fleet.num_sessions):
+                decisions = manager.admit_all(sessions, duration_of)
 
             tasks = []
+            task_arrivals: list[int] = []
             by_id = {s.session_id: s for s in sessions}
             for decision in decisions:
                 if not decision.admitted:
@@ -223,20 +329,91 @@ class FleetRunner:
                         session.spec.abr_profile,
                     )
                 )
+                task_arrivals.append(session.arrival_slot)
 
-            executor = SweepExecutor(self.policy, registry=registry)
-            slos = executor.map(fleet_session_task, tasks, payload=schedules)
-
-            report = aggregate_fleet(
-                decisions,
-                slos,
-                cache_hits=self.cache_hits,
-                cache_misses=self.cache_misses,
+            sketch_mode = fleet.aggregation == "sketch"
+            aggregator = FleetAggregator(
+                relative_error=fleet.sketch_error if sketch_mode else 0.0,
+                keep_sessions=not sketch_mode,
             )
+            detector = (
+                ConvergenceDetector(fleet.convergence)
+                if fleet.run_until_converged else None
+            )
+            spans = telemetry.spans if telemetry is not None else None
+            executor = SweepExecutor(self.policy, registry=registry, spans=spans)
+            shard_timings: list[dict] = []
+
+            def on_result_from(base: int):
+                def on_result(index: int, slo: SessionSLO) -> None:
+                    aggregator.add_session(slo)
+                    if telemetry is not None:
+                        telemetry.record_session(slo, task_arrivals[base + index])
+                    if detector is not None:
+                        detector.add(slo.startup_delay)
+                return on_result
+
+            conv_state: ConvergenceState | None = None
+            with self._span("fleet.execute", tasks=len(tasks)):
+                if detector is None:
+                    executor.map(
+                        fleet_session_task, tasks, payload=schedules,
+                        on_result=on_result_from(0), collect=False,
+                    )
+                    executed = len(tasks)
+                    shard_timings.extend(executor.last_shards)
+                    executor_info = dict(executor.last_run)
+                else:
+                    batch = fleet.convergence.check_every
+                    executed = 0
+                    batches = 0
+                    while executed < len(tasks):
+                        chunk = tasks[executed:executed + batch]
+                        executor.map(
+                            fleet_session_task, chunk, payload=schedules,
+                            on_result=on_result_from(executed), collect=False,
+                        )
+                        for row in executor.last_shards:
+                            shard_timings.append({
+                                "shard": int(row["shard"]) + executed,  # type: ignore[arg-type]
+                                "elapsed_s": row["elapsed_s"],
+                            })
+                        executed += len(chunk)
+                        batches += 1
+                        conv_state = detector.state()
+                        if conv_state.converged:
+                            break
+                    executor_info = dict(executor.last_run)
+                    executor_info["batches"] = batches
+                    executor_info["tasks"] = executed
+
+            # On early stop, the report covers exactly the arrival prefix
+            # that was executed: admission decisions for session i depend
+            # only on earlier arrivals, so the prefix is self-consistent.
+            if executed < len(tasks):
+                cutoff = tasks[executed - 1][0] if executed else -1
+                used_decisions = [d for d in decisions if d.session_id <= cutoff]
+            else:
+                used_decisions = list(decisions)
+            for decision in used_decisions:
+                aggregator.add_decision(decision)
+                if telemetry is not None:
+                    telemetry.record_decision(
+                        decision, by_id[decision.session_id].arrival_slot
+                    )
+
+            with self._span("fleet.aggregate", sessions=executed):
+                report = aggregator.report(
+                    cache_hits=self.cache_hits,
+                    cache_misses=self.cache_misses,
+                )
             registry.gauge("fleet.cache_hit_rate").set(report.cache_hit_rate)
         return FleetRunResult(
             report=report,
-            decisions=tuple(decisions),
+            decisions=tuple(used_decisions),
             sessions=sessions,
-            executor_info=dict(executor.last_run),
+            executor_info=executor_info,
+            shard_timings=tuple(shard_timings),
+            telemetry=telemetry,
+            convergence=conv_state,
         )

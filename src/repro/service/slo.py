@@ -14,7 +14,15 @@ capacity literature adds (reject rate, queue wait):
 * :class:`FleetSLOReport` aggregates sessions + admission decisions into the
   fleet report (p50/p95/p99 over the pooled per-node populations, reject
   rate, schedule-cache amortization) and round-trips through
-  ``reporting/export.py``.
+  ``reporting/export.py``;
+* :class:`FleetAggregator` is the streaming aggregator behind
+  :func:`aggregate_fleet`: admission decisions and session SLOs fold into
+  mergeable :class:`~repro.obs.sketch.QuantileSketch` populations one at a
+  time, so fleet percentiles never require materializing per-session
+  results.  ``relative_error=0`` (the :func:`aggregate_fleet` default)
+  keeps every sketch in exact mode — reports are identical to the historical
+  Counter-based pooling; ``relative_error>0`` bounds memory at fleet scale
+  with the sketch's documented error guarantee (see ``docs/TELEMETRY.md``).
 """
 
 from __future__ import annotations
@@ -25,11 +33,13 @@ from dataclasses import asdict, dataclass
 
 from repro.core.errors import ReproError
 from repro.core.metrics import summarize_lossy_playback
+from repro.obs.sketch import QuantileSketch
 
 __all__ = [
     "pooled_percentile",
     "SessionSLO",
     "FleetSLOReport",
+    "FleetAggregator",
     "score_session",
     "aggregate_fleet",
 ]
@@ -265,6 +275,139 @@ class FleetSLOReport:
         return cls(sessions=tuple(sessions), qoe_tiers=qoe_tiers, **payload)
 
 
+class FleetAggregator:
+    """Streaming fleet-SLO aggregation with bounded memory.
+
+    Feed admission decisions (:meth:`add_decision`) and session SLOs
+    (:meth:`add_session`) as they arrive — e.g. from the executor's
+    ``on_result`` streaming callback — then :meth:`report` at any point.
+
+    Args:
+        relative_error: sketch error bound for the pooled startup/delay/
+            buffer populations.  ``0`` = exact (identical to the historical
+            Counter pooling, memory grows with distinct values); ``> 0`` =
+            bounded memory with quantiles within that relative error of
+            exact (the documented :class:`~repro.obs.sketch.QuantileSketch`
+            bound).
+        exact_limit: distinct-value budget before a lossy sketch collapses.
+        keep_sessions: retain every :class:`SessionSLO` for the report's
+            ``sessions`` tuple.  Set False at fleet scale — the whole point
+            of streaming aggregation is not materializing per-session
+            results.
+    """
+
+    __slots__ = (
+        "relative_error", "keep_sessions",
+        "_startup", "_delay", "_buffer",
+        "_admitted", "_degraded", "_rejected", "_queued", "_decisions",
+        "_rebuffer_sum", "_rebuffer_max", "_goodput_sum", "_slos",
+        "_tiers", "_sessions",
+    )
+
+    def __init__(
+        self,
+        *,
+        relative_error: float = 0.0,
+        exact_limit: int = 4096,
+        keep_sessions: bool = True,
+    ) -> None:
+        self.relative_error = relative_error
+        self.keep_sessions = keep_sessions
+        self._startup = QuantileSketch(relative_error, exact_limit=exact_limit)
+        self._delay = QuantileSketch(relative_error, exact_limit=exact_limit)
+        self._buffer = QuantileSketch(relative_error, exact_limit=exact_limit)
+        self._admitted = 0
+        self._degraded = 0
+        self._rejected = 0
+        self._queued = 0
+        self._decisions = 0
+        self._rebuffer_sum = 0.0
+        self._rebuffer_max = 0.0
+        self._goodput_sum = 0.0
+        self._slos = 0
+        self._tiers: Counter[str] = Counter()
+        self._sessions: list[SessionSLO] = []
+
+    @property
+    def num_sessions_aggregated(self) -> int:
+        return self._slos
+
+    def add_decision(self, decision) -> None:
+        """Tally one admission decision (any object with ``status`` /
+        ``admitted`` / ``wait_slots``, i.e. ``SessionDecision``)."""
+        self._decisions += 1
+        if decision.status == "admitted":
+            self._admitted += 1
+        elif decision.status == "degraded":
+            self._degraded += 1
+        elif decision.status == "rejected":
+            self._rejected += 1
+        if decision.admitted and decision.wait_slots > 0:
+            self._queued += 1
+
+    def add_session(self, slo: SessionSLO) -> None:
+        """Fold one session's SLO into the pooled populations."""
+        self._startup.add(slo.startup_delay)
+        for value, count in slo.delay_counts:
+            self._delay.add(value, count)
+        for value, count in slo.buffer_counts:
+            self._buffer.add(value, count)
+        self._slos += 1
+        self._rebuffer_sum += slo.rebuffer_ratio
+        self._rebuffer_max = max(self._rebuffer_max, slo.rebuffer_ratio)
+        self._goodput_sum += slo.goodput
+        if slo.qoe is not None:
+            self._tiers[slo.qoe["tier"]] += 1
+        if self.keep_sessions:
+            self._sessions.append(slo)
+
+    def startup_sketch(self) -> QuantileSketch:
+        """The pooled per-session startup-delay sketch (read-only use)."""
+        return self._startup
+
+    def report(
+        self, *, cache_hits: int = 0, cache_misses: int = 0
+    ) -> FleetSLOReport:
+        """Materialize the fleet report from everything folded so far."""
+        if self._decisions == 0:
+            raise ReproError("fleet produced no admission decisions")
+        if self._slos == 0:
+            raise ReproError("every session was rejected; no SLOs to aggregate")
+        lookups = cache_hits + cache_misses
+        # In exact mode the sketches store the original ints and quantile()
+        # returns them unchanged; once collapsed, representatives are floats
+        # and the report's integer fields round to the nearest slot.
+        def as_slots(value: float) -> int:
+            return int(value) if isinstance(value, int) else int(round(value))
+
+        startup_max = self._startup.max
+        return FleetSLOReport(
+            num_sessions=self._decisions,
+            admitted=self._admitted,
+            degraded=self._degraded,
+            queued=self._queued,
+            rejected=self._rejected,
+            reject_rate=self._rejected / self._decisions,
+            startup_p50=as_slots(self._startup.quantile(50)),
+            startup_p95=as_slots(self._startup.quantile(95)),
+            startup_p99=as_slots(self._startup.quantile(99)),
+            startup_max=as_slots(startup_max if startup_max is not None else 0),
+            rebuffer_mean=self._rebuffer_sum / self._slos,
+            rebuffer_max=self._rebuffer_max,
+            delay_p50=as_slots(self._delay.quantile(50)),
+            delay_p95=as_slots(self._delay.quantile(95)),
+            delay_p99=as_slots(self._delay.quantile(99)),
+            buffer_p50=as_slots(self._buffer.quantile(50)),
+            buffer_p99=as_slots(self._buffer.quantile(99)),
+            goodput_mean=self._goodput_sum / self._slos,
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            cache_hit_rate=cache_hits / lookups if lookups else 0.0,
+            sessions=tuple(self._sessions),
+            qoe_tiers=tuple(sorted(self._tiers.items())),
+        )
+
+
 def aggregate_fleet(
     decisions: Sequence,
     session_slos: Sequence[SessionSLO],
@@ -272,54 +415,14 @@ def aggregate_fleet(
     cache_hits: int = 0,
     cache_misses: int = 0,
 ) -> FleetSLOReport:
-    """Fold admission decisions and per-session SLOs into the fleet report."""
-    if not decisions:
-        raise ReproError("fleet produced no admission decisions")
-    admitted = sum(1 for d in decisions if d.status == "admitted")
-    degraded = sum(1 for d in decisions if d.status == "degraded")
-    rejected = sum(1 for d in decisions if d.status == "rejected")
-    queued = sum(1 for d in decisions if d.admitted and d.wait_slots > 0)
-    startup_counts: Counter[int] = Counter()
-    delay_counts: Counter[int] = Counter()
-    buffer_counts: Counter[int] = Counter()
-    rebuffers = []
-    goodputs = []
+    """Fold admission decisions and per-session SLOs into the fleet report.
+
+    The batch entry point over :class:`FleetAggregator` in exact mode —
+    byte-identical to the historical Counter-based pooling.
+    """
+    aggregator = FleetAggregator(relative_error=0.0, keep_sessions=True)
+    for decision in decisions:
+        aggregator.add_decision(decision)
     for slo in session_slos:
-        startup_counts[slo.startup_delay] += 1
-        for value, count in slo.delay_counts:
-            delay_counts[value] += count
-        for value, count in slo.buffer_counts:
-            buffer_counts[value] += count
-        rebuffers.append(slo.rebuffer_ratio)
-        goodputs.append(slo.goodput)
-    if not session_slos:
-        raise ReproError("every session was rejected; no SLOs to aggregate")
-    tier_counts = Counter(
-        slo.qoe["tier"] for slo in session_slos if slo.qoe is not None
-    )
-    lookups = cache_hits + cache_misses
-    return FleetSLOReport(
-        num_sessions=len(decisions),
-        admitted=admitted,
-        degraded=degraded,
-        queued=queued,
-        rejected=rejected,
-        reject_rate=rejected / len(decisions),
-        startup_p50=pooled_percentile(startup_counts, 50),
-        startup_p95=pooled_percentile(startup_counts, 95),
-        startup_p99=pooled_percentile(startup_counts, 99),
-        startup_max=max(startup_counts),
-        rebuffer_mean=sum(rebuffers) / len(rebuffers),
-        rebuffer_max=max(rebuffers),
-        delay_p50=pooled_percentile(delay_counts, 50),
-        delay_p95=pooled_percentile(delay_counts, 95),
-        delay_p99=pooled_percentile(delay_counts, 99),
-        buffer_p50=pooled_percentile(buffer_counts, 50),
-        buffer_p99=pooled_percentile(buffer_counts, 99),
-        goodput_mean=sum(goodputs) / len(goodputs),
-        cache_hits=cache_hits,
-        cache_misses=cache_misses,
-        cache_hit_rate=cache_hits / lookups if lookups else 0.0,
-        sessions=tuple(session_slos),
-        qoe_tiers=tuple(sorted(tier_counts.items())),
-    )
+        aggregator.add_session(slo)
+    return aggregator.report(cache_hits=cache_hits, cache_misses=cache_misses)

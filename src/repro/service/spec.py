@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.errors import ReproError
 from repro.exec.compiler import COMPILABLE_SCHEMES
+from repro.obs.convergence import ConvergenceCriterion
 from repro.repair.slack import SlackPolicy
 from repro.workloads.arrivals import (
     poisson_arrival_slots,
@@ -224,6 +225,19 @@ class FleetSpec:
         min_degree: floor for the degrade policy.
         churn_rate: fraction of sessions that depart before stream end
             (their SLO is measured over the watched prefix).
+        aggregation: ``exact`` pools SLO percentiles exactly and keeps every
+            per-session SLO on the report; ``sketch`` streams sessions into
+            bounded-memory quantile sketches (error bound ``sketch_error``)
+            and drops per-session detail — the fleet-scale mode.
+        sketch_error: relative-error bound of ``sketch`` aggregation.
+        run_until_converged: stop executing sessions early once the tracked
+            SLO quantile's CI half-width criterion is met (the open-loop
+            steady-state mode; implies streaming execution in batches of
+            ``convergence.check_every``).
+        convergence: the stop criterion (defaults to
+            :class:`~repro.obs.convergence.ConvergenceCriterion` — p99
+            startup delay, 5% relative half-width at 95% confidence — when
+            ``run_until_converged`` is set).
     """
 
     sessions: tuple[SessionSpec, ...] = (SessionSpec(),)
@@ -238,6 +252,10 @@ class FleetSpec:
     max_queue_slots: int = 64
     min_degree: int = 2
     churn_rate: float = 0.0
+    aggregation: str = "exact"
+    sketch_error: float = 0.01
+    run_until_converged: bool = False
+    convergence: ConvergenceCriterion | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sessions", tuple(self.sessions))
@@ -266,6 +284,17 @@ class FleetSpec:
             )
         if self.min_degree < 2:
             raise ReproError(f"min_degree must be >= 2, got {self.min_degree}")
+        if self.aggregation not in ("exact", "sketch"):
+            raise ReproError(
+                f"aggregation must be 'exact' or 'sketch', got "
+                f"{self.aggregation!r}"
+            )
+        if not 0 < self.sketch_error < 1:
+            raise ReproError(
+                f"sketch_error must be in (0, 1), got {self.sketch_error}"
+            )
+        if self.run_until_converged and self.convergence is None:
+            object.__setattr__(self, "convergence", ConvergenceCriterion())
 
     # ------------------------------------------------------------- expansion
     def _arrivals(self) -> list[int]:

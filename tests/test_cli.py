@@ -240,7 +240,7 @@ class TestVersionFlag:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert capsys.readouterr().out.strip() == "repro 1.4.0"
+        assert capsys.readouterr().out.strip() == "repro 1.5.0"
 
 
 class TestFleetCommand:
@@ -330,3 +330,135 @@ class TestAbrCommand:
         for tier in ("premium=", "standard=", "degraded="):
             assert tier in tiers_line
         assert "=0" not in tiers_line  # every tier populated
+
+
+class TestFleetTelemetryFlags:
+    SMALL = [
+        "fleet", "--sessions", "20", "--mode", "serial",
+        "--config", "multi-tree:15:3:6", "--config", "chain:8:1:6",
+    ]
+
+    def test_sketch_aggregation_flag(self, capsys):
+        assert main([*self.SMALL, "--aggregation", "sketch"]) == 0
+        out = capsys.readouterr().out
+        assert "startup_p99" in out
+        assert "executor: serial" in out
+
+    def test_until_converged_prints_state(self, capsys):
+        assert main([
+            "fleet", "--sessions", "600", "--mode", "serial",
+            "--config", "chain:8:1:6",
+            "--aggregation", "sketch", "--until-converged",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "convergence:" in out
+        assert "half_width" in out
+
+    def test_telemetry_prints_windowed_series(self, capsys):
+        assert main([*self.SMALL, "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry (per arrival window):" in out
+        assert "fleet.sessions_completed" in out
+        assert "fleet.startup_delay" in out
+
+    def test_chrome_trace_export(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main([*self.SMALL, "--chrome-trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "chrome trace" in out
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert "fleet.execute" in names
+        assert "session.replay" in names
+        assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_telemetry_matches_plain_report(self, tmp_path, capsys):
+        from repro.reporting.export import read_fleet_report_json
+
+        plain = tmp_path / "plain.json"
+        instrumented = tmp_path / "telemetry.json"
+        assert main([*self.SMALL, "--json", str(plain)]) == 0
+        assert main([*self.SMALL, "--telemetry", "--json", str(instrumented)]) == 0
+        assert read_fleet_report_json(plain) == read_fleet_report_json(instrumented)
+
+
+class TestRunsAndReportCommands:
+    FLEET = [
+        "fleet", "--sessions", "12", "--mode", "serial",
+        "--config", "chain:8:1:6",
+    ]
+
+    def test_runs_empty_ledger(self, tmp_path, capsys):
+        path = tmp_path / "none.jsonl"
+        assert main(["runs", "--ledger", str(path)]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_fleet_appends_and_runs_lists(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        assert main([*self.FLEET, "--ledger", str(ledger)]) == 0
+        assert main([*self.FLEET, "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "2 run(s)" in out
+        assert "fleet" in out
+
+    def test_runs_json_output(self, tmp_path, capsys):
+        import json
+
+        ledger = tmp_path / "ledger.jsonl"
+        assert main([*self.FLEET, "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "--ledger", str(ledger), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        assert records[0]["record"] == "run"
+        assert records[0]["spec"]["kind"] == "fleet"
+        assert records[0]["spec"]["fleet_sessions"] == 12
+
+    def test_runs_respects_env_var(self, tmp_path, capsys, monkeypatch):
+        from repro.reporting.ledger import LEDGER_ENV_VAR
+
+        ledger = tmp_path / "env.jsonl"
+        monkeypatch.setenv(LEDGER_ENV_VAR, str(ledger))
+        assert main(self.FLEET) == 0
+        capsys.readouterr()
+        assert main(["runs"]) == 0
+        assert "1 run(s)" in capsys.readouterr().out
+
+    def test_runs_last_limits(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        for _ in range(3):
+            assert main([*self.FLEET, "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "--ledger", str(ledger), "--last", "2"]) == 0
+        assert "2 run(s)" in capsys.readouterr().out
+
+    def test_report_renders_runs_and_bench_history(self, tmp_path, capsys):
+        from repro.reporting.ledger import append_bench_history
+
+        ledger = tmp_path / "ledger.jsonl"
+        history = tmp_path / "bench_history.jsonl"
+        assert main([*self.FLEET, "--ledger", str(ledger)]) == 0
+        append_bench_history(history, "fleet_scale", 2.0)
+        append_bench_history(history, "fleet_scale", 4.0, baseline_s=2.0)
+        capsys.readouterr()
+        assert main([
+            "report", "--ledger", str(ledger), "--bench-history", str(history),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "by kind: fleet=1" in out
+        assert "fleet_scale" in out
+        assert "YES" in out  # the 4.0s run regressed past 1.5x of 2.0s
+        assert "1 benchmark(s) regressed" in out
+
+    def test_report_empty_everything(self, tmp_path, capsys):
+        assert main([
+            "report", "--ledger", str(tmp_path / "a.jsonl"),
+            "--bench-history", str(tmp_path / "b.jsonl"),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "empty" in out

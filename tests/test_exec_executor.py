@@ -33,6 +33,14 @@ def payload_echo_task(task):
     return (task, worker_payload())
 
 
+def span_recording_task(task):
+    from repro.obs.spans import worker_span
+
+    (x,) = task
+    with worker_span("task.run", x=x):
+        return x
+
+
 class TestPolicy:
     def test_invalid_workers(self):
         with pytest.raises(ReproError):
@@ -148,6 +156,120 @@ class TestExecutionPaths:
         assert executor.last_run == {
             "mode": "parallel", "workers": 2, "fallback": False, "tasks": 6,
         }
+
+
+class TestStreamingResults:
+    def test_on_result_in_task_order(self):
+        seen = []
+        executor = SweepExecutor(ExecutorPolicy(mode="parallel", max_workers=2))
+        results = executor.map(
+            double_task, [(i,) for i in range(8)],
+            on_result=lambda index, result: seen.append((index, result)),
+        )
+        assert seen == [(i, 2 * i) for i in range(8)]
+        assert results == [2 * i for i in range(8)]
+
+    def test_collect_false_returns_empty(self):
+        seen = []
+        executor = SweepExecutor(ExecutorPolicy(mode="serial"))
+        results = executor.map(
+            double_task, [(i,) for i in range(5)],
+            on_result=lambda index, result: seen.append(result),
+            collect=False,
+        )
+        assert results == []
+        assert seen == [0, 2, 4, 6, 8]
+        assert executor.last_run["tasks"] == 5
+
+    def test_snapshots_merged_before_callback(self):
+        registry = MetricsRegistry()
+        schedule = _schedule()
+        merged_at_callback = []
+
+        def on_result(index, result):
+            rows = registry.snapshot()["counters"]
+            points = sum(
+                row["value"] for row in rows if row["name"] == "sweep.points"
+            )
+            merged_at_callback.append(points)
+
+        SweepExecutor(ExecutorPolicy(mode="serial"), registry=registry).map(
+            replay_sweep_task, _grid(), payload=schedule,
+            on_result=on_result, collect=False,
+        )
+        # By the time the callback sees task i, i+1 snapshots are merged.
+        assert merged_at_callback == list(range(1, len(_grid()) + 1))
+
+    def test_fallback_never_duplicates_callbacks(self):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(
+            ExecutorPolicy(mode="parallel", max_workers=2), registry=registry
+        )
+        seen = []
+        executor.map(
+            payload_echo_task, [(i,) for i in range(6)],
+            payload=lambda: None,  # unpicklable: pool breaks, serial finishes
+            on_result=lambda index, result: seen.append(index),
+            collect=False,
+        )
+        assert executor.last_run["fallback"] is True
+        assert seen == list(range(6))  # each task delivered exactly once
+        assert [row["shard"] for row in executor.last_shards] == list(range(6))
+
+
+class TestShardTimings:
+    def test_last_shards_tagged_with_ids(self):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(ExecutorPolicy(mode="serial"), registry=registry)
+        executor.map(replay_sweep_task, _grid(), payload=_schedule())
+        assert [row["shard"] for row in executor.last_shards] == list(
+            range(len(_grid()))
+        )
+        assert all(row["elapsed_s"] >= 0 for row in executor.last_shards)
+
+    def test_parallel_shards_keep_task_order(self):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(
+            ExecutorPolicy(mode="parallel", max_workers=2), registry=registry
+        )
+        executor.map(replay_sweep_task, _grid(), payload=_schedule())
+        assert [row["shard"] for row in executor.last_shards] == list(
+            range(len(_grid()))
+        )
+
+    def test_no_registry_means_no_shards(self):
+        executor = SweepExecutor(ExecutorPolicy(mode="serial"))
+        executor.map(double_task, [(1,), (2,), (3,)])
+        assert executor.last_shards == []
+
+    def test_last_shards_reset_between_runs(self):
+        registry = MetricsRegistry()
+        executor = SweepExecutor(ExecutorPolicy(mode="serial"), registry=registry)
+        executor.map(replay_sweep_task, _grid(), payload=_schedule())
+        executor.map(double_task, [])
+        assert executor.last_shards == []
+
+
+class TestWorkerSpanAdoption:
+    def test_spans_ride_back_on_snapshots(self):
+        from repro.obs.spans import SpanTracer
+
+        registry = MetricsRegistry()
+        tracer = SpanTracer(trace_id="sweep")
+        executor = SweepExecutor(
+            ExecutorPolicy(mode="serial"), registry=registry, spans=tracer
+        )
+        with tracer.span("sweep.execute"):
+            executor.map(span_recording_task, [(i,) for i in range(3)])
+        names = [span.name for span in tracer.finished]
+        assert names.count("task.run") == 3
+        assert "sweep.execute" in names
+        assert all(span.trace_id == "sweep" for span in tracer.finished)
+        # Worker spans parent to the span that was open at map() time.
+        parent = next(s for s in tracer.finished if s.name == "sweep.execute")
+        adopted = [s for s in tracer.finished if s.name == "task.run"]
+        assert all(s.parent_id == parent.span_id for s in adopted)
+        assert [s.attrs["x"] for s in adopted] == [0, 1, 2]
 
 
 class TestReplaySweepTask:

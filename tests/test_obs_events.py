@@ -108,6 +108,53 @@ class TestEventTracer:
         assert read_events_jsonl(path) == [Event(name="e", slot=0)]
 
 
+class TestSampling:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventTracer(sample_rate=0)
+        with pytest.raises(ValueError):
+            EventTracer(sample_rate=1.5)
+        EventTracer(sample_rate=1.0)  # full rate is valid
+
+    def test_counts_stay_exact_under_sampling(self):
+        sink = RingBufferSink()
+        tracer = EventTracer(sink, sample_rate=0.25, seed=3)
+        for i in range(400):
+            tracer.emit(TX_SENT, i, sender=0, receiver=1, packet=0)
+        assert tracer.counts[TX_SENT] == 400  # tally never sampled
+        kept = sink.total_emitted
+        assert kept == 400 - tracer.counts["sampled_out"]
+        assert 0 < kept < 400
+        # Bernoulli(0.25) over 400 trials: generous 4-sigma window.
+        assert 60 <= kept <= 140
+
+    def test_same_seed_same_sample(self):
+        def run(seed):
+            sink = RingBufferSink()
+            tracer = EventTracer(sink, sample_rate=0.5, seed=seed)
+            for i in range(100):
+                tracer.emit("e", i)
+            return [e.slot for e in sink.events]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_full_rate_keeps_everything(self):
+        sink = RingBufferSink()
+        tracer = EventTracer(sink, sample_rate=1.0)
+        for i in range(50):
+            tracer.emit("e", i)
+        assert sink.total_emitted == 50
+        assert "sampled_out" not in tracer.counts
+
+    def test_sampled_out_tally(self):
+        tracer = EventTracer(sample_rate=0.5, seed=0)
+        for i in range(200):
+            tracer.emit("e", i)
+        assert tracer.counts["e"] == 200
+        assert 0 < tracer.counts["sampled_out"] < 200
+
+
 class TestReplay:
     def test_replay_first_arrival_wins(self):
         events = [

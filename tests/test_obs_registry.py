@@ -133,7 +133,9 @@ class TestSnapshotMerge:
         reg = MetricsRegistry()
         reg.counter("a").inc()
         reg.reset()
-        assert reg.snapshot() == {"counters": [], "gauges": [], "histograms": []}
+        assert reg.snapshot() == {
+            "counters": [], "gauges": [], "histograms": [], "sketches": [],
+        }
 
     def test_rows_sorted_and_labeled(self):
         reg = MetricsRegistry()

@@ -1,0 +1,150 @@
+"""Tests for pipeline span tracing (repro.obs.spans) and Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_SCHEMA,
+    Span,
+    SpanTracer,
+    drain_worker_spans,
+    install_span_context,
+    worker_span,
+)
+from repro.reporting.export import spans_to_chrome_trace, write_chrome_trace_json
+
+
+@pytest.fixture(autouse=True)
+def _clear_worker_context():
+    yield
+    install_span_context(None)
+
+
+class TestSpan:
+    def test_round_trip(self):
+        span = Span(
+            name="compile", trace_id="t1", span_id="s1", parent_id=None,
+            start_s=10.0, dur_s=0.5, pid=1234, attrs={"scheme": "multi-tree"},
+        )
+        assert Span.from_dict(span.to_dict()) == span
+        assert tuple(span.to_dict()) == SPAN_SCHEMA
+
+
+class TestSpanTracer:
+    def test_records_nested_parents(self):
+        tracer = SpanTracer(trace_id="t")
+        with tracer.span("outer") as outer_id:
+            assert tracer.current_span_id == outer_id
+            with tracer.span("inner") as inner_id:
+                assert tracer.current_span_id == inner_id
+        assert tracer.current_span_id is None
+        assert len(tracer) == 2
+        inner, outer = tracer.finished  # completion order: inner first
+        assert inner.name == "inner" and inner.parent_id == outer_id
+        assert outer.name == "outer" and outer.parent_id is None
+        assert inner.dur_s <= outer.dur_s
+        assert all(s.trace_id == "t" for s in tracer.finished)
+
+    def test_span_recorded_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        assert len(tracer) == 1
+        assert tracer.finished[0].name == "doomed"
+
+    def test_attrs_ride_along(self):
+        tracer = SpanTracer()
+        with tracer.span("execute", tasks=30):
+            pass
+        assert tracer.finished[0].attrs == {"tasks": 30}
+
+    def test_span_ids_unique(self):
+        tracer = SpanTracer()
+        for _ in range(5):
+            with tracer.span("x"):
+                pass
+        ids = [s.span_id for s in tracer.finished]
+        assert len(ids) == len(set(ids))
+
+    def test_context_carries_open_parent(self):
+        tracer = SpanTracer(trace_id="tc")
+        assert tracer.context() == {"trace_id": "tc", "parent_id": None}
+        with tracer.span("outer") as outer_id:
+            assert tracer.context() == {"trace_id": "tc", "parent_id": outer_id}
+
+    def test_adopt_rewrites_foreign_trace_id(self):
+        tracer = SpanTracer(trace_id="parent")
+        foreign = Span(
+            name="w", trace_id="other", span_id="w1", parent_id="p",
+            start_s=1.0, dur_s=0.1, pid=99,
+        )
+        tracer.adopt([foreign.to_dict()])
+        adopted = tracer.finished[0]
+        assert adopted.trace_id == "parent"
+        assert adopted.span_id == "w1" and adopted.parent_id == "p"
+
+
+class TestWorkerSpans:
+    def test_noop_without_context(self):
+        with worker_span("task"):
+            pass
+        assert drain_worker_spans() == []
+
+    def test_records_under_installed_context(self):
+        install_span_context({"trace_id": "tw", "parent_id": "root"})
+        with worker_span("session.replay", session=4):
+            pass
+        spans = drain_worker_spans()
+        assert len(spans) == 1
+        assert spans[0]["trace_id"] == "tw"
+        assert spans[0]["parent_id"] == "root"
+        assert spans[0]["attrs"] == {"session": 4}
+        assert drain_worker_spans() == []  # drained
+
+    def test_install_clears_buffer(self):
+        install_span_context({"trace_id": "a", "parent_id": None})
+        with worker_span("x"):
+            pass
+        install_span_context({"trace_id": "b", "parent_id": None})
+        assert drain_worker_spans() == []
+
+
+class TestChromeExport:
+    def _tracer(self) -> SpanTracer:
+        tracer = SpanTracer(trace_id="tx")
+        with tracer.span("fleet.execute", tasks=8):
+            with tracer.span("session.replay", session=0):
+                pass
+        return tracer
+
+    def test_events_shape(self):
+        trace = spans_to_chrome_trace(self._tracer())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["cat"] == "repro"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["id"] == "tx"
+        child = next(e for e in events if e["name"] == "session.replay")
+        assert "parent_id" in child["args"]
+        assert child["args"]["session"] == 0
+
+    def test_accepts_plain_span_iterable(self):
+        spans = self._tracer().finished
+        trace = spans_to_chrome_trace(spans)
+        assert len(trace["traceEvents"]) == 2
+
+    def test_write_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace_json(self._tracer(), path)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 2
+        assert {e["name"] for e in loaded["traceEvents"]} == {
+            "fleet.execute", "session.replay",
+        }

@@ -1,0 +1,98 @@
+"""Tests for tumbling-window time series (repro.obs.timeseries)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.timeseries import TimeSeries
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries(0)
+
+    def test_bad_relative_error(self):
+        with pytest.raises(ValueError):
+            TimeSeries(4, relative_error=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(4).count("x", -1)
+
+
+class TestWindowing:
+    def test_counts_bucket_by_window(self):
+        ts = TimeSeries(window=4)
+        for t in (0, 1, 3):
+            ts.count("arrivals", t)
+        ts.count("arrivals", 4, amount=2)
+        ts.count("arrivals", 11)
+        assert ts.windows() == [0, 1, 2]
+        assert ts.series("arrivals") == [(0, 3.0), (1, 2.0), (2, 1.0)]
+        assert ts.total("arrivals") == 6.0
+
+    def test_series_dense_over_gap(self):
+        ts = TimeSeries(window=2)
+        ts.count("x", 0)
+        ts.count("x", 9)
+        assert ts.series("x") == [(0, 1.0), (1, 0.0), (2, 0.0), (3, 0.0), (4, 1.0)]
+
+    def test_rate_divides_by_window(self):
+        ts = TimeSeries(window=8)
+        ts.count("done", 3, amount=4)
+        assert ts.rate("done") == [(0, 0.5)]
+
+    def test_gauge_last_write_wins(self):
+        ts = TimeSeries(window=4)
+        ts.gauge("load", 0, 0.25)
+        ts.gauge("load", 3, 0.75)
+        ts.gauge("load", 5, 0.5)
+        assert ts.last("load") == [(0, 0.75), (1, 0.5)]
+
+    def test_sketch_quantiles_per_window(self):
+        ts = TimeSeries(window=4, relative_error=0)
+        for v in (1, 2, 3, 4):
+            ts.observe("delay", 0, v)
+        ts.observe("delay", 6, 40)
+        quantiles = ts.quantile("delay", 50)
+        assert quantiles == [(0, 2), (1, 40)]
+
+    def test_empty_series(self):
+        ts = TimeSeries()
+        assert ts.windows() == []
+        assert ts.series("missing") == []
+        assert ts.total("missing") == 0.0
+        assert ts.num_windows == 0
+
+
+class TestRendering:
+    def test_rows_cover_every_kind(self):
+        ts = TimeSeries(window=4)
+        ts.count("admitted", 0, amount=3)
+        ts.gauge("goodput", 1, 0.9)
+        ts.observe("delay", 2, 7)
+        rows = ts.rows()
+        kinds = {(row["series"], row["kind"]) for row in rows}
+        assert kinds == {
+            ("admitted", "counter"), ("goodput", "gauge"), ("delay", "sketch"),
+        }
+        counter = next(r for r in rows if r["kind"] == "counter")
+        assert counter["value"] == 3.0
+        assert counter["rate"] == pytest.approx(0.75)
+        assert counter["start_slot"] == 0
+        sketch = next(r for r in rows if r["kind"] == "sketch")
+        assert sketch["count"] == 1
+        assert sketch["p50"] == 7
+
+    def test_to_dict_is_json_ready(self):
+        ts = TimeSeries(window=2)
+        ts.count("a", 0)
+        ts.gauge("g", 1, 4.5)
+        ts.observe("s", 3, 9)
+        payload = json.loads(json.dumps(ts.to_dict()))
+        assert payload["window"] == 2
+        assert payload["windows"]["0"]["counters"] == {"a": 1.0}
+        assert payload["windows"]["1"]["sketches"]["s"]["count"] == 1

@@ -1,0 +1,176 @@
+"""Tests for the run ledger and bench history (repro.reporting.ledger)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.core.errors import ReproError
+from repro.exec.executor import ExecutorPolicy
+from repro.experiments import ExperimentSpec, run
+from repro.reporting.ledger import (
+    LEDGER_ENV_VAR,
+    LEDGER_VERSION,
+    RunLedger,
+    append_bench_history,
+    bench_history_records,
+    default_ledger,
+    run_record,
+)
+
+
+class TestRunLedger:
+    def test_append_stamps_envelope(self, tmp_path):
+        ledger = RunLedger(tmp_path / "nested" / "ledger.jsonl")
+        stamped = ledger.append({"record": "run", "x": 1})
+        assert stamped["ledger_version"] == LEDGER_VERSION
+        assert stamped["repro_version"] == repro.__version__
+        assert stamped["time_s"] > 0
+        assert stamped["x"] == 1
+        assert ledger.records() == [stamped]
+
+    def test_explicit_time_s_preserved(self, tmp_path):
+        ledger = RunLedger(tmp_path / "l.jsonl")
+        stamped = ledger.append({"record": "run", "time_s": 123.0})
+        assert stamped["time_s"] == 123.0
+
+    def test_rejects_non_dict(self, tmp_path):
+        with pytest.raises(ReproError):
+            RunLedger(tmp_path / "l.jsonl").append(["not", "a", "dict"])
+
+    def test_missing_file_is_empty(self, tmp_path):
+        ledger = RunLedger(tmp_path / "absent.jsonl")
+        assert ledger.records() == []
+        assert len(ledger) == 0
+
+    def test_torn_and_foreign_lines_skipped(self, tmp_path):
+        path = tmp_path / "l.jsonl"
+        ledger = RunLedger(path)
+        ledger.append({"record": "run", "n": 1})
+        with path.open("a") as fh:
+            fh.write("[1, 2, 3]\n")       # valid JSON, not a dict
+            fh.write("\n")                 # blank
+            fh.write('{"record": "run"')  # torn final line
+        records = ledger.records()
+        assert len(records) == 1
+        assert records[0]["n"] == 1
+
+    def test_append_only_accumulates(self, tmp_path):
+        ledger = RunLedger(tmp_path / "l.jsonl")
+        for i in range(5):
+            ledger.append({"record": "run", "i": i})
+        assert [r["i"] for r in ledger] == [0, 1, 2, 3, 4]
+        assert len(ledger) == 5
+
+    def test_tail(self, tmp_path):
+        ledger = RunLedger(tmp_path / "l.jsonl")
+        for i in range(4):
+            ledger.append({"i": i})
+        assert [r["i"] for r in ledger.tail(2)] == [2, 3]
+        assert [r["i"] for r in ledger.tail(99)] == [0, 1, 2, 3]
+        assert ledger.tail(0) == []
+        with pytest.raises(ReproError):
+            ledger.tail(-1)
+
+
+class TestDefaultLedger:
+    def test_unset_env_means_none(self, monkeypatch):
+        monkeypatch.delenv(LEDGER_ENV_VAR, raising=False)
+        assert default_ledger() is None
+        monkeypatch.setenv(LEDGER_ENV_VAR, "  ")
+        assert default_ledger() is None
+
+    def test_env_names_the_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(LEDGER_ENV_VAR, str(tmp_path / "env.jsonl"))
+        ledger = default_ledger()
+        assert ledger is not None
+        assert ledger.path == tmp_path / "env.jsonl"
+
+
+class TestRunRecord:
+    def test_facade_appends_one_record_per_run(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        spec = ExperimentSpec(
+            scheme="chain", num_nodes=8, degree=1, num_packets=4,
+            executor=ExecutorPolicy(mode="serial"),
+        )
+        run(spec, ledger=path)
+        run(spec, ledger=RunLedger(path))
+        records = RunLedger(path).records()
+        assert len(records) == 2
+        for record in records:
+            assert record["record"] == "run"
+            assert record["spec"]["scheme"] == "chain"
+            assert record["spec"]["kind"] == "stream"
+            assert record["rows"] == 1
+            assert record["timing_s"] >= 0
+            assert "cache" in record["provenance"]
+            json.dumps(record)  # self-contained plain JSON
+
+    def test_env_var_default(self, monkeypatch, tmp_path):
+        path = tmp_path / "env-ledger.jsonl"
+        monkeypatch.setenv(LEDGER_ENV_VAR, str(path))
+        run(ExperimentSpec(
+            scheme="chain", num_nodes=6, degree=1, num_packets=3,
+            executor=ExecutorPolicy(mode="serial"),
+        ))
+        assert len(RunLedger(path)) == 1
+
+    def test_no_ledger_no_file(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(LEDGER_ENV_VAR, raising=False)
+        monkeypatch.chdir(tmp_path)
+        run(ExperimentSpec(
+            scheme="chain", num_nodes=6, degree=1, num_packets=3,
+            executor=ExecutorPolicy(mode="serial"),
+        ))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_fleet_spec_summary(self, tmp_path):
+        fleet = repro.FleetSpec(
+            sessions=(repro.SessionSpec(num_nodes=15, num_packets=4),),
+            num_sessions=6,
+        )
+        spec = ExperimentSpec(
+            kind="fleet", fleet=fleet, executor=ExecutorPolicy(mode="serial")
+        )
+        result = run(spec)
+        record = run_record(spec, result)
+        assert record["spec"]["fleet_sessions"] == 6
+        assert record["spec"]["aggregation"] == "exact"
+        assert "run_until_converged" not in record["spec"]
+
+
+class TestBenchHistory:
+    def test_validation(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        with pytest.raises(ReproError):
+            append_bench_history(path, "b", -1.0)
+        with pytest.raises(ReproError):
+            append_bench_history(path, "b", 1.0, threshold=1.0)
+
+    def test_first_entry_has_no_baseline(self, tmp_path):
+        record = append_bench_history(tmp_path / "h.jsonl", "fleet_scale", 2.5)
+        assert record["record"] == "bench"
+        assert record["wall_clock_s"] == 2.5
+        assert "baseline_s" not in record
+        assert "regression" not in record
+
+    def test_regression_flagged_over_threshold(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        ok = append_bench_history(path, "b", 1.2, baseline_s=1.0)
+        assert ok["regression"] is False
+        bad = append_bench_history(path, "b", 2.0, baseline_s=1.0)
+        assert bad["regression"] is True
+        assert bad["speedup"] == pytest.approx(0.5)
+
+    def test_records_filter_by_name(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_bench_history(path, "a", 1.0)
+        append_bench_history(path, "b", 2.0)
+        append_bench_history(path, "a", 1.1)
+        RunLedger(path).append({"record": "run"})  # ignored by the filter
+        assert len(bench_history_records(path)) == 3
+        names = [r["wall_clock_s"] for r in bench_history_records(path, name="a")]
+        assert names == [1.0, 1.1]

@@ -104,6 +104,120 @@ class TestFleetRunner:
         assert report.reject_rate == pytest.approx(2 / 3)
 
 
+class TestSketchAggregation:
+    def test_sketch_report_close_to_exact(self):
+        fleet = _small_fleet(num_sessions=60)
+        exact = FleetRunner(policy=SERIAL).run(fleet).report
+        sketch = FleetRunner(policy=SERIAL).run(
+            _small_fleet(num_sessions=60, aggregation="sketch", sketch_error=0.01)
+        ).report
+        assert sketch.sessions == ()  # nothing per-session materialized
+        assert len(exact.sessions) == 60
+        assert sketch.num_sessions == exact.num_sessions
+        assert sketch.admitted == exact.admitted
+        for field in ("startup_p50", "startup_p99", "delay_p99", "buffer_p99"):
+            exact_value = getattr(exact, field)
+            drift = abs(getattr(sketch, field) - exact_value)
+            assert drift <= 0.01 * exact_value + 1.0, field
+
+    def test_sketch_report_round_trips(self, tmp_path):
+        report = FleetRunner(policy=SERIAL).run(
+            _small_fleet(aggregation="sketch")
+        ).report
+        path = tmp_path / "fleet.json"
+        write_fleet_report_json(report, path)
+        assert read_fleet_report_json(path) == report
+
+
+class TestRunUntilConverged:
+    def test_stops_early_and_reports_prefix(self):
+        from repro.obs.convergence import ConvergenceCriterion
+
+        fleet = _small_fleet(
+            num_sessions=400,
+            aggregation="sketch",
+            run_until_converged=True,
+            convergence=ConvergenceCriterion(
+                quantile=99.0, rel_half_width=0.2, min_count=32, check_every=32
+            ),
+        )
+        result = FleetRunner(policy=SERIAL).run(fleet)
+        state = result.convergence
+        assert state is not None and state.converged
+        executed = result.executor_info["tasks"]
+        assert executed < 400
+        assert result.executor_info["batches"] >= 1
+        # Decisions (and the report) cover exactly the executed prefix.
+        assert result.report.num_sessions == len(result.decisions)
+        assert result.report.num_sessions >= executed
+        assert [row["shard"] for row in result.shard_timings] == list(
+            range(executed)
+        )
+
+    def test_non_converged_run_has_no_state(self):
+        result = FleetRunner(policy=SERIAL).run(_small_fleet())
+        assert result.convergence is None
+
+
+class TestShardTimings:
+    def test_one_row_per_admitted_session(self):
+        result = FleetRunner(policy=SERIAL).run(_small_fleet())
+        assert len(result.shard_timings) == 30
+        assert [row["shard"] for row in result.shard_timings] == list(range(30))
+        assert all(row["elapsed_s"] >= 0 for row in result.shard_timings)
+
+    def test_facade_exposes_shard_timings(self):
+        result = run(
+            ExperimentSpec(kind="fleet", fleet=_small_fleet(), executor=SERIAL)
+        )
+        timings = result.artifacts["shard_timings"]
+        assert len(timings) == 30
+        assert timings[0]["shard"] == 0
+
+
+class TestFleetTelemetry:
+    def test_series_and_spans_recorded(self):
+        from repro.service import FleetTelemetry
+
+        telemetry = FleetTelemetry(window=4)
+        result = FleetRunner(policy=SERIAL, telemetry=telemetry).run(_small_fleet())
+        assert result.telemetry is telemetry
+        assert telemetry.series.total("fleet.sessions_completed") == 30
+        admitted = telemetry.series.total("fleet.admitted")
+        degraded = telemetry.series.total("fleet.degraded")
+        assert admitted + degraded == 30
+        names = {span.name for span in telemetry.spans.finished}
+        assert {"fleet.resolve", "fleet.admit", "fleet.execute",
+                "fleet.aggregate"} <= names
+        assert "session.replay" in names  # worker spans adopted
+        payload = telemetry.to_dict()
+        assert payload["trace_id"] == telemetry.spans.trace_id
+        assert len(payload["spans"]) == len(telemetry.spans.finished)
+
+    def test_trace_off_keeps_series(self):
+        from repro.service import FleetTelemetry
+
+        telemetry = FleetTelemetry(window=8, trace=False)
+        FleetRunner(policy=SERIAL, telemetry=telemetry).run(_small_fleet())
+        assert telemetry.spans is None
+        assert telemetry.rows()
+        assert "spans" not in telemetry.to_dict()
+
+    def test_parallel_matches_serial_with_telemetry_series(self):
+        from repro.service import FleetTelemetry
+
+        fleet = _small_fleet()
+        serial_t = FleetTelemetry(window=4, trace=False)
+        parallel_t = FleetTelemetry(window=4, trace=False)
+        serial = FleetRunner(policy=SERIAL, telemetry=serial_t).run(fleet).report
+        parallel = FleetRunner(
+            policy=ExecutorPolicy(max_workers=2, mode="parallel"),
+            telemetry=parallel_t,
+        ).run(fleet).report
+        assert parallel == serial
+        assert parallel_t.series.to_dict() == serial_t.series.to_dict()
+
+
 class TestAbrSessions:
     def _abr_fleet(self, **overrides) -> FleetSpec:
         return _small_fleet(
