@@ -21,8 +21,10 @@ The package implements, from scratch, everything the paper describes:
   time series, online SLO-convergence detection, and pipeline span tracing
   (all opt-in, zero overhead when off);
 * :mod:`repro.exec` — the compiled-schedule execution layer: schedule
-  compiler, content-addressed cache, engine-free replay, and the
-  process-parallel sweep executor;
+  compiler, content-addressed cache, engine-free replay, the vectorized
+  batch-replay kernel (:func:`replay_batch` — one NumPy pass scores a whole
+  batch of sessions of one schedule), and the process-parallel sweep
+  executor;
 * :mod:`repro.experiments` — the unified experiment facade
   (:func:`run` over :class:`ExperimentSpec`);
 * :mod:`repro.check` — the static verification layer: a schedule model
@@ -54,12 +56,20 @@ Quickstart — one experiment, one call::
     print(result.row)                 # flat metrics
     print(result.provenance["cache"]) # compiled-schedule cache outcome
 
-Sweeps fan a ``seeds × drop_rates`` grid over compiled-schedule replay::
+Sweeps fan a ``seeds × drop_rates`` grid over compiled-schedule replay —
+batch-first since v2.0, one vectorized kernel call per block of seeds::
 
     result = repro.run(repro.ExperimentSpec(
         kind="sweep", scheme="multi-tree", num_nodes=255,
         seeds=range(8), drop_rates=(0.0, 0.01)))
     print(len(result.rows), result.provenance["executor"])
+
+Or call the kernel directly — 100k sessions of one schedule in one pass::
+
+    schedule = repro.compile_schedule("multi-tree", 63, 3, num_packets=16)
+    batch = repro.replay_batch(
+        schedule, repro.spawn_seeds(0, 100_000), 0.01, num_packets=16)
+    print(batch.metrics(0), batch.residual.mean())
 
 Fleets run thousands of admission-controlled sessions over shared capacity::
 
@@ -67,11 +77,14 @@ Fleets run thousands of admission-controlled sessions over shared capacity::
         sessions=(repro.SessionSpec(num_nodes=31),), num_sessions=1000)))
     print(result.metrics.row())       # the fleet SLO report
 
-The low-level pieces (protocols + :func:`repro.core.engine.simulate`) remain
-public for custom experiments; the legacy one-off entry points
-(``run_repair_experiment``, ``run_churn_experiment``, ``parallel_sweep``, and
-the top-level ``repro.simulate`` re-export) are deprecated in favor of the
-facade — see ``docs/API.md`` for the migration table.
+Since v2.0 execution is **batch-first**: sweeps and fleets score whole
+blocks of sessions per pass through the vectorized kernel
+(:func:`repro.exec.replay_batch`), and the v1 legacy one-off entry points
+(``run_repair_experiment``, ``run_churn_experiment``, ``parallel_sweep``,
+and the top-level ``repro.simulate`` re-export) are **removed** — importing
+them is an error.  The low-level pieces (protocols +
+:func:`repro.core.engine.simulate`) remain public for custom experiments;
+see ``docs/API.md`` for the v1 → v2 migration table.
 """
 
 from repro.abr import (
@@ -103,13 +116,15 @@ from repro.core import (
     collect_metrics,
     earliest_safe_start,
 )
-from repro.core import simulate as _engine_simulate
 from repro.exec import (
+    BatchMetrics,
     CompiledSchedule,
     ExecutorPolicy,
     ScheduleCache,
     SweepExecutor,
     compile_schedule,
+    replay_batch,
+    spawn_seeds,
 )
 from repro.experiments import ExperimentResult, ExperimentSpec, run
 from repro.hypercube import (
@@ -137,7 +152,6 @@ from repro.repair import (
     SlackPolicy,
     SlackProvisioner,
     repair_experiment,
-    run_repair_experiment,
 )
 from repro.reporting import RunLedger
 from repro.service import (
@@ -153,30 +167,13 @@ from repro.service import (
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "1.5.0"
-
-
-def simulate(*args, **kwargs):
-    """Deprecated top-level re-export of :func:`repro.core.engine.simulate`.
-
-    Prefer :func:`repro.run` with an :class:`ExperimentSpec` (which adds
-    compiled-schedule replay, caching, and provenance), or import the
-    low-level primitive from its home: ``from repro.core.engine import
-    simulate``.
-    """
-    from repro.experiments import deprecated_entry_point
-
-    deprecated_entry_point(
-        "repro.simulate",
-        "repro.run(ExperimentSpec(...)) or repro.core.engine.simulate",
-    )
-    return _engine_simulate(*args, **kwargs)
-
+__version__ = "2.0.0"
 
 __all__ = [
     "AbrSessionSpec",
     "AbrTradeoffReport",
     "BandwidthEstimator",
+    "BatchMetrics",
     "BitrateLadder",
     "CapacityModel",
     "CapacityTrace",
@@ -241,9 +238,9 @@ __all__ = [
     "lint_paths",
     "optimal_degree",
     "repair_experiment",
+    "replay_batch",
     "run",
-    "run_repair_experiment",
-    "simulate",
     "smoke_grid",
+    "spawn_seeds",
     "table1",
 ]

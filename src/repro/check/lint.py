@@ -77,6 +77,10 @@ _TIME_ATTRS = frozenset({"time", "perf_counter", "perf_counter_ns", "monotonic",
 #: random.* calls that are fine: seeded/derived generator construction.
 _RANDOM_OK = frozenset({"Random", "SystemRandom"})
 
+# Modern numpy RNG machinery that carries explicit seed state (as opposed to
+# the legacy np.random.<sampler>() calls that read the global RNG).
+_NUMPY_RNG_OK = frozenset({"Generator", "SeedSequence", "PCG64", "BitGenerator"})
+
 
 @dataclass(frozen=True, slots=True)
 class LintViolation:
@@ -230,7 +234,7 @@ class _Visitor(ast.NodeVisitor):
                     "np.random.default_rng() without a seed is "
                     "non-reproducible; pass one explicitly",
                 )
-        elif np_attr is not None:
+        elif np_attr is not None and np_attr not in _NUMPY_RNG_OK:
             self._note(
                 "REP001", node,
                 f"legacy np.random.{np_attr}() uses the global numpy RNG; "

@@ -1,0 +1,485 @@
+"""Vectorized batch replay: one NumPy pass evaluates many sessions.
+
+The fleet runner's schedule cache means almost every session in a large
+fleet replays the *same* compiled timetable under a different
+``(seed, drop_rate)``.  The scalar kernel (:mod:`repro.exec.replay`) walks
+the flat arrays one session at a time in Python; this module re-expresses
+the identical semantics as NumPy column operations so one pass scores a
+whole batch:
+
+* the schedule is **lowered** once per process into NumPy columns (sender
+  and receiver rows in ``(node, packet)`` flat index space, arrival slots,
+  per-slot offsets, a per-slot scatter-uniqueness flag) and cached on the
+  :class:`~repro.exec.compiler.CompiledSchedule`;
+* replay keeps one ``(B, (rows + 1) * packets)`` holdings matrix of
+  earliest arrival slots (``INF`` = never held) and walks the horizon
+  slot-by-slot, applying the scalar kernel's hold check, drop mask, and
+  earliest-arrival min-fold to all ``B`` sessions at once.  Per-slot
+  processing is exact because a transmission sent at slot ``s`` arrives at
+  ``s`` or later while forwarding requires an arrival strictly *before*
+  ``s`` — deliveries within a slot can never enable sends in that slot;
+* metrics reduce straight to per-session :class:`BatchMetrics` columns
+  (residual, goodput, delay/buffer aggregates, optional per-node columns)
+  without materializing per-session arrival dicts.
+
+Results are slot-for-slot identical to
+:func:`~repro.exec.replay.replay_point` — including the loss model: a
+dropped index never delivers, and a transmission whose sender does not hold
+its packet at send time is a silent no-op (the paper's zero-slack
+permanent-loss behavior).  The identity is property-tested against both the
+scalar path and the engine in ``tests/test_exec_properties.py``.
+
+Memory is bounded: :func:`replay_batch` internally splits the batch into
+chunks whose working set stays under ``element_budget`` array elements, so
+arbitrarily large batches run in bounded kernel memory (the per-session
+output columns still scale with the batch, of course).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import Any, Union, cast
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.core.errors import ReproError
+from repro.core.metrics import RepairMetrics
+from repro.exec.compiler import CompiledSchedule
+from repro.obs.registry import active_registry
+
+__all__ = [
+    "BatchMetrics",
+    "bernoulli_masks",
+    "replay_batch",
+    "spawn_seeds",
+]
+
+#: Accepted per-session seed types (``default_rng`` accepts both).
+Seed = Union[int, np.random.SeedSequence]
+
+#: "Never arrived" sentinel in the holdings matrix.
+_INF = np.int32(np.iinfo(np.int32).max)
+
+#: "No available packet" sentinel for the startup-delay max-fold.
+_NEG = np.int64(-(1 << 40))
+
+#: Default working-set budget per kernel chunk, in array elements
+#: (~64 MB of int32).  The chunk batch size is derived from it.
+DEFAULT_ELEMENT_BUDGET = 16_000_000
+
+
+def spawn_seeds(seed: int, n: int) -> tuple[np.random.SeedSequence, ...]:
+    """``n`` statistically independent per-session seed sequences.
+
+    Derived via ``np.random.SeedSequence(seed).spawn(n)``, so session ``i``
+    of master seed ``s`` always gets the same stream — whether its mask is
+    drawn solo, inside any batch, or on any worker.
+    """
+    if n < 0:
+        raise ReproError(f"cannot spawn {n} seeds")
+    return tuple(np.random.SeedSequence(seed).spawn(n))
+
+
+def bernoulli_masks(
+    schedule: CompiledSchedule,
+    drop_rates: Sequence[float],
+    seeds: Sequence[Seed],
+) -> npt.NDArray[np.bool_] | None:
+    """Stack per-session drop masks into a ``(B, size)`` matrix.
+
+    Row ``b`` is exactly ``bernoulli_mask(schedule, drop_rates[b],
+    seeds[b])``: each session draws from its own private
+    ``default_rng(seed)`` stream, so a session's mask is independent of
+    batch composition, batch order, and worker placement.  Returns ``None``
+    when every rate is zero (loss-free batch, nothing to mask).
+    """
+    if len(drop_rates) != len(seeds):
+        raise ReproError(
+            f"got {len(seeds)} seeds but {len(drop_rates)} drop rates"
+        )
+    for rate in drop_rates:
+        if not 0 <= rate <= 1:
+            raise ReproError(f"drop rate must be in [0, 1], got {rate}")
+    if not any(rate > 0 for rate in drop_rates):
+        return None
+    masks = np.zeros((len(seeds), schedule.size), dtype=np.bool_)
+    for b, (seed, rate) in enumerate(zip(seeds, drop_rates)):
+        if rate > 0:
+            masks[b] = np.random.default_rng(seed).random(schedule.size) < rate
+    return masks
+
+
+# --------------------------------------------------------------------------
+# Schedule lowering
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class _Lowered:
+    """A compiled schedule's columns in kernel index space.
+
+    ``snd_flat`` / ``rcv_flat`` address the flat holdings matrix
+    ``row * num_packets + packet``; source senders point at the extra
+    all-``INF`` dummy row ``num_rows`` (their hold check is overridden by
+    ``is_source``).  ``slot_unique[s]`` records whether slot ``s``'s
+    ``(receiver, packet)`` targets are pairwise distinct — when they are,
+    the min-fold scatters with plain fancy indexing; otherwise it falls
+    back to ``np.minimum.at``.
+    """
+
+    starts: npt.NDArray[np.int64]
+    snd_flat: npt.NDArray[np.int64]
+    rcv_flat: npt.NDArray[np.int64]
+    is_source: npt.NDArray[np.bool_]
+    arrivals: npt.NDArray[np.int32]
+    slot_unique: npt.NDArray[np.bool_]
+    num_rows: int
+    num_packets: int
+
+
+def _lower(schedule: CompiledSchedule) -> _Lowered:
+    cached = cast("_Lowered | None", schedule._np_cache)
+    if cached is not None:
+        return cached
+    starts = np.asarray(schedule.starts, dtype=np.int64)
+    senders = np.asarray(schedule.senders, dtype=np.int64)
+    receivers = np.asarray(schedule.receivers, dtype=np.int64)
+    packets = np.asarray(schedule.packets, dtype=np.int64)
+    arrivals = np.asarray(schedule.arrivals, dtype=np.int32)
+    node_row = {nid: row for row, nid in enumerate(schedule.node_ids)}
+    num_rows = len(node_row)
+    sources = frozenset(schedule.source_ids)
+    num_packets = int(packets.max()) + 1 if packets.size else 1
+    size = len(senders)
+    snd_row = np.empty(size, dtype=np.int64)
+    is_source = np.zeros(size, dtype=np.bool_)
+    rcv_row = np.empty(size, dtype=np.int64)
+    for i in range(size):
+        sender = int(senders[i])
+        if sender in sources:
+            snd_row[i] = num_rows  # dummy row: never "held", see is_source
+            is_source[i] = True
+        else:
+            snd_row[i] = node_row[sender]
+        rcv_row[i] = node_row[int(receivers[i])]
+    rcv_flat = rcv_row * num_packets + packets
+    slot_unique = np.ones(schedule.num_slots, dtype=np.bool_)
+    for slot in range(schedule.num_slots):
+        lo, hi = int(starts[slot]), int(starts[slot + 1])
+        if hi - lo > 1:
+            slot_unique[slot] = len(np.unique(rcv_flat[lo:hi])) == hi - lo
+    lowered = _Lowered(
+        starts=starts,
+        snd_flat=snd_row * num_packets + packets,
+        rcv_flat=rcv_flat,
+        is_source=is_source,
+        arrivals=arrivals,
+        slot_unique=slot_unique,
+        num_rows=num_rows,
+        num_packets=num_packets,
+    )
+    schedule._np_cache = lowered
+    return lowered
+
+
+# --------------------------------------------------------------------------
+# Kernel
+# --------------------------------------------------------------------------
+
+
+def _hold_and_deliver(
+    lowered: _Lowered,
+    masks: npt.NDArray[np.bool_] | None,
+    horizon: int,
+    batch: int,
+) -> npt.NDArray[np.int32]:
+    """Replay ``horizon`` slots for ``batch`` sessions at once.
+
+    Returns the ``(batch, num_rows, num_packets)`` earliest-arrival matrix
+    (``_INF`` = never arrived).  One ``(B, K)`` column operation per slot:
+    hold check against the pre-slot holdings state, mask, then
+    earliest-arrival min-fold scatter.
+    """
+    width = (lowered.num_rows + 1) * lowered.num_packets
+    held_at = np.full((batch, width), _INF, dtype=np.int32)
+    batch_rows = np.arange(batch)[:, None]
+    starts = lowered.starts
+    for slot in range(horizon):
+        lo, hi = int(starts[slot]), int(starts[slot + 1])
+        if lo == hi:
+            continue
+        ok = (held_at[:, lowered.snd_flat[lo:hi]] < slot) | lowered.is_source[lo:hi]
+        if masks is not None:
+            ok &= ~masks[:, lo:hi]
+        targets = lowered.rcv_flat[lo:hi]
+        arrived = lowered.arrivals[lo:hi]
+        if lowered.slot_unique[slot]:
+            current = held_at[:, targets]
+            held_at[:, targets] = np.where(
+                ok, np.minimum(current, arrived), current
+            )
+        else:
+            np.minimum.at(
+                held_at,
+                (batch_rows, targets[None, :]),
+                np.where(ok, arrived, _INF),
+            )
+    shaped = held_at.reshape(batch, lowered.num_rows + 1, lowered.num_packets)
+    return shaped[:, : lowered.num_rows, :]
+
+
+def _score(
+    held: npt.NDArray[np.int32], num_packets: int
+) -> tuple[
+    npt.NDArray[np.int32], npt.NDArray[np.int32], npt.NDArray[np.int64]
+]:
+    """Per-node playback scores over the measured packet prefix.
+
+    Returns ``(startup_delays, buffer_peaks, available_counts)``, each of
+    shape ``(batch, num_rows)``, matching
+    :func:`~repro.core.metrics.summarize_lossy_playback` node for node:
+    startup is the earliest hiccup-free start over the *available* packets
+    (0 when nothing arrived), and the buffer peak is the max end-of-slot
+    occupancy at that start (packet ``p`` arrives at its slot and is
+    consumed at ``max(start + p - 1, arrival)``; missing packets never
+    occupy).
+    """
+    batch, rows, compiled_packets = held.shape
+    if num_packets <= compiled_packets:
+        window = held[:, :, :num_packets]
+    else:
+        pad = np.full(
+            (batch, rows, num_packets - compiled_packets), _INF, dtype=np.int32
+        )
+        window = np.concatenate([held, pad], axis=2)
+    avail = window < _INF
+    navail = avail.sum(axis=2, dtype=np.int64)
+    packet_index = np.arange(num_packets, dtype=np.int64)
+    arrived = window.astype(np.int64)
+    relative = np.where(avail, arrived - packet_index, _NEG)
+    start = np.where(navail > 0, relative.max(axis=2) + 1, np.int64(0))
+
+    # Buffer peaks via one delta/cumsum sweep over a shared time axis.  The
+    # scalar path clamps each node's sweep to its own horizon; using a
+    # global horizon is equivalent because occupancy is non-increasing
+    # after a node's last arrival, so no later slot can exceed its peak.
+    top_arrival = int(np.max(np.where(avail, arrived, 0), initial=0))
+    length = top_arrival + num_packets + 2
+    dump = length - 1  # unavailable packets: +1/-1 here, net zero
+    delta = np.zeros((batch, rows, length), dtype=np.int32)
+    batch_axis = np.arange(batch)[:, None]
+    row_axis = np.arange(rows)[None, :]
+    consume = np.maximum(start[:, :, None] + packet_index - 1, arrived)
+    for packet in range(num_packets):
+        available = avail[:, :, packet]
+        fill = np.where(available, arrived[:, :, packet], dump)
+        drain = np.where(available, consume[:, :, packet] + 1, dump)
+        delta[batch_axis, row_axis, fill] += 1
+        delta[batch_axis, row_axis, drain] -= 1
+    peak = np.cumsum(delta, axis=2, dtype=np.int32).max(axis=2)
+    return start.astype(np.int32), peak, navail
+
+
+# --------------------------------------------------------------------------
+# Public surface
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BatchMetrics:
+    """Per-session metric columns of one :func:`replay_batch` call.
+
+    Session ``i`` of every column scores seed ``seeds[i]`` at rate
+    ``drop_rates[i]``; :meth:`metrics` rebuilds the session's scalar
+    :class:`~repro.core.metrics.RepairMetrics` exactly.
+
+    Attributes:
+        num_sessions / num_nodes / num_packets / num_slots: batch shape —
+            sessions scored, receivers per session, measured packet prefix,
+            replayed horizon.
+        seeds / drop_rates: the batch coordinates, session-aligned.
+        residual: ``(node, packet)`` pairs never delivered, per session.
+        available: pairs delivered, per session.
+        max_delay / avg_delay: worst / mean loss-tolerant startup delay
+            over the session's nodes.
+        max_buffer / avg_buffer: worst / mean peak buffer occupancy.
+        node_delays / node_buffers: per-node ``(B, num_nodes)`` startup
+            delay and buffer peak columns (``None`` when the call passed
+            ``keep_node_columns=False``); node order follows
+            ``schedule.node_ids``.
+    """
+
+    num_sessions: int
+    num_nodes: int
+    num_packets: int
+    num_slots: int
+    seeds: tuple[Seed, ...]
+    drop_rates: tuple[float, ...]
+    residual: npt.NDArray[np.int64]
+    available: npt.NDArray[np.int64]
+    max_delay: npt.NDArray[np.int64]
+    avg_delay: npt.NDArray[np.float64]
+    max_buffer: npt.NDArray[np.int64]
+    avg_buffer: npt.NDArray[np.float64]
+    node_delays: npt.NDArray[np.int32] | None = None
+    node_buffers: npt.NDArray[np.int32] | None = None
+
+    def metrics(self, i: int) -> RepairMetrics:
+        """Session ``i``'s scalar :class:`RepairMetrics` (no baseline)."""
+        if not 0 <= i < self.num_sessions:
+            raise ReproError(
+                f"session index {i} outside batch [0, {self.num_sessions})"
+            )
+        residual = int(self.residual[i])
+        available = int(self.available[i])
+        return RepairMetrics(
+            num_nodes=self.num_nodes,
+            num_packets=self.num_packets,
+            num_slots=self.num_slots,
+            residual_pairs=residual,
+            residual_loss_rate=residual / (self.num_nodes * self.num_packets),
+            recovered_pairs=0,
+            recovery_latency_mean=0.0,
+            recovery_latency_max=0,
+            recovery_latencies=(),
+            goodput=available / (self.num_nodes * self.num_slots),
+            max_effective_delay=int(self.max_delay[i]),
+            avg_effective_delay=float(self.avg_delay[i]),
+            max_buffer=int(self.max_buffer[i]),
+            avg_buffer=float(self.avg_buffer[i]),
+        )
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Flat sweep rows (``seed``, ``drop_rate``, the metrics columns) —
+        the same shape :func:`~repro.exec.executor.replay_sweep_task`
+        returns for one point."""
+        out: list[dict[str, Any]] = []
+        for i in range(self.num_sessions):
+            row: dict[str, Any] = {
+                "seed": self.seeds[i],
+                "drop_rate": self.drop_rates[i],
+            }
+            row.update(self.metrics(i).row())
+            out.append(row)
+        return out
+
+
+def replay_batch(
+    schedule: CompiledSchedule,
+    seeds: Sequence[Seed],
+    drop_rates: float | Sequence[float],
+    *,
+    num_packets: int,
+    num_slots: int | None = None,
+    keep_node_columns: bool = True,
+    element_budget: int = DEFAULT_ELEMENT_BUDGET,
+) -> BatchMetrics:
+    """Score a whole batch of sessions of one compiled schedule in one pass.
+
+    The batch primitive behind ``ExperimentSpec(kind="sweep")`` and the
+    fleet runner: session ``i`` replays ``schedule`` under the drop mask of
+    ``(seeds[i], drop_rates[i])`` and is scored exactly like
+    :func:`~repro.exec.replay.replay_point` — same loss model, same
+    metrics, bit-for-bit.  Bumps ``sweep.batch_sessions`` /
+    ``sweep.batched_tx`` on the active registry.
+
+    Args:
+        schedule: the compiled timetable every session shares.
+        seeds: one RNG seed (int or ``SeedSequence``) per session.
+        drop_rates: per-session Bernoulli drop rates, or one scalar rate
+            broadcast to the whole batch.
+        num_packets: measured stream prefix.
+        num_slots: replay horizon (defaults to the compiled horizon).
+        keep_node_columns: also return the per-node ``(B, num_nodes)``
+            delay/buffer columns (needed to build per-session SLOs; drop
+            them for plain sweeps to save memory).
+        element_budget: kernel working-set cap in array elements; the batch
+            is internally chunked to stay under it.
+    """
+    horizon = schedule.num_slots if num_slots is None else num_slots
+    if not 0 <= horizon <= schedule.num_slots:
+        raise ReproError(
+            f"replay horizon {horizon} outside compiled range "
+            f"[0, {schedule.num_slots}]"
+        )
+    if horizon < 1:
+        raise ReproError(f"num_slots must be positive to score a batch, got {horizon}")
+    if num_packets < 1:
+        raise ReproError(f"num_packets must be positive, got {num_packets}")
+    seeds = tuple(seeds)
+    total = len(seeds)
+    if total == 0:
+        raise ReproError("replay_batch needs at least one session seed")
+    if isinstance(drop_rates, (int, float)):
+        rates: tuple[float, ...] = (float(drop_rates),) * total
+    else:
+        rates = tuple(float(rate) for rate in drop_rates)
+    if len(rates) != total:
+        raise ReproError(f"got {total} seeds but {len(rates)} drop rates")
+    for rate in rates:
+        if not 0 <= rate <= 1:
+            raise ReproError(f"drop rate must be in [0, 1], got {rate}")
+    lowered = _lower(schedule)
+    rows = lowered.num_rows
+    if rows == 0:
+        raise ReproError("schedule has no receiver nodes to score")
+    end = int(lowered.starts[horizon])
+    window = max(num_packets, lowered.num_packets)
+    top_arrival = int(lowered.arrivals[:end].max()) if end else 0
+    per_session = max(
+        (rows + 1) * lowered.num_packets,        # holdings matrix
+        rows * (top_arrival + num_packets + 2),  # buffer delta sweep
+        rows * window * 2,                       # int64 reduction temps
+        schedule.size,                           # drop-mask row
+        1,
+    )
+    chunk = max(1, min(total, element_budget // per_session))
+
+    residual = np.empty(total, dtype=np.int64)
+    available = np.empty(total, dtype=np.int64)
+    max_delay = np.empty(total, dtype=np.int64)
+    avg_delay = np.empty(total, dtype=np.float64)
+    max_buffer = np.empty(total, dtype=np.int64)
+    avg_buffer = np.empty(total, dtype=np.float64)
+    node_delays = (
+        np.empty((total, rows), dtype=np.int32) if keep_node_columns else None
+    )
+    node_buffers = (
+        np.empty((total, rows), dtype=np.int32) if keep_node_columns else None
+    )
+    for lo in range(0, total, chunk):
+        hi = min(lo + chunk, total)
+        masks = bernoulli_masks(schedule, rates[lo:hi], seeds[lo:hi])
+        held = _hold_and_deliver(lowered, masks, horizon, hi - lo)
+        delays, peaks, navail = _score(held, num_packets)
+        residual[lo:hi] = num_packets * rows - navail.sum(axis=1)
+        available[lo:hi] = navail.sum(axis=1)
+        max_delay[lo:hi] = delays.max(axis=1)
+        avg_delay[lo:hi] = delays.mean(axis=1)
+        max_buffer[lo:hi] = peaks.max(axis=1)
+        avg_buffer[lo:hi] = peaks.mean(axis=1)
+        if node_delays is not None and node_buffers is not None:
+            node_delays[lo:hi] = delays
+            node_buffers[lo:hi] = peaks
+    registry = active_registry()
+    scheme = schedule.key.scheme if schedule.key is not None else "ad-hoc"
+    registry.counter("sweep.batch_sessions", scheme=scheme).inc(total)
+    registry.counter("sweep.batched_tx", scheme=scheme).inc(total * end)
+    return BatchMetrics(
+        num_sessions=total,
+        num_nodes=rows,
+        num_packets=num_packets,
+        num_slots=horizon,
+        seeds=seeds,
+        drop_rates=rates,
+        residual=residual,
+        available=available,
+        max_delay=max_delay,
+        avg_delay=avg_delay,
+        max_buffer=max_buffer,
+        avg_buffer=avg_buffer,
+        node_delays=node_delays,
+        node_buffers=node_buffers,
+    )

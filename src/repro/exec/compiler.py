@@ -71,7 +71,7 @@ class CompiledSchedule:
     __slots__ = (
         "key", "num_slots", "node_ids", "source_ids",
         "starts", "senders", "receivers", "packets",
-        "arrivals", "latencies", "trees", "_batches",
+        "arrivals", "latencies", "trees", "_batches", "_np_cache",
     )
 
     def __init__(
@@ -101,6 +101,9 @@ class CompiledSchedule:
         self.latencies = latencies
         self.trees = trees
         self._batches: list[list[Transmission]] | None = None
+        # Lowered NumPy columns for the batch kernel (repro.exec.batch);
+        # built lazily once per process, never pickled.
+        self._np_cache: Any = None
 
     # ----------------------------------------------------------------- basics
     @property
@@ -130,14 +133,19 @@ class CompiledSchedule:
         )
 
     def __getstate__(self) -> dict[str, Any]:
-        # The materialized Transmission batches are a per-process cache;
-        # never pickle them (workers rebuild lazily on first use).
-        return {name: getattr(self, name) for name in self.__slots__ if name != "_batches"}
+        # The materialized Transmission batches and the lowered NumPy columns
+        # are per-process caches; never pickle them (workers rebuild lazily).
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in ("_batches", "_np_cache")
+        }
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         for name, value in state.items():
             setattr(self, name, value)
         self._batches = None
+        self._np_cache = None
 
     def __repr__(self) -> str:
         return (

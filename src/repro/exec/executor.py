@@ -48,6 +48,7 @@ __all__ = [
     "worker_payload",
     "default_workers",
     "replay_sweep_task",
+    "replay_batch_task",
 ]
 
 
@@ -314,3 +315,30 @@ def replay_sweep_task(task: tuple[int, float, int]) -> dict[str, Any]:
     row: dict[str, Any] = {"seed": seed, "drop_rate": drop_rate}
     row.update(metrics.row())
     return row
+
+
+def replay_batch_task(
+    task: tuple[tuple[int, ...], float, int]
+) -> list[dict[str, Any]]:
+    """Sweep worker: one vectorized kernel call over a block of seeds.
+
+    Task tuple: ``(seeds, drop_rate, num_packets)`` — every seed in the
+    block replays the payload schedule at the same rate in one
+    :func:`~repro.exec.batch.replay_batch` pass.  Returns the block's flat
+    metrics rows (same shape :func:`replay_sweep_task` produces per point,
+    in seed order) so batched and scalar sweeps are drop-in comparable.
+    """
+    from repro.exec.batch import replay_batch
+
+    schedule = worker_payload()
+    if schedule is None:
+        raise ReproError("replay_batch_task needs a CompiledSchedule payload")
+    seeds, drop_rate, num_packets = task
+    batch = replay_batch(
+        schedule,
+        seeds,
+        drop_rate,
+        num_packets=num_packets,
+        keep_node_columns=False,
+    )
+    return batch.rows()

@@ -22,19 +22,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.errors import ReproError
-from repro.core.metrics import RepairMetrics, collect_repair_metrics
+from repro.core.metrics import RepairMetrics
 from repro.exec.compiler import CompiledSchedule
 from repro.obs.registry import active_registry
 
 __all__ = ["replay_arrivals", "bernoulli_mask", "replay_point"]
 
 
-def bernoulli_mask(schedule: CompiledSchedule, rate: float, seed: int) -> np.ndarray | None:
+def bernoulli_mask(
+    schedule: CompiledSchedule,
+    rate: float,
+    seed: int | np.random.SeedSequence,
+) -> np.ndarray | None:
     """Deterministic per-transmission drop mask over the whole schedule.
 
     Drawn in flat (send-order) index space with one ``default_rng(seed)``
     stream, so a ``(seed, rate)`` pair always prunes the same indices — on
-    any worker, serial or parallel.
+    any worker, serial or parallel.  The guarantee extends to batching:
+    :func:`~repro.exec.batch.bernoulli_masks` draws row ``b`` from exactly
+    this stream, so a session's mask is identical whether it replays solo,
+    inside any batch, or on any worker.  To give each session of a fleet an
+    independent stream from one master seed, pass the ``SeedSequence``
+    children of :func:`~repro.exec.batch.spawn_seeds` (i.e.
+    ``np.random.SeedSequence(master).spawn(B)``) — child identity depends
+    only on ``(master, index)``, never on batch composition.
     """
     if not 0 <= rate <= 1:
         raise ReproError(f"drop rate must be in [0, 1], got {rate}")
@@ -111,22 +122,34 @@ def replay_point(
     schedule: CompiledSchedule,
     *,
     num_packets: int,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     drop_rate: float = 0.0,
     num_slots: int | None = None,
 ) -> RepairMetrics:
     """One sweep point: replay under ``(seed, drop_rate)`` and score it.
 
-    Returns loss-aware :class:`~repro.core.metrics.RepairMetrics` (which
-    degrade to the plain playback metrics when nothing is dropped) and bumps
-    ``sweep.points`` / ``sweep.replayed_tx`` on the active registry.
+    Since v2.0 this is a documented **batch-of-1 shim** over
+    :func:`~repro.exec.batch.replay_batch` — the vectorized kernel is the
+    execution path; this wrapper exists for single-point ergonomics
+    (ad-hoc scoring, the scalar comparator in tests) and keeps the
+    historical per-point counters.  Returns loss-aware
+    :class:`~repro.core.metrics.RepairMetrics` (which degrade to the plain
+    playback metrics when nothing is dropped) and bumps ``sweep.points`` /
+    ``sweep.replayed_tx`` on the active registry; the underlying kernel
+    call additionally bumps the batch counters.
     """
+    from repro.exec.batch import replay_batch
+
     horizon = schedule.num_slots if num_slots is None else num_slots
-    mask = bernoulli_mask(schedule, drop_rate, seed)
-    arrivals = replay_arrivals(schedule, num_slots=horizon, drop_mask=mask)
-    metrics = collect_repair_metrics(
-        arrivals, num_packets=num_packets, num_slots=horizon
+    batch = replay_batch(
+        schedule,
+        (seed,),
+        drop_rate,
+        num_packets=num_packets,
+        num_slots=horizon,
+        keep_node_columns=False,
     )
+    metrics = batch.metrics(0)
     registry = active_registry()
     scheme = schedule.key.scheme if schedule.key is not None else "ad-hoc"
     registry.counter("sweep.points", scheme=scheme).inc()

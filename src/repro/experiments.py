@@ -1,10 +1,9 @@
 """Unified experiment facade: ``repro.run(ExperimentSpec) -> ExperimentResult``.
 
 Every experiment family this reproduction grew — plain streaming runs
-(:func:`repro.core.engine.simulate`), loss-repair tradeoffs
-(``run_repair_experiment``), churn streaming (``run_churn_experiment``), and
-parameter sweeps (``parallel_sweep``) — historically had its own entry point
-with its own argument conventions.  This module collapses them behind one
+(:func:`repro.core.engine.simulate`), loss-repair tradeoffs, churn
+streaming, and parameter sweeps — historically had its own entry point with
+its own argument conventions.  This module collapses them behind one
 declarative API:
 
 * :class:`ExperimentSpec` — a frozen dataclass naming the scheme,
@@ -17,13 +16,16 @@ declarative API:
   hit/miss and how the executor actually ran).
 
 ``run`` uses the compiled-schedule fast path (:mod:`repro.exec`) whenever the
-spec allows it and the scheme's loss-free schedule is deterministic; the old
-entry points remain as thin deprecated wrappers.
+spec allows it and the scheme's loss-free schedule is deterministic; since
+v2.0 sweeps execute batch-first through the vectorized kernel
+(:func:`repro.exec.replay_batch`), one kernel call per block of seeds per
+drop rate.  The v1 legacy wrappers (``run_repair_experiment``,
+``run_churn_experiment``, ``parallel_sweep``, the ``repro.simulate``
+re-export) were removed in v2.0 — docs/API.md has the migration table.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 
 from repro.core.engine import simulate as _engine_simulate
@@ -36,7 +38,7 @@ from repro.exec.compiler import (
     compile_protocol,
     compile_schedule,
 )
-from repro.exec.executor import ExecutorPolicy, SweepExecutor, replay_sweep_task
+from repro.exec.executor import ExecutorPolicy, SweepExecutor, replay_batch_task
 from repro.obs import Instrumentation, Timer
 
 __all__ = [
@@ -44,7 +46,6 @@ __all__ = [
     "ExperimentSpec",
     "ExperimentResult",
     "run",
-    "deprecated_entry_point",
 ]
 
 EXPERIMENT_KINDS = ("stream", "repair", "churn", "sweep", "fleet", "abr")
@@ -57,16 +58,6 @@ _SCHEMES = (
     "single-tree",
     "gossip",
 )
-
-
-def deprecated_entry_point(name: str, replacement: str) -> None:
-    """Emit the standard deprecation warning for a legacy ``run_*`` entry point."""
-    warnings.warn(
-        f"{name} is deprecated; use {replacement} "
-        "(see docs/API.md for the migration table)",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -457,10 +448,26 @@ def _run_sweep(spec: ExperimentSpec, instr) -> tuple:
     schedule = _compiled_for(spec.with_(compiled=True), num_slots, provenance)
     registry = instr.registry if instr is not None else None
     executor = SweepExecutor(spec.executor, registry=registry)
-    rows = executor.map(replay_sweep_task, spec.grid(), payload=schedule)
+    # Batch-first execution (v2): one vectorized kernel call scores a whole
+    # block of seeds at one rate.  Blocks are sized so every worker gets
+    # roughly one per rate; row order still matches spec.grid() exactly
+    # (rate-major, then seed order) because map() preserves task order and
+    # each task's rows come back in seed order.
+    seeds = spec.seeds or (spec.seed,)
+    rates = spec.drop_rates or (spec.drop_rate,)
+    block = max(1, -(-len(seeds) // max(1, spec.executor.resolved_workers())))
+    blocks = [seeds[i : i + block] for i in range(0, len(seeds), block)]
+    tasks = [
+        (tuple(seed_block), rate, spec.num_packets)
+        for rate in rates
+        for seed_block in blocks
+    ]
+    nested = executor.map(replay_batch_task, tasks, payload=schedule)
+    rows = [row for chunk in nested for row in chunk]
     provenance["description"] = protocol.describe()
     provenance["num_slots"] = num_slots
     provenance["executor"] = dict(executor.last_run)
+    provenance["executor"]["execution"] = "batch"
     return tuple(rows), None, None, {"schedule": schedule}, provenance
 
 

@@ -29,7 +29,7 @@ Quickstart::
     print(point.row())
 
 (Or, through the unified facade: ``repro.run(ExperimentSpec(kind="repair",
-...))``.  ``run_repair_experiment`` is the deprecated pre-facade name.)
+...))``.)
 """
 
 from repro.repair.parity import ParityDecode, ParityScheme, Recovery
@@ -46,7 +46,6 @@ from repro.repair.session import (
     default_grace,
     make_lossy_protocol,
     repair_experiment,
-    run_repair_experiment,
 )
 from repro.repair.slack import CAPACITY, THIN, SlackPolicy, SlackProvisioner
 
@@ -68,5 +67,4 @@ __all__ = [
     "make_lossy_protocol",
     "make_repairable",
     "repair_experiment",
-    "run_repair_experiment",
 ]

@@ -6,8 +6,7 @@
 a scheme, applies the requested repair mode, simulates under a fault
 injector, and returns the full tradeoff point — repair metrics of the lossy
 run *and* the loss-free paper metrics it should be compared against, so the
-delay/buffer price of repair is explicit.  :func:`run_repair_experiment` is
-the deprecated pre-facade name.
+delay/buffer price of repair is explicit.
 
 Loss runs require the holdings-aware protocol variants (the static schedule
 tables would violate causality once a sender misses a packet), so only the
@@ -39,7 +38,6 @@ __all__ = [
     "make_lossy_protocol",
     "default_grace",
     "repair_experiment",
-    "run_repair_experiment",
 ]
 
 REPAIR_SCHEMES = ("multi-tree", "hypercube")
@@ -273,17 +271,3 @@ def repair_experiment(
         description=f"unrepaired {protocol.describe()}",
     )
 
-
-def run_repair_experiment(*args, **kwargs) -> RepairRunResult:
-    """Deprecated alias of :func:`repair_experiment`.
-
-    Prefer ``repro.run(ExperimentSpec(kind="repair", ...))`` (the unified
-    facade) or :func:`repair_experiment` directly.
-    """
-    from repro.experiments import deprecated_entry_point
-
-    deprecated_entry_point(
-        "run_repair_experiment",
-        'repro.run(ExperimentSpec(kind="repair", ...)) or repair_experiment',
-    )
-    return repair_experiment(*args, **kwargs)

@@ -41,7 +41,9 @@ from repro.service.slo import (
     SessionSLO,
     aggregate_fleet,
     pooled_percentile,
+    score_batch_sessions,
     score_session,
+    score_session_columns,
 )
 from repro.service.spec import (
     ADMISSION_POLICIES,
@@ -70,5 +72,7 @@ __all__ = [
     "aggregate_fleet",
     "fleet_session_task",
     "pooled_percentile",
+    "score_batch_sessions",
     "score_session",
+    "score_session_columns",
 ]

@@ -13,9 +13,15 @@
    measures);
 3. **execute** admitted sessions with the :class:`~repro.exec.SweepExecutor`
    process pool — the token-indexed schedule dict ships once per worker as
-   the pool payload, each session replays engine-free under its own loss
-   mask, and per-worker metric snapshots merge back into the caller's
-   registry;
+   the pool payload.  Batch-first since v2.0: sessions sharing a
+   ``(schedule token, drop_rate, packets, horizon)`` coordinate group into
+   **units** scored by one vectorized kernel pass each
+   (:func:`~repro.exec.replay_batch`; the 0.992 cache hit rate means almost
+   every session lands in a large unit), while ABR sessions — and fleets
+   with ``FleetSpec(execution="scalar")`` — replay one session per task.
+   Every session's loss mask is deterministic in its own seed, so results
+   are identical batched or scalar, on any worker count, and per-worker
+   metric snapshots merge back into the caller's registry;
 4. **aggregate** per-session SLOs and admission decisions into the fleet
    report (exact pooled percentiles, reject rate, cache hit-rate).
 
@@ -37,12 +43,14 @@ Everything is deterministic in ``FleetSpec.seed`` regardless of worker count.
 
 from __future__ import annotations
 
+from collections import Counter
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, ContextManager
 
 from repro.exec.cache import ScheduleCache
 from repro.exec.compiler import compile_schedule
+from repro.exec.batch import replay_batch
 from repro.exec.executor import ExecutorPolicy, SweepExecutor, worker_payload
 from repro.exec.replay import bernoulli_mask, replay_arrivals
 from repro.obs.convergence import ConvergenceDetector, ConvergenceState
@@ -51,10 +59,22 @@ from repro.obs.sketch import DEFAULT_RELATIVE_ERROR
 from repro.obs.spans import SpanTracer, worker_span
 from repro.obs.timeseries import TimeSeries
 from repro.service.admission import AdmissionDecision, SessionManager
-from repro.service.slo import FleetAggregator, FleetSLOReport, SessionSLO, score_session
+from repro.service.slo import (
+    FleetAggregator,
+    FleetSLOReport,
+    SessionSLO,
+    score_session,
+    score_batch_sessions,
+)
 from repro.service.spec import FleetSpec, ResolvedSession, SessionSpec
 
-__all__ = ["FleetRunner", "FleetRunResult", "FleetTelemetry", "fleet_session_task"]
+__all__ = [
+    "FleetRunner",
+    "FleetRunResult",
+    "FleetTelemetry",
+    "fleet_session_task",
+    "fleet_unit_task",
+]
 
 
 def fleet_session_task(task) -> SessionSLO:
@@ -107,6 +127,65 @@ def fleet_session_task(task) -> SessionSLO:
     registry.histogram("fleet.startup_delay").observe(slo.startup_delay)
     registry.histogram("fleet.rebuffer_ratio").observe(slo.rebuffer_ratio)
     return slo
+
+
+def fleet_unit_task(unit) -> list[tuple[int, SessionSLO]]:
+    """Executor worker: score one execution unit — a batch group or one
+    scalar session.
+
+    Units come in two shapes:
+
+    * ``("batch", token, drop_rate, num_packets, horizon, members)`` —
+      every member session shares the token's compiled schedule and the
+      replay coordinate, so one :func:`~repro.exec.replay_batch` kernel
+      pass scores the whole group.  ``members`` is a tuple of
+      ``(task_index, session_id, label, status, seed, wait_slots)``.
+    * ``("scalar", task_index, task)`` — delegates to
+      :func:`fleet_session_task` (ABR sessions, and fleets running with
+      ``execution="scalar"``).
+
+    Returns ``(task_index, SessionSLO)`` pairs in member order; the task
+    index is fleet-global so the runner can attribute results (telemetry
+    windows, shard timings) to the right session no matter how sessions
+    were grouped.  Per-session counters/histograms match the scalar worker
+    exactly, so registry snapshots are grouping-independent.
+    """
+    kind = unit[0]
+    if kind == "scalar":
+        _, task_index, task = unit
+        return [(task_index, fleet_session_task(task))]
+    _, token, drop_rate, num_packets, horizon, members = unit
+    label = members[0][2]
+    with worker_span(
+        "session.replay", sessions=len(members), label=label
+    ):
+        schedule = worker_payload()[token]
+        batch = replay_batch(
+            schedule,
+            [member[4] for member in members],
+            drop_rate,
+            num_packets=num_packets,
+            num_slots=horizon,
+            keep_node_columns=True,
+        )
+        registry = active_registry()
+        slos = score_batch_sessions(
+            batch,
+            session_ids=[member[1] for member in members],
+            labels=[member[2] for member in members],
+            wait_slots=[member[5] for member in members],
+            statuses=[member[3] for member in members],
+        )
+        for label, count in Counter(member[2] for member in members).items():
+            registry.counter("fleet.sessions_replayed", label=label).inc(count)
+        startup_hist = registry.histogram("fleet.startup_delay")
+        rebuffer_hist = registry.histogram("fleet.rebuffer_ratio")
+        out: list[tuple[int, SessionSLO]] = []
+        for (task_index, *_), slo in zip(members, slos):
+            startup_hist.observe(slo.startup_delay)
+            rebuffer_hist.observe(slo.rebuffer_ratio)
+            out.append((task_index, slo))
+    return out
 
 
 class FleetTelemetry:
@@ -166,9 +245,10 @@ class FleetRunResult:
         decisions: per-session admission outcomes, in arrival order.
         sessions: the resolved scenario the run executed.
         executor_info: how the execution fanned out
-            (:attr:`SweepExecutor.last_run`; convergence-mode runs add the
-            ``batches`` executed and overwrite ``tasks`` with the sessions
-            actually run).
+            (:attr:`SweepExecutor.last_run` plus ``tasks`` = sessions
+            actually run, ``units`` = executor tasks after batch grouping,
+            and ``execution`` = the fleet's execution mode;
+            convergence-mode runs add the ``batches`` executed).
         shard_timings: per-shard wall-clock rows ``{"shard": task index,
             "elapsed_s": seconds}`` in completion order (shard ids are
             fleet-global even across convergence batches).
@@ -233,9 +313,10 @@ class FleetRunner:
     def _compile(self, spec: SessionSpec, degree: int, schedules: dict):
         """Compile one configuration through the shared cache.
 
-        Returns ``(token, schedule)`` and tallies the hit/miss — exactly one
-        cache lookup per admitted session, so the fleet hit-rate directly
-        measures compile amortization.
+        Returns ``(token, schedule)`` and tallies the hit/miss.  ``run``
+        memoizes this per configuration and tallies memo hits itself, so
+        the fleet hit-rate still counts one lookup per admitted session
+        and directly measures compile amortization.
         """
         provenance: dict = {}
         schedule = compile_schedule(
@@ -277,11 +358,29 @@ class FleetRunner:
         self.cache_misses = 0
         schedules: dict[str, object] = {}
         tokens: dict[int, str] = {}
+        compile_memo: dict[tuple, tuple[str, Any]] = {}
         with self._span("fleet.resolve"):
             sessions = fleet.resolve()
 
         def duration_of(session: ResolvedSession, degree: int) -> int:
-            token, schedule = self._compile(session.spec, degree, schedules)
+            # Memoize per configuration for the run: the shared cache makes
+            # repeat compiles cheap, but compile_schedule still rebuilds the
+            # protocol to derive the horizon before it can consult the
+            # cache — at fleet scale that dominates admission.  A memo hit
+            # is the same outcome as a shared-cache hit, so the fleet
+            # hit-rate (one lookup per admission) is unchanged.
+            spec = session.spec
+            key = (
+                spec.scheme, spec.num_nodes, degree, spec.num_packets,
+                spec.construction, spec.mode, spec.latency,
+            )
+            cached = compile_memo.get(key)
+            if cached is None:
+                cached = self._compile(spec, degree, schedules)
+                compile_memo[key] = cached
+            else:
+                self.cache_hits += 1
+            token, schedule = cached
             tokens[session.session_id] = token
             horizon = schedule.num_slots
             if session.leave_fraction is not None:
@@ -343,41 +442,89 @@ class FleetRunner:
             spans = telemetry.spans if telemetry is not None else None
             executor = SweepExecutor(self.policy, registry=registry, spans=spans)
             shard_timings: list[dict] = []
+            batch_first = fleet.execution == "batch"
+            workers = max(1, self.policy.resolved_workers())
 
-            def on_result_from(base: int):
-                def on_result(index: int, slo: SessionSLO) -> None:
-                    aggregator.add_session(slo)
-                    if telemetry is not None:
-                        telemetry.record_session(slo, task_arrivals[base + index])
-                    if detector is not None:
-                        detector.add(slo.startup_delay)
-                return on_result
+            def build_units(window, base: int):
+                """Group a task window into execution units.
+
+                Batch-first mode groups sessions sharing a ``(schedule
+                token, drop_rate, num_packets, horizon)`` coordinate into
+                kernel units (each group split into roughly one block per
+                worker so homogeneous fleets still fan out); ABR sessions
+                — and everything in ``execution="scalar"`` mode — become
+                scalar units.  Unit order is deterministic and independent
+                of the worker count-driven split (group first-seen order,
+                members in arrival order), so streaming aggregation folds
+                identically serial or parallel.
+                """
+                units: list = []
+                unit_members: list[list[int]] = []
+                scalars: list[tuple[int, tuple]] = []
+                groups: dict[tuple, list[tuple]] = {}
+                for offset, task in enumerate(window):
+                    task_index = base + offset
+                    if not batch_first or task[9] is not None:
+                        scalars.append((task_index, task))
+                        continue
+                    key = (task[3], task[5], task[6], task[8])
+                    member = (
+                        task_index, task[0], task[1], task[2], task[4], task[7],
+                    )
+                    groups.setdefault(key, []).append(member)
+                for key, members in groups.items():
+                    block = max(1, -(-len(members) // workers))
+                    for lo in range(0, len(members), block):
+                        chunk = tuple(members[lo:lo + block])
+                        units.append(("batch", *key, chunk))
+                        unit_members.append([m[0] for m in chunk])
+                for task_index, task in scalars:
+                    units.append(("scalar", task_index, task))
+                    unit_members.append([task_index])
+                return units, unit_members
+
+            def execute_window(window, base: int) -> int:
+                units, unit_members = build_units(window, base)
+
+                def on_result(index: int, pairs) -> None:
+                    aggregator.add_sessions([slo for _, slo in pairs])
+                    if telemetry is None and detector is None:
+                        return
+                    for task_index, slo in pairs:
+                        if telemetry is not None:
+                            telemetry.record_session(slo, task_arrivals[task_index])
+                        if detector is not None:
+                            detector.add(slo.startup_delay)
+
+                executor.map(
+                    fleet_unit_task, units, payload=schedules,
+                    on_result=on_result, collect=False,
+                )
+                # One timing row per session: a unit's wall clock is split
+                # evenly over its members, keyed by fleet-global task index.
+                for row in executor.last_shards:
+                    members = unit_members[int(row["shard"])]  # type: ignore[call-overload]
+                    share = float(row["elapsed_s"]) / len(members)  # type: ignore[arg-type]
+                    for task_index in members:
+                        shard_timings.append(
+                            {"shard": task_index, "elapsed_s": share}
+                        )
+                return len(units)
 
             conv_state: ConvergenceState | None = None
             with self._span("fleet.execute", tasks=len(tasks)):
                 if detector is None:
-                    executor.map(
-                        fleet_session_task, tasks, payload=schedules,
-                        on_result=on_result_from(0), collect=False,
-                    )
+                    units_run = execute_window(tasks, 0)
                     executed = len(tasks)
-                    shard_timings.extend(executor.last_shards)
                     executor_info = dict(executor.last_run)
                 else:
                     batch = fleet.convergence.check_every
                     executed = 0
                     batches = 0
+                    units_run = 0
                     while executed < len(tasks):
                         chunk = tasks[executed:executed + batch]
-                        executor.map(
-                            fleet_session_task, chunk, payload=schedules,
-                            on_result=on_result_from(executed), collect=False,
-                        )
-                        for row in executor.last_shards:
-                            shard_timings.append({
-                                "shard": int(row["shard"]) + executed,  # type: ignore[arg-type]
-                                "elapsed_s": row["elapsed_s"],
-                            })
+                        units_run += execute_window(chunk, executed)
                         executed += len(chunk)
                         batches += 1
                         conv_state = detector.state()
@@ -385,7 +532,10 @@ class FleetRunner:
                             break
                     executor_info = dict(executor.last_run)
                     executor_info["batches"] = batches
-                    executor_info["tasks"] = executed
+                executor_info["tasks"] = executed
+                executor_info["units"] = units_run
+                executor_info["execution"] = fleet.execution
+            shard_timings.sort(key=lambda row: row["shard"])
 
             # On early stop, the report covers exactly the arrival prefix
             # that was executed: admission decisions for session i depend

@@ -31,6 +31,8 @@ from collections import Counter
 from collections.abc import Mapping, Sequence
 from dataclasses import asdict, dataclass
 
+import numpy as np
+
 from repro.core.errors import ReproError
 from repro.core.metrics import summarize_lossy_playback
 from repro.obs.sketch import QuantileSketch
@@ -41,6 +43,8 @@ __all__ = [
     "FleetSLOReport",
     "FleetAggregator",
     "score_session",
+    "score_session_columns",
+    "score_batch_sessions",
     "aggregate_fleet",
 ]
 
@@ -180,6 +184,146 @@ def score_session(
         delay_counts=tuple(sorted(delay_counts.items())),
         buffer_counts=tuple(sorted(buffer_counts.items())),
     )
+
+
+def score_session_columns(
+    batch,
+    index: int,
+    *,
+    session_id: int,
+    label: str,
+    wait_slots: int = 0,
+    status: str = "admitted",
+) -> SessionSLO:
+    """Score one session of a batched kernel result into its SLO.
+
+    The column-space counterpart of :func:`score_session`: session ``index``
+    of a :class:`~repro.exec.batch.BatchMetrics` (run with
+    ``keep_node_columns=True``) produces exactly the SLO that
+    :func:`score_session` would compute from that session's replayed arrival
+    traces — the kernel's per-node delay/buffer columns are slot-identical
+    to :func:`~repro.core.metrics.summarize_lossy_playback`.
+    """
+    if batch.node_delays is None or batch.node_buffers is None:
+        raise ReproError(
+            "score_session_columns needs a batch run with keep_node_columns=True"
+        )
+    delay_counts: Counter[int] = Counter(int(v) for v in batch.node_delays[index])
+    buffer_counts: Counter[int] = Counter(int(v) for v in batch.node_buffers[index])
+    num_nodes = batch.num_nodes
+    num_packets = batch.num_packets
+    missing = int(batch.residual[index])
+    available = int(batch.available[index])
+    return SessionSLO(
+        session_id=session_id,
+        label=label,
+        status=status,
+        wait_slots=wait_slots,
+        startup_delay=max(delay_counts) + wait_slots,
+        rebuffer_ratio=missing / (num_nodes * num_packets),
+        delay_p50=pooled_percentile(delay_counts, 50),
+        delay_p95=pooled_percentile(delay_counts, 95),
+        delay_p99=pooled_percentile(delay_counts, 99),
+        buffer_p50=pooled_percentile(buffer_counts, 50),
+        buffer_p99=pooled_percentile(buffer_counts, 99),
+        goodput=available / (num_nodes * batch.num_slots),
+        num_nodes=num_nodes,
+        num_packets=num_packets,
+        delay_counts=tuple(sorted(delay_counts.items())),
+        buffer_counts=tuple(sorted(buffer_counts.items())),
+    )
+
+
+def _row_histograms(
+    matrix: np.ndarray,
+) -> list[tuple[tuple[int, int], ...]]:
+    """Per-row ``(value, count)`` tuples of a non-negative int matrix.
+
+    One ``bincount`` over row-offset values replaces a Python ``Counter``
+    per row — the per-session cost is proportional to the row's distinct
+    values, not its length.
+    """
+    num_rows = matrix.shape[0]
+    width = int(matrix.max()) + 1
+    offsets = np.arange(num_rows, dtype=np.int64)[:, None] * width
+    counts = np.bincount(
+        (matrix.astype(np.int64) + offsets).ravel(), minlength=num_rows * width
+    ).reshape(num_rows, width)
+    rows, values = np.nonzero(counts)
+    tallies = counts[rows, values]
+    splits = np.searchsorted(rows, np.arange(1, num_rows))
+    return [
+        tuple(zip(map(int, v), map(int, c)))
+        for v, c in zip(np.split(values, splits), np.split(tallies, splits))
+    ]
+
+
+def score_batch_sessions(
+    batch,
+    *,
+    session_ids: Sequence[int],
+    labels: Sequence[str],
+    wait_slots: Sequence[int] | None = None,
+    statuses: Sequence[str] | None = None,
+) -> list[SessionSLO]:
+    """Score every session of a batched kernel result in one column pass.
+
+    Produces exactly ``[score_session_columns(batch, i, ...) for i]`` — the
+    per-session histograms, nearest-rank percentiles, and aggregates are
+    computed from the batch's ``(B, num_nodes)`` delay/buffer columns with
+    whole-matrix NumPy reductions instead of one Python ``Counter`` pass
+    per session, which is what keeps fleet-scale SLO scoring off the
+    profile.
+    """
+    if batch.node_delays is None or batch.node_buffers is None:
+        raise ReproError(
+            "score_batch_sessions needs a batch run with keep_node_columns=True"
+        )
+    total = batch.num_sessions
+    if not len(session_ids) == len(labels) == total:
+        raise ReproError(
+            f"batch has {total} sessions but got {len(session_ids)} ids "
+            f"and {len(labels)} labels"
+        )
+    waits = tuple(wait_slots) if wait_slots is not None else (0,) * total
+    kinds = tuple(statuses) if statuses is not None else ("admitted",) * total
+    if len(waits) != total or len(kinds) != total:
+        raise ReproError("wait_slots/statuses must align with the batch")
+    num_nodes = batch.num_nodes
+    num_packets = batch.num_packets
+
+    delay_counts = _row_histograms(batch.node_delays)
+    buffer_counts = _row_histograms(batch.node_buffers)
+    sorted_delays = np.sort(batch.node_delays, axis=1)
+    sorted_buffers = np.sort(batch.node_buffers, axis=1)
+
+    def rank(q: float) -> int:
+        # pooled_percentile's nearest rank over a population of num_nodes.
+        return max(1, -(-int(q * num_nodes) // 100)) - 1
+
+    d50, d95, d99 = (sorted_delays[:, rank(q)] for q in (50, 95, 99))
+    b50, b99 = (sorted_buffers[:, rank(q)] for q in (50, 99))
+    return [
+        SessionSLO(
+            session_id=session_ids[i],
+            label=labels[i],
+            status=kinds[i],
+            wait_slots=waits[i],
+            startup_delay=int(sorted_delays[i, -1]) + waits[i],
+            rebuffer_ratio=int(batch.residual[i]) / (num_nodes * num_packets),
+            delay_p50=int(d50[i]),
+            delay_p95=int(d95[i]),
+            delay_p99=int(d99[i]),
+            buffer_p50=int(b50[i]),
+            buffer_p99=int(b99[i]),
+            goodput=int(batch.available[i]) / (num_nodes * batch.num_slots),
+            num_nodes=num_nodes,
+            num_packets=num_packets,
+            delay_counts=delay_counts[i],
+            buffer_counts=buffer_counts[i],
+        )
+        for i in range(total)
+    ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -361,6 +505,40 @@ class FleetAggregator:
         if self.keep_sessions:
             self._sessions.append(slo)
 
+    def add_sessions(self, slos: Sequence[SessionSLO]) -> None:
+        """Fold many SLOs at once — identical end state to one-at-a-time.
+
+        Pools the sessions' compact histograms into plain ``Counter``s
+        first and folds each distinct value into the quantile sketches
+        once, so a fleet-sized batch costs sketch updates proportional to
+        its distinct delay/buffer values rather than to sessions x nodes.
+        The scalar tallies accumulate in session order, so float sums
+        (``rebuffer_mean``) match the one-at-a-time fold bit for bit.
+        """
+        startup_pool: Counter[int] = Counter()
+        delay_pool: Counter[int] = Counter()
+        buffer_pool: Counter[int] = Counter()
+        for slo in slos:
+            startup_pool[slo.startup_delay] += 1
+            for value, count in slo.delay_counts:
+                delay_pool[value] += count
+            for value, count in slo.buffer_counts:
+                buffer_pool[value] += count
+            self._slos += 1
+            self._rebuffer_sum += slo.rebuffer_ratio
+            self._rebuffer_max = max(self._rebuffer_max, slo.rebuffer_ratio)
+            self._goodput_sum += slo.goodput
+            if slo.qoe is not None:
+                self._tiers[slo.qoe["tier"]] += 1
+            if self.keep_sessions:
+                self._sessions.append(slo)
+        for value, count in startup_pool.items():
+            self._startup.add(value, count)
+        for value, count in delay_pool.items():
+            self._delay.add(value, count)
+        for value, count in buffer_pool.items():
+            self._buffer.add(value, count)
+
     def startup_sketch(self) -> QuantileSketch:
         """The pooled per-session startup-delay sketch (read-only use)."""
         return self._startup
@@ -403,7 +581,9 @@ class FleetAggregator:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             cache_hit_rate=cache_hits / lookups if lookups else 0.0,
-            sessions=tuple(self._sessions),
+            # Batch-grouped execution folds sessions in schedule-group
+            # order; the report always lists them by session id.
+            sessions=tuple(sorted(self._sessions, key=lambda s: s.session_id)),
             qoe_tiers=tuple(sorted(self._tiers.items())),
         )
 

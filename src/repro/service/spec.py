@@ -238,6 +238,14 @@ class FleetSpec:
             :class:`~repro.obs.convergence.ConvergenceCriterion` — p99
             startup delay, 5% relative half-width at 95% confidence — when
             ``run_until_converged`` is set).
+        execution: ``batch`` (the default) groups admitted sessions that
+            share a ``(schedule, drop_rate, packets, horizon)`` coordinate
+            and scores each group in one vectorized kernel pass
+            (:func:`repro.exec.replay_batch`); ``scalar`` replays one
+            session per executor task — the v1 path, kept for comparison
+            benchmarks.  Results are identical either way (ABR sessions
+            always execute scalar — their QoE playback loop is
+            per-session).
     """
 
     sessions: tuple[SessionSpec, ...] = (SessionSpec(),)
@@ -256,6 +264,7 @@ class FleetSpec:
     sketch_error: float = 0.01
     run_until_converged: bool = False
     convergence: ConvergenceCriterion | None = None
+    execution: str = "batch"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "sessions", tuple(self.sessions))
@@ -292,6 +301,11 @@ class FleetSpec:
         if not 0 < self.sketch_error < 1:
             raise ReproError(
                 f"sketch_error must be in (0, 1), got {self.sketch_error}"
+            )
+        if self.execution not in ("batch", "scalar"):
+            raise ReproError(
+                f"execution must be 'batch' or 'scalar', got "
+                f"{self.execution!r}"
             )
         if self.run_until_converged and self.convergence is None:
             object.__setattr__(self, "convergence", ConvergenceCriterion())

@@ -38,7 +38,6 @@ from repro.trees.live import (
     churn_experiment,
     churn_hiccup_report,
     random_churn_schedule,
-    run_churn_experiment,
 )
 from repro.trees.forest import SOURCE_ID, MultiTreeForest
 from repro.trees.greedy import build_greedy_trees, child_slot_of, greedy_layouts, required_parity
@@ -76,7 +75,6 @@ __all__ = [
     "churn_experiment",
     "churn_hiccup_report",
     "random_churn_schedule",
-    "run_churn_experiment",
     "GroupPartition",
     "MultiTreeForest",
     "MultiTreeProtocol",

@@ -42,7 +42,6 @@ __all__ = [
     "churn_hiccup_report",
     "churn_experiment",
     "random_churn_schedule",
-    "run_churn_experiment",
 ]
 
 
@@ -360,17 +359,3 @@ def churn_experiment(
     )
     return protocol, report
 
-
-def run_churn_experiment(*args, **kwargs):
-    """Deprecated alias of :func:`churn_experiment`.
-
-    Prefer ``repro.run(ExperimentSpec(kind="churn", ...))`` (the unified
-    facade) or :func:`churn_experiment` directly.
-    """
-    from repro.experiments import deprecated_entry_point
-
-    deprecated_entry_point(
-        "run_churn_experiment",
-        'repro.run(ExperimentSpec(kind="churn", ...)) or churn_experiment',
-    )
-    return churn_experiment(*args, **kwargs)

@@ -16,7 +16,6 @@ from repro.workloads.parallel import (
     cascade_cell,
     default_workers,
     multi_tree_cell,
-    parallel_sweep,
 )
 from repro.workloads.faults import (
     bernoulli_drop,
@@ -50,7 +49,6 @@ __all__ = [
     "iter_configurations",
     "log_spaced_populations",
     "multi_tree_cell",
-    "parallel_sweep",
     "poisson_arrival_slots",
     "random_trace",
     "special_hypercube_populations",

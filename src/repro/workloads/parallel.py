@@ -1,13 +1,14 @@
-"""Process-parallel parameter sweeps (legacy surface).
+"""Module-scope sweep cell evaluators for process pools.
 
 Large sweeps (Figure 4 at fine granularity, Table 1 matrices) decompose
-perfectly across processes — each (N, d) cell is independent.  The actual
-runner now lives in :mod:`repro.exec.executor`
+perfectly across processes — each (N, d) cell is independent.  The runner
+lives in :mod:`repro.exec.executor`
 (:class:`~repro.exec.executor.SweepExecutor`), which adds per-worker payload
-shipping and graceful serial degradation; this module keeps the original
-:func:`parallel_sweep` signature as a deprecated wrapper over it, plus the
+shipping and graceful serial degradation; this module keeps the
 module-level cell evaluators the Figure 4 path uses (module scope so they
-pickle under ``spawn`` as well as ``fork``).
+pickle under ``spawn`` as well as ``fork``).  The v1 ``parallel_sweep``
+wrapper was removed in v2.0 — construct a ``SweepExecutor`` directly, or
+use ``repro.run(ExperimentSpec(kind="sweep", ...))`` for replay sweeps.
 
 Instrumentation crosses the process boundary as before: each task runs
 against a fresh :class:`~repro.obs.MetricsRegistry` installed as the
@@ -19,10 +20,10 @@ aggregate exactly as if the sweep had run in-process.
 
 from __future__ import annotations
 
-from repro.obs.registry import MetricsRegistry, active_registry
-from repro.exec.executor import ExecutorPolicy, SweepExecutor, default_workers
+from repro.exec.executor import default_workers
+from repro.obs.registry import active_registry
 
-__all__ = ["parallel_sweep", "multi_tree_cell", "cascade_cell", "default_workers"]
+__all__ = ["multi_tree_cell", "cascade_cell", "default_workers"]
 
 
 def multi_tree_cell(task: tuple[int, int]) -> tuple[int, int, int]:
@@ -47,29 +48,3 @@ def cascade_cell(task: tuple[int]) -> tuple[int, int, float]:
     registry.counter("sweep.cells", scheme="hypercube-cascade").inc()
     registry.histogram("sweep.delay", scheme="hypercube-cascade").observe(worst)
     return n, worst, expected_average_delay(n)
-
-
-def parallel_sweep(
-    worker,
-    tasks,
-    *,
-    max_workers: int | None = None,
-    chunksize: int = 8,
-    registry: MetricsRegistry | None = None,
-):
-    """Deprecated wrapper over :class:`~repro.exec.executor.SweepExecutor`.
-
-    Evaluates ``worker`` over ``tasks`` across processes, order-preserving,
-    with the original semantics (``max_workers=1`` or tiny grids run
-    in-process; worker registry snapshots merge into ``registry``).  Prefer
-    constructing a :class:`~repro.exec.executor.SweepExecutor` directly, or
-    ``repro.run(ExperimentSpec(kind="sweep", ...))`` for replay sweeps.
-    """
-    from repro.experiments import deprecated_entry_point
-
-    deprecated_entry_point(
-        "parallel_sweep",
-        'repro.exec.SweepExecutor.map or repro.run(ExperimentSpec(kind="sweep", ...))',
-    )
-    policy = ExecutorPolicy(max_workers=max_workers, chunksize=chunksize)
-    return SweepExecutor(policy, registry=registry).map(worker, tasks)

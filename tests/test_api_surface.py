@@ -46,15 +46,16 @@ class TestExports:
         assert len(names) == len(set(names)), f"duplicates in {module_name}.__all__"
 
     def test_version(self):
-        assert repro.__version__ == "1.5.0"
+        assert repro.__version__ == "2.0.0"
 
     def test_star_import_is_clean(self):
         namespace: dict = {}
         exec("from repro import *", namespace)  # noqa: S102 - deliberate
         assert "MultiTreeProtocol" in namespace
-        assert "simulate" in namespace
         assert "ExperimentSpec" in namespace
         assert "run" in namespace
+        assert "replay_batch" in namespace
+        assert "simulate" not in namespace  # v1 re-export removed in v2.0
 
 
 class TestErrorHierarchy:

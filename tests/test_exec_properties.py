@@ -13,6 +13,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.engine import simulate
+from repro.core.metrics import collect_repair_metrics
+from repro.exec.batch import replay_batch, spawn_seeds
 from repro.exec.compiler import COMPILABLE_SCHEMES, build_protocol, compile_protocol
 from repro.exec.replay import bernoulli_mask, replay_arrivals
 
@@ -67,3 +69,61 @@ class TestCompiledReplayEquivalence:
         for node, trace in lossy.items():
             for packet, slot in trace.items():
                 assert slot == clean[node][packet], (scheme, n, d, node, packet)
+
+
+BATCH_CONFIG = st.tuples(
+    st.sampled_from(COMPILABLE_SCHEMES),
+    st.integers(min_value=3, max_value=34),            # N
+    st.integers(min_value=2, max_value=4),             # d
+    st.sampled_from([0.0, 0.05, 0.2, 0.5]),            # drop_rate
+    st.integers(min_value=1, max_value=7),             # batch size
+)
+
+
+class TestBatchKernelEquivalence:
+    """The v2.0 invariant: one vectorized pass == B scalar replays == engine.
+
+    The batch kernel is the execution path for sweeps and the fleet, so
+    its identity with the scalar interpreter (and, via the scalar
+    interpreter, with the event engine) is load-bearing for every number
+    the repo reports.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(BATCH_CONFIG, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_batched_matches_scalar_replay_per_session(self, config, master):
+        scheme, n, d, rate, batch_size = config
+        compiled, _, num_slots = _compile_and_reference(scheme, n, d)
+        seeds = spawn_seeds(master, batch_size)
+        batch = replay_batch(compiled, seeds, rate, num_packets=6)
+        for i in range(batch_size):
+            mask = bernoulli_mask(compiled, rate, seeds[i])
+            arrivals = replay_arrivals(compiled, drop_mask=mask)
+            scalar = collect_repair_metrics(
+                arrivals, num_packets=6, num_slots=num_slots
+            )
+            assert batch.metrics(i) == scalar, (scheme, n, d, rate, i)
+
+    @settings(max_examples=20, deadline=None)
+    @given(CONFIG)
+    def test_lossfree_batch_matches_engine_metrics(self, config):
+        scheme, n, d = config
+        compiled, reference, num_slots = _compile_and_reference(scheme, n, d)
+        batch = replay_batch(compiled, (0,), 0.0, num_packets=6)
+        engine = collect_repair_metrics(
+            reference.all_arrivals(), num_packets=6, num_slots=num_slots
+        )
+        assert batch.metrics(0) == engine, (scheme, n, d)
+
+    @settings(max_examples=15, deadline=None)
+    @given(BATCH_CONFIG, st.integers(min_value=0, max_value=2**31 - 1))
+    def test_batch_order_is_irrelevant(self, config, master):
+        # Session i's score is a function of (seed_i, rate) alone — not of
+        # its position in the batch or of who shares the batch with it.
+        scheme, n, d, rate, batch_size = config
+        compiled, _, _ = _compile_and_reference(scheme, n, d)
+        seeds = spawn_seeds(master, batch_size)
+        forward = replay_batch(compiled, seeds, rate, num_packets=6)
+        reversed_ = replay_batch(compiled, seeds[::-1], rate, num_packets=6)
+        for i in range(batch_size):
+            assert forward.metrics(i) == reversed_.metrics(batch_size - 1 - i)

@@ -182,31 +182,31 @@ class TestAbrKind:
         assert result.artifacts["report"] is result.metrics
 
 
-class TestDeprecatedEntryPoints:
-    def test_top_level_simulate_warns(self):
-        protocol = repro.MultiTreeProtocol(7, 2)
-        with pytest.warns(DeprecationWarning, match="repro.simulate"):
-            trace = repro.simulate(protocol, 10)
-        assert trace.all_arrivals()
+class TestRemovedEntryPoints:
+    """The PR-3 deprecation wrappers are gone in v2.0 — importing them is a
+    hard error (the CI ``deprecation-clean`` job enforces exactly this)."""
 
-    def test_run_repair_experiment_warns(self):
-        with pytest.warns(DeprecationWarning, match="run_repair_experiment"):
-            repro.run_repair_experiment(
-                "multi-tree", 7, 2, num_packets=6, mode="none", loss_rate=0.0
-            )
+    def test_top_level_simulate_removed(self):
+        assert not hasattr(repro, "simulate")
+        assert "simulate" not in repro.__all__
 
-    def test_run_churn_experiment_warns(self):
-        from repro.trees.live import run_churn_experiment
+    def test_run_repair_experiment_removed(self):
+        assert not hasattr(repro, "run_repair_experiment")
+        with pytest.raises(ImportError):
+            from repro.repair import run_repair_experiment  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="run_churn_experiment"):
-            run_churn_experiment(7, 2, [], num_packets=6)
+    def test_run_churn_experiment_removed(self):
+        with pytest.raises(ImportError):
+            from repro.trees.live import run_churn_experiment  # noqa: F401
 
-    def test_parallel_sweep_warns(self):
-        from repro.workloads.parallel import multi_tree_cell, parallel_sweep
+    def test_parallel_sweep_removed(self):
+        with pytest.raises(ImportError):
+            from repro.workloads import parallel_sweep  # noqa: F401
 
-        with pytest.warns(DeprecationWarning, match="parallel_sweep"):
-            rows = parallel_sweep(multi_tree_cell, [(20, 2)], max_workers=1)
-        assert rows[0][:2] == (20, 2)
+    def test_replacements_are_exported(self):
+        from repro.repair import repair_experiment  # noqa: F401
+        from repro.trees.live import churn_experiment  # noqa: F401
+        from repro.exec import SweepExecutor, replay_batch  # noqa: F401
 
     def test_engine_simulate_does_not_warn(self):
         import warnings

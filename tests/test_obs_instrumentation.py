@@ -28,7 +28,7 @@ from repro.obs.events import (
     replay_arrivals,
 )
 from repro.repair.retransmit import RetransmissionCoordinator
-from repro.repair.session import default_grace, make_lossy_protocol, run_repair_experiment
+from repro.repair.session import default_grace, make_lossy_protocol, repair_experiment
 from repro.repair.slack import SlackPolicy, SlackProvisioner
 from repro.trees import MultiTreeProtocol
 from repro.workloads.faults import bernoulli_drop
@@ -145,7 +145,7 @@ class TestLossAndRepairEvents:
     def test_retransmit_experiment_emits_repair_events(self, tmp_path):
         path = tmp_path / "repair.jsonl"
         instr = Instrumentation.collecting(events_path=path, profile=False)
-        result = run_repair_experiment(
+        result = repair_experiment(
             "multi-tree", 15, 3, num_packets=20, mode="retransmit",
             epsilon=0.1, loss_rate=0.02, seed=3, instrumentation=instr,
         )
@@ -157,7 +157,7 @@ class TestLossAndRepairEvents:
 
     def test_parity_experiment_emits_recovery_events(self):
         instr = Instrumentation.collecting(profile=False)
-        result = run_repair_experiment(
+        result = repair_experiment(
             "multi-tree", 15, 3, num_packets=16, mode="parity",
             group=4, loss_rate=0.03, seed=1, instrumentation=instr,
         )
@@ -167,7 +167,7 @@ class TestLossAndRepairEvents:
 
 class TestChurnEvents:
     def test_churn_run_emits_events(self):
-        from repro.trees.live import ScheduledChurn, run_churn_experiment
+        from repro.trees.live import ScheduledChurn, churn_experiment
         from repro.workloads.churn import ChurnEvent
 
         churn = [
@@ -175,7 +175,7 @@ class TestChurnEvents:
             ScheduledChurn(9, ChurnEvent("delete"), victim=5),
         ]
         instr = Instrumentation.collecting(profile=False)
-        protocol, report = run_churn_experiment(
+        protocol, report = churn_experiment(
             18, 3, churn, num_packets=24, instrumentation=instr
         )
         assert instr.tracer.counts[CHURN_APPLIED] == len(protocol.reports)

@@ -1,17 +1,23 @@
-"""Tests for the process-parallel sweep runner."""
+"""Tests for the sweep cell evaluators and their process-pool execution.
+
+The v1 ``parallel_sweep`` wrapper was removed in v2.0; the cells now run
+through :class:`repro.exec.executor.SweepExecutor` directly with the same
+semantics (order-preserving, registry snapshot merging, serial fallback).
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.core.errors import ReproError
+from repro.exec.executor import ExecutorPolicy, SweepExecutor
 from repro.obs import MetricsRegistry
-from repro.workloads.parallel import (
-    cascade_cell,
-    default_workers,
-    multi_tree_cell,
-    parallel_sweep,
-)
+from repro.workloads.parallel import cascade_cell, default_workers, multi_tree_cell
+
+
+def sweep(worker, tasks, *, max_workers=None, chunksize=8, registry=None):
+    policy = ExecutorPolicy(max_workers=max_workers, chunksize=chunksize)
+    return SweepExecutor(policy, registry=registry).map(worker, tasks)
 
 
 class TestCells:
@@ -28,27 +34,29 @@ class TestCells:
         assert n == 50
         assert avg <= worst
 
+    def test_parallel_sweep_wrapper_removed(self):
+        with pytest.raises(ImportError):
+            from repro.workloads.parallel import parallel_sweep  # noqa: F401
+
 
 class TestRunner:
     def test_empty_tasks(self):
-        assert parallel_sweep(multi_tree_cell, []) == []
+        assert sweep(multi_tree_cell, []) == []
 
     def test_serial_path(self):
-        results = parallel_sweep(
-            multi_tree_cell, [(20, 2), (20, 3)], max_workers=1
-        )
+        results = sweep(multi_tree_cell, [(20, 2), (20, 3)], max_workers=1)
         assert [r[:2] for r in results] == [(20, 2), (20, 3)]
 
     def test_parallel_matches_serial(self):
         tasks = [(n, d) for n in (20, 50, 90, 130) for d in (2, 3)]
-        serial = parallel_sweep(multi_tree_cell, tasks, max_workers=1)
-        parallel = parallel_sweep(multi_tree_cell, tasks, max_workers=2, chunksize=2)
+        serial = sweep(multi_tree_cell, tasks, max_workers=1)
+        parallel = sweep(multi_tree_cell, tasks, max_workers=2, chunksize=2)
         assert serial == parallel  # order-preserving and identical
 
     def test_registry_merges_worker_snapshots(self):
         tasks = [(20, 2), (20, 3), (50, 2), (50, 3)]
         registry = MetricsRegistry()
-        results = parallel_sweep(
+        results = sweep(
             multi_tree_cell, tasks, max_workers=2, chunksize=1, registry=registry
         )
         assert len(results) == len(tasks)
@@ -64,20 +72,20 @@ class TestRunner:
     def test_registry_merge_matches_serial(self):
         tasks = [(20, 2), (30, 2), (40, 2), (50, 2)]
         serial, parallel = MetricsRegistry(), MetricsRegistry()
-        a = parallel_sweep(multi_tree_cell, tasks, max_workers=1, registry=serial)
-        b = parallel_sweep(
+        a = sweep(multi_tree_cell, tasks, max_workers=1, registry=serial)
+        b = sweep(
             multi_tree_cell, tasks, max_workers=2, chunksize=1, registry=parallel
         )
         assert a == b
         assert serial.snapshot() == parallel.snapshot()
 
     def test_no_registry_means_raw_results(self):
-        results = parallel_sweep(multi_tree_cell, [(20, 2)], max_workers=1)
+        results = sweep(multi_tree_cell, [(20, 2)], max_workers=1)
         assert results == [(20, 2, results[0][2])]
 
     def test_invalid_workers(self):
         with pytest.raises(ReproError):
-            parallel_sweep(multi_tree_cell, [(5, 2), (6, 2), (7, 2)], max_workers=0)
+            sweep(multi_tree_cell, [(5, 2), (6, 2), (7, 2)], max_workers=0)
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.errors import ReproError
 from repro.repair.parity import ParityScheme
-from repro.repair.session import run_repair_experiment
+from repro.repair.session import repair_experiment
 
 
 class TestPositionMapping:
@@ -113,7 +113,7 @@ class TestDecode:
 class TestEndToEnd:
     @pytest.mark.parametrize("scheme", ["multi-tree", "hypercube"])
     def test_parity_repairs_sparse_loss(self, scheme):
-        point = run_repair_experiment(
+        point = repair_experiment(
             scheme, 15, 3, num_packets=40, mode="parity", group=4,
             loss_rate=0.01, seed=0,
         )
@@ -122,7 +122,7 @@ class TestEndToEnd:
         assert point.slack == pytest.approx(0.2)
 
     def test_parity_leaves_residual_under_heavy_loss(self):
-        point = run_repair_experiment(
+        point = repair_experiment(
             "multi-tree", 15, 3, num_packets=40, mode="parity", group=4,
             loss_rate=0.2, seed=1,
         )

@@ -14,7 +14,7 @@ from repro.core.engine import simulate
 from repro.core.errors import ReproError
 from repro.core.packet import Transmission
 from repro.repair.retransmit import RetransmissionCoordinator, make_repairable
-from repro.repair.session import default_grace, make_lossy_protocol, run_repair_experiment
+from repro.repair.session import default_grace, make_lossy_protocol, repair_experiment
 from repro.repair.slack import SlackPolicy
 from repro.trees.live import ChurningMultiTreeProtocol
 from repro.workloads.faults import bernoulli_drop, link_blackout, slot_blackout
@@ -25,11 +25,11 @@ class TestAcceptance:
 
     @pytest.mark.parametrize("scheme", ["multi-tree", "hypercube"])
     def test_slack_retransmission_reaches_zero_residual(self, scheme):
-        repaired = run_repair_experiment(
+        repaired = repair_experiment(
             scheme, 15, 3, num_packets=40, mode="retransmit", epsilon=0.05,
             loss_rate=0.01, seed=0,
         )
-        unrepaired = run_repair_experiment(
+        unrepaired = repair_experiment(
             scheme, 15, 3, num_packets=40, mode="none", loss_rate=0.01, seed=0,
         )
         # The unrepaired baseline reproduces the permanent-loss finding...
@@ -41,7 +41,7 @@ class TestAcceptance:
         assert 0 < repaired.metrics.recovery_latency_max < repaired.num_slots
 
     def test_repair_has_measured_delay_cost(self):
-        point = run_repair_experiment(
+        point = repair_experiment(
             "multi-tree", 15, 3, num_packets=40, mode="retransmit",
             epsilon=0.05, loss_rate=0.01, seed=0,
         )
@@ -174,10 +174,10 @@ class TestSession:
 
     def test_unknown_mode_rejected(self):
         with pytest.raises(ReproError):
-            run_repair_experiment("multi-tree", 7, mode="wishful")
+            repair_experiment("multi-tree", 7, mode="wishful")
 
     def test_zero_loss_rate_means_no_repairs(self):
-        point = run_repair_experiment(
+        point = repair_experiment(
             "multi-tree", 7, 3, num_packets=12, mode="retransmit",
             epsilon=0.2, loss_rate=0.0,
         )

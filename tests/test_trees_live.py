@@ -10,7 +10,7 @@ from repro.core.errors import ConstructionError
 from repro.trees.live import (
     ChurningMultiTreeProtocol,
     ScheduledChurn,
-    run_churn_experiment,
+    churn_experiment,
 )
 from repro.workloads.churn import ChurnEvent
 
@@ -35,14 +35,14 @@ class TestScheduledChurn:
 
 class TestNoChurnBaseline:
     def test_zero_hiccups_without_churn(self):
-        _, report = run_churn_experiment(15, 3, [], num_packets=20)
+        _, report = churn_experiment(15, 3, [], num_packets=20)
         assert report.total_hiccups == 0
         assert report.relocated_nodes == frozenset()
         assert all(h.start_slot >= 0 for h in report.per_node.values())
 
     def test_matches_static_protocol_delays(self):
         # Without churn the dynamic schedule is the static round-robin.
-        protocol, report = run_churn_experiment(12, 2, [], num_packets=16)
+        protocol, report = churn_experiment(12, 2, [], num_packets=16)
         from repro.trees.analysis import all_playback_delays
         from repro.trees.forest import MultiTreeForest
 
@@ -55,7 +55,7 @@ class TestNoChurnBaseline:
 class TestChurnHiccups:
     def test_interior_deletion_causes_bounded_hiccups(self):
         churn = [delete(10, 1)]  # node 1 is interior in T_0
-        protocol, report = run_churn_experiment(15, 3, churn, num_packets=25)
+        protocol, report = churn_experiment(15, 3, churn, num_packets=25)
         assert 1 not in protocol.forest.real_ids
         # Some disruption is expected, but it must be a transient: bounded
         # well below the horizon and confined to the repair's neighborhood.
@@ -65,12 +65,12 @@ class TestChurnHiccups:
 
     def test_leaf_deletion_is_nearly_free(self):
         churn = [delete(10, 15)]  # all-leaf node
-        _, report = run_churn_experiment(15, 3, churn, num_packets=25)
+        _, report = churn_experiment(15, 3, churn, num_packets=25)
         assert report.total_hiccups <= 2
 
     def test_join_mid_stream_starts_cleanly(self):
         churn = [add(12)]
-        protocol, report = run_churn_experiment(15, 3, churn, num_packets=30)
+        protocol, report = churn_experiment(15, 3, churn, num_packets=30)
         joiner = max(protocol.forest.real_ids)
         outcome = report.per_node[joiner]
         assert protocol.join_slots[joiner] == 12
@@ -79,7 +79,7 @@ class TestChurnHiccups:
 
     def test_survivors_playback_resumes_after_transient(self):
         churn = [delete(9, 1), add(15), delete(21, 2)]
-        protocol, report = run_churn_experiment(21, 3, churn, num_packets=40)
+        protocol, report = churn_experiment(21, 3, churn, num_packets=40)
         protocol.forest.verify()
         # Late packets (after the transient) arrive everywhere: total misses
         # stay far below nodes * horizon.
@@ -88,7 +88,7 @@ class TestChurnHiccups:
     def test_lazy_and_eager_both_stream(self):
         churn = [delete(9, 13), add(14), delete(18, 1)]
         for lazy in (False, True):
-            protocol, report = run_churn_experiment(
+            protocol, report = churn_experiment(
                 13, 3, churn, num_packets=30, lazy=lazy
             )
             protocol.forest.verify()
@@ -96,7 +96,7 @@ class TestChurnHiccups:
 
     def test_hiccups_confined_to_relocated_subtrees(self):
         churn = [delete(12, 1)]
-        protocol, report = run_churn_experiment(15, 3, churn, num_packets=30)
+        protocol, report = churn_experiment(15, 3, churn, num_packets=30)
         # A relocated interior node misses packets, and so does everything
         # downstream of it: every hiccup must lie in the subtree (transitive
         # descendants, any tree) of some relocated node.
@@ -115,7 +115,7 @@ class TestChurnHiccups:
 
     def test_victim_already_gone_is_skipped(self):
         churn = [delete(8, 15), delete(12, 15)]
-        protocol, _ = run_churn_experiment(15, 3, churn, num_packets=20)
+        protocol, _ = churn_experiment(15, 3, churn, num_packets=20)
         assert len(protocol.reports) == 1
 
     @given(st.integers(0, 2**16))
@@ -138,6 +138,6 @@ class TestChurnHiccups:
                 churn.append(add(slot))
                 live.add(next_id)
                 next_id += 1
-        protocol, report = run_churn_experiment(n, d, churn, num_packets=24)
+        protocol, report = churn_experiment(n, d, churn, num_packets=24)
         protocol.forest.verify()
         assert report.total_hiccups <= 24 * len(report.per_node)
