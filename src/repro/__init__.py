@@ -38,6 +38,12 @@ The package implements, from scratch, everything the paper describes:
   (:class:`FleetRunner`), fleet SLO reports (:class:`FleetSLOReport` —
   exact or sketch-aggregated, optionally run-until-converged), and the
   :class:`FleetTelemetry` time-series/span bundle (``docs/TELEMETRY.md``);
+* :mod:`repro.control` — the feedback control plane: attach a
+  :class:`ControlPolicy` to a :class:`FleetSpec` and per-epoch controllers
+  move the admission ladder, queue bound, and per-kind tree degree from the
+  observed p99 startup delay, repairing trees under churn and re-caching
+  only the affected schedule tokens (``repro control``,
+  ``docs/CONTROL.md``);
 * :mod:`repro.abr` — the adaptive-bitrate scenario subsystem: time-varying
   link-capacity traces (and the engine's ``capacity_hook`` attachment), a
   bitrate ladder with a buffer-aware bandwidth estimator, per-session QoE
@@ -106,6 +112,7 @@ from repro.check import (
     smoke_grid,
 )
 from repro.cluster import ClusteredStreamingProtocol, analyze_clustered, build_supertree
+from repro.control import ControlDecision, ControlPolicy
 from repro.core import (
     PlaybackBuffer,
     SchemeMetrics,
@@ -167,7 +174,7 @@ from repro.service import (
 from repro.theory import optimal_degree, table1
 from repro.trees import DynamicForest, MultiTreeForest, MultiTreeProtocol, analyze
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "AbrSessionSpec",
@@ -181,6 +188,8 @@ __all__ = [
     "CheckReport",
     "ClusteredStreamingProtocol",
     "CompiledSchedule",
+    "ControlDecision",
+    "ControlPolicy",
     "ConvergenceCriterion",
     "ConvergenceDetector",
     "DynamicForest",

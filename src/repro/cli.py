@@ -347,6 +347,39 @@ def build_parser() -> argparse.ArgumentParser:
         "without executing anything",
     )
 
+    control = sub.add_parser(
+        "control",
+        help="race static admission policies against the feedback control "
+        "plane on the load-ramp scenario (see docs/CONTROL.md)",
+    )
+    control.add_argument(
+        "--policy", choices=["all", "queue", "reject", "degrade", "adaptive"],
+        default="all",
+        help="run one policy, or 'all' for the full comparison table",
+    )
+    control.add_argument(
+        "--scale", type=float, default=1.0, metavar="FACTOR",
+        help="session-count multiplier on the 240-session ramp",
+    )
+    control.add_argument(
+        "--slo", type=int, default=None, metavar="SLOTS",
+        help="p99 startup-delay SLO in slots (default: the scenario's 18)",
+    )
+    control.add_argument("--seed", type=int, default=0)
+    control.add_argument(
+        "--decisions", action="store_true",
+        help="print the control plane's per-epoch decision log",
+    )
+    control.add_argument(
+        "--ledger", metavar="PATH", default=None,
+        help="append the adaptive run's decision log as a control record "
+        "(default: $REPRO_LEDGER when set)",
+    )
+    control.add_argument(
+        "--json", metavar="PATH",
+        help="write the comparison rows and decision log here",
+    )
+
     abr = sub.add_parser(
         "abr",
         help="delay/buffer tradeoff sweep under time-varying capacity, "
@@ -838,6 +871,72 @@ def _cmd_fleet(args) -> int:
     return 0
 
 
+def _cmd_control(args) -> int:
+    import json as _json
+
+    from repro.control import control_record
+    from repro.control.scenario import (
+        RAMP_SLO,
+        REJECT_PENALTY_FACTOR,
+        compare_policies,
+        run_ramp,
+    )
+    from repro.reporting.ledger import RunLedger, default_ledger
+
+    slo = args.slo if args.slo is not None else RAMP_SLO
+    try:
+        if args.policy == "all":
+            outcomes = compare_policies(
+                scale=args.scale, seed=args.seed, slo=slo
+            )
+        else:
+            outcomes = {
+                args.policy: run_ramp(
+                    args.policy, scale=args.scale, seed=args.seed, slo=slo
+                )
+            }
+    except ReproError as exc:
+        raise SystemExit(str(exc)) from exc
+    rows = [outcome.row() for outcome in outcomes.values()]
+    num_offered = len(next(iter(outcomes.values())).result.decisions)
+    print(format_rows(
+        rows,
+        title=f"load ramp, {num_offered} offered sessions, p99 SLO {slo} "
+        f"slots (rejects charged at {REJECT_PENALTY_FACTOR * slo}):",
+    ))
+    adaptive = outcomes.get("adaptive")
+    if adaptive is not None:
+        if args.decisions and adaptive.decisions:
+            print()
+            print(format_rows(
+                [d.row() for d in adaptive.decisions],
+                title="control plane decisions:",
+            ))
+        ledger = RunLedger(args.ledger) if args.ledger else default_ledger()
+        if ledger is not None:
+            ledger.append(control_record(
+                adaptive.decisions,
+                epochs=adaptive.result.control_epochs,
+                policy={"slo_p99_delay": slo, "scale": args.scale,
+                        "seed": args.seed},
+            ))
+            print(f"decision log -> {ledger.path}")
+    if args.json:
+        payload = {
+            "slo": slo,
+            "scale": args.scale,
+            "seed": args.seed,
+            "policies": rows,
+            "decisions": [
+                d.to_dict() for d in (adaptive.decisions if adaptive else ())
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(payload, fh, indent=1)
+        print(f"control report -> {args.json}")
+    return 0
+
+
 def _ledger_path(args) -> str:
     """``--ledger`` flag, else ``$REPRO_LEDGER``, else the results default."""
     import os
@@ -1059,6 +1158,7 @@ _COMMANDS = {
     "repair": _cmd_repair,
     "stats": _cmd_stats,
     "fleet": _cmd_fleet,
+    "control": _cmd_control,
     "abr": _cmd_abr,
     "check": _cmd_check,
     "lint": _cmd_lint,

@@ -280,6 +280,29 @@ class ScheduleCache:
             provenance["cache_token"] = key.token()
         return schedule
 
+    def invalidate(self, key: ScheduleKey) -> bool:
+        """Drop one entry from every layer; True if anything was evicted.
+
+        The control plane's re-cache path: after a churn repair rewrites a
+        session kind's forest, the kind's schedule token is invalidated and
+        the next :meth:`get_or_compile` recompiles and re-caches it —
+        exactly one token's work, the rest of the cache stays warm.  Counted
+        as ``schedule_cache.invalidate`` on the active registry.
+        """
+        token = key.token()
+        dropped = self._memory.pop(token, None) is not None
+        if self._disk_dir is not None:
+            path = self._path_for(token)
+            if path.exists():
+                try:
+                    path.unlink()
+                    dropped = True
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        if dropped:
+            active_registry().counter("schedule_cache.invalidate").inc()
+        return dropped
+
     def _remember(self, token: str, schedule: Any) -> None:
         self._memory[token] = schedule
         self._memory.move_to_end(token)

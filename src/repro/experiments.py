@@ -430,6 +430,18 @@ def _run_fleet(spec: ExperimentSpec, instr) -> tuple:
     if result.convergence is not None:
         artifacts["convergence"] = result.convergence
         provenance["convergence"] = result.convergence.row()
+    if result.control_decisions:
+        # Controlled runs surface the decision log and the per-epoch
+        # observation rows next to shard_timings, so ledger consumers can
+        # replay the control plane's moves without re-running the fleet.
+        artifacts["control_decisions"] = tuple(
+            decision.to_dict() for decision in result.control_decisions
+        )
+    if result.control_epochs:
+        artifacts["epochs"] = result.control_epochs
+    artifacts["rejected_sessions"] = tuple(
+        d.session_id for d in result.decisions if d.status == "rejected"
+    )
     return rows, report, None, artifacts, provenance
 
 

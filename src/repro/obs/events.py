@@ -42,6 +42,7 @@ __all__ = [
     "SESSION_QUEUED",
     "SESSION_REJECTED",
     "SESSION_DEGRADED",
+    "CONTROL_DECISION",
     "EVENT_SCHEMA",
     "Event",
     "EventSink",
@@ -71,6 +72,7 @@ SESSION_ADMITTED = "session_admitted"
 SESSION_QUEUED = "session_queued"
 SESSION_REJECTED = "session_rejected"
 SESSION_DEGRADED = "session_degraded"
+CONTROL_DECISION = "control_decision"
 
 #: Event name -> (emitter, field names).  The authoritative schema; documented
 #: as a table in ``docs/OBSERVABILITY.md``.
@@ -92,6 +94,7 @@ EVENT_SCHEMA: dict[str, tuple[str, tuple[str, ...]]] = {
     SESSION_QUEUED: ("service", ("session",)),
     SESSION_REJECTED: ("service", ("session", "reason")),
     SESSION_DEGRADED: ("service", ("session", "degree")),
+    CONTROL_DECISION: ("control", ("controller", "action", "epoch")),
 }
 
 

@@ -147,6 +147,8 @@ def _spec_summary(spec: Any) -> dict[str, Any]:
         summary["aggregation"] = fleet.aggregation
         if fleet.run_until_converged:
             summary["run_until_converged"] = True
+        if fleet.controller is not None:
+            summary["controlled"] = True
     return summary
 
 

@@ -16,10 +16,20 @@ handled by the fleet's policy:
   shows small degrees also have the *better* delay, so a degrade is a
   cheap admission, not a quality cliff).
 
-Every decision increments ``fleet.sessions.{admitted,rejected,queued,
-degraded}`` on the active metrics registry, emits a ``session_*`` trace event
-when a tracer is attached, and is returned as an immutable
-:class:`AdmissionDecision` for the SLO report.
+Sessions can be fed all at once (:meth:`SessionManager.admit_all`) or in
+arrival-ordered chunks (:meth:`start` / :meth:`admit_chunk` /
+:meth:`finalize`) — the chunked form is the control plane's epoch loop,
+which may move ``policy`` and ``max_queue_slots`` between chunks.
+
+Each session lands on exactly one **terminal** status, counted once in
+``fleet.sessions{status=admitted|degraded|rejected}`` on the active metrics
+registry (a queued-then-rejected session is one ``rejected``, not a
+``queued`` plus a ``rejected``).  Queue transit is observable separately:
+``fleet.queue.entered`` counts every session that waited and the
+``fleet.queue.depth`` gauge tracks the instantaneous queue length.  Every
+decision also emits a ``session_*`` trace event when a tracer is attached
+and is returned as an immutable :class:`AdmissionDecision` for the SLO
+report.
 """
 
 from __future__ import annotations
@@ -107,8 +117,11 @@ class SessionManager:
 
     Args:
         capacity: the shared budgets.
-        policy: ``reject`` / ``queue`` / ``degrade``.
-        max_queue_slots: queue-policy wait bound.
+        policy: ``reject`` / ``queue`` / ``degrade``.  Mutable between
+            chunks — the control plane's SLO controller moves it along the
+            escalation ladder mid-run.
+        max_queue_slots: queue-policy wait bound (also mutable between
+            chunks).
         min_degree: degrade-policy floor.
         tracer: optional :class:`~repro.obs.EventTracer` for ``session_*``
             events (admission decisions are slot-stamped).
@@ -133,22 +146,229 @@ class SessionManager:
         #: Peak concurrent usage observed during the last :meth:`admit_all`.
         self.peak_fanout = 0.0
         self.peak_backbone = 0.0
+        self._active: _Active | None = None
+        self._queue: deque[ResolvedSession] = deque()
+        self._last_slot = 0
 
     # ------------------------------------------------------------------ hooks
     def _count(self, status: str) -> None:
+        """Count one session's single terminal status.
+
+        ``queued`` is a *transit* state, never terminal — a parked session
+        still ends as exactly one of admitted/degraded/rejected, so the
+        ``fleet.sessions`` totals always sum to the offered load.
+        """
         active_registry().counter("fleet.sessions", status=status).inc()
+
+    def _park(self, session: ResolvedSession, slot: int) -> None:
+        self._queue.append(session)
+        registry = active_registry()
+        registry.counter("fleet.queue.entered").inc()
+        registry.gauge("fleet.queue.depth").add(1)
+        self._emit(SESSION_QUEUED, slot, session=session.session_id)
+
+    def _unpark(self) -> None:
+        self._queue.popleft()
+        active_registry().gauge("fleet.queue.depth").add(-1)
 
     def _emit(self, name: str, slot: int, **fields) -> None:
         if self.tracer is not None:
             self.tracer.emit(name, slot, **fields)
 
+    # -------------------------------------------------------------- internals
+    def _try_admit(
+        self,
+        session: ResolvedSession,
+        slot: int,
+        duration_of: Callable[[ResolvedSession, int], int],
+    ) -> AdmissionDecision | None:
+        """Admit at ``slot`` if it fits (degrading if the policy allows)."""
+        active = self._active
+        if active is None:
+            raise ReproError("admission pass not started; call start() first")
+        spec = session.spec
+        degrees = [spec.degree]
+        if self.policy == "degrade":
+            degrees += list(range(spec.degree - 1, self.min_degree - 1, -1))
+        for degree in degrees:
+            fanout = spec.fanout_cost(degree)
+            backbone = spec.backbone_cost()
+            if not self.capacity.fits(active.fanout, active.backbone, fanout, backbone):
+                continue
+            duration = duration_of(session, degree)
+            active.admit(slot + duration, fanout, backbone)
+            degraded = degree != spec.degree
+            status = "degraded" if degraded else "admitted"
+            self._count(status)
+            wait = slot - session.arrival_slot
+            if degraded:
+                self._emit(
+                    SESSION_DEGRADED, slot,
+                    session=session.session_id, degree=degree,
+                )
+            self._emit(
+                SESSION_ADMITTED, slot,
+                session=session.session_id, wait=wait,
+            )
+            return AdmissionDecision(
+                session_id=session.session_id,
+                status=status,
+                arrival_slot=session.arrival_slot,
+                start_slot=slot,
+                wait_slots=wait,
+                degree=degree,
+                duration=duration,
+            )
+        return None
+
+    def _reject(
+        self, session: ResolvedSession, slot: int, reason: str
+    ) -> AdmissionDecision:
+        self._count("rejected")
+        self._emit(
+            SESSION_REJECTED, slot,
+            session=session.session_id, reason=reason,
+        )
+        return AdmissionDecision(
+            session_id=session.session_id,
+            status="rejected",
+            arrival_slot=session.arrival_slot,
+            start_slot=session.arrival_slot,
+            wait_slots=0,
+            degree=session.spec.degree,
+            duration=0,
+            reason=reason,
+        )
+
+    def _drain_queue(
+        self,
+        now: int,
+        duration_of: Callable[[ResolvedSession, int], int],
+        out: list[AdmissionDecision],
+    ) -> None:
+        """Admit queued sessions (FIFO) as departures free capacity.
+
+        Advances a virtual clock through departures up to ``now``; a
+        queued head whose wait would exceed the bound is rejected, and a
+        head that still does not fit blocks the queue (FIFO fairness —
+        no overtaking).
+        """
+        active = self._active
+        if active is None:
+            raise ReproError("admission pass not started; call start() first")
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            slot = max(head.arrival_slot, active.next_departure() or head.arrival_slot)
+            # Find the earliest departure slot <= now at which head fits.
+            admitted = None
+            while True:
+                active.release_until(slot)
+                if slot - head.arrival_slot > self.max_queue_slots:
+                    break
+                admitted = self._try_admit(head, slot, duration_of)
+                if admitted is not None:
+                    break
+                nxt = active.next_departure()
+                if nxt is None or nxt > now:
+                    break
+                slot = nxt
+            if admitted is not None:
+                out.append(admitted)
+                self._unpark()
+                continue
+            if slot - head.arrival_slot > self.max_queue_slots:
+                out.append(self._reject(head, slot, "queue_timeout"))
+                self._unpark()
+                continue
+            break  # head still waiting inside its bound; keep FIFO order
+
     # -------------------------------------------------------------------- api
+    def start(self) -> None:
+        """Begin a chunked admission pass (resets active/queue state)."""
+        self._active = _Active()
+        self._queue.clear()
+        self._last_slot = 0
+
+    @property
+    def queued_count(self) -> int:
+        """Sessions currently parked in the admission queue."""
+        return len(self._queue)
+
+    def admit_chunk(
+        self,
+        arrivals: Sequence[ResolvedSession],
+        duration_of: Callable[[ResolvedSession, int], int],
+    ) -> list[AdmissionDecision]:
+        """Decide one arrival-ordered chunk of an in-progress pass.
+
+        Returns every decision *made* while processing the chunk — which
+        includes queue heads parked by earlier chunks that were admitted or
+        timed out as this chunk's departures freed capacity.  Sessions left
+        in the queue have no decision yet; they resolve in a later chunk or
+        at :meth:`finalize`.
+        """
+        if self._active is None:
+            raise ReproError("call start() before admit_chunk()")
+        made: list[AdmissionDecision] = []
+        for session in arrivals:
+            slot = session.arrival_slot
+            if slot < self._last_slot:
+                raise ReproError("arrivals must be sorted by arrival_slot")
+            self._last_slot = slot
+            self._active.release_until(slot)
+            self._drain_queue(slot, duration_of, made)
+            if self._queue:
+                # FIFO: a newcomer may not overtake a waiting session.
+                if self.policy == "queue":
+                    self._park(session, slot)
+                else:
+                    made.append(self._reject(session, slot, "capacity"))
+                continue
+            decision = self._try_admit(session, slot, duration_of)
+            if decision is not None:
+                made.append(decision)
+                continue
+            if self.policy == "queue":
+                self._park(session, slot)
+            else:
+                made.append(self._reject(session, slot, "capacity"))
+        return made
+
+    def finalize(
+        self, duration_of: Callable[[ResolvedSession, int], int]
+    ) -> list[AdmissionDecision]:
+        """Resolve the remaining queue and publish peak gauges.
+
+        All arrivals seen: the queue drains on departures alone; anything
+        left could never fit even in an empty fleet and is rejected at its
+        wait bound.
+        """
+        if self._active is None:
+            raise ReproError("call start() before finalize()")
+        made: list[AdmissionDecision] = []
+        self._drain_queue(2**62, duration_of, made)
+        while self._queue:
+            head = self._queue[0]
+            made.append(self._reject(
+                head, head.arrival_slot + self.max_queue_slots, "queue_timeout"
+            ))
+            self._unpark()
+        active = self._active
+        self.peak_fanout = active.peak_fanout
+        self.peak_backbone = active.peak_backbone
+        registry = active_registry()
+        registry.gauge("fleet.peak_fanout").set(active.peak_fanout)
+        registry.gauge("fleet.peak_backbone").set(active.peak_backbone)
+        self._active = None
+        return made
+
     def admit_all(
         self,
         arrivals: Sequence[ResolvedSession],
         duration_of: Callable[[ResolvedSession, int], int],
     ) -> list[AdmissionDecision]:
-        """Decide every session of an arrival-ordered fleet.
+        """Decide every session of an arrival-ordered fleet in one pass.
 
         Args:
             arrivals: resolved sessions sorted by ``arrival_slot``.
@@ -157,136 +377,8 @@ class SessionManager:
                 runner resolves it through the schedule cache, so degraded
                 degrees get their true horizon too).
         """
-        active = _Active()
-        queue: deque[ResolvedSession] = deque()
-        decisions: dict[int, AdmissionDecision] = {}
-
-        def try_admit(session: ResolvedSession, slot: int) -> AdmissionDecision | None:
-            """Admit at ``slot`` if it fits (degrading if the policy allows)."""
-            spec = session.spec
-            degrees = [spec.degree]
-            if self.policy == "degrade":
-                degrees += list(range(spec.degree - 1, self.min_degree - 1, -1))
-            for degree in degrees:
-                fanout = spec.fanout_cost(degree)
-                backbone = spec.backbone_cost()
-                if not self.capacity.fits(active.fanout, active.backbone, fanout, backbone):
-                    continue
-                duration = duration_of(session, degree)
-                active.admit(slot + duration, fanout, backbone)
-                degraded = degree != spec.degree
-                status = "degraded" if degraded else "admitted"
-                self._count(status)
-                wait = slot - session.arrival_slot
-                if degraded:
-                    self._emit(
-                        SESSION_DEGRADED, slot,
-                        session=session.session_id, degree=degree,
-                    )
-                self._emit(
-                    SESSION_ADMITTED, slot,
-                    session=session.session_id, wait=wait,
-                )
-                return AdmissionDecision(
-                    session_id=session.session_id,
-                    status=status,
-                    arrival_slot=session.arrival_slot,
-                    start_slot=slot,
-                    wait_slots=wait,
-                    degree=degree,
-                    duration=duration,
-                )
-            return None
-
-        def reject(session: ResolvedSession, slot: int, reason: str) -> AdmissionDecision:
-            self._count("rejected")
-            self._emit(
-                SESSION_REJECTED, slot,
-                session=session.session_id, reason=reason,
-            )
-            return AdmissionDecision(
-                session_id=session.session_id,
-                status="rejected",
-                arrival_slot=session.arrival_slot,
-                start_slot=session.arrival_slot,
-                wait_slots=0,
-                degree=session.spec.degree,
-                duration=0,
-                reason=reason,
-            )
-
-        def drain_queue(now: int) -> None:
-            """Admit queued sessions (FIFO) as departures free capacity.
-
-            Advances a virtual clock through departures up to ``now``; a
-            queued head whose wait would exceed the bound is rejected, and a
-            head that still does not fit blocks the queue (FIFO fairness —
-            no overtaking).
-            """
-            while queue:
-                head = queue[0]
-                slot = max(head.arrival_slot, active.next_departure() or head.arrival_slot)
-                # Find the earliest departure slot <= now at which head fits.
-                admitted = None
-                while True:
-                    active.release_until(slot)
-                    if slot - head.arrival_slot > self.max_queue_slots:
-                        break
-                    admitted = try_admit(head, slot)
-                    if admitted is not None:
-                        break
-                    nxt = active.next_departure()
-                    if nxt is None or nxt > now:
-                        break
-                    slot = nxt
-                if admitted is not None:
-                    decisions[head.session_id] = admitted
-                    queue.popleft()
-                    continue
-                if slot - head.arrival_slot > self.max_queue_slots:
-                    decisions[head.session_id] = reject(head, slot, "queue_timeout")
-                    queue.popleft()
-                    continue
-                break  # head still waiting inside its bound; keep FIFO order
-
-        last_slot = 0
-        for session in arrivals:
-            slot = session.arrival_slot
-            if slot < last_slot:
-                raise ReproError("arrivals must be sorted by arrival_slot")
-            last_slot = slot
-            active.release_until(slot)
-            drain_queue(slot)
-            if queue:
-                # FIFO: a newcomer may not overtake a waiting session.
-                if self.policy == "queue":
-                    self._count("queued")
-                    self._emit(SESSION_QUEUED, slot, session=session.session_id)
-                    queue.append(session)
-                else:
-                    decisions[session.session_id] = reject(session, slot, "capacity")
-                continue
-            decision = try_admit(session, slot)
-            if decision is not None:
-                decisions[session.session_id] = decision
-                continue
-            if self.policy == "queue":
-                self._count("queued")
-                self._emit(SESSION_QUEUED, slot, session=session.session_id)
-                queue.append(session)
-            else:
-                decisions[session.session_id] = reject(session, slot, "capacity")
-
-        # All arrivals seen: let the remaining queue drain on departures alone.
-        drain_queue(2**62)
-        while queue:  # anything left could never fit even in an empty fleet
-            head = queue.popleft()
-            decisions[head.session_id] = reject(
-                head, head.arrival_slot + self.max_queue_slots, "queue_timeout"
-            )
-        self.peak_fanout = active.peak_fanout
-        self.peak_backbone = active.peak_backbone
-        registry = active_registry()
-        registry.gauge("fleet.peak_fanout").set(active.peak_fanout)
-        registry.gauge("fleet.peak_backbone").set(active.peak_backbone)
-        return [decisions[s.session_id] for s in arrivals]
+        self.start()
+        made = self.admit_chunk(arrivals, duration_of)
+        made += self.finalize(duration_of)
+        by_id = {decision.session_id: decision for decision in made}
+        return [by_id[s.session_id] for s in arrivals]

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from collections import Counter
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, ContextManager
 
 from repro.exec.cache import ScheduleCache
@@ -63,6 +63,7 @@ from repro.service.slo import (
     FleetAggregator,
     FleetSLOReport,
     SessionSLO,
+    pooled_percentile,
     score_session,
     score_batch_sessions,
 )
@@ -256,6 +257,13 @@ class FleetRunResult:
             (``None`` when telemetry was off).
         convergence: the final detector state for
             ``run_until_converged`` runs (``None`` otherwise).
+        control_decisions: the control plane's
+            :class:`~repro.control.ControlDecision` records, in decision
+            order (empty for uncontrolled runs).
+        control_epochs: one row per control epoch — observed p99, the
+            policy/queue-bound knobs in force, and the epoch's
+            admitted/degraded/rejected tallies (empty for uncontrolled
+            runs).
     """
 
     report: FleetSLOReport
@@ -265,6 +273,8 @@ class FleetRunResult:
     shard_timings: tuple[dict, ...] = ()
     telemetry: FleetTelemetry | None = None
     convergence: ConvergenceState | None = None
+    control_decisions: tuple[Any, ...] = ()
+    control_epochs: tuple[dict, ...] = ()
 
 
 class FleetRunner:
@@ -350,7 +360,10 @@ class FleetRunner:
         tracked quantile's CI half-width criterion is met — decisions (and
         the report's admission tallies) then cover exactly the arrival
         prefix that was executed, which is well-defined because admission
-        of session *i* depends only on earlier arrivals.
+        of session *i* depends only on earlier arrivals.  With
+        ``fleet.controller`` set, admission and execution instead proceed
+        in control epochs (:meth:`_run_controlled`) and the result carries
+        the control plane's decision log and per-epoch rows.
         """
         registry = self.registry if self.registry is not None else active_registry()
         telemetry = self.telemetry
@@ -396,16 +409,17 @@ class FleetRunner:
             min_degree=fleet.min_degree,
             tracer=self.tracer,
         )
+        controlled = fleet.controller is not None
         with use_registry(registry):
-            with self._span("fleet.admit", sessions=fleet.num_sessions):
-                decisions = manager.admit_all(sessions, duration_of)
-
-            tasks = []
+            tasks: list[tuple] = []
             task_arrivals: list[int] = []
             by_id = {s.session_id: s for s in sessions}
-            for decision in decisions:
+            epoch_delays: list[int] = []
+
+            def build_task(decision: AdmissionDecision) -> None:
+                """Append one admitted session's executor task."""
                 if not decision.admitted:
-                    continue
+                    return
                 session = by_id[decision.session_id]
                 token = tokens[decision.session_id]
                 full = schedules[token].num_slots
@@ -484,10 +498,14 @@ class FleetRunner:
                 return units, unit_members
 
             def execute_window(window, base: int) -> int:
+                if not window:
+                    return 0
                 units, unit_members = build_units(window, base)
 
                 def on_result(index: int, pairs) -> None:
                     aggregator.add_sessions([slo for _, slo in pairs])
+                    if controlled:
+                        epoch_delays.extend(slo.startup_delay for _, slo in pairs)
                     if telemetry is None and detector is None:
                         return
                     for task_index, slo in pairs:
@@ -512,39 +530,59 @@ class FleetRunner:
                 return len(units)
 
             conv_state: ConvergenceState | None = None
-            with self._span("fleet.execute", tasks=len(tasks)):
-                if detector is None:
-                    units_run = execute_window(tasks, 0)
-                    executed = len(tasks)
-                    executor_info = dict(executor.last_run)
-                else:
-                    batch = fleet.convergence.check_every
-                    executed = 0
-                    batches = 0
-                    units_run = 0
-                    while executed < len(tasks):
-                        chunk = tasks[executed:executed + batch]
-                        units_run += execute_window(chunk, executed)
-                        executed += len(chunk)
-                        batches += 1
-                        conv_state = detector.state()
-                        if conv_state.converged:
-                            break
-                    executor_info = dict(executor.last_run)
-                    executor_info["batches"] = batches
-                executor_info["tasks"] = executed
-                executor_info["units"] = units_run
-                executor_info["execution"] = fleet.execution
-            shard_timings.sort(key=lambda row: row["shard"])
-
-            # On early stop, the report covers exactly the arrival prefix
-            # that was executed: admission decisions for session i depend
-            # only on earlier arrivals, so the prefix is self-consistent.
-            if executed < len(tasks):
-                cutoff = tasks[executed - 1][0] if executed else -1
-                used_decisions = [d for d in decisions if d.session_id <= cutoff]
+            control_decisions: tuple[Any, ...] = ()
+            control_epochs: tuple[dict, ...] = ()
+            if controlled:
+                (
+                    used_decisions, executor_info,
+                    control_decisions, control_epochs,
+                ) = self._run_controlled(
+                    fleet, sessions, manager, duration_of,
+                    build_task=build_task, execute_window=execute_window,
+                    epoch_delays=epoch_delays, tasks=tasks, executor=executor,
+                    by_id=by_id,
+                )
+                executed = len(tasks)
             else:
-                used_decisions = list(decisions)
+                with self._span("fleet.admit", sessions=fleet.num_sessions):
+                    decisions = manager.admit_all(sessions, duration_of)
+                for decision in decisions:
+                    build_task(decision)
+                with self._span("fleet.execute", tasks=len(tasks)):
+                    if detector is None:
+                        units_run = execute_window(tasks, 0)
+                        executed = len(tasks)
+                        executor_info = dict(executor.last_run)
+                    else:
+                        batch = fleet.convergence.check_every
+                        executed = 0
+                        batches = 0
+                        units_run = 0
+                        while executed < len(tasks):
+                            chunk = tasks[executed:executed + batch]
+                            units_run += execute_window(chunk, executed)
+                            executed += len(chunk)
+                            batches += 1
+                            conv_state = detector.state()
+                            if conv_state.converged:
+                                break
+                        executor_info = dict(executor.last_run)
+                        executor_info["batches"] = batches
+                    executor_info["tasks"] = executed
+                    executor_info["units"] = units_run
+                    executor_info["execution"] = fleet.execution
+                # On early stop, the report covers exactly the arrival
+                # prefix that was executed: admission decisions for session
+                # i depend only on earlier arrivals, so the prefix is
+                # self-consistent.
+                if executed < len(tasks):
+                    cutoff = tasks[executed - 1][0] if executed else -1
+                    used_decisions = [
+                        d for d in decisions if d.session_id <= cutoff
+                    ]
+                else:
+                    used_decisions = list(decisions)
+            shard_timings.sort(key=lambda row: row["shard"])
             for decision in used_decisions:
                 aggregator.add_decision(decision)
                 if telemetry is not None:
@@ -566,4 +604,174 @@ class FleetRunner:
             shard_timings=tuple(shard_timings),
             telemetry=telemetry,
             convergence=conv_state,
+            control_decisions=control_decisions,
+            control_epochs=control_epochs,
+        )
+
+    def _run_controlled(
+        self,
+        fleet: FleetSpec,
+        sessions: tuple[ResolvedSession, ...],
+        manager: SessionManager,
+        duration_of,
+        *,
+        build_task,
+        execute_window,
+        epoch_delays: list[int],
+        tasks: list,
+        executor,
+        by_id: dict[int, ResolvedSession],
+    ):
+        """The control plane's decide→act→observe epoch loop.
+
+        Arrivals are admitted in epochs of ``controller.epoch_sessions``.
+        At the top of each epoch the :class:`~repro.control.ControlPlane`
+        reads the *previous* epoch's p99 startup delay and admission
+        tallies plus the upcoming chunk's mix and churn, decides, and its
+        knobs (admission policy, queue bound, per-kind degree overrides)
+        are applied before the chunk is admitted and executed — so every
+        decision is observed one epoch later.  Runs inside the caller's
+        ``use_registry`` scope.
+
+        Returns ``(decisions_in_arrival_order, executor_info,
+        control_decisions, control_epoch_rows)``.
+        """
+        from repro.control.controllers import ControlPlane, EpochObservation
+
+        spans = (
+            self.telemetry.spans if self.telemetry is not None else None
+        )
+        plane = ControlPlane(
+            fleet.controller,
+            initial_policy=fleet.policy,
+            max_queue_slots=fleet.max_queue_slots,
+            min_degree=fleet.min_degree,
+            cache=self.cache,
+            seed=fleet.seed,
+            spans=spans,
+            tracer=self.tracer,
+        )
+        kinds = {s.label: s for s in fleet.sessions}
+        epoch_size = fleet.controller.epoch_sessions
+        manager.start()
+        made_all: list[AdmissionDecision] = []
+        epoch_rows: list[dict] = []
+        seen_delays: Counter[int] = Counter()
+        prev_delays: list[int] = []
+        prev_made: list[AdmissionDecision] = []
+        executor_info: dict | None = None
+        units_run = 0
+        epochs = 0
+
+        def run_window(base: int) -> None:
+            nonlocal units_run, executor_info
+            epoch_delays.clear()
+            ran = execute_window(tasks[base:], base)
+            units_run += ran
+            if ran:
+                executor_info = dict(executor.last_run)
+
+        def tally(made) -> dict[str, int]:
+            counts = Counter(d.status for d in made)
+            return {
+                "admitted": counts["admitted"],
+                "degraded": counts["degraded"],
+                "rejected": counts["rejected"],
+            }
+
+        with self._span("fleet.execute", tasks=len(sessions)):
+            for lo in range(0, len(sessions), epoch_size):
+                chunk = list(sessions[lo:lo + epoch_size])
+                p99 = (
+                    float(pooled_percentile(Counter(prev_delays), 99))
+                    if prev_delays else None
+                )
+                cumulative = (
+                    float(pooled_percentile(seen_delays, 99))
+                    if seen_delays else None
+                )
+                prev = tally(prev_made)
+                mix = Counter(s.spec.label for s in chunk)
+                obs = EpochObservation(
+                    epoch=epochs,
+                    p99=p99,
+                    cumulative_p99=cumulative,
+                    admitted=prev["admitted"],
+                    degraded=prev["degraded"],
+                    rejected=prev["rejected"],
+                    arrivals=len(chunk),
+                    joins=len(chunk),
+                    leaves=sum(
+                        1 for s in chunk if s.leave_fraction is not None
+                    ),
+                    mix=tuple(sorted(mix.items())),
+                )
+                stepped = plane.step(obs, kinds)
+                manager.policy = plane.admission_policy
+                manager.max_queue_slots = plane.max_queue_slots
+                overrides = plane.degree_overrides
+                if overrides:
+                    chunk = [
+                        replace(s, spec=s.spec.with_degree(
+                            overrides[s.spec.label]
+                        ))
+                        if overrides.get(s.spec.label, s.spec.degree)
+                        != s.spec.degree
+                        else s
+                        for s in chunk
+                    ]
+                    for session in chunk:
+                        by_id[session.session_id] = session
+                made = manager.admit_chunk(chunk, duration_of)
+                base = len(tasks)
+                for decision in made:
+                    build_task(decision)
+                run_window(base)
+                prev_delays = list(epoch_delays)
+                seen_delays.update(epoch_delays)
+                made_all.extend(made)
+                prev_made = made
+                epoch_rows.append({
+                    "epoch": epochs,
+                    "arrivals": len(chunk),
+                    "observed_p99": p99,
+                    "policy": manager.policy,
+                    "max_queue_slots": manager.max_queue_slots,
+                    **tally(made),
+                    "queued": manager.queued_count,
+                    "decisions": len(stepped),
+                })
+                epochs += 1
+            # All arrivals seen: drain the queue on departures alone and
+            # execute the stragglers as one final window.
+            made = manager.finalize(duration_of)
+            base = len(tasks)
+            for decision in made:
+                build_task(decision)
+            run_window(base)
+            made_all.extend(made)
+            if made:
+                epoch_rows.append({
+                    "epoch": epochs,
+                    "arrivals": 0,
+                    "observed_p99": None,
+                    "policy": manager.policy,
+                    "max_queue_slots": manager.max_queue_slots,
+                    **tally(made),
+                    "queued": 0,
+                    "decisions": 0,
+                })
+        if executor_info is None:
+            executor_info = dict(executor.last_run) or {
+                "mode": "empty", "workers": 0, "fallback": False,
+            }
+        executor_info["tasks"] = len(tasks)
+        executor_info["units"] = units_run
+        executor_info["execution"] = fleet.execution
+        executor_info["epochs"] = epochs
+        by_session = {d.session_id: d for d in made_all}
+        decisions = [by_session[s.session_id] for s in sessions]
+        return (
+            decisions, executor_info,
+            tuple(plane.decisions), tuple(epoch_rows),
         )

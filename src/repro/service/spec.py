@@ -238,6 +238,13 @@ class FleetSpec:
             :class:`~repro.obs.convergence.ConvergenceCriterion` — p99
             startup delay, 5% relative half-width at 95% confidence — when
             ``run_until_converged`` is set).
+        controller: optional :class:`~repro.control.ControlPolicy` attaching
+            the feedback control plane (``docs/CONTROL.md``).  When set, the
+            runner admits sessions in epochs of ``controller.epoch_sessions``
+            and lets the SLO / degree / churn controllers move ``policy``,
+            ``max_queue_slots``, and per-kind degrees between epochs.
+            Mutually exclusive with ``run_until_converged`` (both reshape
+            the execution loop).
         execution: ``batch`` (the default) groups admitted sessions that
             share a ``(schedule, drop_rate, packets, horizon)`` coordinate
             and scores each group in one vectorized kernel pass
@@ -264,6 +271,7 @@ class FleetSpec:
     sketch_error: float = 0.01
     run_until_converged: bool = False
     convergence: ConvergenceCriterion | None = None
+    controller: object | None = None
     execution: str = "batch"
 
     def __post_init__(self) -> None:
@@ -307,6 +315,20 @@ class FleetSpec:
                 f"execution must be 'batch' or 'scalar', got "
                 f"{self.execution!r}"
             )
+        if self.controller is not None:
+            # Duck-typed (the control plane lives above the service layer;
+            # importing repro.control here would invert the dependency).
+            for attr in ("epoch_sessions", "slo_p99_delay", "band"):
+                if not hasattr(self.controller, attr):
+                    raise ReproError(
+                        "controller must be a repro.control.ControlPolicy "
+                        f"(missing {attr!r})"
+                    )
+            if self.run_until_converged:
+                raise ReproError(
+                    "controller and run_until_converged are mutually "
+                    "exclusive; the control plane owns the epoch loop"
+                )
         if self.run_until_converged and self.convergence is None:
             object.__setattr__(self, "convergence", ConvergenceCriterion())
 

@@ -39,8 +39,10 @@ __all__ = [
     "ChurningMultiTreeProtocol",
     "NodeHiccups",
     "ChurnHiccupReport",
+    "FleetRepairOutcome",
     "churn_hiccup_report",
     "churn_experiment",
+    "fleet_repair",
     "random_churn_schedule",
 ]
 
@@ -293,6 +295,77 @@ def _first_complete_window(
         if all(p in arrivals for p in packets):
             return w * d, max(arrivals[p] for p in packets)
     return None
+
+
+@dataclass(frozen=True, slots=True)
+class FleetRepairOutcome:
+    """Result of applying one epoch's churn to a session kind's forest.
+
+    Attributes:
+        forest: the repaired :class:`~repro.trees.dynamics.DynamicForest`
+            (verified — every construction invariant holds).
+        reports: one :class:`~repro.trees.dynamics.ChurnReport` per applied
+            add/delete (plus the trailing compact for eager repairs).
+        swaps: total position swaps across the repairs — the appendix's
+            maintenance-cost metric.
+        touched: distinct real nodes relocated by at least one repair — the
+            hiccup-candidate set the paper bounds by ``d^2`` per operation.
+        lazy: whether the lazy maintenance variant was used.
+    """
+
+    forest: DynamicForest
+    reports: tuple[ChurnReport, ...]
+    swaps: int
+    touched: frozenset[int]
+    lazy: bool
+
+
+def fleet_repair(
+    num_nodes: int,
+    degree: int,
+    *,
+    joins: int = 0,
+    leaves: int = 0,
+    lazy: bool = False,
+    construction: str = "structured",
+    seed: int = 0,
+) -> FleetRepairOutcome:
+    """Apply an epoch's join/leave churn with the appendix repair algorithms.
+
+    The fleet-scale entry point the control plane's churn controller uses: a
+    session kind's forest absorbs ``leaves`` departures and ``joins``
+    arrivals (interleaved, departures first within each step — the paper's
+    delete-then-add sequence that motivates lazy maintenance), victims drawn
+    deterministically from ``seed``.  Eager repairs finish with a
+    :meth:`~repro.trees.dynamics.DynamicForest.compact` so the tightness
+    invariant holds; lazy repairs defer it, trading a padded tail for fewer
+    relocation events.  The repaired forest is verified before returning —
+    a repair that broke a construction invariant raises instead of being
+    silently re-cached.
+    """
+    import numpy as np
+
+    forest = DynamicForest(num_nodes, degree, construction, lazy=lazy)
+    rng = np.random.default_rng(seed)
+    reports: list[ChurnReport] = []
+    for step in range(max(joins, leaves)):
+        if step < leaves and len(forest.real_ids) > 2:
+            victims = sorted(forest.real_ids)
+            victim = victims[int(rng.integers(0, len(victims)))]
+            reports.append(forest.delete_node(victim))
+        if step < joins:
+            _, report = forest.add_node()
+            reports.append(report)
+    if not lazy:
+        reports.append(forest.compact())
+    forest.verify()
+    return FleetRepairOutcome(
+        forest=forest,
+        reports=tuple(reports),
+        swaps=sum(r.swaps for r in reports),
+        touched=frozenset().union(*(r.touched for r in reports)) if reports else frozenset(),
+        lazy=lazy,
+    )
 
 
 def random_churn_schedule(

@@ -240,7 +240,7 @@ class TestVersionFlag:
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert capsys.readouterr().out.strip() == "repro 2.0.0"
+        assert capsys.readouterr().out.strip() == "repro 2.1.0"
 
 
 class TestFleetCommand:
@@ -462,3 +462,46 @@ class TestRunsAndReportCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "empty" in out
+
+
+class TestControlCommand:
+    SMALL = ["control", "--scale", "0.2"]
+
+    def test_comparison_table(self, capsys):
+        assert main(self.SMALL) == 0
+        out = capsys.readouterr().out
+        assert "48 offered sessions" in out
+        for policy in ("queue", "reject", "degrade", "adaptive"):
+            assert policy in out
+
+    def test_single_policy_run(self, capsys):
+        assert main([*self.SMALL, "--policy", "queue"]) == 0
+        out = capsys.readouterr().out
+        assert "queue" in out
+        assert "adaptive" not in out
+
+    def test_decision_log_printed(self, capsys):
+        assert main([*self.SMALL, "--decisions"]) == 0
+        out = capsys.readouterr().out
+        assert "control plane decisions:" in out
+        assert "retune" in out
+
+    def test_ledger_and_json_exports(self, tmp_path, capsys):
+        import json
+
+        from repro.control import decisions_from_record
+        from repro.reporting.ledger import RunLedger
+
+        ledger = tmp_path / "ledger.jsonl"
+        report = tmp_path / "control.json"
+        assert main([
+            *self.SMALL, "--ledger", str(ledger), "--json", str(report),
+        ]) == 0
+        records = [
+            r for r in RunLedger(ledger) if r.get("record") == "control"
+        ]
+        assert len(records) == 1
+        replayed = decisions_from_record(records[0])
+        payload = json.loads(report.read_text())
+        assert [d.to_dict() for d in replayed] == payload["decisions"]
+        assert len(payload["policies"]) == 4

@@ -33,7 +33,9 @@ class TestSchema:
 
     def test_schema_entries_shape(self):
         for name, (emitter, fields) in EVENT_SCHEMA.items():
-            assert emitter in {"engine", "repair", "playback", "churn", "service"}, name
+            assert emitter in {
+                "engine", "repair", "playback", "churn", "service", "control",
+            }, name
             assert all(isinstance(f, str) for f in fields), name
 
 

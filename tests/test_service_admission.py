@@ -160,6 +160,109 @@ class TestObservability:
         assert names.count("session_admitted") == 2
         assert names.count("session_queued") == 1
 
+    def test_single_terminal_status_per_session(self):
+        # A queued-then-admitted (or queued-then-timed-out) session must
+        # land on exactly ONE fleet.sessions status: the terminal one.
+        # Queue transit is observable separately (fleet.queue.entered /
+        # fleet.queue.depth), never in the status totals.
+        registry = MetricsRegistry()
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=12,
+        )
+        with use_registry(registry):
+            # 0 admitted at 0; 1 queued then admitted at 10; 2 queued then
+            # timed out (wait would be 20 - 2 > 12).
+            decisions = manager.admit_all(_sessions([0, 1, 2]), _duration(10))
+        statuses = [d.status for d in decisions]
+        assert statuses == ["admitted", "admitted", "rejected"]
+        counters = {
+            (row["name"], row["labels"]): row["value"]
+            for row in registry.rows()
+            if row["kind"] == "counter"
+        }
+        status_total = sum(
+            value for (name, _), value in counters.items()
+            if name == "fleet.sessions"
+        )
+        assert status_total == 3  # one terminal status per offered session
+        assert counters[("fleet.sessions", "status=admitted")] == 2
+        assert counters[("fleet.sessions", "status=rejected")] == 1
+        assert ("fleet.sessions", "status=queued") not in counters
+        assert counters[("fleet.queue.entered", "")] == 2
+        gauges = {
+            row["name"]: row["value"]
+            for row in registry.rows()
+            if row["kind"] == "gauge"
+        }
+        assert gauges["fleet.queue.depth"] == 0  # everyone left the queue
+
+    def test_status_totals_sum_to_offered_across_policies(self):
+        for policy in ("reject", "queue", "degrade"):
+            registry = MetricsRegistry()
+            manager = SessionManager(
+                CapacityModel(source_fanout=6.0, backbone=1000.0),
+                policy=policy, max_queue_slots=4, min_degree=2,
+            )
+            spec = SessionSpec(num_nodes=10, degree=4)
+            with use_registry(registry):
+                manager.admit_all(_sessions([0, 0, 0, 0], spec), _duration(40))
+            total = sum(
+                row["value"]
+                for row in registry.rows()
+                if row["kind"] == "counter" and row["name"] == "fleet.sessions"
+            )
+            assert total == 4, policy
+
+
+class TestChunkedAdmission:
+    def test_chunked_pass_equals_admit_all(self):
+        arrivals = _sessions([0, 1, 2, 5, 9, 14])
+        whole = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=64,
+        ).admit_all(arrivals, _duration(4))
+
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=64,
+        )
+        manager.start()
+        made = []
+        for lo in range(0, len(arrivals), 2):
+            made += manager.admit_chunk(arrivals[lo:lo + 2], _duration(4))
+        made += manager.finalize(_duration(4))
+        by_id = {d.session_id: d for d in made}
+        assert [by_id[s.session_id] for s in arrivals] == whole
+
+    def test_policy_may_move_between_chunks(self):
+        manager = SessionManager(
+            CapacityModel(source_fanout=3.0, backbone=1000.0),
+            policy="queue", max_queue_slots=64,
+        )
+        manager.start()
+        first = manager.admit_chunk(_sessions([0]), _duration(50))
+        assert first[0].status == "admitted"
+        # The control plane escalates queue -> reject mid-run.
+        manager.policy = "reject"
+        late = [
+            ResolvedSession(
+                session_id=1, spec=SessionSpec(num_nodes=10, degree=3),
+                arrival_slot=1, seed=1,
+            )
+        ]
+        second = manager.admit_chunk(late, _duration(50))
+        assert second[0].status == "rejected"
+        assert second[0].reason == "capacity"
+        manager.finalize(_duration(50))
+
+    def test_chunk_before_start_raises(self):
+        manager = SessionManager(CapacityModel())
+        with pytest.raises(ReproError):
+            manager.admit_chunk(_sessions([0]), _duration())
+        with pytest.raises(ReproError):
+            manager.finalize(_duration())
+
     def test_unsorted_arrivals_rejected(self):
         manager = SessionManager(CapacityModel())
         spec = SessionSpec(num_nodes=10)

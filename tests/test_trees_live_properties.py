@@ -1,0 +1,148 @@
+"""Property suite: appendix add/delete/lazy repair never breaks a schedule.
+
+The control plane's churn controller repairs a session kind's forest with
+:func:`repro.trees.live.fleet_repair` and then *re-caches the kind's
+compiled schedule* — so the safety property that matters is end-to-end:
+after **any** random join/leave sequence (eager or lazy), the repaired
+population's compiled schedule still passes all 9 ``repro.check``
+invariants (well-formedness, capacities, causality, duplicates, coverage,
+playability, the Theorem 2 delay bound, and the buffer bound).  The fixed
+cases in ``test_trees_dynamics.py`` pin known sequences; these properties
+randomize the sequence itself.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import check_config
+from repro.exec.cache import ScheduleCache
+from repro.theory import theorem2_bound
+from repro.trees.dynamics import DynamicForest
+from repro.trees.live import fleet_repair
+
+#: A churn script: ("add" | "delete") ops applied in order.  Deletes are
+#: skipped when the population is already at the floor, so any script is
+#: valid for any starting size.
+OPS = st.lists(st.sampled_from(["add", "delete"]), min_size=1, max_size=20)
+
+SCENARIO = st.tuples(
+    st.integers(min_value=4, max_value=30),   # starting N
+    st.sampled_from([2, 3]),                  # degree (the Section-5 set)
+    st.booleans(),                            # lazy maintenance
+    OPS,
+    st.integers(min_value=0, max_value=2**31 - 1),  # victim-draw seed
+)
+
+
+def _apply(forest: DynamicForest, ops, seed: int) -> list:
+    """Run the op script, drawing delete victims deterministically."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    reports = []
+    for op in ops:
+        if op == "delete" and len(forest.real_ids) > 3:
+            victims = sorted(forest.real_ids)
+            victim = victims[int(rng.integers(0, len(victims)))]
+            reports.append(forest.delete_node(victim))
+        elif op == "add":
+            _, report = forest.add_node()
+            reports.append(report)
+    return reports
+
+
+class TestRepairStructure:
+    @settings(max_examples=40, deadline=None)
+    @given(SCENARIO)
+    def test_invariants_hold_after_every_operation(self, scenario):
+        n, d, lazy, ops, seed = scenario
+        forest = DynamicForest(n, d, lazy=lazy)
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        for op in ops:
+            if op == "delete" and len(forest.real_ids) > 3:
+                victims = sorted(forest.real_ids)
+                forest.delete_node(victims[int(rng.integers(0, len(victims)))])
+            elif op == "add":
+                forest.add_node()
+            forest.verify()
+
+    @settings(max_examples=40, deadline=None)
+    @given(SCENARIO)
+    def test_per_operation_swap_costs_match_appendix(self, scenario):
+        n, d, lazy, ops, seed = scenario
+        forest = DynamicForest(n, d, lazy=lazy)
+        for report in _apply(forest, ops, seed):
+            if report.operation == "add":
+                # Addition: free while a dummy slot exists; <= d when the
+                # trees grow a level.
+                assert report.swaps <= d
+            else:
+                # Deletion: <= d to swap an interior node leafward, plus
+                # <= d^2 when the trees shrink a level.
+                assert report.swaps <= d + d * d
+            # The hiccup-candidate set is what the paper bounds by ~d^2.
+            assert len(report.touched) <= 2 * (d * d + d)
+
+    @settings(max_examples=40, deadline=None)
+    @given(SCENARIO)
+    def test_compact_restores_tightness(self, scenario):
+        n, d, lazy, ops, seed = scenario
+        forest = DynamicForest(n, d, lazy=lazy)
+        _apply(forest, ops, seed)
+        forest.compact()
+        live = len(forest.real_ids)
+        assert forest.interior == max(0, -(-live // d) - 1)
+        forest.verify()
+
+
+class TestRepairedSchedule:
+    """The end-to-end property: repaired population -> valid schedule."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(SCENARIO)
+    def test_repaired_population_passes_all_nine_invariants(self, scenario):
+        n, d, lazy, ops, seed = scenario
+        forest = DynamicForest(n, d, lazy=lazy)
+        _apply(forest, ops, seed)
+        live = len(forest.real_ids)
+        # The exact artifact the churn controller re-caches: the repaired
+        # population's compiled multi-tree schedule.
+        report = check_config(
+            "multi-tree", live, d, num_packets=4, cache=ScheduleCache()
+        )
+        assert report.ok, report.summary()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=6, max_value=40),
+        st.sampled_from([2, 3]),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=6),
+        st.booleans(),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_fleet_repair_outcome_is_verified_and_checkable(
+        self, n, d, joins, leaves, lazy, seed
+    ):
+        outcome = fleet_repair(
+            n, d, joins=joins, leaves=leaves, lazy=lazy, seed=seed
+        )
+        # fleet_repair verifies the forest itself; the outcome's totals
+        # must agree with its per-operation reports.
+        assert outcome.swaps == sum(r.swaps for r in outcome.reports)
+        union = frozenset().union(
+            *(r.touched for r in outcome.reports)
+        ) if outcome.reports else frozenset()
+        assert outcome.touched == union
+        assert outcome.lazy == lazy
+        live = len(outcome.forest.real_ids)
+        report = check_config(
+            "multi-tree", live, d, num_packets=4, cache=ScheduleCache()
+        )
+        assert report.ok, report.summary()
+        # The Theorem 2 bound the checker enforced is the paper's h*d.
+        assert theorem2_bound(live, d) >= 1
