@@ -14,21 +14,46 @@ Two pillars, both engine-free:
   the project's determinism and error-handling discipline: seeded RNG only
   (REP001), wall-clock reads confined to ``repro/obs/`` (REP002), no bare
   ``assert`` in library code (REP003), no iteration over unordered set
-  expressions where order feeds transmission emission (REP004).  Exposed as
-  ``repro lint``.
+  expressions where order feeds transmission emission (REP004).
+* :mod:`repro.check.model` / :mod:`repro.check.analyzers` — a cached
+  whole-project model (ASTs, symbol tables, import graph, approximate call
+  graph) and the passes that need it: process-pool shared-state mutation
+  (REP005), metric/event-name drift against :mod:`repro.obs.names`
+  (REP006), frozen-spec mutation (REP007), and nondeterminism taint from
+  RNG/clock sources into result sinks (REP008).
+
+All lint layers run through :func:`repro.check.project.lint_project`
+(``repro lint``): per-file rules + analyzer passes, minus the committed
+baseline (``.repro-lint-baseline.json``), with ``--stats`` timings fed to
+the bench-history ledger.
 
 ``docs/CHECKS.md`` catalogues every invariant and lint rule with its paper
 reference and rationale.
 """
 
+from repro.check.analyzers import ANALYZER_RULES, run_analyzers
 from repro.check.invariants import RULES, ScheduleFacts, Violation
 from repro.check.lint import (
     LINT_RULES,
     LintViolation,
+    Suppressions,
     format_violations,
     lint_file,
     lint_paths,
     lint_source,
+)
+from repro.check.model import (
+    ModuleInfo,
+    ProjectModel,
+    build_project_model,
+)
+from repro.check.project import (
+    ALL_RULES,
+    DEFAULT_BASELINE_PATH,
+    ProjectLintReport,
+    lint_project,
+    load_baseline,
+    save_baseline,
 )
 from repro.check.schedule import (
     DEFAULT_GRID_DEGREES,
@@ -40,19 +65,31 @@ from repro.check.schedule import (
 )
 
 __all__ = [
+    "ALL_RULES",
+    "ANALYZER_RULES",
+    "DEFAULT_BASELINE_PATH",
     "DEFAULT_GRID_DEGREES",
     "DEFAULT_GRID_NODES",
     "CheckReport",
     "LINT_RULES",
     "LintViolation",
+    "ModuleInfo",
+    "ProjectLintReport",
+    "ProjectModel",
     "RULES",
     "ScheduleFacts",
+    "Suppressions",
     "Violation",
+    "build_project_model",
     "check_config",
     "check_schedule",
     "format_violations",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
+    "run_analyzers",
+    "save_baseline",
     "smoke_grid",
 ]

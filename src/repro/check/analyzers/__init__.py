@@ -1,0 +1,62 @@
+"""Model-based analyzer passes (REP005–REP008) over a :class:`ProjectModel`.
+
+Where :mod:`repro.check.lint` is strictly per-file, the passes in this
+package consume the whole-project model (:mod:`repro.check.model`): the
+process-safety pass chases the call graph from pool-worker entry points,
+the metric-name pass resolves emitted names against the declared registry
+in :mod:`repro.obs.names`, the frozen-spec pass knows every
+``@dataclass(frozen=True)`` in the tree, and the taint pass flows
+nondeterminism sources through assignments to result/metric/ledger sinks.
+
+Each pass is one module exposing ``RULE`` (its id), ``DESCRIPTION``, and
+``analyze(model) -> list[LintViolation]``.  :func:`run_analyzers` runs a
+selection of passes and applies the per-file pragma suppressions the model
+already parsed, so ``# repro-lint: disable=REP005`` (file- or line-level)
+works exactly as it does for the per-file rules.
+"""
+
+from __future__ import annotations
+
+from repro.check.lint import LintViolation
+from repro.check.model import ProjectModel
+
+from . import frozen_spec, metric_names, process_safety, taint
+
+__all__ = [
+    "ANALYZER_RULES",
+    "run_analyzers",
+]
+
+_PASSES = (process_safety, metric_names, frozen_spec, taint)
+
+#: rule id -> one-line description (docs/CHECKS.md holds the catalogue).
+ANALYZER_RULES: dict[str, str] = {
+    module.RULE: module.DESCRIPTION for module in _PASSES
+}
+
+
+def run_analyzers(
+    model: ProjectModel, rules: frozenset[str] | None = None
+) -> list[LintViolation]:
+    """Run the analyzer passes over ``model`` and return their findings.
+
+    Args:
+        model: the shared project model.
+        rules: restrict to these rule ids (None = every pass).
+
+    Findings are pragma-filtered per file and come back sorted by
+    ``(path, line, col, rule)`` like :func:`repro.check.lint.lint_paths`.
+    """
+    violations: list[LintViolation] = []
+    by_path = {info.path: info.suppressions for info in model}
+    for module in _PASSES:
+        if rules is not None and module.RULE not in rules:
+            continue
+        for violation in module.analyze(model):
+            suppressions = by_path.get(violation.path)
+            if suppressions is not None and suppressions.is_disabled(
+                violation.rule, violation.line
+            ):
+                continue
+            violations.append(violation)
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))

@@ -1,0 +1,257 @@
+"""REP008 — nondeterminism taint from RNG/clock sources into result sinks.
+
+The paper's delay/buffer numbers are only reproducible if every recorded
+value is a function of the spec and its seed.  REP001/REP002 ban the raw
+call sites; this pass upgrades them to a flow check: a *source* value
+(unseeded RNG draw, wall-clock read) that propagates **through
+assignments** into a *sink* (metric/event emission, ledger record, bench
+history) is flagged even when the call site and the sink are lines apart.
+
+Sources — calls the model resolves to: ``time.time/monotonic/
+perf_counter[_ns]``, ``datetime.now/utcnow/today``, any ``random.*`` or
+``numpy.random.*`` draw (``Random(seed)`` / ``default_rng(seed)`` *with* a
+seed argument are fine), ``os.urandom``, ``uuid.uuid4``, ``secrets.*``.
+
+Sinks — calls that persist or export a value: registry emissions
+(``.counter/.gauge/.histogram/.sketch`` and the value-carrying
+``.observe/.set/.inc`` on their handles), event emissions
+(``.emit/._emit``), ledger writes (``append_bench_history``,
+``run_record``, ``.append`` on a local ``RunLedger(...)``).
+
+Propagation is an intra-function fixpoint over assignments: a name
+assigned from an expression containing a source call (or an
+already-tainted name) becomes tainted; a sink whose argument expression
+mentions a tainted name (or a source call directly) is a violation.
+
+The sanctioned boundary is :mod:`repro.obs`: modules under an ``obs``
+package are skipped entirely (their job *is* wrapping the clock — same
+exemption REP002 grants), and values produced by the obs wrappers
+(``wall_time_s``, ``Timer``) are untainted by construction since the
+wrappers, not the raw primitives, appear at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.check.lint import LintViolation
+from repro.check.model import ModuleInfo, ProjectModel
+
+__all__ = ["RULE", "DESCRIPTION", "analyze"]
+
+RULE = "REP008"
+DESCRIPTION = (
+    "unseeded-RNG/wall-clock value flows into a result, metric, ledger, "
+    "or cache-token sink"
+)
+
+_CLOCK_FNS = frozenset(
+    {"time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
+     "perf_counter_ns"}
+)
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
+#: ``.set``/``.inc`` are the value-carrying calls on gauge/counter handles
+#: (``registry.gauge(NAME).set(value)``), so they are sinks alongside the
+#: name-carrying emission calls themselves.
+_SINK_METHODS = frozenset(
+    {"counter", "gauge", "histogram", "sketch", "observe", "emit", "_emit",
+     "set", "inc"}
+)
+_SINK_FUNCTIONS = frozenset({"append_bench_history", "run_record"})
+
+
+def _dotted_parts(func: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(func, ast.Attribute):
+        parts.append(func.attr)
+        func = func.value
+    if not isinstance(func, ast.Name):
+        return None
+    parts.append(func.id)
+    parts.reverse()
+    return parts
+
+
+def _source_reason(call: ast.Call, module: ModuleInfo) -> str | None:
+    """Why ``call`` is a nondeterminism source, or None if it isn't."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        origin = module.from_imports.get(func.id)
+        if origin is None:
+            return None
+        source_module, original = origin
+        if source_module == "time" and original in _CLOCK_FNS:
+            return f"time.{original}() at line {call.lineno}"
+        if source_module == "random":
+            if original == "Random" and (call.args or call.keywords):
+                return None  # seeded Random(seed) is deterministic
+            return f"random.{original}() at line {call.lineno}"
+        if source_module in ("numpy.random", "np.random"):
+            if original == "default_rng" and (call.args or call.keywords):
+                return None  # seeded generator
+            return f"numpy.random.{original}() at line {call.lineno}"
+        if source_module == "os" and original == "urandom":
+            return f"os.urandom() at line {call.lineno}"
+        if source_module == "uuid" and original == "uuid4":
+            return f"uuid.uuid4() at line {call.lineno}"
+        if source_module == "secrets":
+            return f"secrets.{original}() at line {call.lineno}"
+        return None
+    parts = _dotted_parts(func)
+    if parts is None or len(parts) < 2:
+        return None
+    root, leaf = parts[0], parts[-1]
+    target = module.imports.get(root)
+    dotted = ".".join(parts)
+    if target == "time" and leaf in _CLOCK_FNS:
+        return f"{dotted}() at line {call.lineno}"
+    if target == "datetime" and leaf in _DATETIME_FNS:
+        return f"{dotted}() at line {call.lineno}"
+    if target == "random":
+        if leaf in ("Random", "seed") and (call.args or call.keywords):
+            return None
+        return f"{dotted}() at line {call.lineno}"
+    if target == "numpy" and "random" in parts[1:]:
+        if leaf == "default_rng" and (call.args or call.keywords):
+            return None
+        return f"{dotted}() at line {call.lineno}"
+    if target == "os" and leaf == "urandom":
+        return f"{dotted}() at line {call.lineno}"
+    if target == "uuid" and leaf == "uuid4":
+        return f"{dotted}() at line {call.lineno}"
+    if target == "secrets":
+        return f"{dotted}() at line {call.lineno}"
+    # from datetime import datetime; datetime.now()
+    origin = module.from_imports.get(root)
+    if origin == ("datetime", "datetime") and leaf in _DATETIME_FNS:
+        return f"datetime.{leaf}() at line {call.lineno}"
+    return None
+
+
+def _expr_reason(
+    expr: ast.expr, taint: dict[str, str], module: ModuleInfo
+) -> str | None:
+    """The taint reason carried by ``expr``, if any."""
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            reason = _source_reason(node, module)
+            if reason is not None:
+                return reason
+        if isinstance(node, ast.Name) and node.id in taint:
+            return taint[node.id]
+    return None
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+def _function_taint(
+    fn_node: ast.AST, module: ModuleInfo
+) -> dict[str, str]:
+    """Fixpoint of taint over the function's assignments: name -> reason."""
+    assigns: list[tuple[list[str], ast.expr]] = []
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign):
+            names: list[str] = []
+            for target in node.targets:
+                names.extend(_target_names(target))
+            if names:
+                assigns.append((names, node.value))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if node.value is not None:
+                names = _target_names(node.target)
+                if names:
+                    assigns.append((names, node.value))
+        elif isinstance(node, ast.NamedExpr):
+            assigns.append((_target_names(node.target), node.value))
+
+    taint: dict[str, str] = {}
+    changed = True
+    while changed:
+        changed = False
+        for names, value in assigns:
+            reason = _expr_reason(value, taint, module)
+            if reason is None:
+                continue
+            for name in names:
+                if name not in taint:
+                    taint[name] = reason
+                    changed = True
+    return taint
+
+
+def _ledger_locals(fn_node: ast.AST) -> set[str]:
+    """Locals bound to a ``RunLedger(...)`` construction."""
+    bound: set[str] = set()
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "RunLedger"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+def _sink_kind(call: ast.Call, ledger_locals: set[str]) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SINK_METHODS:
+            return f".{func.attr}()"
+        if (
+            func.attr == "append"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ledger_locals
+        ):
+            return "ledger append()"
+        if func.attr in _SINK_FUNCTIONS:
+            return f"{func.attr}()"
+    elif isinstance(func, ast.Name) and func.id in _SINK_FUNCTIONS:
+        return f"{func.id}()"
+    return None
+
+
+def _is_obs_module(module: ModuleInfo) -> bool:
+    return "obs" in module.name.split(".")
+
+
+def analyze(model: ProjectModel) -> list[LintViolation]:
+    violations: list[LintViolation] = []
+    for module in model:
+        if _is_obs_module(module):
+            continue  # the sanctioned clock/RNG wrapper boundary
+        for fn in module.functions.values():
+            taint = _function_taint(fn.node, module)
+            ledgers = _ledger_locals(fn.node)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                sink = _sink_kind(node, ledgers)
+                if sink is None:
+                    continue
+                for arg in (*node.args, *(kw.value for kw in node.keywords)):
+                    reason = _expr_reason(arg, taint, module)
+                    if reason is not None:
+                        violations.append(LintViolation(
+                            rule=RULE, path=module.path,
+                            line=node.lineno, col=node.col_offset,
+                            message=(
+                                f"nondeterministic value from {reason} "
+                                f"reaches {sink} sink in '{fn.qualname}'; "
+                                "derive it from the spec/seed or go "
+                                "through repro.obs wrappers"
+                            ),
+                        ))
+                        break
+    return violations

@@ -22,11 +22,24 @@ but :mod:`ast`:
   telemetry snapshots).  Wrap the iterable in ``sorted()``.
 
 Scope is path-based: rules apply to files inside a ``repro`` package tree
-and skip ``tests``/``benchmarks``/``examples``/``scripts`` directories.  A
-file opts out of specific rules with a pragma comment anywhere in the file
-(``REPxxx`` standing for a real rule id)::
+and skip ``tests``/``benchmarks``/``examples``/``scripts`` directories.
+Pragmas come in two scopes (``REPxxx`` standing for a real rule id):
 
-    # repro-lint: disable=REPxxx
+* a pragma comment on a line of its own disables the listed rules for the
+  whole file::
+
+      # repro-lint: disable=REPxxx
+
+* a trailing pragma on a line of code disables the listed rules for that
+  line only — the form the analyzer passes (REP005+) expect for
+  deliberately exempt single statements, always with a justifying comment::
+
+      _STATE = payload  # worker-local by design  # repro-lint: disable=REP005
+
+Both forms accept comma-separated rule ids and the token ``all``.  The
+:class:`Suppressions` table parsed from a file is shared with the
+project-model analyzers (:mod:`repro.check.analyzers`), so one pragma
+grammar covers every rule family.
 
 ``lint_paths`` returns the findings; the CLI renders them as text or JSON.
 """
@@ -43,6 +56,7 @@ from pathlib import Path
 __all__ = [
     "LINT_RULES",
     "LintViolation",
+    "Suppressions",
     "lint_file",
     "lint_paths",
     "lint_source",
@@ -105,16 +119,68 @@ class LintViolation:
         }
 
 
-def _disabled_rules(source: str) -> frozenset[str]:
-    disabled: set[str] = set()
-    for match in _PRAGMA.finditer(source):
-        for token in match.group(1).split(","):
-            token = token.strip().upper()
-            if token == "ALL":
-                disabled.update(LINT_RULES)
-            elif token:
-                disabled.add(token)
-    return frozenset(disabled)
+#: Token standing for "every rule" inside a :class:`Suppressions` table.
+ALL_RULES_TOKEN = "*"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppressions:
+    """Parsed ``# repro-lint: disable=`` pragmas for one file.
+
+    A pragma on a line of its own (nothing but whitespace/comment before
+    it) applies to the whole file; a trailing pragma on a line of code
+    applies to that line only.  The token ``all`` expands to
+    :data:`ALL_RULES_TOKEN` and matches every rule id, present and future.
+    """
+
+    file_rules: frozenset[str] = frozenset()
+    line_rules: tuple[tuple[int, frozenset[str]], ...] = ()
+
+    @classmethod
+    def empty(cls) -> "Suppressions":
+        return cls()
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        file_rules: set[str] = set()
+        line_rules: dict[int, set[str]] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = {
+                ALL_RULES_TOKEN if token.strip().upper() == "ALL"
+                else token.strip().upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            comment_start = line.find("#")
+            prefix = line[:comment_start].strip() if comment_start >= 0 else ""
+            if prefix:
+                line_rules.setdefault(lineno, set()).update(rules)
+            else:
+                file_rules.update(rules)
+        return cls(
+            file_rules=frozenset(file_rules),
+            line_rules=tuple(
+                (lineno, frozenset(rules))
+                for lineno, rules in sorted(line_rules.items())
+            ),
+        )
+
+    def is_disabled(self, rule: str, line: int) -> bool:
+        if rule in self.file_rules or ALL_RULES_TOKEN in self.file_rules:
+            return True
+        for lineno, rules in self.line_rules:
+            if lineno == line and (rule in rules or ALL_RULES_TOKEN in rules):
+                return True
+        return False
+
+    def filter(self, violations: Iterable[LintViolation]) -> list[LintViolation]:
+        """Drop violations a pragma disables (by rule and anchor line)."""
+        return [
+            v for v in violations if not self.is_disabled(v.rule, v.line)
+        ]
 
 
 def _scope_of(path: Path) -> tuple[bool, bool, bool]:
@@ -312,8 +378,10 @@ def lint_source(
     library, obs_exempt, order_critical = _scope_of(where)
     if not library:
         return []
-    disabled = _disabled_rules(source)
-    if disabled >= frozenset(LINT_RULES):
+    suppressions = Suppressions.from_source(source)
+    if all(
+        rule in suppressions.file_rules for rule in LINT_RULES
+    ) or ALL_RULES_TOKEN in suppressions.file_rules:
         return []
     try:
         tree = ast.parse(source, filename=str(path))
@@ -331,7 +399,7 @@ def lint_source(
         str(path), obs_exempt=obs_exempt, order_critical=order_critical
     )
     visitor.visit(tree)
-    return [v for v in visitor.violations if v.rule not in disabled]
+    return suppressions.filter(visitor.violations)
 
 
 def lint_file(path: str | Path) -> list[LintViolation]:

@@ -1,0 +1,410 @@
+"""Whole-project model for the multi-pass static analyzers.
+
+The PR-5 lint (:mod:`repro.check.lint`) is strictly per-file: each rule
+looks at one module's AST in isolation.  The analyzer passes added since
+(:mod:`repro.check.analyzers`) need *project-wide* facts — which functions
+are shipped to pool workers, which module declares a metric name a distant
+emitter references, which class is a frozen dataclass — so this module
+builds one shared :class:`ProjectModel` they all run against:
+
+* a parsed AST per module, with the module's **symbol table**: module-level
+  bindings, string constants, mutable-container bindings, classes (with
+  frozen-dataclass detection), and functions (methods keyed by qualname);
+* the **import graph**: per module, ``import X as y`` aliases and
+  ``from X import a as b`` bindings, resolvable across the project
+  (including re-export chains through ``__init__`` modules);
+* an approximate **call-graph resolver** (:meth:`ProjectModel.resolve_call`)
+  good enough to chase ``worker()``-style calls from a pool entry point
+  into other modules.
+
+The model is **content-addressed and cached**: :func:`build_project_model`
+keys each module on the SHA-256 of its bytes and reuses the pickled
+per-module entry when unchanged, so CI's lint / analyzer steps re-parse
+only edited files (``REPRO_MODEL_CACHE`` or ``cache_path`` names the
+pickle; a corrupt or version-skewed cache is silently rebuilt).
+
+Everything here is stdlib-only (:mod:`ast`, :mod:`hashlib`,
+:mod:`pickle`) and engine-free, like the rest of ``repro/check/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.check.lint import Suppressions
+
+__all__ = [
+    "MODEL_CACHE_VERSION",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project_model",
+    "module_name_for",
+]
+
+#: Bump when ModuleInfo's shape changes so stale pickles self-invalidate.
+MODEL_CACHE_VERSION = 1
+
+#: Module-level bindings of these shapes are "mutable containers" for the
+#: shared-state pass: list/dict/set displays and the builtin container
+#: constructors (plus the usual collections ones).
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter",
+     "OrderedDict"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionInfo:
+    """One module-level function or method (nested defs stay inside it)."""
+
+    qualname: str  # "f" for functions, "Class.f" for methods
+    name: str
+    owner: str | None  # owning class name, None for plain functions
+    lineno: int
+    node: ast.FunctionDef | ast.AsyncFunctionDef = field(repr=False)
+
+
+@dataclass(frozen=True, slots=True)
+class ClassInfo:
+    """One module-level class."""
+
+    name: str
+    lineno: int
+    frozen_dataclass: bool
+    methods: tuple[str, ...]
+    node: ast.ClassDef = field(repr=False)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """Everything the analyzers need to know about one module."""
+
+    name: str  # dotted ("repro.exec.executor")
+    path: str  # as given to the builder (reported in findings)
+    sha256: str
+    tree: ast.Module = field(repr=False)
+    #: ``import X as y`` -> {"y": "X"}; ``from P import M`` where ``P.M`` is
+    #: a project module also lands here ({"M": "P.M"}).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: ``from X import a as b`` -> {"b": ("X", "a")}.
+    from_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level ``NAME = "literal"`` string constants.
+    constants: dict[str, str] = field(default_factory=dict)
+    #: Every module-level bound name (functions, classes, imports, assigns).
+    bindings: set[str] = field(default_factory=set)
+    #: Module-level names bound to mutable container displays/constructors.
+    mutable_bindings: set[str] = field(default_factory=set)
+    #: Parsed ``# repro-lint: disable=`` pragmas (file- and line-level).
+    suppressions: Suppressions = field(default_factory=Suppressions.empty)
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path``, anchored at the last ``repro`` dir.
+
+    ``a/b/src/repro/exec/executor.py`` -> ``repro.exec.executor``; trees
+    without a ``repro`` anchor (test fixtures) fall back to the file stem
+    chain below the last ``src``/root component.
+    """
+    parts = list(path.parts)
+    stem_parts = parts[:-1] + [path.stem]
+    anchor = -1
+    for index, part in enumerate(stem_parts):
+        if part == "repro":
+            anchor = index
+    if anchor < 0:
+        for index, part in enumerate(stem_parts):
+            if part == "src":
+                anchor = index + 1
+        if anchor < 0 or anchor >= len(stem_parts):
+            anchor = max(0, len(stem_parts) - 2)
+    dotted = ".".join(stem_parts[anchor:])
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for kw in decorator.keywords:
+            if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+                if kw.value.value is True:
+                    return True
+    return False
+
+
+def _is_mutable_binding(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+def _index_module(name: str, path: str, source: str, sha: str) -> ModuleInfo:
+    """Parse one module and extract its symbol table."""
+    tree = ast.parse(source, filename=path)
+    info = ModuleInfo(
+        name=name, path=path, sha256=sha, tree=tree,
+        suppressions=Suppressions.from_source(source),
+    )
+
+    def bind_target(target: ast.expr, value: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            info.bindings.add(target.id)
+            if value is not None:
+                if _is_mutable_binding(value):
+                    info.mutable_bindings.add(target.id)
+                if (isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    info.constants[target.id] = value.value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element, None)
+
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports[local] = target
+                info.bindings.add(local)
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module is None or stmt.level:
+                # Relative imports are rare in this tree; skip resolution.
+                for alias in stmt.names:
+                    info.bindings.add(alias.asname or alias.name)
+                continue
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                info.from_imports[local] = (stmt.module, alias.name)
+                info.bindings.add(local)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = FunctionInfo(
+                qualname=stmt.name, name=stmt.name, owner=None,
+                lineno=stmt.lineno, node=stmt,
+            )
+            info.bindings.add(stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            methods = []
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.append(item.name)
+                    qualname = f"{stmt.name}.{item.name}"
+                    info.functions[qualname] = FunctionInfo(
+                        qualname=qualname, name=item.name, owner=stmt.name,
+                        lineno=item.lineno, node=item,
+                    )
+            info.classes[stmt.name] = ClassInfo(
+                name=stmt.name, lineno=stmt.lineno,
+                frozen_dataclass=_is_frozen_dataclass(stmt),
+                methods=tuple(methods), node=stmt,
+            )
+            info.bindings.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                bind_target(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            bind_target(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            bind_target(stmt.target, None)
+    return info
+
+
+class ProjectModel:
+    """Immutable-ish view over every indexed module, with resolvers."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+
+    # ------------------------------------------------------------- iteration
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        for name in sorted(self.modules):
+            yield self.modules[name]
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def get(self, dotted: str) -> ModuleInfo | None:
+        return self.modules.get(dotted)
+
+    # -------------------------------------------------------------- resolvers
+    def resolve_function(
+        self, module: ModuleInfo, name: str, *, _depth: int = 0
+    ) -> tuple[ModuleInfo, FunctionInfo] | None:
+        """Resolve ``name`` (as referenced in ``module``) to its definition.
+
+        Chases ``from X import name`` chains across the project, including
+        one-hop re-exports through package ``__init__`` modules.  Returns
+        None for builtins, third-party callables, and anything dynamic.
+        """
+        if _depth > 8:
+            return None
+        fn = module.functions.get(name)
+        if fn is not None and fn.owner is None:
+            return module, fn
+        origin = module.from_imports.get(name)
+        if origin is not None:
+            source_module, original = origin
+            target = self.modules.get(source_module)
+            if target is not None:
+                return self.resolve_function(target, original, _depth=_depth + 1)
+        return None
+
+    def resolve_module_alias(
+        self, module: ModuleInfo, name: str
+    ) -> ModuleInfo | None:
+        """The project module a local name refers to, if it names one."""
+        dotted = module.imports.get(name)
+        if dotted is not None:
+            return self.modules.get(dotted)
+        origin = module.from_imports.get(name)
+        if origin is not None:
+            source_module, original = origin
+            return self.modules.get(f"{source_module}.{original}")
+        return None
+
+    def resolve_str_constant(
+        self, module: ModuleInfo, expr: ast.expr, *, _depth: int = 0
+    ) -> str | None:
+        """Statically evaluate ``expr`` to a string, if possible.
+
+        Handles literals, module-level constants, ``from X import NAME``
+        bindings, and ``mod.NAME`` attribute reads on imported project
+        modules — the shapes metric/event emitters actually use.
+        """
+        if _depth > 8:
+            return None
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if expr.id in module.constants:
+                return module.constants[expr.id]
+            origin = module.from_imports.get(expr.id)
+            if origin is not None:
+                source_module, original = origin
+                target = self.modules.get(source_module)
+                if target is not None:
+                    return self.resolve_str_constant(
+                        target, ast.Name(id=original), _depth=_depth + 1
+                    )
+            return None
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            target = self.resolve_module_alias(module, expr.value.id)
+            if target is not None:
+                return self.resolve_str_constant(
+                    target, ast.Name(id=expr.attr), _depth=_depth + 1
+                )
+        return None
+
+
+# ----------------------------------------------------------------- building
+def _iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def _load_cache(cache_path: Path) -> dict[str, tuple[str, ModuleInfo]]:
+    try:
+        with open(cache_path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, AttributeError,
+            ImportError, IndexError):
+        return {}
+    if not isinstance(payload, dict):
+        return {}
+    if payload.get("version") != MODEL_CACHE_VERSION:
+        return {}
+    entries = payload.get("entries")
+    return entries if isinstance(entries, dict) else {}
+
+
+def _store_cache(
+    cache_path: Path, entries: dict[str, tuple[str, ModuleInfo]]
+) -> None:
+    tmp = cache_path.with_suffix(cache_path.suffix + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump({"version": MODEL_CACHE_VERSION, "entries": entries}, fh)
+        os.replace(tmp, cache_path)
+    except OSError:  # read-only checkout: the cache is best-effort
+        tmp.unlink(missing_ok=True)
+
+
+def build_project_model(
+    paths: Sequence[str | Path] = ("src",),
+    *,
+    cache_path: str | Path | None = None,
+) -> ProjectModel:
+    """Index every ``.py`` file under ``paths`` into a :class:`ProjectModel`.
+
+    Args:
+        paths: files or directories (directories recurse, sorted).
+        cache_path: pickle cache location; defaults to the
+            ``REPRO_MODEL_CACHE`` environment variable when set.  Cached
+            entries are reused when a file's SHA-256 is unchanged.
+
+    Files that fail to parse are skipped here — the per-file lint pass
+    reports them as ``REP000``, and an unparseable module has no facts to
+    contribute.
+    """
+    if cache_path is None:
+        env = os.environ.get("REPRO_MODEL_CACHE", "")
+        cache_path = env or None
+    cache: dict[str, tuple[str, ModuleInfo]] = {}
+    cache_file: Path | None = None
+    if cache_path is not None:
+        cache_file = Path(cache_path)
+        cache = _load_cache(cache_file)
+
+    modules: dict[str, ModuleInfo] = {}
+    fresh_entries: dict[str, tuple[str, ModuleInfo]] = {}
+    dirty = False
+    for file in _iter_python_files(paths):
+        try:
+            raw = file.read_bytes()
+        except OSError:
+            continue
+        sha = hashlib.sha256(raw).hexdigest()
+        key = str(file)
+        cached = cache.get(key)
+        if cached is not None and cached[0] == sha:
+            info = cached[1]
+        else:
+            try:
+                source = raw.decode("utf-8")
+                info = _index_module(module_name_for(file), key, source, sha)
+            except (SyntaxError, UnicodeDecodeError):
+                continue
+            dirty = True
+        fresh_entries[key] = (sha, info)
+        modules[info.name] = info
+    if cache_file is not None and (dirty or fresh_entries.keys() != cache.keys()):
+        _store_cache(cache_file, fresh_entries)
+    return ProjectModel(modules)

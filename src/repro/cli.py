@@ -440,7 +440,9 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--json", metavar="PATH", help="write the report(s) as JSON")
 
     lint = sub.add_parser(
-        "lint", help="run the project lint pass (REP001-REP004) over paths"
+        "lint",
+        help="run the per-file lint (REP001-REP004) and the model-based "
+        "analyzer passes (REP005-REP008) over paths",
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -449,6 +451,33 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--format", choices=["text", "json"], default="text",
         help="output format",
+    )
+    lint.add_argument(
+        "--rules", metavar="IDS", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--no-analyzers", action="store_true",
+        help="skip the project-model passes (per-file rules only)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="baseline of grandfathered findings to subtract "
+        "(default: .repro-lint-baseline.json when present)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--model-cache", metavar="PATH", default=None,
+        help="pickle cache for the project model "
+        "(default: $REPRO_MODEL_CACHE when set)",
+    )
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print per-rule counts and timings; write them to "
+        "benchmarks/results/lint_stats.json and append to bench_history.jsonl",
     )
 
     runs = sub.add_parser(
@@ -1111,11 +1140,79 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.check import format_violations, lint_paths
+    import json
+    import os
 
-    violations = lint_paths(args.paths)
-    print(format_violations(violations, format=args.format))
-    return 0 if not violations else 1
+    from repro.check import format_violations
+    from repro.check.project import (
+        DEFAULT_BASELINE_PATH,
+        lint_project,
+        save_baseline,
+    )
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    baseline = args.baseline
+    if baseline is None and os.path.exists(DEFAULT_BASELINE_PATH):
+        baseline = DEFAULT_BASELINE_PATH
+    report = lint_project(
+        args.paths,
+        rules=rules,
+        analyzers=not args.no_analyzers,
+        baseline_path=None if args.write_baseline else baseline,
+        model_cache=args.model_cache,
+    )
+
+    if args.write_baseline:
+        target = args.baseline or DEFAULT_BASELINE_PATH
+        count = save_baseline(target, report.violations)
+        print(f"baseline -> {target} ({count} finding{'s' if count != 1 else ''})")
+        return 0
+
+    if args.stats:
+        _write_lint_stats(report)
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_violations(report.violations, format="text"))
+        counts = ", ".join(
+            f"{rule}={count}" for rule, count in report.per_rule.items()
+        ) or "none"
+        print(
+            f"rules: {counts} | files: {report.files_scanned} | "
+            f"baselined: {report.baselined} | "
+            f"model {report.model_build_s * 1e3:.0f} ms, "
+            f"analyze {report.analyze_s * 1e3:.0f} ms"
+        )
+    return 0 if report.clean else 1
+
+
+def _write_lint_stats(report) -> None:
+    """Persist ``--stats`` output like any other benchmark measurement."""
+    import json
+    import os
+
+    from repro.reporting.ledger import (
+        append_bench_history,
+        bench_history_records,
+    )
+
+    results_dir = os.path.join("benchmarks", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    stats_path = os.path.join(results_dir, "lint_stats.json")
+    with open(stats_path, "w", encoding="utf-8") as fh:
+        json.dump(report.stats(), fh, indent=2)
+        fh.write("\n")
+    history_path = os.path.join(results_dir, "bench_history.jsonl")
+    wall = report.model_build_s + report.analyze_s
+    previous = bench_history_records(history_path, name="lint_project")
+    baseline_s = previous[-1].get("wall_clock_s") if previous else None
+    append_bench_history(
+        history_path, "lint_project", wall,
+        baseline_s=baseline_s if isinstance(baseline_s, (int, float)) else None,
+    )
+    print(f"lint stats -> {stats_path} (wall {wall * 1e3:.0f} ms)")
 
 
 def _cmd_verify(args) -> int:

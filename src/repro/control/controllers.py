@@ -34,12 +34,18 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, ContextManager, Mapping
+from typing import Any, Callable, ContextManager, Mapping
 
 from repro.control.policy import ControlDecision, ControlPolicy
 from repro.exec.cache import ScheduleCache
 from repro.exec.compiler import compile_schedule
-from repro.obs.events import CONTROL_DECISION
+from repro.obs.events import CONTROL_DECISION, EventTracer
+from repro.obs.names import (
+    CONTROL_DECISIONS,
+    CONTROL_EPOCHS,
+    CONTROL_RECOMPILED_TOKENS,
+    CONTROL_REPAIR_SWAPS,
+)
 from repro.obs.registry import active_registry
 from repro.theory import theorem2_bound
 from repro.trees.live import fleet_repair
@@ -275,7 +281,7 @@ class ChurnRepairController:
         kinds: Mapping[str, Any],
         *,
         degrees: Mapping[str, int],
-        recompile,
+        recompile: Callable[[Any, int], str],
     ) -> ControlDecision | None:
         if self._cooldown > 0:
             self._cooldown -= 1
@@ -354,8 +360,8 @@ class ControlPlane:
         min_degree: int = 2,
         cache: ScheduleCache | None = None,
         seed: int = 0,
-        spans=None,
-        tracer=None,
+        spans: SpanTracer | None = None,
+        tracer: EventTracer | None = None,
     ) -> None:
         self.policy = policy
         self.cache = cache if cache is not None else ScheduleCache(capacity=64)
@@ -410,7 +416,7 @@ class ControlPlane:
         )
         token = str(provenance["cache_token"])
         self.recompiled_tokens.append(token)
-        active_registry().counter("control.recompiled_tokens").inc()
+        active_registry().counter(CONTROL_RECOMPILED_TOKENS).inc()
         return token
 
     # ------------------------------------------------------------------- api
@@ -425,7 +431,7 @@ class ControlPlane:
         decision list is deterministic for a given observation sequence.
         """
         registry = active_registry()
-        registry.counter("control.epochs").inc()
+        registry.counter(CONTROL_EPOCHS).inc()
         made: list[ControlDecision] = []
         with self._span("control.decide", epoch=obs.epoch):
             degree_move = self.degree.decide(obs, kinds)
@@ -443,10 +449,10 @@ class ControlPlane:
                 repair = churn_move.detail.get("kinds", {})
                 swaps = sum(k["swaps"] for k in repair.values())
                 if swaps:
-                    registry.counter("control.repair_swaps").inc(swaps)
+                    registry.counter(CONTROL_REPAIR_SWAPS).inc(swaps)
         for decision in made:
             registry.counter(
-                "control.decisions",
+                CONTROL_DECISIONS,
                 controller=decision.controller, action=decision.action,
             ).inc()
             if self.tracer is not None:

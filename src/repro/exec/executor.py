@@ -93,7 +93,9 @@ _PAYLOAD: Any = None
 
 def _init_worker(payload: Any, span_context: dict | None = None) -> None:
     global _PAYLOAD
-    _PAYLOAD = payload
+    # Installing the payload is the initializer's whole job: the slot is
+    # written once per worker process, before any task runs.
+    _PAYLOAD = payload  # repro-lint: disable=REP005 -- per-process init slot
     install_span_context(span_context)
 
 

@@ -359,8 +359,10 @@ def active_registry() -> MetricsRegistry:
 def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
     """Temporarily make ``registry`` the :func:`active_registry`."""
     previous = getattr(_ACTIVE, "registry", None)
-    _ACTIVE.registry = registry
+    # _ACTIVE is a threading.local: each thread (and each forked worker)
+    # sees its own slot, so this swap cannot race across the pool.
+    _ACTIVE.registry = registry  # repro-lint: disable=REP005 -- thread-local
     try:
         yield registry
     finally:
-        _ACTIVE.registry = previous
+        _ACTIVE.registry = previous  # repro-lint: disable=REP005 -- thread-local

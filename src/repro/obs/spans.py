@@ -175,8 +175,11 @@ _SEQ = 0
 def install_span_context(context: dict[str, Any] | None) -> None:
     """Install (or clear, with ``None``) this process's span context."""
     global _CONTEXT
-    _CONTEXT = context
-    _BUFFER.clear()
+    # The span context/buffer are worker-process-local by design: installed
+    # once by the pool initializer, drained by the task wrapper, and merged
+    # in the parent.  Nothing here is shared across processes.
+    _CONTEXT = context  # repro-lint: disable=REP005 -- per-process span slot
+    _BUFFER.clear()  # repro-lint: disable=REP005 -- per-process span buffer
 
 
 @contextmanager
@@ -186,14 +189,18 @@ def worker_span(name: str, **attrs: Any) -> Iterator[None]:
         yield
         return
     global _SEQ
-    _SEQ += 1
+    # Worker-local counter: span ids embed the pid, so per-process
+    # sequences cannot collide after the parent merges the buffers.
+    _SEQ += 1  # repro-lint: disable=REP005 -- per-process span sequence
     span_id = f"w{os.getpid():x}-{_SEQ}"
     start_wall = wall_time_s()
     start_perf = time.perf_counter()
     try:
         yield
     finally:
-        _BUFFER.append(Span(
+        # repro-lint: disable is line-scoped; the buffer is drained and
+        # returned to the parent by drain_worker_spans below.
+        _BUFFER.append(Span(  # repro-lint: disable=REP005 -- per-process buffer
             name=name,
             trace_id=_CONTEXT["trace_id"],
             span_id=span_id,
@@ -208,5 +215,5 @@ def worker_span(name: str, **attrs: Any) -> Iterator[None]:
 def drain_worker_spans() -> list[dict[str, Any]]:
     """Pop every span recorded since the last drain (worker-side)."""
     spans = list(_BUFFER)
-    _BUFFER.clear()
+    _BUFFER.clear()  # repro-lint: disable=REP005 -- drain of per-process buffer
     return spans

@@ -41,10 +41,18 @@ from dataclasses import dataclass
 
 from repro.core.errors import ReproError
 from repro.obs.events import (
+    EventTracer,
     SESSION_ADMITTED,
     SESSION_DEGRADED,
     SESSION_QUEUED,
     SESSION_REJECTED,
+)
+from repro.obs.names import (
+    FLEET_PEAK_BACKBONE,
+    FLEET_PEAK_FANOUT,
+    FLEET_QUEUE_DEPTH,
+    FLEET_QUEUE_ENTERED,
+    FLEET_SESSIONS,
 )
 from repro.obs.registry import active_registry
 from repro.service.spec import CapacityModel, ResolvedSession
@@ -134,7 +142,7 @@ class SessionManager:
         policy: str = "queue",
         max_queue_slots: int = 64,
         min_degree: int = 2,
-        tracer=None,
+        tracer: EventTracer | None = None,
     ) -> None:
         if policy not in ("reject", "queue", "degrade"):
             raise ReproError(f"unknown admission policy {policy!r}")
@@ -158,20 +166,20 @@ class SessionManager:
         still ends as exactly one of admitted/degraded/rejected, so the
         ``fleet.sessions`` totals always sum to the offered load.
         """
-        active_registry().counter("fleet.sessions", status=status).inc()
+        active_registry().counter(FLEET_SESSIONS, status=status).inc()
 
     def _park(self, session: ResolvedSession, slot: int) -> None:
         self._queue.append(session)
         registry = active_registry()
-        registry.counter("fleet.queue.entered").inc()
-        registry.gauge("fleet.queue.depth").add(1)
+        registry.counter(FLEET_QUEUE_ENTERED).inc()
+        registry.gauge(FLEET_QUEUE_DEPTH).add(1)
         self._emit(SESSION_QUEUED, slot, session=session.session_id)
 
     def _unpark(self) -> None:
         self._queue.popleft()
-        active_registry().gauge("fleet.queue.depth").add(-1)
+        active_registry().gauge(FLEET_QUEUE_DEPTH).add(-1)
 
-    def _emit(self, name: str, slot: int, **fields) -> None:
+    def _emit(self, name: str, slot: int, **fields: Any) -> None:
         if self.tracer is not None:
             self.tracer.emit(name, slot, **fields)
 
@@ -358,8 +366,8 @@ class SessionManager:
         self.peak_fanout = active.peak_fanout
         self.peak_backbone = active.peak_backbone
         registry = active_registry()
-        registry.gauge("fleet.peak_fanout").set(active.peak_fanout)
-        registry.gauge("fleet.peak_backbone").set(active.peak_backbone)
+        registry.gauge(FLEET_PEAK_FANOUT).set(active.peak_fanout)
+        registry.gauge(FLEET_PEAK_BACKBONE).set(active.peak_backbone)
         self._active = None
         return made
 

@@ -46,7 +46,7 @@ from __future__ import annotations
 from collections import Counter
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Any, ContextManager
+from typing import Any, Callable, ContextManager
 
 from repro.exec.cache import ScheduleCache
 from repro.exec.compiler import compile_schedule
@@ -54,6 +54,17 @@ from repro.exec.batch import replay_batch
 from repro.exec.executor import ExecutorPolicy, SweepExecutor, worker_payload
 from repro.exec.replay import bernoulli_mask, replay_arrivals
 from repro.obs.convergence import ConvergenceDetector, ConvergenceState
+from repro.obs.events import EventTracer
+from repro.obs.names import (
+    FLEET_ABR_SESSIONS,
+    FLEET_CACHE_HIT_RATE,
+    FLEET_GOODPUT,
+    FLEET_QUEUE_WAIT,
+    FLEET_REBUFFER_RATIO,
+    FLEET_SESSIONS_COMPLETED,
+    FLEET_SESSIONS_REPLAYED,
+    FLEET_STARTUP_DELAY,
+)
 from repro.obs.registry import MetricsRegistry, active_registry, use_registry
 from repro.obs.sketch import DEFAULT_RELATIVE_ERROR
 from repro.obs.spans import SpanTracer, worker_span
@@ -78,7 +89,7 @@ __all__ = [
 ]
 
 
-def fleet_session_task(task) -> SessionSLO:
+def fleet_session_task(task: tuple[Any, ...]) -> SessionSLO:
     """Executor worker: replay one admitted session and score its SLO.
 
     Task tuple: ``(session_id, label, status, token, seed, drop_rate,
@@ -123,14 +134,14 @@ def fleet_session_task(task) -> SessionSLO:
         )
         qoe = collect_qoe(run_session(abr_spec, trace))
         slo = replace(slo, qoe=qoe.to_dict())
-        registry.counter("fleet.abr_sessions", tier=qoe.tier).inc()
-    registry.counter("fleet.sessions_replayed", label=label).inc()
-    registry.histogram("fleet.startup_delay").observe(slo.startup_delay)
-    registry.histogram("fleet.rebuffer_ratio").observe(slo.rebuffer_ratio)
+        registry.counter(FLEET_ABR_SESSIONS, tier=qoe.tier).inc()
+    registry.counter(FLEET_SESSIONS_REPLAYED, label=label).inc()
+    registry.histogram(FLEET_STARTUP_DELAY).observe(slo.startup_delay)
+    registry.histogram(FLEET_REBUFFER_RATIO).observe(slo.rebuffer_ratio)
     return slo
 
 
-def fleet_unit_task(unit) -> list[tuple[int, SessionSLO]]:
+def fleet_unit_task(unit: tuple[Any, ...]) -> list[tuple[int, SessionSLO]]:
     """Executor worker: score one execution unit — a batch group or one
     scalar session.
 
@@ -178,9 +189,9 @@ def fleet_unit_task(unit) -> list[tuple[int, SessionSLO]]:
             statuses=[member[3] for member in members],
         )
         for label, count in Counter(member[2] for member in members).items():
-            registry.counter("fleet.sessions_replayed", label=label).inc(count)
-        startup_hist = registry.histogram("fleet.startup_delay")
-        rebuffer_hist = registry.histogram("fleet.rebuffer_ratio")
+            registry.counter(FLEET_SESSIONS_REPLAYED, label=label).inc(count)
+        startup_hist = registry.histogram(FLEET_STARTUP_DELAY)
+        rebuffer_hist = registry.histogram(FLEET_REBUFFER_RATIO)
         out: list[tuple[int, SessionSLO]] = []
         for (task_index, *_), slo in zip(members, slos):
             startup_hist.observe(slo.startup_delay)
@@ -215,14 +226,14 @@ class FleetTelemetry:
         """Window the admission outcome at the session's arrival slot."""
         self.series.count(f"fleet.{decision.status}", arrival_slot)
         if decision.admitted and decision.wait_slots > 0:
-            self.series.observe("fleet.queue_wait", arrival_slot, decision.wait_slots)
+            self.series.observe(FLEET_QUEUE_WAIT, arrival_slot, decision.wait_slots)
 
     def record_session(self, slo: SessionSLO, arrival_slot: int) -> None:
         """Window one completed session's SLO at its arrival slot."""
-        self.series.count("fleet.sessions_completed", arrival_slot)
-        self.series.observe("fleet.startup_delay", arrival_slot, slo.startup_delay)
-        self.series.observe("fleet.rebuffer_ratio", arrival_slot, slo.rebuffer_ratio)
-        self.series.gauge("fleet.goodput", arrival_slot, slo.goodput)
+        self.series.count(FLEET_SESSIONS_COMPLETED, arrival_slot)
+        self.series.observe(FLEET_STARTUP_DELAY, arrival_slot, slo.startup_delay)
+        self.series.observe(FLEET_REBUFFER_RATIO, arrival_slot, slo.rebuffer_ratio)
+        self.series.gauge(FLEET_GOODPUT, arrival_slot, slo.goodput)
 
     def rows(self) -> list[dict[str, Any]]:
         """Flat (window, series) rows for table rendering."""
@@ -301,7 +312,7 @@ class FleetRunner:
         cache: ScheduleCache | None = None,
         policy: ExecutorPolicy | None = None,
         registry: MetricsRegistry | None = None,
-        tracer=None,
+        tracer: EventTracer | None = None,
         telemetry: FleetTelemetry | None = None,
     ) -> None:
         self.cache = cache if cache is not None else ScheduleCache(capacity=64)
@@ -320,7 +331,9 @@ class FleetRunner:
         return nullcontext()
 
     # ------------------------------------------------------------------ build
-    def _compile(self, spec: SessionSpec, degree: int, schedules: dict):
+    def _compile(
+        self, spec: SessionSpec, degree: int, schedules: dict[str, Any]
+    ) -> tuple[str, Any]:
         """Compile one configuration through the shared cache.
 
         Returns ``(token, schedule)`` and tallies the hit/miss.  ``run``
@@ -459,7 +472,9 @@ class FleetRunner:
             batch_first = fleet.execution == "batch"
             workers = max(1, self.policy.resolved_workers())
 
-            def build_units(window, base: int):
+            def build_units(
+                window: list[tuple[Any, ...]], base: int
+            ) -> tuple[list[tuple[Any, ...]], list[list[int]]]:
                 """Group a task window into execution units.
 
                 Batch-first mode groups sessions sharing a ``(schedule
@@ -497,12 +512,12 @@ class FleetRunner:
                     unit_members.append([task_index])
                 return units, unit_members
 
-            def execute_window(window, base: int) -> int:
+            def execute_window(window: list[tuple[Any, ...]], base: int) -> int:
                 if not window:
                     return 0
                 units, unit_members = build_units(window, base)
 
-                def on_result(index: int, pairs) -> None:
+                def on_result(index: int, pairs: list[tuple[int, SessionSLO]]) -> None:
                     aggregator.add_sessions([slo for _, slo in pairs])
                     if controlled:
                         epoch_delays.extend(slo.startup_delay for _, slo in pairs)
@@ -595,7 +610,7 @@ class FleetRunner:
                     cache_hits=self.cache_hits,
                     cache_misses=self.cache_misses,
                 )
-            registry.gauge("fleet.cache_hit_rate").set(report.cache_hit_rate)
+            registry.gauge(FLEET_CACHE_HIT_RATE).set(report.cache_hit_rate)
         return FleetRunResult(
             report=report,
             decisions=tuple(used_decisions),
@@ -613,15 +628,18 @@ class FleetRunner:
         fleet: FleetSpec,
         sessions: tuple[ResolvedSession, ...],
         manager: SessionManager,
-        duration_of,
+        duration_of: Callable[[ResolvedSession], int],
         *,
-        build_task,
-        execute_window,
+        build_task: Callable[[AdmissionDecision], None],
+        execute_window: Callable[[list[tuple[Any, ...]], int], int],
         epoch_delays: list[int],
         tasks: list,
-        executor,
+        executor: SweepExecutor,
         by_id: dict[int, ResolvedSession],
-    ):
+    ) -> tuple[
+        list[AdmissionDecision], dict[str, Any],
+        tuple[Any, ...], tuple[dict[str, Any], ...],
+    ]:
         """The control plane's decide→act→observe epoch loop.
 
         Arrivals are admitted in epochs of ``controller.epoch_sessions``.
@@ -671,7 +689,7 @@ class FleetRunner:
             if ran:
                 executor_info = dict(executor.last_run)
 
-        def tally(made) -> dict[str, int]:
+        def tally(made: list[AdmissionDecision]) -> dict[str, int]:
             counts = Counter(d.status for d in made)
             return {
                 "admitted": counts["admitted"],

@@ -29,11 +29,13 @@ from __future__ import annotations
 
 from collections import Counter
 from collections.abc import Mapping, Sequence
+from typing import Any
 from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.core.errors import ReproError
+from repro.exec.batch import BatchMetrics
 from repro.core.metrics import summarize_lossy_playback
 from repro.obs.sketch import QuantileSketch
 
@@ -187,7 +189,7 @@ def score_session(
 
 
 def score_session_columns(
-    batch,
+    batch: BatchMetrics,
     index: int,
     *,
     session_id: int,
@@ -259,7 +261,7 @@ def _row_histograms(
 
 
 def score_batch_sessions(
-    batch,
+    batch: BatchMetrics,
     *,
     session_ids: Sequence[int],
     labels: Sequence[str],
@@ -476,7 +478,7 @@ class FleetAggregator:
     def num_sessions_aggregated(self) -> int:
         return self._slos
 
-    def add_decision(self, decision) -> None:
+    def add_decision(self, decision: Any) -> None:
         """Tally one admission decision (any object with ``status`` /
         ``admitted`` / ``wait_slots``, i.e. ``SessionDecision``)."""
         self._decisions += 1

@@ -1,0 +1,564 @@
+"""Adversarial fixtures for the model-based analyzer passes (REP005–REP008).
+
+Every rule gets at least one fixture that triggers exactly that rule and a
+near-miss twin that must stay clean (mirroring ``test_check_schedule.py``'s
+pattern), plus tests for the project model itself (symbol table, resolvers,
+content-addressed cache), the baseline workflow, and a repo-clean gate:
+``lint_project`` over the real ``src/`` tree must exit clean against the
+committed baseline, and the declared metric registry must carry no dead
+names.
+
+Fixture trees are written under ``tmp_path/proj/repro/...`` so
+:func:`repro.check.model.module_name_for` anchors them at the ``repro``
+package root — which is also what lets a fixture ship its *own*
+``repro.obs.names`` registry for the REP006 tests instead of resolving
+against the installed one.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.check import (
+    ANALYZER_RULES,
+    ProjectModel,
+    build_project_model,
+    lint_project,
+    load_baseline,
+    run_analyzers,
+    save_baseline,
+)
+from repro.check.analyzers import (
+    frozen_spec,
+    metric_names,
+    process_safety,
+    taint,
+)
+from repro.check.model import module_name_for
+from repro.check.project import DEFAULT_BASELINE_PATH, baseline_key
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    """Write ``{relpath: source}`` under ``root/proj`` and return it."""
+    base = root / "proj"
+    for rel, source in files.items():
+        path = base / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return base
+
+
+def model_of(root: Path, files: dict[str, str]) -> ProjectModel:
+    return build_project_model([write_tree(root, files)])
+
+
+def rules_of(violations):
+    return sorted(v.rule for v in violations)
+
+
+# A minimal registry pair every REP006 fixture can include.
+REGISTRY_FILES = {
+    "repro/obs/names.py": """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class MetricSpec:
+            name: str
+            kind: str
+
+        METRIC_SPECS = (
+            MetricSpec("fleet.sessions", "counter"),
+            MetricSpec("fleet.goodput", "gauge"),
+        )
+        METRIC_NAMES = {s.name: s for s in METRIC_SPECS}
+        """,
+    "repro/obs/events.py": """
+        SESSION_ADMITTED = "session_admitted"
+        EVENT_SCHEMA = {SESSION_ADMITTED: ("slot",)}
+        """,
+}
+
+
+# ---------------------------------------------------------------------- REP005
+class TestProcessSafety:
+    WORKER_TRIGGER = {
+        "repro/exec/worker.py": """
+            _CACHE = {}
+
+            def worker(task):
+                _CACHE[task] = 1  # shared-state write in the worker
+                return task
+            """,
+        "repro/exec/driver.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            from repro.exec.worker import worker
+
+            def run(tasks):
+                executor = ProcessPoolExecutor()
+                return list(executor.map(worker, tasks))
+            """,
+    }
+
+    def test_worker_global_write_fires(self, tmp_path):
+        found = process_safety.analyze(model_of(tmp_path, self.WORKER_TRIGGER))
+        assert rules_of(found) == ["REP005"]
+        assert "worker" in found[0].message
+        assert found[0].path.endswith("worker.py")
+
+    def test_near_miss_unmapped_twin_is_clean(self, tmp_path):
+        # Identical mutation, but the function is never shipped to a pool.
+        files = dict(self.WORKER_TRIGGER)
+        files["repro/exec/driver.py"] = """
+            from repro.exec.worker import worker
+
+            def run(tasks):
+                return [worker(t) for t in tasks]
+            """
+        assert process_safety.analyze(model_of(tmp_path, files)) == []
+
+    def test_near_miss_local_mutation_is_clean(self, tmp_path):
+        files = dict(self.WORKER_TRIGGER)
+        files["repro/exec/worker.py"] = """
+            def worker(task):
+                cache = {}
+                cache[task] = 1  # local: workers own their locals
+                return task
+            """
+        assert process_safety.analyze(model_of(tmp_path, files)) == []
+
+    def test_transitive_callee_is_caught(self, tmp_path):
+        files = dict(self.WORKER_TRIGGER)
+        files["repro/exec/worker.py"] = """
+            _SEEN = []
+
+            def record(task):
+                _SEEN.append(task)
+
+            def worker(task):
+                record(task)
+                return task
+            """
+        found = process_safety.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP005"]
+        assert "record" in found[0].message
+
+    def test_initializer_is_a_root(self, tmp_path):
+        files = {
+            "repro/exec/driver.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                _STATE = []
+
+                def init():
+                    _STATE.append(1)
+
+                def run(tasks):
+                    with ProcessPoolExecutor(initializer=init) as pool:
+                        return list(pool.map(str, tasks))
+                """,
+        }
+        found = process_safety.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP005"]
+
+    def test_line_pragma_suppresses(self, tmp_path):
+        files = dict(self.WORKER_TRIGGER)
+        files["repro/exec/worker.py"] = """
+            _CACHE = {}
+
+            def worker(task):
+                _CACHE[task] = 1  # repro-lint: disable=REP005 -- per-process
+                return task
+            """
+        model = model_of(tmp_path, files)
+        assert process_safety.analyze(model)  # raw pass still sees it
+        assert run_analyzers(model) == []  # pragma filter removes it
+
+
+# ---------------------------------------------------------------------- REP006
+class TestMetricNames:
+    def test_undeclared_metric_fires(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def record(registry):
+                registry.counter("fleet.session").inc()  # drifted: no final s
+            """
+        found = metric_names.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP006"]
+        assert "fleet.session" in found[0].message
+
+    def test_near_miss_declared_twin_is_clean(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def record(registry):
+                registry.counter("fleet.sessions").inc()
+            """
+        assert metric_names.analyze(model_of(tmp_path, files)) == []
+
+    def test_name_resolved_through_constant_chain(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/consts.py"] = 'BAD = "fleet.oops"\n'
+        files["repro/service/emit.py"] = """
+            from repro.service.consts import BAD
+
+            def record(registry):
+                registry.gauge(BAD).set(1.0)
+            """
+        found = metric_names.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP006"]
+        assert "fleet.oops" in found[0].message
+
+    def test_undeclared_event_fires(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def record(tracer):
+                tracer.emit("session_admited", 0)  # typo'd event name
+            """
+        found = metric_names.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP006"]
+        assert "EVENT_SCHEMA" in found[0].message
+
+    def test_near_miss_declared_event_is_clean(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def record(tracer):
+                tracer.emit("session_admitted", 0)
+            """
+        assert metric_names.analyze(model_of(tmp_path, files)) == []
+
+    def test_dynamic_names_are_skipped(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def record(registry, status):
+                registry.counter(f"fleet.{status}").inc()
+            """
+        assert metric_names.analyze(model_of(tmp_path, files)) == []
+
+    def test_str_count_never_matches(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def tally(text):
+                return text.count("fleet.nope")
+            """
+        assert metric_names.analyze(model_of(tmp_path, files)) == []
+
+    def test_unused_metric_names(self, tmp_path):
+        files = dict(REGISTRY_FILES)
+        files["repro/service/emit.py"] = """
+            def record(registry):
+                registry.counter("fleet.sessions").inc()
+            """
+        model = model_of(tmp_path, files)
+        assert metric_names.unused_metric_names(model) == {"fleet.goodput"}
+
+
+# ---------------------------------------------------------------------- REP007
+class TestFrozenSpec:
+    def test_object_setattr_outside_constructor_fires(self, tmp_path):
+        files = {
+            "repro/service/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class SessionSpec:
+                    nodes: int
+
+                def degrade(spec):
+                    object.__setattr__(spec, "nodes", 1)
+                    return spec
+                """,
+        }
+        found = frozen_spec.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP007"]
+
+    def test_near_miss_post_init_is_clean(self, tmp_path):
+        files = {
+            "repro/service/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class SessionSpec:
+                    nodes: int
+
+                    def __post_init__(self):
+                        object.__setattr__(self, "nodes", max(1, self.nodes))
+                """,
+        }
+        assert frozen_spec.analyze(model_of(tmp_path, files)) == []
+
+    def test_direct_set_on_constructed_spec_fires(self, tmp_path):
+        files = {
+            "repro/service/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class SessionSpec:
+                    nodes: int
+                """,
+            "repro/service/use.py": """
+                from repro.service.spec import SessionSpec
+
+                def build():
+                    spec = SessionSpec(nodes=4)
+                    spec.nodes = 8
+                    return spec
+                """,
+        }
+        found = frozen_spec.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP007"]
+        assert "dataclasses.replace" in found[0].message
+
+    def test_near_miss_unfrozen_twin_is_clean(self, tmp_path):
+        files = {
+            "repro/service/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass
+                class MutableConfig:
+                    nodes: int
+                """,
+            "repro/service/use.py": """
+                from repro.service.spec import MutableConfig
+
+                def build():
+                    cfg = MutableConfig(nodes=4)
+                    cfg.nodes = 8
+                    return cfg
+                """,
+        }
+        assert frozen_spec.analyze(model_of(tmp_path, files)) == []
+
+    def test_self_write_in_frozen_method_fires(self, tmp_path):
+        files = {
+            "repro/service/spec.py": """
+                from dataclasses import dataclass
+
+                @dataclass(frozen=True)
+                class SessionSpec:
+                    nodes: int
+
+                    def grow(self):
+                        self.nodes = self.nodes + 1
+                """,
+        }
+        found = frozen_spec.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP007"]
+        assert "FrozenInstanceError" in found[0].message
+
+
+# ---------------------------------------------------------------------- REP008
+class TestTaint:
+    def test_clock_through_assignment_fires(self, tmp_path):
+        files = {
+            "repro/service/emit.py": """
+                import time
+
+                def record(registry):
+                    started = time.time()
+                    elapsed = started - 100.0
+                    registry.histogram("fleet.startup_delay").observe(elapsed)
+                """,
+        }
+        found = taint.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP008"]
+        assert "time.time()" in found[0].message
+
+    def test_near_miss_seeded_rng_is_clean(self, tmp_path):
+        files = {
+            "repro/service/emit.py": """
+                import numpy as np
+
+                def record(registry, seed):
+                    rng = np.random.default_rng(seed)
+                    value = float(rng.integers(10))
+                    registry.histogram("fleet.startup_delay").observe(value)
+                """,
+        }
+        assert taint.analyze(model_of(tmp_path, files)) == []
+
+    def test_near_miss_obs_wrapper_is_clean(self, tmp_path):
+        files = {
+            "repro/service/emit.py": """
+                from repro.obs.spans import wall_time_s
+
+                def record(ledger):
+                    stamp = wall_time_s()
+                    ledger.append({"time_s": stamp})
+                """,
+        }
+        assert taint.analyze(model_of(tmp_path, files)) == []
+
+    def test_unseeded_rng_into_ledger_fires(self, tmp_path):
+        files = {
+            "repro/reporting/rec.py": """
+                import random
+
+                from repro.reporting.ledger import RunLedger
+
+                def record(path):
+                    jitter = random.random()
+                    ledger = RunLedger(path)
+                    ledger.append({"jitter": jitter})
+                """,
+        }
+        found = taint.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP008"]
+        assert "ledger append()" in found[0].message
+
+    def test_direct_source_in_sink_fires(self, tmp_path):
+        files = {
+            "repro/service/emit.py": """
+                import time
+
+                def record(registry):
+                    registry.gauge("fleet.goodput").set(time.monotonic())
+                """,
+        }
+        found = taint.analyze(model_of(tmp_path, files))
+        assert rules_of(found) == ["REP008"]
+
+    def test_obs_modules_are_exempt(self, tmp_path):
+        files = {
+            "repro/obs/clock.py": """
+                import time
+
+                def stamp(registry):
+                    registry.gauge("obs.now").set(time.time())
+                """,
+        }
+        assert taint.analyze(model_of(tmp_path, files)) == []
+
+
+# ----------------------------------------------------------------- the model
+class TestProjectModel:
+    def test_module_name_anchoring(self):
+        assert (
+            module_name_for(Path("a/b/src/repro/exec/executor.py"))
+            == "repro.exec.executor"
+        )
+        assert module_name_for(Path("src/repro/__init__.py")) == "repro"
+
+    def test_symbol_table(self, tmp_path):
+        model = model_of(tmp_path, {
+            "repro/demo.py": """
+                from dataclasses import dataclass
+
+                NAME = "demo.metric"
+                ITEMS = []
+
+                @dataclass(frozen=True)
+                class Spec:
+                    x: int
+
+                def helper():
+                    return NAME
+                """,
+        })
+        info = model.get("repro.demo")
+        assert info is not None
+        assert info.constants["NAME"] == "demo.metric"
+        assert "ITEMS" in info.mutable_bindings
+        assert info.classes["Spec"].frozen_dataclass
+        assert "helper" in info.functions
+
+    def test_resolvers_chase_from_imports(self, tmp_path):
+        model = model_of(tmp_path, {
+            "repro/a.py": "def origin():\n    return 1\n",
+            "repro/b.py": "from repro.a import origin as alias\n",
+        })
+        b = model.get("repro.b")
+        resolved = model.resolve_function(b, "alias")
+        assert resolved is not None
+        assert resolved[0].name == "repro.a"
+        assert resolved[1].qualname == "origin"
+
+    def test_cache_reuses_unchanged_entries(self, tmp_path):
+        files = {"repro/one.py": "X = 1\n", "repro/two.py": "Y = 2\n"}
+        base = write_tree(tmp_path, files)
+        cache = tmp_path / "model.pkl"
+        first = build_project_model([base], cache_path=cache)
+        assert cache.exists()
+        (base / "repro/one.py").write_text("X = 3\n")
+        second = build_project_model([base], cache_path=cache)
+        assert len(first) == len(second)
+        # the unchanged module keeps its sha; the edited one re-parses
+        assert (
+            first.get("repro.two").sha256 == second.get("repro.two").sha256
+        )
+        assert (
+            first.get("repro.one").sha256 != second.get("repro.one").sha256
+        )
+
+    def test_corrupt_cache_is_rebuilt(self, tmp_path):
+        base = write_tree(tmp_path, {"repro/one.py": "X = 1\n"})
+        cache = tmp_path / "model.pkl"
+        cache.write_bytes(b"not a pickle")
+        model = build_project_model([base], cache_path=cache)
+        assert model.get("repro.one") is not None
+
+
+# -------------------------------------------------------------- the baseline
+class TestBaseline:
+    def test_roundtrip_and_subtraction(self, tmp_path):
+        base = write_tree(tmp_path, {
+            "repro/exec/worker.py": TestProcessSafety.WORKER_TRIGGER[
+                "repro/exec/worker.py"
+            ],
+            "repro/exec/driver.py": TestProcessSafety.WORKER_TRIGGER[
+                "repro/exec/driver.py"
+            ],
+        })
+        dirty = lint_project([base])
+        assert "REP005" in dirty.per_rule
+        baseline = tmp_path / "baseline.json"
+        count = save_baseline(baseline, dirty.violations)
+        assert count == len(load_baseline(baseline))
+        clean = lint_project([base], baseline_path=baseline)
+        assert clean.clean
+        assert clean.baselined == len(dirty.violations)
+
+    def test_baseline_is_line_insensitive(self, tmp_path):
+        v = lint_project(
+            [write_tree(tmp_path, TestProcessSafety.WORKER_TRIGGER)]
+        ).violations[0]
+        assert v.line not in baseline_key(v)
+
+    def test_unknown_rule_rejected(self, tmp_path):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError, match="REP999"):
+            lint_project([tmp_path], rules=["REP999"])
+
+    def test_rule_selection(self, tmp_path):
+        base = write_tree(tmp_path, TestProcessSafety.WORKER_TRIGGER)
+        only_taint = lint_project([base], rules=["REP008"])
+        assert only_taint.clean
+        only_ps = lint_project([base], rules=["REP005"])
+        assert set(only_ps.per_rule) == {"REP005"}
+
+
+# ------------------------------------------------------------ repo-wide gates
+class TestRepoIsClean:
+    def test_src_tree_is_clean_against_committed_baseline(self):
+        report = lint_project(["src"], baseline_path=DEFAULT_BASELINE_PATH)
+        assert report.clean, "\n".join(str(v) for v in report.violations)
+
+    def test_committed_baseline_is_empty(self):
+        # Policy: deliberate exemptions use inline pragmas with a reason;
+        # the baseline exists for staged rule rollouts and ships empty.
+        assert load_baseline(DEFAULT_BASELINE_PATH) == set()
+
+    def test_all_analyzer_rules_documented(self):
+        text = Path("docs/CHECKS.md").read_text()
+        for rule in ANALYZER_RULES:
+            assert rule in text, f"{rule} missing from docs/CHECKS.md"
+
+    def test_metric_registry_has_no_dead_names(self):
+        model = build_project_model(["src"])
+        assert metric_names.unused_metric_names(model) == frozenset()
+
+    def test_every_emitted_name_is_declared(self):
+        model = build_project_model(["src"])
+        assert metric_names.analyze(model) == []
